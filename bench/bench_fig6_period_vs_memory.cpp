@@ -1,0 +1,51 @@
+// Figure 6 of the paper: periods achieved on ResNet-50 (1000x1000 images,
+// batch 8) as a function of the per-GPU memory limit, for P ∈ {2,4,8} and
+// β ∈ {12,24} GB/s. For each algorithm we print the phase-1 partitioning
+// period ("dashed" in the paper's plots) and the valid schedule's period
+// ("solid"). Lower is better; throughput = 1/period.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/format.hpp"
+
+using namespace madpipe;
+using namespace madpipe::bench;
+
+int main() {
+  std::printf("=== Figure 6: ResNet-50 period vs memory (values in ms) ===\n");
+  std::printf("columns: PipeDream dashed/solid, MadPipe dashed/solid\n\n");
+
+  for (const double bandwidth : paper_bandwidth_sweep()) {
+    for (const int processors : paper_processor_sweep()) {
+      std::printf("-- P = %d, beta = %.0f GB/s --\n", processors, bandwidth);
+      fmt::Table table({"M(GB)", "PD-dash", "PD-solid", "MP-dash", "MP-solid",
+                        "MP-contig", "PD/MP"});
+      for (const double memory : paper_memory_sweep()) {
+        CellConfig config;
+        config.network = "resnet50";
+        config.processors = processors;
+        config.memory_gb = memory;
+        config.bandwidth_gbs = bandwidth;
+        config.run_contiguous_ablation = true;
+        const CellResult cell = run_cell(config);
+
+        std::string ratio = "-";
+        if (cell.pipedream.feasible && cell.madpipe.feasible) {
+          ratio = fmt::fixed(cell.pipedream.period / cell.madpipe.period, 2);
+        }
+        table.add_row({fmt::fixed(memory, 0),
+                       cell.pipedream.feasible
+                           ? fmt::fixed(cell.pipedream.phase1_period * 1e3, 1)
+                           : "inf",
+                       period_cell(cell.pipedream),
+                       cell.madpipe.feasible
+                           ? fmt::fixed(cell.madpipe.phase1_period * 1e3, 1)
+                           : "inf",
+                       period_cell(cell.madpipe),
+                       period_cell(cell.madpipe_contiguous), ratio});
+      }
+      std::printf("%s\n", table.to_string().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 7 of the paper: for each network and memory limit, the geometric
+// mean over (P, β) of the ratio period(PipeDream)/period(MadPipe). Values
+// above 1 mean MadPipe produces faster schedules. The paper reports this
+// ratio consistently above 1.2 below 10 GB.
+#include <cstdio>
+
+#include "common.hpp"
+#include "models/zoo.hpp"
+#include "util/format.hpp"
+#include "util/stats.hpp"
+
+using namespace madpipe;
+using namespace madpipe::bench;
+
+int main() {
+  std::printf(
+      "=== Figure 7: geometric mean of PipeDream/MadPipe period ratios ===\n");
+  std::printf("(over P in {2,4,8} and beta in {12,24} GB/s; >1 favors "
+              "MadPipe; 'n/a' when no cell had both planners feasible)\n\n");
+
+  fmt::Table table({"M(GB)", "resnet50", "resnet101", "inception_v3",
+                    "densenet121"});
+  for (const double memory : paper_memory_sweep()) {
+    std::vector<std::string> row{fmt::fixed(memory, 0)};
+    for (const std::string& network : models::list_networks()) {
+      std::vector<double> ratios;
+      for (const double bandwidth : paper_bandwidth_sweep()) {
+        for (const int processors : paper_processor_sweep()) {
+          CellConfig config;
+          config.network = network;
+          config.processors = processors;
+          config.memory_gb = memory;
+          config.bandwidth_gbs = bandwidth;
+          const CellResult cell = run_cell(config);
+          if (cell.pipedream.feasible && cell.madpipe.feasible) {
+            ratios.push_back(cell.pipedream.period / cell.madpipe.period);
+          } else if (cell.pipedream.feasible != cell.madpipe.feasible) {
+            // One planner infeasible: score 2 against it, like an
+            // off-the-chart point (keeps the geomean defined).
+            ratios.push_back(cell.madpipe.feasible ? 2.0 : 0.5);
+          }
+        }
+      }
+      row.push_back(ratios.empty() ? "n/a"
+                                   : fmt::fixed(stats::geometric_mean(ratios), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 8 of the paper: speedup of the produced schedules over sequential
+// execution (U(1,L)) as the number of processors grows, per network and
+// memory limit. The paper's observations: good scalability at M = 12/16 GB,
+// degradation when memory is tight, MadPipe scaling better than PipeDream,
+// and little sensitivity to doubling the bandwidth.
+#include <cstdio>
+
+#include "common.hpp"
+#include "models/zoo.hpp"
+#include "util/format.hpp"
+
+using namespace madpipe;
+using namespace madpipe::bench;
+
+int main() {
+  std::printf("=== Figure 8: speedup vs sequential execution ===\n\n");
+
+  const std::vector<int> processors{2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> memories{4.0, 8.0, 12.0, 16.0};
+
+  for (const std::string& network : models::list_networks()) {
+    const Chain& chain = evaluation_chain(network);
+    std::printf("-- %s (sequential batch time %s) --\n", network.c_str(),
+                fmt::seconds(chain.total_compute()).c_str());
+    for (const double bandwidth : {12.0, 24.0}) {
+      fmt::Table table({"P", "M=4 PD", "M=4 MP", "M=8 PD", "M=8 MP",
+                        "M=12 PD", "M=12 MP", "M=16 PD", "M=16 MP"});
+      for (const int p : processors) {
+        std::vector<std::string> row{std::to_string(p)};
+        for (const double memory : memories) {
+          CellConfig config;
+          config.network = network;
+          config.processors = p;
+          config.memory_gb = memory;
+          config.bandwidth_gbs = bandwidth;
+          const CellResult cell = run_cell(config);
+          const auto speedup = [&](const PlannerOutcome& outcome) {
+            return outcome.feasible
+                       ? fmt::fixed(chain.total_compute() / outcome.period, 2)
+                       : std::string("-");
+          };
+          row.push_back(speedup(cell.pipedream));
+          row.push_back(speedup(cell.madpipe));
+        }
+        table.add_row(std::move(row));
+      }
+      std::printf("beta = %.0f GB/s\n%s\n", bandwidth,
+                  table.to_string().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// The scalability experiment sketched in the paper's introduction and named
+// in its conclusion as the natural extension: combine pipelined model
+// parallelism with data parallelism by replicating stages, so that G groups
+// perform G smaller AllReduces. Compares, from 2 to 64 GPUs:
+//   * pure data parallelism (one stage, P replicas, global AllReduce);
+//   * pure pipelined model parallelism (PipeDream+1F1B*, capped by the
+//     chain's depth and bottleneck);
+//   * the hybrid planner (stage replication).
+#include <cstdio>
+
+#include "common.hpp"
+#include "hybrid/hybrid.hpp"
+#include "models/zoo.hpp"
+#include "pipedream/pipedream.hpp"
+#include "util/format.hpp"
+
+using namespace madpipe;
+using namespace madpipe::bench;
+
+int main() {
+  std::printf("=== Hybrid data+model parallelism: speedup vs GPU count ===\n");
+  std::printf("(speedup over sequential execution; '-' = infeasible)\n\n");
+
+  for (const std::string& network : {std::string("resnet50"),
+                                     std::string("densenet121")}) {
+    const Chain& chain = evaluation_chain(network);
+    for (const double memory_gb : {8.0, 16.0}) {
+      std::printf("-- %s, M = %.0f GB, beta = 12 GB/s --\n", network.c_str(),
+                  memory_gb);
+      fmt::Table table(
+          {"P", "data-parallel", "model-parallel", "hybrid", "hybrid stages"});
+      for (const int gpus : {2, 4, 8, 16, 32, 64}) {
+        const Platform platform{gpus, memory_gb * GB, 12 * GB};
+
+        const auto dp = hybrid::plan_data_parallel(chain, platform);
+        const auto mp = plan_pipedream(chain, platform);
+        const auto hy = hybrid::plan_hybrid(chain, platform);
+
+        std::string stages = "-";
+        if (hy) {
+          stages.clear();
+          for (const auto& stage : hy->stages) {
+            stages += (stages.empty() ? "" : "+") +
+                      std::to_string(stage.replication);
+          }
+        }
+        const auto cell = [&](double speedup, bool ok) {
+          return ok ? fmt::fixed(speedup, 2) : std::string("-");
+        };
+        table.add_row({std::to_string(gpus),
+                       cell(dp ? dp->speedup(chain) : 0, dp.has_value()),
+                       cell(mp ? mp->speedup(chain) : 0, mp.has_value()),
+                       cell(hy ? hy->speedup(chain) : 0, hy.has_value()),
+                       stages});
+      }
+      std::printf("%s\n", table.to_string().c_str());
+    }
+  }
+  std::printf(
+      "Reading: data parallelism pays a global AllReduce and replicates all\n"
+      "weights; pure model parallelism saturates at the bottleneck stage;\n"
+      "the hybrid replicates the heavy stages only (right column shows the\n"
+      "per-stage replication vector) and keeps scaling.\n");
+  return 0;
+}

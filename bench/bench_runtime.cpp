@@ -1,0 +1,155 @@
+// Planner runtime microbenchmarks (google-benchmark): the cost of
+// MadPipe-DP as a function of chain length, processor count and grid
+// granularity, plus the supporting machinery (1F1B*, the cyclic scheduler
+// and the simplex). The paper reports "several seconds … up to 15 minutes"
+// at its discretization on its (longer) profiled chains; these measurements
+// document where our implementation stands.
+#include <benchmark/benchmark.h>
+
+#include "cyclic/period_search.hpp"
+#include "madpipe/search.hpp"
+#include "models/zoo.hpp"
+#include "pipedream/pipedream.hpp"
+#include "schedule/one_f_one_b.hpp"
+#include "solver/lp.hpp"
+
+namespace {
+
+using namespace madpipe;
+
+Chain bench_chain(int length) {
+  models::NetworkConfig config;
+  config.network = "resnet101";
+  config.image_size = 1000;
+  config.batch = 8;
+  config.chain_length = length;
+  return models::build_network(config);
+}
+
+void BM_MadPipeDP_ChainLength(benchmark::State& state) {
+  const Chain chain = bench_chain(static_cast<int>(state.range(0)));
+  const Platform platform{4, 8 * GB, 12 * GB};
+  MadPipeDPOptions options;
+  options.grid = Discretization::paper();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        madpipe_dp(chain, platform, chain.total_compute() / 4, options));
+  }
+}
+BENCHMARK(BM_MadPipeDP_ChainLength)->Arg(8)->Arg(16)->Arg(24)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MadPipeDP_Processors(benchmark::State& state) {
+  const Chain chain = bench_chain(24);
+  const Platform platform{static_cast<int>(state.range(0)), 8 * GB, 12 * GB};
+  MadPipeDPOptions options;
+  options.grid = Discretization::paper();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(madpipe_dp(
+        chain, platform, chain.total_compute() / platform.processors,
+        options));
+  }
+}
+BENCHMARK(BM_MadPipeDP_Processors)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MadPipeDP_GridPoints(benchmark::State& state) {
+  const Chain chain = bench_chain(24);
+  const Platform platform{4, 8 * GB, 12 * GB};
+  MadPipeDPOptions options;
+  const int scale = static_cast<int>(state.range(0));
+  options.grid = Discretization{25 * scale + 1, 5 * scale + 1, 12 * scale + 1,
+                                RoundingMode::Nearest};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        madpipe_dp(chain, platform, chain.total_compute() / 4, options));
+  }
+}
+BENCHMARK(BM_MadPipeDP_GridPoints)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MadPipePhase1_Full(benchmark::State& state) {
+  const Chain chain = bench_chain(24);
+  const Platform platform{static_cast<int>(state.range(0)), 8 * GB, 12 * GB};
+  Phase1Options options;
+  options.dp.grid = Discretization::paper();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(madpipe_phase1(chain, platform, options));
+  }
+}
+BENCHMARK(BM_MadPipePhase1_Full)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipeDreamPartition(benchmark::State& state) {
+  const Chain chain = bench_chain(static_cast<int>(state.range(0)));
+  const Platform platform{8, 8 * GB, 12 * GB};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipedream_partition(chain, platform));
+  }
+}
+BENCHMARK(BM_PipeDreamPartition)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_OneFOneBPlan(benchmark::State& state) {
+  const Chain chain = bench_chain(24);
+  const Platform platform{8, 8 * GB, 12 * GB};
+  const auto partition = pipedream_partition(chain, platform);
+  if (!partition) {
+    state.SkipWithError("no partition");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        plan_one_f_one_b(partition->allocation, chain, platform));
+  }
+}
+BENCHMARK(BM_OneFOneBPlan)->Unit(benchmark::kMicrosecond);
+
+void BM_CyclicScheduler(benchmark::State& state) {
+  const Chain chain = bench_chain(24);
+  const Platform platform{4, 8 * GB, 12 * GB};
+  // A representative non-contiguous allocation: split the PipeDream
+  // partition's first stage off to a shared processor.
+  Phase1Options options;
+  options.dp.grid = Discretization::paper();
+  const Phase1Result phase1 = madpipe_phase1(chain, platform, options);
+  if (!phase1.feasible()) {
+    state.SkipWithError("phase 1 infeasible");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_min_period(*phase1.allocation, chain,
+                                             platform, phase1.period));
+  }
+}
+BENCHMARK(BM_CyclicScheduler)->Unit(benchmark::kMillisecond);
+
+void BM_SimplexDense(benchmark::State& state) {
+  // Random-but-fixed LP of the given size.
+  const int n = static_cast<int>(state.range(0));
+  solver::Model model;
+  model.set_sense(solver::Sense::Maximize);
+  unsigned value = 12345;
+  const auto next = [&value] {
+    value = value * 1103515245u + 12345u;
+    return static_cast<double>((value >> 16) & 0x7fff) / 32768.0;
+  };
+  for (int i = 0; i < n; ++i) {
+    model.add_variable("x" + std::to_string(i), 0.0, 10.0, next());
+  }
+  for (int r = 0; r < n; ++r) {
+    solver::LinearExpr expr;
+    for (int i = 0; i < n; ++i) expr.add(i, next());
+    model.add_constraint(std::move(expr), solver::Relation::LessEqual,
+                         1.0 + 5.0 * next());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::solve_lp(model));
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(10)->Arg(30)->Arg(60)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Planning from a measured profile file — the workflow for users who have
+// profiled their own model instead of using the synthetic zoo:
+//
+//   $ ./examples/plan_from_profile my_model.profile 4 8
+//
+// With no arguments it writes a sample profile (the ResNet-50 synthetic one)
+// next to the binary and plans that, so the example is runnable standalone.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "madpipe/planner.hpp"
+#include "models/profile_io.hpp"
+#include "models/zoo.hpp"
+#include "util/format.hpp"
+
+using namespace madpipe;
+
+int main(int argc, char** argv) {
+  std::string path = argc > 1 ? argv[1] : "";
+  const int gpus = argc > 2 ? std::atoi(argv[2]) : 4;
+  const double memory_gb = argc > 3 ? std::atof(argv[3]) : 8.0;
+
+  if (path.empty()) {
+    path = "sample_resnet50.profile";
+    models::save_profile(models::paper_network("resnet50"), path);
+    std::printf("no profile given — wrote a sample to ./%s\n", path.c_str());
+  }
+
+  Chain chain = models::load_profile(path);
+  std::printf("loaded '%s': %d layers, sequential batch time %s\n",
+              chain.name().c_str(), chain.length(),
+              fmt::seconds(chain.total_compute()).c_str());
+
+  const Platform platform{gpus, memory_gb * GB, 12 * GB};
+  const auto plan = plan_madpipe(chain, platform);
+  if (!plan) {
+    std::printf("MadPipe: infeasible on %d GPUs with %s each.\n", gpus,
+                fmt::bytes(platform.memory_per_processor).c_str());
+    return 1;
+  }
+  std::printf("\n%s", plan_to_string(*plan, chain, platform).c_str());
+
+  const auto check =
+      validate_pattern(plan->pattern, plan->allocation, chain, platform);
+  std::printf("pattern %s; per-GPU peaks:", check.valid ? "valid" : "INVALID");
+  for (const Bytes peak : check.processor_memory_peak) {
+    std::printf(" %s", fmt::bytes(peak).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

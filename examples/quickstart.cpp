@@ -1,0 +1,78 @@
+// Quickstart: describe a model as a chain of layers, describe the platform,
+// plan with MadPipe, inspect the result, and double-check it with the
+// discrete-event simulator.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "madpipe/planner.hpp"
+#include "pipedream/pipedream.hpp"
+#include "sim/event_sim.hpp"
+#include "util/format.hpp"
+
+using namespace madpipe;
+
+int main() {
+  // 1. The model: a small 6-layer chain. Real profiles would come from
+  //    measurements (or from models::build_network — see the other
+  //    examples); here we type the numbers in directly. Early layers have
+  //    big activations and few weights, late layers the reverse — the shape
+  //    that makes pipelined model parallelism interesting.
+  std::vector<Layer> layers{
+      {"conv1", ms(8), ms(16), 2 * MB, 400 * MB},
+      {"conv2", ms(12), ms(24), 10 * MB, 300 * MB},
+      {"conv3", ms(10), ms(20), 40 * MB, 150 * MB},
+      {"conv4", ms(10), ms(20), 80 * MB, 80 * MB},
+      {"conv5", ms(9), ms(18), 120 * MB, 30 * MB},
+      {"fc", ms(3), ms(5), 200 * MB, 1 * MB},
+  };
+  const Chain chain("quickstart-net", /*input_bytes=*/300 * MB,
+                    std::move(layers));
+
+  // 2. The platform: 4 GPUs, 3 GB each, all-pairs 12 GB/s links.
+  const Platform platform{4, 3 * GB, 12 * GB};
+
+  std::printf("model: %s, %d layers, sequential batch time %s\n",
+              chain.name().c_str(), chain.length(),
+              fmt::seconds(chain.total_compute()).c_str());
+
+  // 3. Plan with MadPipe (and PipeDream, for comparison).
+  const auto madpipe_plan = plan_madpipe(chain, platform);
+  const auto pipedream_plan = plan_pipedream(chain, platform);
+
+  if (!madpipe_plan) {
+    std::printf("MadPipe: no allocation fits in memory.\n");
+    return 1;
+  }
+  std::printf("\n%s\n", plan_to_string(*madpipe_plan, chain, platform).c_str());
+  if (pipedream_plan) {
+    std::printf("PipeDream period for comparison: %s (%.2fx MadPipe)\n",
+                fmt::seconds(pipedream_plan->period()).c_str(),
+                pipedream_plan->period() / madpipe_plan->period());
+  }
+
+  // 4. Verify the plan independently: exact pattern validation plus a
+  //    64-batch discrete-event execution.
+  const auto check = validate_pattern(madpipe_plan->pattern,
+                                      madpipe_plan->allocation, chain,
+                                      platform);
+  std::printf("verifier: %s\n", check.valid ? "pattern valid" : "INVALID");
+  for (std::size_t p = 0; p < check.processor_memory_peak.size(); ++p) {
+    std::printf("  gpu%zu peak memory %s (limit %s)\n", p,
+                fmt::bytes(check.processor_memory_peak[p]).c_str(),
+                fmt::bytes(platform.memory_per_processor).c_str());
+  }
+
+  const auto sim = simulate_pattern(madpipe_plan->pattern,
+                                    madpipe_plan->allocation, chain, platform,
+                                    {64});
+  std::printf("simulator: steady period %s (plan says %s), 64 batches in %s\n",
+              fmt::seconds(sim.steady_period).c_str(),
+              fmt::seconds(madpipe_plan->period()).c_str(),
+              fmt::seconds(sim.makespan).c_str());
+  for (const auto& [resource, utilization] : sim.resource_utilization) {
+    std::printf("  %-10s %4.0f%% busy\n", resource.to_string().c_str(),
+                utilization * 100.0);
+  }
+  return 0;
+}

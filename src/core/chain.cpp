@@ -1,0 +1,115 @@
+#include "core/chain.hpp"
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+
+Chain::Chain(std::string name, Bytes input_bytes, std::vector<Layer> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {
+  MP_EXPECT(!layers_.empty(), "a chain needs at least one layer");
+  MP_EXPECT(input_bytes >= 0.0, "input size must be non-negative");
+
+  activation_.reserve(layers_.size() + 1);
+  activation_.push_back(input_bytes);
+  for (const Layer& layer : layers_) {
+    MP_EXPECT(layer.forward_time >= 0.0 && layer.backward_time >= 0.0,
+              "layer durations must be non-negative");
+    MP_EXPECT(layer.weight_bytes >= 0.0 && layer.output_bytes >= 0.0,
+              "layer sizes must be non-negative");
+    MP_EXPECT(layer.forward_time + layer.backward_time > 0.0,
+              "a layer must have strictly positive total compute");
+    activation_.push_back(layer.output_bytes);
+  }
+
+  const std::size_t n = layers_.size();
+  prefix_forward_.assign(n + 1, 0.0);
+  prefix_backward_.assign(n + 1, 0.0);
+  prefix_weight_.assign(n + 1, 0.0);
+  prefix_scratch_.assign(n + 1, 0.0);
+  prefix_activation_.assign(n + 2, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix_forward_[i + 1] = prefix_forward_[i] + layers_[i].forward_time;
+    prefix_backward_[i + 1] = prefix_backward_[i] + layers_[i].backward_time;
+    prefix_weight_[i + 1] = prefix_weight_[i] + layers_[i].weight_bytes;
+    prefix_scratch_[i + 1] = prefix_scratch_[i] + layers_[i].scratch_bytes;
+  }
+  for (std::size_t i = 0; i <= n; ++i) {
+    prefix_activation_[i + 1] = prefix_activation_[i] + activation_[i];
+  }
+}
+
+const Layer& Chain::layer(int l) const {
+  MP_EXPECT(l >= 1 && l <= length(), "layer index out of range (1-based)");
+  return layers_[static_cast<std::size_t>(l - 1)];
+}
+
+Bytes Chain::activation(int l) const {
+  MP_EXPECT(l >= 0 && l <= length(), "activation index out of range (0..L)");
+  return activation_[static_cast<std::size_t>(l)];
+}
+
+void Chain::check_range(int k, int l) const {
+  MP_EXPECT(k >= 1 && l <= length(), "layer range out of bounds");
+}
+
+Seconds Chain::compute_load(int k, int l) const {
+  return forward_load(k, l) + backward_load(k, l);
+}
+
+Seconds Chain::forward_load(int k, int l) const {
+  if (k > l) return 0.0;
+  check_range(k, l);
+  return prefix_forward_[static_cast<std::size_t>(l)] -
+         prefix_forward_[static_cast<std::size_t>(k - 1)];
+}
+
+Seconds Chain::backward_load(int k, int l) const {
+  if (k > l) return 0.0;
+  check_range(k, l);
+  return prefix_backward_[static_cast<std::size_t>(l)] -
+         prefix_backward_[static_cast<std::size_t>(k - 1)];
+}
+
+Bytes Chain::weight_sum(int k, int l) const {
+  if (k > l) return 0.0;
+  check_range(k, l);
+  return prefix_weight_[static_cast<std::size_t>(l)] -
+         prefix_weight_[static_cast<std::size_t>(k - 1)];
+}
+
+Bytes Chain::scratch_sum(int k, int l) const {
+  if (k > l) return 0.0;
+  check_range(k, l);
+  return prefix_scratch_[static_cast<std::size_t>(l)] -
+         prefix_scratch_[static_cast<std::size_t>(k - 1)];
+}
+
+Bytes Chain::stored_activation_sum(int k, int l) const {
+  if (k > l) return 0.0;
+  check_range(k, l);
+  // Σ_{i=k..l} a_{i-1} = prefix over activation indices k-1 .. l-1.
+  return prefix_activation_[static_cast<std::size_t>(l)] -
+         prefix_activation_[static_cast<std::size_t>(k - 1)];
+}
+
+Bytes Chain::total_activations() const {
+  return prefix_activation_.back();
+}
+
+Chain make_uniform_chain(int length, Seconds forward_time, Seconds backward_time,
+                         Bytes weight_bytes, Bytes activation_bytes,
+                         Bytes input_bytes, const std::string& name) {
+  MP_EXPECT(length >= 1, "chain length must be positive");
+  std::vector<Layer> layers(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    auto& layer = layers[static_cast<std::size_t>(i)];
+    layer.name = "layer" + std::to_string(i + 1);
+    layer.forward_time = forward_time;
+    layer.backward_time = backward_time;
+    layer.weight_bytes = weight_bytes;
+    layer.output_bytes = activation_bytes;
+  }
+  return Chain(name, input_bytes, std::move(layers));
+}
+
+}  // namespace madpipe

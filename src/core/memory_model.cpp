@@ -1,0 +1,66 @@
+#include "core/memory_model.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+
+namespace {
+/// ceil(x / t) computed robustly for non-negative x built from sums of
+/// durations: values within kTimeEps·t of an integer snap to it, so that
+/// e.g. U = 3T̂ yields 3 groups, not 4.
+int robust_ceil_div(double x, double t) {
+  MP_EXPECT(t > 0.0, "division step must be positive");
+  MP_EXPECT(x >= 0.0, "delay must be non-negative");
+  const double q = x / t;
+  const double rounded = std::round(q);
+  if (std::abs(q - rounded) <= kTimeEps * (1.0 + std::abs(q))) {
+    return static_cast<int>(rounded);
+  }
+  return static_cast<int>(std::ceil(q));
+}
+}  // namespace
+
+Bytes weights_memory(const Chain& chain, int k, int l) {
+  return 3.0 * chain.weight_sum(k, l);
+}
+
+Bytes activations_memory_per_batch(const Chain& chain, int k, int l) {
+  return chain.stored_activation_sum(k, l);
+}
+
+Bytes comm_buffers_memory(const Chain& chain, int k, int l) {
+  Bytes total = 0.0;
+  if (k > 1) total += 2.0 * chain.activation(k - 1);
+  if (l < chain.length()) total += 2.0 * chain.activation(l);
+  return total;
+}
+
+Bytes stage_memory(const Chain& chain, int k, int l, int active_batches) {
+  MP_EXPECT(active_batches >= 0, "active batch count must be non-negative");
+  return weights_memory(chain, k, l) +
+         static_cast<double>(active_batches) *
+             activations_memory_per_batch(chain, k, l) +
+         comm_buffers_memory(chain, k, l) + chain.scratch_sum(k, l);
+}
+
+int activation_count(const Chain& chain, int k, int l, Seconds delay,
+                     Seconds target_period) {
+  MP_EXPECT(delay >= 0.0, "delay must be non-negative");
+  MP_EXPECT(target_period > 0.0, "target period must be positive");
+  const int g = robust_ceil_div(delay + chain.compute_load(k, l), target_period);
+  return g < 1 ? 1 : g;
+}
+
+Seconds delay_advance(Seconds x, Seconds y, Seconds target_period) {
+  MP_EXPECT(x >= 0.0 && y >= 0.0, "delays must be non-negative");
+  MP_EXPECT(target_period > 0.0, "target period must be positive");
+  if (y == 0.0) return x;
+  const int before = robust_ceil_div(x, target_period);
+  const int after = robust_ceil_div(x + y, target_period);
+  if (before == after) return x + y;
+  return static_cast<double>(before) * target_period + y;
+}
+
+}  // namespace madpipe

@@ -1,0 +1,40 @@
+// The memory model of §3 / §4.2.1 of the paper.
+//
+// A processor holding layers k..l with g in-flight batches uses
+//   𝓜(k,l,g) = Σ_{i=k..l} (3·W_i + g·a_{i-1}) + 2·(a_{k-1} + a_l)
+// where the boundary buffer terms vanish at the chain ends (k = 1 removes
+// the a_{k-1} buffer, l = L removes the a_l buffer — no communication
+// happens there).
+#pragma once
+
+#include "core/chain.hpp"
+#include "core/types.hpp"
+
+namespace madpipe {
+
+/// 3·Σ W_i over layers k..l (two parameter versions + accumulated gradient,
+/// the PipeDream-2BW storage scheme the paper adopts).
+Bytes weights_memory(const Chain& chain, int k, int l);
+
+/// Σ a_{i-1} over layers k..l: the stored activations of ONE in-flight
+/// batch (each layer keeps its input for the backward pass).
+Bytes activations_memory_per_batch(const Chain& chain, int k, int l);
+
+/// 2·(a_{k-1} + a_l) with boundary terms dropped at chain ends.
+Bytes comm_buffers_memory(const Chain& chain, int k, int l);
+
+/// 𝓜(k,l,g): full memory footprint of layers k..l with g in-flight batches.
+Bytes stage_memory(const Chain& chain, int k, int l, int active_batches);
+
+/// g(k,l,V) of §4.2.1: number of in-flight batches for layers k..l when the
+/// delay between F_l and B_l on a batch is at least V and the target period
+/// is T̂: ceil((V + U(k,l)) / T̂). At least 1.
+int activation_count(const Chain& chain, int k, int l, Seconds delay,
+                     Seconds target_period);
+
+/// The ⊕ operator of §4.2.2: x ⊕ y advances a delay x by a task of length y,
+/// rounding x up to a multiple of T̂ when the addition crosses a period
+/// boundary (i.e. when the task must start a new group).
+Seconds delay_advance(Seconds x, Seconds y, Seconds target_period);
+
+}  // namespace madpipe

@@ -1,0 +1,168 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+
+Partitioning::Partitioning(const Chain& chain, std::vector<Stage> stages)
+    : stages_(std::move(stages)) {
+  MP_EXPECT(!stages_.empty(), "a partitioning needs at least one stage");
+  MP_EXPECT(stages_.front().first == 1, "stages must start at layer 1");
+  MP_EXPECT(stages_.back().last == chain.length(),
+            "stages must end at layer L");
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    MP_EXPECT(stages_[s].first <= stages_[s].last, "empty stage");
+    if (s + 1 < stages_.size()) {
+      MP_EXPECT(stages_[s + 1].first == stages_[s].last + 1,
+                "stages must tile the chain contiguously");
+    }
+  }
+}
+
+const Stage& Partitioning::stage(int s) const {
+  MP_EXPECT(s >= 0 && s < num_stages(), "stage index out of range");
+  return stages_[static_cast<std::size_t>(s)];
+}
+
+Seconds Partitioning::stage_load(const Chain& chain, int s) const {
+  const Stage& st = stage(s);
+  return chain.compute_load(st.first, st.last);
+}
+
+Seconds Partitioning::stage_forward_load(const Chain& chain, int s) const {
+  const Stage& st = stage(s);
+  return chain.forward_load(st.first, st.last);
+}
+
+Seconds Partitioning::stage_backward_load(const Chain& chain, int s) const {
+  const Stage& st = stage(s);
+  return chain.backward_load(st.first, st.last);
+}
+
+Bytes Partitioning::stage_stored_activations(const Chain& chain, int s) const {
+  const Stage& st = stage(s);
+  return chain.stored_activation_sum(st.first, st.last);
+}
+
+int Partitioning::boundary_after(int s) const { return stage(s).last; }
+
+Allocation::Allocation(Partitioning partitioning,
+                       std::vector<int> processor_of_stage, int num_processors)
+    : partitioning_(std::move(partitioning)),
+      processor_of_stage_(std::move(processor_of_stage)),
+      num_processors_(num_processors) {
+  MP_EXPECT(num_processors_ >= 1, "allocation needs at least one processor");
+  MP_EXPECT(static_cast<int>(processor_of_stage_.size()) ==
+                partitioning_.num_stages(),
+            "one processor per stage required");
+  for (const int p : processor_of_stage_) {
+    MP_EXPECT(p >= 0 && p < num_processors_, "processor index out of range");
+  }
+}
+
+int Allocation::processor_of(int stage) const {
+  MP_EXPECT(stage >= 0 && stage < partitioning_.num_stages(),
+            "stage index out of range");
+  return processor_of_stage_[static_cast<std::size_t>(stage)];
+}
+
+std::vector<int> Allocation::stages_on(int processor) const {
+  MP_EXPECT(processor >= 0 && processor < num_processors_,
+            "processor index out of range");
+  std::vector<int> result;
+  for (int s = 0; s < partitioning_.num_stages(); ++s) {
+    if (processor_of(s) == processor) result.push_back(s);
+  }
+  return result;
+}
+
+bool Allocation::contiguous() const {
+  std::vector<int> count(static_cast<std::size_t>(num_processors_), 0);
+  for (const int p : processor_of_stage_) {
+    if (++count[static_cast<std::size_t>(p)] > 1) return false;
+  }
+  return true;
+}
+
+bool Allocation::boundary_cut(int stage) const {
+  MP_EXPECT(stage >= 0 && stage < partitioning_.num_stages(),
+            "stage index out of range");
+  if (stage + 1 >= partitioning_.num_stages()) return false;
+  return processor_of(stage) != processor_of(stage + 1);
+}
+
+Seconds Allocation::processor_load(const Chain& chain, int processor) const {
+  Seconds load = 0.0;
+  for (const int s : stages_on(processor)) {
+    load += partitioning_.stage_load(chain, s);
+  }
+  return load;
+}
+
+Seconds Allocation::boundary_comm_load(const Chain& chain,
+                                       const Platform& platform,
+                                       int stage) const {
+  if (!boundary_cut(stage)) return 0.0;
+  return platform.boundary_comm_time(chain, partitioning_.boundary_after(stage));
+}
+
+Seconds Allocation::period_lower_bound(const Chain& chain,
+                                       const Platform& platform) const {
+  Seconds bound = 0.0;
+  for (int p = 0; p < num_processors_; ++p) {
+    bound = std::max(bound, processor_load(chain, p));
+  }
+  // Links are per unordered processor pair: comm over boundaries joining the
+  // same pair shares one link, so their loads add up.
+  for (int s = 0; s < partitioning_.num_stages(); ++s) {
+    if (!boundary_cut(s)) continue;
+    Seconds pair_load = 0.0;
+    const int a = processor_of(s);
+    const int b = processor_of(s + 1);
+    for (int s2 = 0; s2 < partitioning_.num_stages(); ++s2) {
+      if (!boundary_cut(s2)) continue;
+      const int a2 = processor_of(s2);
+      const int b2 = processor_of(s2 + 1);
+      if ((a2 == a && b2 == b) || (a2 == b && b2 == a)) {
+        pair_load += boundary_comm_load(chain, platform, s2);
+      }
+    }
+    bound = std::max(bound, pair_load);
+  }
+  return bound;
+}
+
+Bytes Allocation::static_memory(const Chain& chain, int processor) const {
+  Bytes total = 0.0;
+  for (const int s : stages_on(processor)) {
+    const Stage& st = partitioning_.stage(s);
+    total += 3.0 * chain.weight_sum(st.first, st.last);
+    total += chain.scratch_sum(st.first, st.last);
+    // Incoming buffer: boundary before the stage, if it is a cut (or the
+    // stage starts at layer 1 — no communication there).
+    if (s > 0 && processor_of(s - 1) != processor) {
+      total += 2.0 * chain.activation(st.first - 1);
+    }
+    if (s + 1 < partitioning_.num_stages() && processor_of(s + 1) != processor) {
+      total += 2.0 * chain.activation(st.last);
+    }
+  }
+  return total;
+}
+
+Allocation make_contiguous_allocation(const Chain& chain,
+                                      std::vector<Stage> stages,
+                                      int num_processors) {
+  Partitioning partitioning(chain, std::move(stages));
+  MP_EXPECT(partitioning.num_stages() <= num_processors,
+            "contiguous allocation needs a processor per stage");
+  std::vector<int> procs(static_cast<std::size_t>(partitioning.num_stages()));
+  for (int s = 0; s < partitioning.num_stages(); ++s) {
+    procs[static_cast<std::size_t>(s)] = s;
+  }
+  return Allocation(std::move(partitioning), std::move(procs), num_processors);
+}
+
+}  // namespace madpipe

@@ -1,0 +1,100 @@
+// Partitionings (chain → stages) and allocations (stages → processors),
+// following the terminology of §3 of the paper:
+//   * a *stage* is a contiguous range of layers,
+//   * a *partitioning* is an ordered cover of the chain by stages,
+//   * an *allocation* assigns each stage to a processor; it is *contiguous*
+//     when every processor holds at most one stage.
+#pragma once
+
+#include <vector>
+
+#include "core/chain.hpp"
+#include "core/platform.hpp"
+#include "core/types.hpp"
+
+namespace madpipe {
+
+/// Contiguous layer range [first, last], 1-based inclusive like the paper.
+struct Stage {
+  int first = 0;
+  int last = 0;
+
+  int size() const noexcept { return last - first + 1; }
+  bool operator==(const Stage&) const = default;
+};
+
+/// Ordered list of stages covering layers 1..L without gaps or overlaps.
+class Partitioning {
+ public:
+  Partitioning(const Chain& chain, std::vector<Stage> stages);
+
+  int num_stages() const noexcept { return static_cast<int>(stages_.size()); }
+  const Stage& stage(int s) const;
+  const std::vector<Stage>& stages() const noexcept { return stages_; }
+
+  /// U(s): total compute of stage s on `chain`.
+  Seconds stage_load(const Chain& chain, int s) const;
+  Seconds stage_forward_load(const Chain& chain, int s) const;
+  Seconds stage_backward_load(const Chain& chain, int s) const;
+
+  /// ā_s = Σ_{i in s} a_{i-1}: activations stored per in-flight batch.
+  Bytes stage_stored_activations(const Chain& chain, int s) const;
+
+  /// Boundary index after stage s (i.e. `stage(s).last`); the activation
+  /// a^(boundary) crosses it when s and s+1 live on different processors.
+  int boundary_after(int s) const;
+
+  bool operator==(const Partitioning&) const = default;
+
+ private:
+  std::vector<Stage> stages_;
+};
+
+/// A partitioning plus the processor of each stage.
+class Allocation {
+ public:
+  Allocation(Partitioning partitioning, std::vector<int> processor_of_stage,
+             int num_processors);
+
+  const Partitioning& partitioning() const noexcept { return partitioning_; }
+  int num_processors() const noexcept { return num_processors_; }
+  int processor_of(int stage) const;
+  /// All stage indices living on processor p, in chain order.
+  std::vector<int> stages_on(int processor) const;
+
+  /// True when every processor holds at most one stage.
+  bool contiguous() const;
+
+  /// True when the boundary after stage s crosses processors (s < N-1).
+  bool boundary_cut(int stage) const;
+
+  /// Compute load of processor p: Σ U(s) over its stages.
+  Seconds processor_load(const Chain& chain, int processor) const;
+
+  /// Link load of the boundary after stage s: C(boundary) when cut, else 0.
+  Seconds boundary_comm_load(const Chain& chain, const Platform& platform,
+                             int stage) const;
+
+  /// Lower bound on any valid period for this allocation, ignoring memory:
+  /// max over processors of compute load and over cut boundaries of comm
+  /// load. (The paper's "period of an allocation", §4.2.)
+  Seconds period_lower_bound(const Chain& chain, const Platform& platform) const;
+
+  /// Static memory terms on processor p: 3·W for all its layers plus 2·a
+  /// communication buffers at each of its cut boundaries.
+  Bytes static_memory(const Chain& chain, int processor) const;
+
+  bool operator==(const Allocation&) const = default;
+
+ private:
+  Partitioning partitioning_;
+  std::vector<int> processor_of_stage_;
+  int num_processors_ = 0;
+};
+
+/// Build a contiguous allocation: stage i on processor i.
+Allocation make_contiguous_allocation(const Chain& chain,
+                                      std::vector<Stage> stages,
+                                      int num_processors);
+
+}  // namespace madpipe

@@ -1,0 +1,89 @@
+#include "core/plan.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+#include "util/json.hpp"
+
+namespace madpipe {
+
+std::string plan_to_json(const Plan& plan, const Chain& chain,
+                         const Platform& platform) {
+  json::Writer w;
+  w.begin_object();
+  w.key("planner");
+  w.value(plan.planner);
+  w.key("network");
+  w.value(chain.name());
+  w.key("processors");
+  w.value(platform.processors);
+  w.key("memory_per_processor");
+  w.value(platform.memory_per_processor);
+  w.key("bandwidth");
+  w.value(platform.bandwidth);
+  w.key("period");
+  w.value(plan.pattern.period);
+  w.key("phase1_period");
+  w.value(plan.phase1_period);
+  w.key("planning_seconds");
+  w.value(plan.planning_seconds);
+
+  w.key("stages");
+  w.begin_array();
+  const Partitioning& parts = plan.allocation.partitioning();
+  for (int s = 0; s < parts.num_stages(); ++s) {
+    w.begin_object();
+    w.key("first_layer");
+    w.value(parts.stage(s).first);
+    w.key("last_layer");
+    w.value(parts.stage(s).last);
+    w.key("processor");
+    w.value(plan.allocation.processor_of(s));
+    w.key("compute_load");
+    w.value(parts.stage_load(chain, s));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("ops");
+  w.begin_array();
+  for (const PatternOp& op : plan.pattern.ops) {
+    w.begin_object();
+    w.key("kind");
+    w.value(to_string(op.kind));
+    w.key("stage");
+    w.value(op.stage);
+    w.key("resource");
+    w.value(op.resource.to_string());
+    w.key("start");
+    w.value(op.start);
+    w.key("duration");
+    w.value(op.duration);
+    w.key("shift");
+    w.value(op.shift);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string plan_to_string(const Plan& plan, const Chain& chain,
+                           const Platform& platform) {
+  std::ostringstream os;
+  os << plan.planner << " plan for " << chain.name() << " on "
+     << platform.processors << " GPUs (" << fmt::bytes(platform.memory_per_processor)
+     << " each, " << fmt::bytes(platform.bandwidth) << "/s links)\n";
+  os << "  period " << fmt::seconds(plan.pattern.period) << " (phase-1 "
+     << fmt::seconds(plan.phase1_period) << "), speedup "
+     << fmt::fixed(plan.speedup(chain), 2) << "x over sequential\n";
+  const Partitioning& parts = plan.allocation.partitioning();
+  for (int s = 0; s < parts.num_stages(); ++s) {
+    os << "  stage " << s << ": layers [" << parts.stage(s).first << ", "
+       << parts.stage(s).last << "] on gpu" << plan.allocation.processor_of(s)
+       << ", load " << fmt::seconds(parts.stage_load(chain, s)) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace madpipe

@@ -1,0 +1,42 @@
+// A Plan is the end product of a planner: the chosen allocation, the valid
+// periodic pattern scheduling it, and provenance (which planner, what the
+// optimistic phase-1 period was — the "dashed lines" of the paper's
+// Figure 6).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/partition.hpp"
+#include "core/pattern.hpp"
+#include "core/types.hpp"
+
+namespace madpipe {
+
+struct Plan {
+  std::string planner;      ///< e.g. "madpipe", "pipedream"
+  Allocation allocation;
+  PeriodicPattern pattern;  ///< valid schedule; pattern.period is the result
+  /// Period the partitioning phase believed it could achieve (before
+  /// scheduling made memory costs exact). phase1 ≤ period() in general.
+  Seconds phase1_period = 0.0;
+  Seconds planning_seconds = 0.0;  ///< wall time spent planning
+
+  Seconds period() const noexcept { return pattern.period; }
+  /// Throughput in batches per second.
+  double throughput() const { return 1.0 / pattern.period; }
+  /// Speedup over the sequential execution U(1,L) of the chain.
+  double speedup(const Chain& chain) const {
+    return chain.total_compute() / pattern.period;
+  }
+};
+
+/// JSON dump of a plan (allocation + full pattern), for external tooling.
+std::string plan_to_json(const Plan& plan, const Chain& chain,
+                         const Platform& platform);
+
+/// Human-readable multi-line description of the allocation and period.
+std::string plan_to_string(const Plan& plan, const Chain& chain,
+                           const Platform& platform);
+
+}  // namespace madpipe

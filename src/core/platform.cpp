@@ -1,0 +1,32 @@
+#include "core/platform.hpp"
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+
+Seconds Platform::transfer_time(Bytes size) const {
+  MP_EXPECT(size >= 0.0, "transfer size must be non-negative");
+  return size / bandwidth;
+}
+
+Seconds Platform::boundary_comm_time(const Chain& chain, int boundary) const {
+  MP_EXPECT(boundary >= 0 && boundary <= chain.length(),
+            "boundary index out of range");
+  if (boundary == 0 || boundary == chain.length()) return 0.0;
+  return 2.0 * chain.activation(boundary) / bandwidth;
+}
+
+Seconds Platform::boundary_oneway_time(const Chain& chain, int boundary) const {
+  MP_EXPECT(boundary >= 0 && boundary <= chain.length(),
+            "boundary index out of range");
+  if (boundary == 0 || boundary == chain.length()) return 0.0;
+  return chain.activation(boundary) / bandwidth;
+}
+
+void Platform::validate() const {
+  MP_EXPECT(processors >= 1, "platform needs at least one processor");
+  MP_EXPECT(memory_per_processor > 0.0, "memory capacity must be positive");
+  MP_EXPECT(bandwidth > 0.0, "bandwidth must be positive");
+}
+
+}  // namespace madpipe

@@ -1,0 +1,34 @@
+// Execution platform of the paper (§3): P identical GPUs with memory M,
+// all pairs connected by dedicated full-duplex-equivalent links of
+// bandwidth β. (As in PipeDream/MadPipe, each unordered pair of GPUs has
+// its own link; activation and gradient transfers over one boundary share
+// that link.)
+#pragma once
+
+#include "core/chain.hpp"
+#include "core/types.hpp"
+
+namespace madpipe {
+
+struct Platform {
+  int processors = 1;            ///< P
+  Bytes memory_per_processor = 0;  ///< M
+  double bandwidth = 1.0;        ///< β in bytes/second
+
+  /// Time to move `size` bytes over one link.
+  Seconds transfer_time(Bytes size) const;
+
+  /// C(j) of the paper for boundary j (between layers j and j+1): the total
+  /// link occupancy of one batch crossing the cut — a^(j) forward plus
+  /// b^(j) backward, i.e. 2*a_j/β. Zero for the chain ends (j = 0 or j = L:
+  /// no cut exists there).
+  Seconds boundary_comm_time(const Chain& chain, int boundary) const;
+
+  /// One-direction transfer over boundary j: a_j/β.
+  Seconds boundary_oneway_time(const Chain& chain, int boundary) const;
+
+  /// Throws ContractViolation unless the description is sane.
+  void validate() const;
+};
+
+}  // namespace madpipe

@@ -1,0 +1,28 @@
+// Common scalar types and unit helpers.
+//
+// Durations are seconds, sizes are bytes, both as double: activation sizes
+// reach tens of GB and periods fractions of a millisecond, so a single
+// floating-point representation with named constructors keeps the arithmetic
+// (prefix sums, ratios, ceilings) simple while staying readable at call
+// sites (`3 * GB`, `ms(12.5)`).
+#pragma once
+
+namespace madpipe {
+
+using Seconds = double;
+using Bytes = double;
+
+/// Decimal units, like the paper (memory limits quoted in GB = 1e9).
+inline constexpr Bytes KB = 1e3;
+inline constexpr Bytes MB = 1e6;
+inline constexpr Bytes GB = 1e9;
+
+constexpr Seconds ms(double v) noexcept { return v * 1e-3; }
+constexpr Seconds us(double v) noexcept { return v * 1e-6; }
+
+/// Tolerance for schedule arithmetic (comparisons of times built from sums
+/// of layer durations). Scaled comparisons should use `a <= b + kTimeEps *
+/// scale` with `scale` around the period.
+inline constexpr double kTimeEps = 1e-9;
+
+}  // namespace madpipe

@@ -1,0 +1,45 @@
+// Branch-and-bound cyclic scheduler: the phase-2 engine of our MadPipe
+// implementation (the paper delegates this step to the ILP of its reference
+// [1] with a one-minute solver time limit; we solve the same problem with a
+// dedicated combinatorial search — see DESIGN.md for the substitution).
+//
+// For a fixed period T, operations are placed in dependency-chain order at
+// virtual times z (z = t + h·T). Two observations keep the search small:
+//   * an op's circle footprint [z mod T, z mod T + d) is independent of the
+//     period it lands in, so for each free gap on its resource only the
+//     earliest z ≥ ready matters — later wraps only add index shifts (and
+//     memory) without changing packability;
+//   * trying candidates in increasing z explores memory-cheapest placements
+//     first.
+// Leaves are verified exactly with validate_pattern (the event-sweep memory
+// check), and partial placements are pruned with a safe lower bound on the
+// always-resident activation floor (a stage in "group" g keeps at least
+// g − 1 activations at all times, §4.2.1).
+#pragma once
+
+#include "core/plan.hpp"
+#include "cyclic/stage_graph.hpp"
+
+namespace madpipe {
+
+struct BBOptions {
+  /// DFS node budget; when exhausted the probe reports infeasible-at-T
+  /// (conservative, like the paper's ILP time limit).
+  std::size_t max_nodes = 60'000;
+  /// Candidate placements explored per operation (sorted by z).
+  int max_candidates_per_op = 10;
+};
+
+struct BBResult {
+  bool feasible = false;
+  PeriodicPattern pattern;  ///< valid pattern when feasible
+  std::size_t nodes_visited = 0;
+  bool node_budget_hit = false;
+};
+
+/// Try to build a valid pattern at exactly `period`.
+BBResult bb_schedule(const CyclicProblem& problem, const Allocation& allocation,
+                     const Chain& chain, const Platform& platform,
+                     Seconds period, const BBOptions& options = {});
+
+}  // namespace madpipe

@@ -1,0 +1,138 @@
+#include "cyclic/ilp_scheduler.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/logging.hpp"
+
+namespace madpipe {
+
+ILPScheduleResult ilp_schedule(const CyclicProblem& problem,
+                               const Allocation& allocation, const Chain& chain,
+                               const Platform& platform, Seconds period,
+                               const ILPScheduleOptions& options) {
+  MP_EXPECT(period > 0.0, "period must be positive");
+  ILPScheduleResult result;
+
+  const std::size_t num_ops = problem.ops.size();
+  for (const CyclicOp& op : problem.ops) {
+    if (op.duration > period * (1.0 + kTimeEps)) return result;  // cannot fit
+  }
+
+  solver::Model model;
+  model.set_sense(solver::Sense::Minimize);
+
+  // Variables: t_i then h_i per op (h carries the stored-activation
+  // objective weight for backward ops, negative for forwards).
+  std::vector<int> t_var(num_ops);
+  std::vector<int> h_var(num_ops);
+  const Partitioning& parts = allocation.partitioning();
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    const CyclicOp& op = problem.ops[i];
+    double weight = 0.0;
+    if (op.kind == OpKind::Forward || op.kind == OpKind::Backward) {
+      const Bytes bytes = parts.stage_stored_activations(chain, op.stage);
+      weight = (op.kind == OpKind::Backward ? 1.0 : -1.0) * bytes;
+    }
+    t_var[i] = model.add_variable("t" + std::to_string(i), 0.0,
+                                  std::max(0.0, period - op.duration), 0.0);
+    const double h_upper = (i == 0) ? 0.0 : options.max_shift;  // h_0 = 0
+    h_var[i] = model.add_variable("h" + std::to_string(i), 0.0, h_upper,
+                                  weight, solver::VarType::Integer);
+  }
+
+  // Chain precedences in virtual time.
+  for (std::size_t i = 0; i + 1 < num_ops; ++i) {
+    solver::LinearExpr expr;
+    expr.add(t_var[i + 1], 1.0).add(h_var[i + 1], period);
+    expr.add(t_var[i], -1.0).add(h_var[i], -period);
+    model.add_constraint(std::move(expr), solver::Relation::GreaterEqual,
+                         problem.ops[i].duration, "chain" + std::to_string(i));
+  }
+
+  // Circular disjunctions per same-resource pair.
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    for (std::size_t j = i + 1; j < num_ops; ++j) {
+      const CyclicOp& a = problem.ops[i];
+      const CyclicOp& b = problem.ops[j];
+      if (!(a.resource == b.resource)) continue;
+      if (a.duration <= 0.0 && b.duration <= 0.0) continue;
+      const int k = model.add_variable(
+          "k" + std::to_string(i) + "_" + std::to_string(j), 0.0, 1.0, 0.0,
+          solver::VarType::Integer);
+      solver::LinearExpr first;  // b after a, unless k flips the order
+      first.add(t_var[j], 1.0).add(t_var[i], -1.0).add(k, period);
+      model.add_constraint(std::move(first), solver::Relation::GreaterEqual,
+                           a.duration);
+      solver::LinearExpr second;  // a after b when k = 1
+      second.add(t_var[i], 1.0).add(t_var[j], -1.0).add(k, -period);
+      model.add_constraint(std::move(second), solver::Relation::GreaterEqual,
+                           b.duration - period);
+    }
+  }
+
+  // Worst-case memory per processor, plus h_B ≥ h_F per stage.
+  std::vector<int> forward_op(parts.num_stages(), -1);
+  std::vector<int> backward_op(parts.num_stages(), -1);
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    if (problem.ops[i].kind == OpKind::Forward) {
+      forward_op[problem.ops[i].stage] = static_cast<int>(i);
+    } else if (problem.ops[i].kind == OpKind::Backward) {
+      backward_op[problem.ops[i].stage] = static_cast<int>(i);
+    }
+  }
+  for (int s = 0; s < parts.num_stages(); ++s) {
+    solver::LinearExpr order;
+    order.add(h_var[static_cast<std::size_t>(backward_op[s])], 1.0);
+    order.add(h_var[static_cast<std::size_t>(forward_op[s])], -1.0);
+    model.add_constraint(std::move(order), solver::Relation::GreaterEqual, 0.0);
+  }
+  for (int p = 0; p < allocation.num_processors(); ++p) {
+    const std::vector<int> stages = allocation.stages_on(p);
+    if (stages.empty()) continue;
+    solver::LinearExpr memory;
+    Bytes budget =
+        platform.memory_per_processor - allocation.static_memory(chain, p);
+    for (const int s : stages) {
+      const Bytes bytes = parts.stage_stored_activations(chain, s);
+      memory.add(h_var[static_cast<std::size_t>(backward_op[s])], bytes);
+      memory.add(h_var[static_cast<std::size_t>(forward_op[s])], -bytes);
+      budget -= bytes;  // the +1 in (h_B − h_F + 1)
+    }
+    if (budget < 0.0) return result;  // static + floor already exceeds M
+    model.add_constraint(std::move(memory), solver::Relation::LessEqual, budget,
+                         "mem" + std::to_string(p));
+  }
+
+  const solver::MILPResult milp = solver::solve_milp(model, options.milp);
+  result.status = milp.status;
+  result.nodes_explored = milp.nodes_explored;
+  if (milp.status != solver::MILPStatus::Optimal &&
+      milp.status != solver::MILPStatus::Feasible) {
+    return result;
+  }
+
+  PeriodicPattern pattern;
+  pattern.period = period;
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    const CyclicOp& op = problem.ops[i];
+    const double z = milp.values[static_cast<std::size_t>(t_var[i])] +
+                     milp.values[static_cast<std::size_t>(h_var[i])] * period;
+    pattern.ops.push_back(PeriodicPattern::make_op(op.kind, op.stage,
+                                                   op.resource, z, op.duration,
+                                                   period));
+  }
+  const ValidationResult check =
+      validate_pattern(pattern, allocation, chain, platform);
+  if (!check.valid) {
+    log::warn("ILP schedule failed exact validation: ", check.errors.front());
+    return result;
+  }
+  result.feasible = true;
+  result.pattern = std::move(pattern);
+  return result;
+}
+
+}  // namespace madpipe

@@ -1,0 +1,46 @@
+// Mixed-integer formulation of the periodic scheduling problem (§4.3),
+// solved with the in-house branch-and-bound solver. This mirrors the role
+// of the ILP of the paper's reference [1]:
+//
+//   per op i:  t_i ∈ [0, T − d_i],  h_i ∈ Z≥0  (z_i = t_i + h_i·T)
+//   chain:     z_{i+1} ≥ z_i + d_i
+//   resources: for same-resource ops, a binary picks the circular order:
+//              t_j − t_i + T·k ≥ d_i  and  t_i − t_j + T·(1−k) ≥ d_j
+//   memory:    Σ_{stage s on p} ā_s · (h_{B_s} − h_{F_s} + 1) ≤ M − static_p
+//
+// The memory constraint uses the worst-case in-flight count (Figure 5a of
+// the paper) and is therefore conservative: an ILP-feasible solution is
+// always exactly feasible (leaves are still verified with validate_pattern),
+// while ILP-infeasibility does not prove real infeasibility. The primary
+// phase-2 engine is the exact branch-and-bound scheduler; this module
+// cross-checks it and powers the scheduler-variant ablation.
+#pragma once
+
+#include "core/plan.hpp"
+#include "cyclic/stage_graph.hpp"
+#include "solver/milp.hpp"
+
+namespace madpipe {
+
+struct ILPScheduleOptions {
+  solver::MILPOptions milp;
+  /// Upper bound on any index shift h_i.
+  int max_shift = 12;
+
+  ILPScheduleOptions() { milp.time_limit_seconds = 10.0; }
+};
+
+struct ILPScheduleResult {
+  bool feasible = false;
+  PeriodicPattern pattern;
+  solver::MILPStatus status = solver::MILPStatus::Limit;
+  long long nodes_explored = 0;
+};
+
+/// Try to build a valid pattern at exactly `period` via the MILP.
+ILPScheduleResult ilp_schedule(const CyclicProblem& problem,
+                               const Allocation& allocation, const Chain& chain,
+                               const Platform& platform, Seconds period,
+                               const ILPScheduleOptions& options = {});
+
+}  // namespace madpipe

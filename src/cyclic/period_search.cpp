@@ -1,0 +1,55 @@
+#include "cyclic/period_search.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+#include "util/logging.hpp"
+
+namespace madpipe {
+
+PeriodSearchResult find_min_period(const Allocation& allocation,
+                                   const Chain& chain, const Platform& platform,
+                                   Seconds lower_hint,
+                                   const PeriodSearchOptions& options) {
+  const CyclicProblem problem =
+      build_cyclic_problem(allocation, chain, platform);
+
+  PeriodSearchResult result;
+  Seconds lb = std::max(problem.min_period, lower_hint);
+  Seconds ub = std::max(problem.serial_period, lb);
+
+  const auto probe = [&](Seconds period) -> bool {
+    ++result.probes;
+    const BBResult bb =
+        bb_schedule(problem, allocation, chain, platform, period, options.bb);
+    if (bb.node_budget_hit) {
+      log::debug("cyclic probe at T=", period, " hit the node budget");
+    }
+    if (bb.feasible) {
+      result.feasible = true;
+      result.pattern = bb.pattern;
+      result.period = period;
+    }
+    return bb.feasible;
+  };
+
+  // The serial period is schedulable whenever anything is: if it fails, the
+  // allocation's activation floor alone exceeds memory.
+  if (!probe(ub)) return result;
+
+  if (probe(lb)) return result;  // lower bound already feasible: optimal
+
+  // Invariant: lb infeasible, ub feasible (with its pattern retained).
+  while (result.probes < options.max_probes &&
+         ub - lb > options.relative_precision * ub) {
+    const Seconds mid = 0.5 * (lb + ub);
+    if (probe(mid)) {
+      ub = mid;
+    } else {
+      lb = mid;
+    }
+  }
+  return result;
+}
+
+}  // namespace madpipe

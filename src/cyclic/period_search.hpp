@@ -1,0 +1,37 @@
+// Minimal-period search for the cyclic scheduler: binary search over the
+// period with branch-and-bound feasibility probes, between the resource-load
+// lower bound and the fully-serial upper bound (at which a schedule exists
+// whenever the allocation is memory-schedulable at all: every stage then
+// keeps a single in-flight batch, the activation floor).
+#pragma once
+
+#include <optional>
+
+#include "core/plan.hpp"
+#include "cyclic/bb_scheduler.hpp"
+
+namespace madpipe {
+
+struct PeriodSearchOptions {
+  /// Stop when ub − lb ≤ relative_precision · ub.
+  double relative_precision = 1e-3;
+  int max_probes = 28;
+  BBOptions bb;
+};
+
+struct PeriodSearchResult {
+  bool feasible = false;
+  PeriodicPattern pattern;  ///< pattern at the best (smallest) feasible period
+  Seconds period = 0.0;
+  int probes = 0;
+};
+
+/// Find (approximately) the smallest period at which `allocation` can be
+/// scheduled within memory. `lower_hint` tightens the initial lower bound
+/// (e.g. the phase-1 period, which is a valid lower bound by construction).
+PeriodSearchResult find_min_period(const Allocation& allocation,
+                                   const Chain& chain, const Platform& platform,
+                                   Seconds lower_hint = 0.0,
+                                   const PeriodSearchOptions& options = {});
+
+}  // namespace madpipe

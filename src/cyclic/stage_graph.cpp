@@ -1,0 +1,56 @@
+#include "cyclic/stage_graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+
+CyclicProblem build_cyclic_problem(const Allocation& allocation,
+                                   const Chain& chain,
+                                   const Platform& platform) {
+  const Partitioning& parts = allocation.partitioning();
+  const int num_stages = parts.num_stages();
+
+  CyclicProblem problem;
+  problem.ops.reserve(static_cast<std::size_t>(4 * num_stages));
+
+  for (int s = 0; s < num_stages; ++s) {
+    const ResourceId proc = ResourceId::processor(allocation.processor_of(s));
+    problem.ops.push_back(CyclicOp{OpKind::Forward, s, proc,
+                                   parts.stage_forward_load(chain, s)});
+    if (allocation.boundary_cut(s)) {
+      const ResourceId link = ResourceId::link(allocation.processor_of(s),
+                                               allocation.processor_of(s + 1));
+      problem.ops.push_back(CyclicOp{
+          OpKind::CommForward, s, link,
+          platform.boundary_oneway_time(chain, parts.boundary_after(s))});
+    }
+  }
+  for (int s = num_stages - 1; s >= 0; --s) {
+    const ResourceId proc = ResourceId::processor(allocation.processor_of(s));
+    problem.ops.push_back(CyclicOp{OpKind::Backward, s, proc,
+                                   parts.stage_backward_load(chain, s)});
+    if (s > 0 && allocation.boundary_cut(s - 1)) {
+      const ResourceId link = ResourceId::link(allocation.processor_of(s - 1),
+                                               allocation.processor_of(s));
+      problem.ops.push_back(CyclicOp{
+          OpKind::CommBackward, s - 1, link,
+          platform.boundary_oneway_time(chain, parts.boundary_after(s - 1))});
+    }
+  }
+
+  std::map<ResourceId, Seconds> load;
+  for (const CyclicOp& op : problem.ops) {
+    load[op.resource] += op.duration;
+    problem.serial_period += op.duration;
+  }
+  for (const auto& [resource, total] : load) {
+    problem.min_period = std::max(problem.min_period, total);
+  }
+  MP_ENSURE(problem.min_period > 0.0, "degenerate cyclic problem");
+  return problem;
+}
+
+}  // namespace madpipe

@@ -1,0 +1,41 @@
+// Reduction of an (arbitrary, possibly non-contiguous) allocation to a
+// cyclic scheduling problem (§4.3 of the paper): the stage chain becomes a
+// single dependency chain of operations
+//   F_1 [CF_1] F_2 ... F_N  B_N [CB_{N-1}] B_{N-1} ... B_1
+// where comm ops appear at cut boundaries, each op tied to its resource
+// (processor or link). A valid periodic pattern gives each op a virtual
+// time z = t + h·T respecting the chain, with circular (mod T) exclusivity
+// per resource and the memory sweep within budget.
+#pragma once
+
+#include <vector>
+
+#include "core/chain.hpp"
+#include "core/partition.hpp"
+#include "core/pattern.hpp"
+#include "core/platform.hpp"
+
+namespace madpipe {
+
+struct CyclicOp {
+  OpKind kind = OpKind::Forward;
+  int stage = 0;  ///< stage index; for comms, the boundary after this stage
+  ResourceId resource;
+  Seconds duration = 0.0;
+};
+
+struct CyclicProblem {
+  /// Operations in dependency-chain order.
+  std::vector<CyclicOp> ops;
+  /// Max resource load: no pattern with a smaller period exists.
+  Seconds min_period = 0.0;
+  /// Sum of all durations: a pattern always exists at this period when the
+  /// allocation is memory-schedulable at all.
+  Seconds serial_period = 0.0;
+};
+
+CyclicProblem build_cyclic_problem(const Allocation& allocation,
+                                   const Chain& chain,
+                                   const Platform& platform);
+
+}  // namespace madpipe

@@ -1,0 +1,210 @@
+#include "hybrid/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/expect.hpp"
+#include "util/format.hpp"
+
+namespace madpipe::hybrid {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+std::vector<int> replication_factors(int max, bool power_of_two) {
+  std::vector<int> factors;
+  if (power_of_two) {
+    for (int r = 1; r <= max; r *= 2) factors.push_back(r);
+  } else {
+    for (int r = 1; r <= max; ++r) factors.push_back(r);
+  }
+  return factors;
+}
+
+/// Per-replica memory of stage k..l replicated r ways with g in-flight
+/// batches: full parameter replica, sharded activations/buffers/scratch.
+Bytes replica_memory(const Chain& chain, int k, int l, int r, int g) {
+  Bytes buffers = 0.0;
+  if (k > 1) buffers += 2.0 * chain.activation(k - 1);
+  if (l < chain.length()) buffers += 2.0 * chain.activation(l);
+  return 3.0 * chain.weight_sum(k, l) +
+         (static_cast<double>(g) * chain.stored_activation_sum(k, l) +
+          chain.scratch_sum(k, l) + buffers) /
+             r;
+}
+
+struct MemoEntry {
+  double value = kInfinity;
+  std::int16_t stage_start = -1;
+  std::int16_t replication = 0;
+};
+
+class HybridSolver {
+ public:
+  HybridSolver(const Chain& chain, const Platform& platform,
+               const HybridOptions& options)
+      : chain_(chain), platform_(platform), options_(options) {}
+
+  std::optional<HybridPlan> run() {
+    const double root = solve(chain_.length(), platform_.processors, 0, 0);
+    if (!std::isfinite(root)) return std::nullopt;
+
+    HybridPlan plan;
+    plan.period = root;
+    int l = chain_.length();
+    int p = platform_.processors;
+    int r_next = 0;
+    int depth = 0;
+    while (l > 0) {
+      const auto it = memo_.find(key(l, p, r_next, depth));
+      MP_ENSURE(it != memo_.end() && it->second.stage_start >= 1,
+                "hybrid reconstruction fell off the memoized path");
+      const int k = it->second.stage_start;
+      const int r = it->second.replication;
+      HybridStage stage;
+      stage.layers = Stage{k, l};
+      stage.replication = r;
+      stage.effective_load = effective_load(k, l, r);
+      stage.replica_memory =
+          replica_memory(chain_, k, l, r, in_flight(depth));
+      plan.stages.push_back(stage);
+      plan.gpus_used += r;
+      p -= r;
+      r_next = r;
+      depth = std::min(depth + 1, options_.max_stages);
+      l = k - 1;
+    }
+    std::reverse(plan.stages.begin(), plan.stages.end());
+    return plan;
+  }
+
+ private:
+  static std::uint64_t key(int l, int p, int r_next, int depth) {
+    return (static_cast<std::uint64_t>(l) << 24) |
+           (static_cast<std::uint64_t>(p) << 16) |
+           (static_cast<std::uint64_t>(r_next) << 8) |
+           static_cast<std::uint64_t>(depth);
+  }
+
+  int in_flight(int depth) const {
+    return std::min(depth + 1, options_.max_stages);
+  }
+
+  Seconds effective_load(int k, int l, int r) const {
+    return chain_.compute_load(k, l) / r +
+           allreduce_time(chain_.weight_sum(k, l), r, platform_.bandwidth);
+  }
+
+  /// Best achievable bottleneck for layers 1..l with p GPUs left, given the
+  /// stage to the right replicates r_next ways (0: none) and sits `depth`
+  /// stages from the pipeline end.
+  double solve(int l, int p, int r_next, int depth) {
+    if (l == 0) return 0.0;
+    if (p <= 0) return kInfinity;
+    const std::uint64_t k0 = key(l, p, r_next, depth);
+    if (const auto it = memo_.find(k0); it != memo_.end()) {
+      return it->second.value;
+    }
+    memo_.emplace(k0, MemoEntry{});
+
+    MemoEntry best;
+    const int g = in_flight(depth);
+    for (const int r : replication_factors(p, options_.power_of_two_replication)) {
+      for (int k = l; k >= 1; --k) {
+        if (replica_memory(chain_, k, l, r, g) >
+            platform_.memory_per_processor) {
+          continue;
+        }
+        Seconds comm_out = 0.0;
+        if (r_next > 0) {
+          comm_out =
+              2.0 * sharded_transfer_time(chain_.activation(l), r, r_next,
+                                          platform_.bandwidth);
+        }
+        const double sub =
+            solve(k - 1, p - r, r, std::min(depth + 1, options_.max_stages));
+        const double value =
+            std::max({effective_load(k, l, r), comm_out, sub});
+        if (value < best.value) {
+          best = MemoEntry{value, static_cast<std::int16_t>(k),
+                           static_cast<std::int16_t>(r)};
+        }
+      }
+    }
+    memo_[k0] = best;
+    return best.value;
+  }
+
+  const Chain& chain_;
+  const Platform& platform_;
+  HybridOptions options_;
+  std::unordered_map<std::uint64_t, MemoEntry> memo_;
+};
+
+}  // namespace
+
+Seconds allreduce_time(Bytes bytes, int replicas, double bandwidth) {
+  MP_EXPECT(replicas >= 1, "need at least one replica");
+  MP_EXPECT(bytes >= 0.0 && bandwidth > 0.0, "invalid AllReduce parameters");
+  if (replicas == 1) return 0.0;
+  return 2.0 * (replicas - 1) / static_cast<double>(replicas) * bytes /
+         bandwidth;
+}
+
+Seconds sharded_transfer_time(Bytes bytes, int senders, int receivers,
+                              double bandwidth) {
+  MP_EXPECT(senders >= 1 && receivers >= 1, "need positive endpoint counts");
+  return bytes / (bandwidth * std::min(senders, receivers));
+}
+
+std::optional<HybridPlan> plan_hybrid(const Chain& chain,
+                                      const Platform& platform,
+                                      const HybridOptions& options) {
+  platform.validate();
+  MP_EXPECT(options.max_stages >= 1, "max_stages must be positive");
+  HybridSolver solver(chain, platform, options);
+  return solver.run();
+}
+
+std::optional<HybridPlan> plan_data_parallel(const Chain& chain,
+                                             const Platform& platform) {
+  platform.validate();
+  const int P = platform.processors;
+  const int L = chain.length();
+  if (replica_memory(chain, 1, L, P, 1) > platform.memory_per_processor) {
+    return std::nullopt;
+  }
+  HybridPlan plan;
+  HybridStage stage;
+  stage.layers = Stage{1, L};
+  stage.replication = P;
+  stage.effective_load =
+      chain.total_compute() / P +
+      allreduce_time(chain.weight_sum(1, L), P, platform.bandwidth);
+  stage.replica_memory = replica_memory(chain, 1, L, P, 1);
+  plan.period = stage.effective_load;
+  plan.gpus_used = P;
+  plan.stages.push_back(stage);
+  return plan;
+}
+
+std::string hybrid_plan_to_string(const HybridPlan& plan, const Chain& chain) {
+  std::ostringstream os;
+  os << "hybrid plan: period " << fmt::seconds(plan.period) << ", speedup "
+     << fmt::fixed(plan.speedup(chain), 2) << "x, " << plan.gpus_used
+     << " GPUs\n";
+  for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+    const HybridStage& stage = plan.stages[s];
+    os << "  stage " << s << ": layers [" << stage.layers.first << ", "
+       << stage.layers.last << "] x" << stage.replication << " replicas, "
+       << fmt::seconds(stage.effective_load) << "/batch, "
+       << fmt::bytes(stage.replica_memory) << "/replica\n";
+  }
+  return os.str();
+}
+
+}  // namespace madpipe::hybrid

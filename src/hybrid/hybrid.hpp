@@ -1,0 +1,87 @@
+// Hybrid data + pipelined-model parallelism — the combination the paper's
+// introduction sketches and its conclusion names as the natural extension:
+// partition the chain into contiguous stages and replicate each stage s over
+// r_s GPUs with data parallelism inside the stage, so that G ≈ P/r smaller
+// collective communications replace one huge AllReduce (§1 of the paper).
+//
+// Planning model (analytic, DAPPLE/PipeDream-planner style):
+//   * each mini-batch is sharded across a stage's replicas: per-batch stage
+//     compute = U(s)/r_s;
+//   * gradient synchronization per batch: ring AllReduce over r replicas of
+//     the stage's W_s gradient bytes, 2·(r−1)/r · W_s/β;
+//   * boundary activations are redistributed shard-wise: one direction costs
+//     a/(β·min(r_s, r_{s+1}));
+//   * per-replica memory: 3·W_s (full parameter replica) + g·ā_s/r_s
+//     in-flight activation shards + sharded communication buffers, with g
+//     estimated as the stage's distance from the end of the pipeline (the
+//     1F1B in-flight depth, as in the PipeDream baseline).
+//
+// The planner is a memoized suffix DP over (first layer, GPUs left,
+// replication of the current stage, distance from the end), with
+// power-of-two replication factors by default. Its output is an analytic
+// plan (stages + replication + period); replicated steady states are beyond
+// the periodic-pattern engine, which models one op per resource per period.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/chain.hpp"
+#include "core/partition.hpp"
+#include "core/platform.hpp"
+#include "core/types.hpp"
+
+namespace madpipe::hybrid {
+
+struct HybridOptions {
+  /// Cap on the pipeline depth considered for the in-flight estimate.
+  int max_stages = 10;
+  /// Restrict replication factors to powers of two (common practice; keeps
+  /// the search space small). When false any factor is allowed.
+  bool power_of_two_replication = true;
+};
+
+struct HybridStage {
+  Stage layers;
+  int replication = 1;
+  /// Per-batch effective load: U/r + gradient AllReduce.
+  Seconds effective_load = 0.0;
+  /// Estimated per-replica memory at the planner's in-flight depth.
+  Bytes replica_memory = 0.0;
+};
+
+struct HybridPlan {
+  std::vector<HybridStage> stages;
+  Seconds period = 0.0;  ///< analytic steady-state seconds per mini-batch
+  int gpus_used = 0;
+
+  double throughput() const { return 1.0 / period; }
+  double speedup(const Chain& chain) const {
+    return chain.total_compute() / period;
+  }
+};
+
+/// Ring-AllReduce time for `bytes` of gradients over `replicas` links of
+/// bandwidth `bandwidth`: 2·(r−1)/r · bytes/β. Zero for a single replica.
+Seconds allreduce_time(Bytes bytes, int replicas, double bandwidth);
+
+/// Shard-wise boundary transfer time (one direction).
+Seconds sharded_transfer_time(Bytes bytes, int senders, int receivers,
+                              double bandwidth);
+
+/// Plan hybrid data+model parallelism. Returns nullopt when no assignment
+/// fits the memory model.
+std::optional<HybridPlan> plan_hybrid(const Chain& chain,
+                                      const Platform& platform,
+                                      const HybridOptions& options = {});
+
+/// Pure data parallelism (one stage replicated over all P GPUs): the
+/// classical baseline the paper argues against at scale.
+std::optional<HybridPlan> plan_data_parallel(const Chain& chain,
+                                             const Platform& platform);
+
+/// Human-readable description of a hybrid plan.
+std::string hybrid_plan_to_string(const HybridPlan& plan, const Chain& chain);
+
+}  // namespace madpipe::hybrid

@@ -1,0 +1,37 @@
+#include "madpipe/discretization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+
+Grid::Grid(double max_value, int points)
+    : max_value_(max_value), points_(points) {
+  MP_EXPECT(points_ >= 2, "a grid needs at least two points");
+  MP_EXPECT(max_value_ > 0.0, "grid range must be positive");
+  step_ = max_value_ / static_cast<double>(points_ - 1);
+}
+
+double Grid::value(int index) const {
+  index = std::clamp(index, 0, points_ - 1);
+  return static_cast<double>(index) * step_;
+}
+
+int Grid::index(double v, RoundingMode mode) const {
+  MP_EXPECT(v >= -kTimeEps * max_value_, "grid values must be non-negative");
+  double raw = v / step_;
+  switch (mode) {
+    case RoundingMode::Nearest:
+      raw = std::round(raw);
+      break;
+    case RoundingMode::Up:
+      // Snap tiny numeric overshoots down before taking the ceiling.
+      raw = std::ceil(raw - kTimeEps);
+      break;
+  }
+  return std::clamp(static_cast<int>(raw), 0, points_ - 1);
+}
+
+}  // namespace madpipe

@@ -1,0 +1,276 @@
+#include "madpipe/dp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/memory_model.hpp"
+#include "util/expect.hpp"
+#include "util/logging.hpp"
+
+namespace madpipe {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Packed DP state. Budgets: l ≤ 1023, p ≤ 15, grid indices ≤ 1023 each.
+std::uint64_t pack_state(int l, int p, int load_idx, int mem_idx,
+                         int delay_idx) {
+  return (static_cast<std::uint64_t>(l) << 34) |
+         (static_cast<std::uint64_t>(p) << 30) |
+         (static_cast<std::uint64_t>(load_idx) << 20) |
+         (static_cast<std::uint64_t>(mem_idx) << 10) |
+         static_cast<std::uint64_t>(delay_idx);
+}
+
+struct MemoEntry {
+  double period = kInfinity;
+  std::int16_t stage_start = -1;  ///< k of the winning transition
+  std::int8_t to_special = 0;     ///< 1 when the winning stage goes special
+};
+
+class DpSolver {
+ public:
+  DpSolver(const Chain& chain, const Platform& platform, Seconds target,
+           const MadPipeDPOptions& options)
+      : chain_(chain),
+        platform_(platform),
+        target_(target),
+        options_(options),
+        load_grid_(chain.total_compute(), options.grid.load_points),
+        memory_grid_(platform.memory_per_processor, options.grid.memory_points),
+        delay_grid_(delay_upper_bound(chain, platform),
+                    options.grid.delay_points) {}
+
+  static Seconds delay_upper_bound(const Chain& chain,
+                                   const Platform& platform) {
+    Seconds total = chain.total_compute();
+    for (int j = 1; j < chain.length(); ++j) {
+      total += platform.boundary_comm_time(chain, j);
+    }
+    return total;
+  }
+
+  MadPipeDPResult run() {
+    MadPipeDPResult result;
+    const int root_p = options_.allow_special ? platform_.processors - 1
+                                              : platform_.processors;
+    result.period = solve(chain_.length(), root_p, 0, 0, 0);
+    result.states_visited = memo_.size();
+    if (std::isfinite(result.period)) {
+      reconstruct(result);
+    }
+    return result;
+  }
+
+ private:
+  /// Everything a transition taking stage k..l out of state (l,·,·,·,iV)
+  /// determines: next delay index, feasibility and memory of both targets.
+  struct TransitionInfo {
+    Seconds stage_load = 0.0;
+    Seconds link_load = 0.0;  ///< C(k−1), the lower bound on the front link
+    int next_delay_idx = 0;
+    int active_batches = 0;  ///< g(k,l,V)
+  };
+
+  TransitionInfo transition(int k, int l, int delay_idx) const {
+    TransitionInfo info;
+    info.stage_load = chain_.compute_load(k, l);
+    info.link_load =
+        k > 1 ? platform_.boundary_comm_time(chain_, k - 1) : 0.0;
+    const Seconds delay = delay_grid_.value(delay_idx);
+    Seconds comm_for_delay = 0.0;
+    switch (options_.delay_comm_variant) {
+      case DelayCommVariant::BoundaryConsistent:
+        comm_for_delay = info.link_load;
+        break;
+      case DelayCommVariant::PaperLiteral:
+        comm_for_delay = platform_.boundary_comm_time(chain_, k);
+        break;
+    }
+    const Seconds next_delay = delay_advance(
+        delay_advance(delay, info.stage_load, target_), comm_for_delay,
+        target_);
+    info.next_delay_idx = delay_grid_.index(next_delay, options_.grid.rounding);
+    info.active_batches = activation_count(chain_, k, l, delay, target_);
+    return info;
+  }
+
+  double solve(int l, int p, int load_idx, int mem_idx, int delay_idx) {
+    if (l == 0) return load_grid_.value(load_idx);
+
+    if (p == 0) {
+      if (!options_.allow_special) return kInfinity;
+      // All remaining layers become one stage on the special processor.
+      const Seconds delay = delay_grid_.value(delay_idx);
+      const int g = activation_count(chain_, 1, l, delay, target_);
+      const Bytes memory = memory_grid_.value(mem_idx) +
+                           stage_memory(chain_, 1, l, g - 1);
+      if (memory > platform_.memory_per_processor) return kInfinity;
+      return chain_.compute_load(1, l) + load_grid_.value(load_idx);
+    }
+
+    const std::uint64_t key = pack_state(l, p, load_idx, mem_idx, delay_idx);
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      return it->second.period;
+    }
+    if (memo_.size() >= options_.max_states) {
+      log::warn("MadPipe-DP state budget exhausted; treating as infeasible");
+      return kInfinity;
+    }
+    // Reserve the slot first: cycles are impossible (l strictly decreases),
+    // but this keeps the map stable across the recursive calls below.
+    memo_.emplace(key, MemoEntry{});
+
+    MemoEntry best;
+    const Bytes limit = platform_.memory_per_processor;
+    for (int k = l; k >= 1; --k) {
+      const TransitionInfo info = transition(k, l, delay_idx);
+
+      // Option 1: stage k..l on a fresh normal processor.
+      const Stage stage{k, l};
+      if (stage_memory(chain_, stage.first, stage.last, info.active_batches) <=
+          limit) {
+        const double sub =
+            solve(k - 1, p - 1, load_idx, mem_idx, info.next_delay_idx);
+        const double value =
+            std::max({info.stage_load, info.link_load, sub});
+        if (value < best.period) {
+          best = {value, static_cast<std::int16_t>(k), 0};
+        }
+      }
+
+      if (!options_.allow_special) continue;
+      // Option 2: stage k..l joins the special processor (memory counted
+      // with g−1, the deliberate underestimate of §4.2.1).
+      const Bytes special_memory =
+          memory_grid_.value(mem_idx) +
+          stage_memory(chain_, stage.first, stage.last,
+                       info.active_batches - 1);
+      if (special_memory <= limit) {
+        const Seconds special_load =
+            load_grid_.snap(load_grid_.value(load_idx) + info.stage_load,
+                            options_.grid.rounding);
+        const int next_load_idx =
+            load_grid_.index(special_load, options_.grid.rounding);
+        const int next_mem_idx =
+            memory_grid_.index(std::min(special_memory, limit),
+                               options_.grid.rounding);
+        const double sub =
+            solve(k - 1, p, next_load_idx, next_mem_idx, info.next_delay_idx);
+        const double value = std::max({special_load, info.link_load, sub});
+        if (value < best.period) {
+          best = {value, static_cast<std::int16_t>(k), 1};
+        }
+      }
+    }
+
+    memo_[key] = best;
+    return best.period;
+  }
+
+  void reconstruct(MadPipeDPResult& result) {
+    // Walk the winning choices from the root, re-deriving the follow-up
+    // state exactly as solve() did.
+    std::vector<Stage> stages_reversed;
+    std::vector<bool> special_reversed;
+
+    int l = chain_.length();
+    int p = options_.allow_special ? platform_.processors - 1
+                                   : platform_.processors;
+    int load_idx = 0;
+    int mem_idx = 0;
+    int delay_idx = 0;
+
+    while (l > 0) {
+      if (p == 0) {
+        stages_reversed.push_back(Stage{1, l});
+        special_reversed.push_back(true);
+        break;
+      }
+      const auto it =
+          memo_.find(pack_state(l, p, load_idx, mem_idx, delay_idx));
+      MP_ENSURE(it != memo_.end() && it->second.stage_start >= 1,
+                "reconstruction fell off the memoized path");
+      const MemoEntry& entry = it->second;
+      const int k = entry.stage_start;
+      const TransitionInfo info = transition(k, l, delay_idx);
+
+      stages_reversed.push_back(Stage{k, l});
+      special_reversed.push_back(entry.to_special != 0);
+      if (entry.to_special != 0) {
+        const Seconds special_load =
+            load_grid_.snap(load_grid_.value(load_idx) + info.stage_load,
+                            options_.grid.rounding);
+        const Bytes special_memory =
+            memory_grid_.value(mem_idx) +
+            stage_memory(chain_, k, l, info.active_batches - 1);
+        load_idx = load_grid_.index(special_load, options_.grid.rounding);
+        mem_idx = memory_grid_.index(
+            std::min(special_memory, platform_.memory_per_processor),
+            options_.grid.rounding);
+      } else {
+        --p;
+      }
+      delay_idx = info.next_delay_idx;
+      l = k - 1;
+    }
+
+    std::vector<Stage> stages(stages_reversed.rbegin(), stages_reversed.rend());
+    std::vector<bool> special(special_reversed.rbegin(),
+                              special_reversed.rend());
+
+    // Normal stages take processors 0,1,... in chain order; the special
+    // processor is P−1 (it exists even if unused).
+    const int normal_count = options_.allow_special
+                                 ? platform_.processors - 1
+                                 : platform_.processors;
+    std::vector<int> procs(stages.size());
+    int next_normal = 0;
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      if (special[s]) {
+        procs[s] = platform_.processors - 1;
+        result.uses_special = true;
+      } else {
+        MP_ENSURE(next_normal < normal_count,
+                  "more normal stages than normal processors");
+        procs[s] = next_normal++;
+      }
+    }
+    result.allocation.emplace(Partitioning(chain_, std::move(stages)),
+                              std::move(procs), platform_.processors);
+  }
+
+  const Chain& chain_;
+  const Platform& platform_;
+  Seconds target_;
+  MadPipeDPOptions options_;
+  Grid load_grid_;
+  Grid memory_grid_;
+  Grid delay_grid_;
+  std::unordered_map<std::uint64_t, MemoEntry> memo_;
+};
+
+}  // namespace
+
+MadPipeDPResult madpipe_dp(const Chain& chain, const Platform& platform,
+                           Seconds target_period,
+                           const MadPipeDPOptions& options) {
+  platform.validate();
+  MP_EXPECT(target_period > 0.0, "target period must be positive");
+  MP_EXPECT(chain.length() <= 1023, "chain too long for the packed DP state");
+  MP_EXPECT(platform.processors <= 16,
+            "packed DP state supports at most 16 processors");
+  MP_EXPECT(options.grid.load_points <= 1024 &&
+                options.grid.memory_points <= 1024 &&
+                options.grid.delay_points <= 1024,
+            "grids must fit the packed state (≤ 1024 points each)");
+
+  DpSolver solver(chain, platform, target_period, options);
+  return solver.run();
+}
+
+}  // namespace madpipe

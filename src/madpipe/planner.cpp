@@ -1,0 +1,96 @@
+#include "madpipe/planner.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "schedule/one_f_one_b.hpp"
+#include "util/expect.hpp"
+#include "util/logging.hpp"
+
+namespace madpipe {
+
+namespace {
+
+/// Phase 2 for one allocation: 1F1B* when contiguous (provably
+/// memory-optimal), the cyclic search otherwise. `phase1_period` is the
+/// period lower bound argued in §4.2.3.
+std::optional<Plan> schedule_allocation(const Allocation& allocation,
+                                        const Chain& chain,
+                                        const Platform& platform,
+                                        Seconds phase1_period,
+                                        const PeriodSearchOptions& options) {
+  if (allocation.contiguous()) {
+    return plan_one_f_one_b(allocation, chain, platform);
+  }
+  const PeriodSearchResult phase2 =
+      find_min_period(allocation, chain, platform, phase1_period, options);
+  if (!phase2.feasible) return std::nullopt;
+  return Plan{"madpipe", allocation, phase2.pattern, 0.0, 0.0};
+}
+
+}  // namespace
+
+std::optional<Plan> plan_madpipe(const Chain& chain, const Platform& platform,
+                                 const MadPipeOptions& options) {
+  MP_EXPECT(options.schedule_best_of >= 1, "schedule_best_of must be >= 1");
+  const auto start_time = std::chrono::steady_clock::now();
+
+  Phase1Options phase1_options = options.phase1;
+  if (options.disable_special_processor) {
+    phase1_options.dp.allow_special = false;
+  }
+  if (options.schedule_best_of > 1) {
+    phase1_options.keep_iterate_allocations = true;
+  }
+  const Phase1Result phase1 = madpipe_phase1(chain, platform, phase1_options);
+  if (!phase1.feasible()) {
+    log::info("MadPipe phase 1 found no memory-feasible allocation");
+    return std::nullopt;
+  }
+
+  // Candidate allocations to schedule: the best iterate (paper behaviour),
+  // plus — with the schedule_best_of extension — the next best distinct ones.
+  std::vector<std::pair<Seconds, const Allocation*>> candidates;
+  candidates.emplace_back(phase1.period, &*phase1.allocation);
+  if (options.schedule_best_of > 1) {
+    std::vector<const Phase1Iteration*> iterates;
+    for (const Phase1Iteration& it : phase1.trace) {
+      if (it.allocation.has_value()) iterates.push_back(&it);
+    }
+    std::sort(iterates.begin(), iterates.end(),
+              [](const Phase1Iteration* a, const Phase1Iteration* b) {
+                return a->achieved < b->achieved;
+              });
+    for (const Phase1Iteration* it : iterates) {
+      if (static_cast<int>(candidates.size()) >= options.schedule_best_of) break;
+      const bool duplicate = std::any_of(
+          candidates.begin(), candidates.end(),
+          [&](const auto& c) { return *c.second == *it->allocation; });
+      if (!duplicate) candidates.emplace_back(it->achieved, &*it->allocation);
+    }
+  }
+
+  std::optional<Plan> best;
+  for (const auto& [estimate, allocation] : candidates) {
+    std::optional<Plan> plan = schedule_allocation(
+        *allocation, chain, platform, estimate, options.phase2);
+    if (plan && (!best || plan->period() < best->period())) {
+      best = std::move(plan);
+    }
+  }
+  if (!best) {
+    log::info("MadPipe phase 2 could not schedule any phase-1 allocation");
+    return std::nullopt;
+  }
+
+  best->planner = options.disable_special_processor ? "madpipe-contig"
+                                                    : "madpipe";
+  best->phase1_period = phase1.period;
+  best->planning_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  return best;
+}
+
+}  // namespace madpipe

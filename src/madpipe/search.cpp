@@ -1,0 +1,51 @@
+#include "madpipe/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.hpp"
+#include "util/logging.hpp"
+
+namespace madpipe {
+
+Phase1Result madpipe_phase1(const Chain& chain, const Platform& platform,
+                            const Phase1Options& options) {
+  platform.validate();
+  MP_EXPECT(options.iterations >= 1, "need at least one search iteration");
+
+  Seconds lb = chain.total_compute() / platform.processors;
+  Seconds ub = chain.total_compute();
+  for (int j = 1; j < chain.length(); ++j) {
+    ub += platform.boundary_comm_time(chain, j);
+  }
+
+  Phase1Result result;
+  result.period = std::numeric_limits<double>::infinity();
+
+  Seconds target = lb;
+  for (int i = 0; i < options.iterations; ++i) {
+    const MadPipeDPResult dp =
+        madpipe_dp(chain, platform, target, options.dp);
+    const Seconds achieved = std::max(dp.period, target);
+    result.trace.push_back(
+        {target, achieved,
+         options.keep_iterate_allocations ? dp.allocation : std::nullopt});
+    log::debug("phase1 iteration ", i, ": target=", target,
+               " achieved=", achieved);
+
+    if (achieved < result.period && dp.allocation.has_value()) {
+      result.period = achieved;
+      result.allocation = dp.allocation;
+      result.uses_special = dp.uses_special;
+    }
+
+    lb = std::max(lb, std::min(dp.period, target));
+    ub = std::min(ub, achieved);
+    if (ub <= lb * (1.0 + 1e-9)) break;  // search interval collapsed
+    target = 0.5 * (lb + ub);
+  }
+  return result;
+}
+
+}  // namespace madpipe

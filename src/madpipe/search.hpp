@@ -1,0 +1,49 @@
+// Algorithm 1 of the paper: the modified binary search over the target
+// period T̂ driving MadPipe-DP.
+//
+// Two monotonicities make the search sound: MadPipe-DP(T̂) is non-increasing
+// in T̂ (a larger target stores fewer activations, relaxing memory), and any
+// schedule of the produced allocation needs a period ≥ max(DP result, T̂).
+// Each iteration therefore tightens lb = max(lb, min(T, T̂)) and
+// ub = min(ub, max(T, T̂)) and probes the midpoint.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "madpipe/dp.hpp"
+
+namespace madpipe {
+
+struct Phase1Options {
+  int iterations = 10;  ///< K of Algorithm 1 (10 suffices per the paper)
+  MadPipeDPOptions dp;
+  /// Retain every iterate's allocation in the trace (used by the "schedule
+  /// the best k iterates" extension; the paper keeps only the best).
+  bool keep_iterate_allocations = false;
+};
+
+struct Phase1Iteration {
+  Seconds target = 0.0;    ///< T̂_i
+  Seconds achieved = 0.0;  ///< max(MadPipe-DP(T̂_i), T̂_i); infinity if infeasible
+  /// Present only with Phase1Options::keep_iterate_allocations.
+  std::optional<Allocation> allocation;
+};
+
+struct Phase1Result {
+  /// Best max(T_i, T̂_i) over all iterations; infinity when every target was
+  /// infeasible (no allocation fits memory at all).
+  Seconds period = 0.0;
+  std::optional<Allocation> allocation;  ///< allocation of the best iterate
+  bool uses_special = false;
+  std::vector<Phase1Iteration> trace;
+
+  bool feasible() const noexcept { return allocation.has_value(); }
+};
+
+/// Run the first phase of MadPipe (Algorithm 1).
+Phase1Result madpipe_phase1(const Chain& chain, const Platform& platform,
+                            const Phase1Options& options = {});
+
+}  // namespace madpipe

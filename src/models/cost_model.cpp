@@ -1,0 +1,42 @@
+#include "models/cost_model.hpp"
+
+#include "util/expect.hpp"
+
+namespace madpipe::models {
+
+Layer block_to_layer(const BlockStats& block, int batch,
+                     const DeviceModel& device) {
+  MP_EXPECT(batch >= 1, "batch size must be positive");
+  MP_EXPECT(device.peak_flops > 0.0 && device.efficiency > 0.0,
+            "device model must have positive throughput");
+
+  const double fwd_compute =
+      static_cast<double>(batch) * block.forward_flops / device.effective_flops();
+
+  Layer layer;
+  layer.name = block.name;
+  layer.forward_time = fwd_compute + device.op_overhead;
+  layer.backward_time =
+      device.backward_flops_factor * fwd_compute + device.op_overhead;
+  layer.weight_bytes =
+      static_cast<double>(block.params) * device.bytes_per_element;
+  layer.output_bytes = static_cast<double>(block.output.elements()) * batch *
+                       device.bytes_per_element;
+  return layer;
+}
+
+Chain blocks_to_chain(const std::string& name, const Tensor& input,
+                      const std::vector<BlockStats>& blocks, int batch,
+                      const DeviceModel& device) {
+  MP_EXPECT(!blocks.empty(), "network must have at least one block");
+  std::vector<Layer> layers;
+  layers.reserve(blocks.size());
+  for (const BlockStats& block : blocks) {
+    layers.push_back(block_to_layer(block, batch, device));
+  }
+  const Bytes input_bytes = static_cast<double>(input.elements()) * batch *
+                            device.bytes_per_element;
+  return Chain(name, input_bytes, std::move(layers));
+}
+
+}  // namespace madpipe::models

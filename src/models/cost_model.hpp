@@ -1,0 +1,40 @@
+// FLOP → duration cost model converting block statistics to chain layers.
+//
+// Durations follow the standard roofline-style estimate
+//   t_fwd = batch · flops / (peak · efficiency) + overhead,
+//   t_bwd = backward_flops_factor · (t_fwd − overhead) + overhead,
+// where the backward factor ~2 reflects that backward computes both input
+// and weight gradients. The absolute scale of the device only scales the
+// period axis of every experiment; the *relative* per-layer heterogeneity
+// (what the partitioning algorithms react to) comes from the exact shape
+// arithmetic in netdef.
+#pragma once
+
+#include <vector>
+
+#include "core/chain.hpp"
+#include "models/netdef.hpp"
+
+namespace madpipe::models {
+
+struct DeviceModel {
+  double peak_flops = 15e12;       ///< device peak (V100-class fp32+tensor mix)
+  double efficiency = 0.45;        ///< achievable fraction of peak
+  Seconds op_overhead = 50e-6;     ///< fixed per-block launch/framework cost
+  double backward_flops_factor = 2.0;
+  int bytes_per_element = 4;       ///< fp32 activations and parameters
+
+  double effective_flops() const { return peak_flops * efficiency; }
+};
+
+/// Convert one block to a chain layer for mini-batches of `batch` samples.
+Layer block_to_layer(const BlockStats& block, int batch,
+                     const DeviceModel& device);
+
+/// Convert a full block sequence to a Chain. `input` is the per-sample
+/// network input shape (its byte size times batch becomes a_0).
+Chain blocks_to_chain(const std::string& name, const Tensor& input,
+                      const std::vector<BlockStats>& blocks, int batch,
+                      const DeviceModel& device);
+
+}  // namespace madpipe::models

@@ -1,0 +1,66 @@
+#include "models/densenet.hpp"
+
+#include "util/expect.hpp"
+
+namespace madpipe::models {
+
+namespace {
+
+/// One dense layer. The chain node's output is the concatenation of its
+/// input with the `growth` new channels, so channel counts accumulate.
+BlockStats dense_layer(const std::string& name, const Tensor& input,
+                       int growth) {
+  BlockBuilder b(name, input);
+  b.conv(4 * growth, 1).relu().conv(growth, 3).relu();
+  BlockStats stats = b.finish();
+  // Concatenate with the input: output carries all previous channels too.
+  stats.output.channels += input.channels;
+  return stats;
+}
+
+/// Transition: 1x1 conv halving channels + 2x2/2 average pool.
+BlockStats transition(const std::string& name, const Tensor& input) {
+  BlockBuilder b(name, input);
+  b.conv(input.channels / 2, 1).relu().avg_pool(2, 2, 0);
+  return b.finish();
+}
+
+}  // namespace
+
+std::vector<BlockStats> build_densenet(const Tensor& input,
+                                       const std::vector<int>& block_layers,
+                                       int growth_rate, int num_classes) {
+  MP_EXPECT(!block_layers.empty(), "DenseNet needs at least one dense block");
+  MP_EXPECT(growth_rate >= 1, "growth rate must be positive");
+  std::vector<BlockStats> blocks;
+
+  BlockBuilder stem("stem", input);
+  stem.conv(2 * growth_rate, 7, 2, 3).relu().max_pool(3, 2, 1);
+  blocks.push_back(stem.finish());
+
+  Tensor shape = blocks.back().output;
+  for (std::size_t d = 0; d < block_layers.size(); ++d) {
+    for (int layer = 0; layer < block_layers[d]; ++layer) {
+      const std::string name = "dense" + std::to_string(d + 1) + "_" +
+                               std::to_string(layer + 1);
+      blocks.push_back(dense_layer(name, shape, growth_rate));
+      shape = blocks.back().output;
+    }
+    if (d + 1 < block_layers.size()) {
+      blocks.push_back(transition("transition" + std::to_string(d + 1), shape));
+      shape = blocks.back().output;
+    }
+  }
+
+  BlockBuilder head("head", shape);
+  head.global_avg_pool().fully_connected(num_classes);
+  blocks.push_back(head.finish());
+  return blocks;
+}
+
+std::vector<BlockStats> build_densenet121(const Tensor& input,
+                                          int num_classes) {
+  return build_densenet(input, {6, 12, 24, 16}, 32, num_classes);
+}
+
+}  // namespace madpipe::models

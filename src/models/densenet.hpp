@@ -1,0 +1,23 @@
+// DenseNet-121 (Huang et al., 2017) block sequence. One chain block per
+// dense layer (bn-relu-1x1 -> bn-relu-3x3, output concatenated with its
+// input) and per transition, giving a naturally fine-grained chain whose
+// activation sizes grow within each dense block — the activation-heavy
+// profile the paper highlights.
+#pragma once
+
+#include <vector>
+
+#include "models/netdef.hpp"
+
+namespace madpipe::models {
+
+std::vector<BlockStats> build_densenet(const Tensor& input,
+                                       const std::vector<int>& block_layers,
+                                       int growth_rate = 32,
+                                       int num_classes = 1000);
+
+/// DenseNet-121: blocks {6, 12, 24, 16}, growth 32.
+std::vector<BlockStats> build_densenet121(const Tensor& input,
+                                          int num_classes = 1000);
+
+}  // namespace madpipe::models

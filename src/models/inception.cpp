@@ -1,0 +1,194 @@
+#include "models/inception.hpp"
+
+#include "util/expect.hpp"
+
+namespace madpipe::models {
+
+namespace {
+
+/// Inception-A: 1x1, 5x5 double, 3x3 double-stacked, pooled 1x1 branches.
+BlockStats inception_a(const std::string& name, const Tensor& input,
+                       int pool_features) {
+  BlockBuilder b1(name, input);
+  b1.conv(64, 1).relu();
+
+  BlockBuilder b2(name + "/b2", input);
+  b2.conv(48, 1).relu().conv(64, 5, 1, 2).relu();
+
+  BlockBuilder b3(name + "/b3", input);
+  b3.conv(64, 1).relu().conv(96, 3).relu().conv(96, 3).relu();
+
+  BlockBuilder b4(name + "/b4", input);
+  b4.avg_pool(3, 1, 1).conv(pool_features, 1).relu();
+
+  b1.concat_branch(b2.finish())
+      .concat_branch(b3.finish())
+      .concat_branch(b4.finish());
+  return b1.finish();
+}
+
+/// Inception-B (grid reduction to 17x17-equivalent).
+BlockStats inception_b(const std::string& name, const Tensor& input) {
+  BlockBuilder b1(name, input);
+  b1.conv(384, 3, 2, 0).relu();
+
+  BlockBuilder b2(name + "/b2", input);
+  b2.conv(64, 1).relu().conv(96, 3).relu().conv(96, 3, 2, 0).relu();
+
+  BlockBuilder b3(name + "/b3", input);
+  b3.max_pool(3, 2, 0);
+
+  b1.concat_branch(b2.finish()).concat_branch(b3.finish());
+  return b1.finish();
+}
+
+/// Inception-C with factorized 7x7 convolutions.
+BlockStats inception_c(const std::string& name, const Tensor& input,
+                       int channels_7x7) {
+  const int c7 = channels_7x7;
+  BlockBuilder b1(name, input);
+  b1.conv(192, 1).relu();
+
+  BlockBuilder b2(name + "/b2", input);
+  b2.conv(c7, 1).relu().conv_rect(c7, 1, 7).relu().conv_rect(192, 7, 1).relu();
+
+  BlockBuilder b3(name + "/b3", input);
+  b3.conv(c7, 1)
+      .relu()
+      .conv_rect(c7, 7, 1)
+      .relu()
+      .conv_rect(c7, 1, 7)
+      .relu()
+      .conv_rect(c7, 7, 1)
+      .relu()
+      .conv_rect(192, 1, 7)
+      .relu();
+
+  BlockBuilder b4(name + "/b4", input);
+  b4.avg_pool(3, 1, 1).conv(192, 1).relu();
+
+  b1.concat_branch(b2.finish())
+      .concat_branch(b3.finish())
+      .concat_branch(b4.finish());
+  return b1.finish();
+}
+
+/// Inception-D (second grid reduction).
+BlockStats inception_d(const std::string& name, const Tensor& input) {
+  BlockBuilder b1(name, input);
+  b1.conv(192, 1).relu().conv(320, 3, 2, 0).relu();
+
+  BlockBuilder b2(name + "/b2", input);
+  b2.conv(192, 1)
+      .relu()
+      .conv_rect(192, 1, 7)
+      .relu()
+      .conv_rect(192, 7, 1)
+      .relu()
+      .conv(192, 3, 2, 0)
+      .relu();
+
+  BlockBuilder b3(name + "/b3", input);
+  b3.max_pool(3, 2, 0);
+
+  b1.concat_branch(b2.finish()).concat_branch(b3.finish());
+  return b1.finish();
+}
+
+/// Inception-E with expanded 1x3/3x1 fan-outs.
+BlockStats inception_e(const std::string& name, const Tensor& input) {
+  BlockBuilder b1(name, input);
+  b1.conv(320, 1).relu();
+
+  // Branch 2: 1x1 to 384, then parallel 1x3 and 3x1 concatenated.
+  BlockBuilder b2(name + "/b2", input);
+  b2.conv(384, 1).relu();
+  const Tensor mid2 = b2.shape();
+  BlockBuilder b2a(name + "/b2a", mid2);
+  b2a.conv_rect(384, 1, 3).relu();
+  BlockBuilder b2b(name + "/b2b", mid2);
+  b2b.conv_rect(384, 3, 1).relu();
+  // Fold: branch output is the two sub-branches concatenated (768 channels).
+  BlockStats stats2 = b2.finish();
+  const BlockStats sub_a = b2a.finish();
+  const BlockStats sub_b = b2b.finish();
+  stats2.forward_flops += sub_a.forward_flops + sub_b.forward_flops;
+  stats2.params += sub_a.params + sub_b.params;
+  stats2.output.channels = sub_a.output.channels + sub_b.output.channels;
+
+  // Branch 3: 1x1 448 -> 3x3 384 -> parallel 1x3 / 3x1.
+  BlockBuilder b3(name + "/b3", input);
+  b3.conv(448, 1).relu().conv(384, 3).relu();
+  const Tensor mid3 = b3.shape();
+  BlockBuilder b3a(name + "/b3a", mid3);
+  b3a.conv_rect(384, 1, 3).relu();
+  BlockBuilder b3b(name + "/b3b", mid3);
+  b3b.conv_rect(384, 3, 1).relu();
+  BlockStats stats3 = b3.finish();
+  const BlockStats sub3a = b3a.finish();
+  const BlockStats sub3b = b3b.finish();
+  stats3.forward_flops += sub3a.forward_flops + sub3b.forward_flops;
+  stats3.params += sub3a.params + sub3b.params;
+  stats3.output.channels = sub3a.output.channels + sub3b.output.channels;
+
+  BlockBuilder b4(name + "/b4", input);
+  b4.avg_pool(3, 1, 1).conv(192, 1).relu();
+
+  b1.concat_branch(stats2).concat_branch(stats3).concat_branch(b4.finish());
+  return b1.finish();
+}
+
+}  // namespace
+
+std::vector<BlockStats> build_inception_v3(const Tensor& input,
+                                           int num_classes) {
+  MP_EXPECT(input.height >= 75 && input.width >= 75,
+            "Inception-v3 needs at least 75x75 inputs");
+  std::vector<BlockStats> blocks;
+
+  // Stem, split into two chain blocks around the first max-pool so the
+  // linearizer keeps a cut point inside the (expensive) stem.
+  BlockBuilder stem1("stem1", input);
+  stem1.conv(32, 3, 2, 0).relu().conv(32, 3, 1, 0).relu().conv(64, 3, 1, 1)
+      .relu()
+      .max_pool(3, 2, 0);
+  blocks.push_back(stem1.finish());
+
+  BlockBuilder stem2("stem2", blocks.back().output);
+  stem2.conv(80, 1, 1, 0).relu().conv(192, 3, 1, 0).relu().max_pool(3, 2, 0);
+  blocks.push_back(stem2.finish());
+
+  Tensor shape = blocks.back().output;
+  const int pool_features[3] = {32, 64, 64};
+  for (int i = 0; i < 3; ++i) {
+    blocks.push_back(inception_a("mixed5" + std::string(1, char('b' + i)),
+                                 shape, pool_features[i]));
+    shape = blocks.back().output;
+  }
+
+  blocks.push_back(inception_b("mixed6a", shape));
+  shape = blocks.back().output;
+
+  const int c7s[4] = {128, 160, 160, 192};
+  for (int i = 0; i < 4; ++i) {
+    blocks.push_back(inception_c("mixed6" + std::string(1, char('b' + i)),
+                                 shape, c7s[i]));
+    shape = blocks.back().output;
+  }
+
+  blocks.push_back(inception_d("mixed7a", shape));
+  shape = blocks.back().output;
+
+  for (int i = 0; i < 2; ++i) {
+    blocks.push_back(inception_e("mixed7" + std::string(1, char('b' + i)),
+                                 shape));
+    shape = blocks.back().output;
+  }
+
+  BlockBuilder head("head", shape);
+  head.global_avg_pool().fully_connected(num_classes);
+  blocks.push_back(head.finish());
+  return blocks;
+}
+
+}  // namespace madpipe::models

@@ -1,0 +1,15 @@
+// Inception-v3 (Szegedy et al., 2016) block sequence. Each inception module
+// is one chain block: branch costs are summed, outputs concatenated along
+// channels — the natural linearization of the module graph.
+#pragma once
+
+#include <vector>
+
+#include "models/netdef.hpp"
+
+namespace madpipe::models {
+
+std::vector<BlockStats> build_inception_v3(const Tensor& input,
+                                           int num_classes = 1000);
+
+}  // namespace madpipe::models

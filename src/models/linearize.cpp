@@ -1,0 +1,53 @@
+#include "models/linearize.hpp"
+
+#include <limits>
+#include <list>
+
+#include "util/expect.hpp"
+
+namespace madpipe::models {
+
+Chain coarsen(const Chain& chain, int target_length, CoarsenStrategy strategy) {
+  MP_EXPECT(target_length >= 1, "target length must be positive");
+  if (chain.length() <= target_length) return chain;
+
+  std::list<Layer> layers;
+  for (int l = 1; l <= chain.length(); ++l) layers.push_back(chain.layer(l));
+
+  while (static_cast<int>(layers.size()) > target_length) {
+    // Pick the adjacent pair to merge according to the strategy.
+    auto best = layers.begin();
+    double best_score = std::numeric_limits<double>::infinity();
+    for (auto it = layers.begin(); std::next(it) != layers.end(); ++it) {
+      const Layer& a = *it;
+      const Layer& b = *std::next(it);
+      double score = 0.0;
+      switch (strategy) {
+        case CoarsenStrategy::MinCompute:
+          score = a.forward_time + a.backward_time + b.forward_time +
+                  b.backward_time;
+          break;
+        case CoarsenStrategy::MaxBoundaryActivation:
+          // Larger boundary first -> smaller score.
+          score = -a.output_bytes;
+          break;
+      }
+      if (score < best_score) {
+        best_score = score;
+        best = it;
+      }
+    }
+    auto second = std::next(best);
+    best->name += "+" + second->name;
+    best->forward_time += second->forward_time;
+    best->backward_time += second->backward_time;
+    best->weight_bytes += second->weight_bytes;
+    best->output_bytes = second->output_bytes;
+    layers.erase(second);
+  }
+
+  std::vector<Layer> merged(layers.begin(), layers.end());
+  return Chain(chain.name(), chain.activation(0), std::move(merged));
+}
+
+}  // namespace madpipe::models

@@ -1,0 +1,29 @@
+// Chain coarsening ("linearization", §5.1 of the paper).
+//
+// The networks come out of the builders as chains of 18–63 blocks. The
+// paper, like PipeDream, greedily groups layers to keep the chain length
+// manageable for the planners. `coarsen` merges adjacent layers until the
+// target length is reached; merging layers k and k+1 yields a layer with
+// summed durations/weights and the second layer's output activation (the
+// internal boundary disappears as a cut candidate).
+#pragma once
+
+#include "core/chain.hpp"
+
+namespace madpipe::models {
+
+enum class CoarsenStrategy {
+  /// Merge the adjacent pair with the smallest combined compute time —
+  /// keeps the compute balance options for the partitioners (default).
+  MinCompute,
+  /// Merge the pair joined by the largest boundary activation — removes
+  /// the most expensive cut candidates first.
+  MaxBoundaryActivation,
+};
+
+/// Coarsen `chain` to at most `target_length` layers. Returns the chain
+/// unchanged when it is already short enough.
+Chain coarsen(const Chain& chain, int target_length,
+              CoarsenStrategy strategy = CoarsenStrategy::MinCompute);
+
+}  // namespace madpipe::models

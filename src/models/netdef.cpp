@@ -1,0 +1,127 @@
+#include "models/netdef.hpp"
+
+#include "util/expect.hpp"
+
+namespace madpipe::models {
+
+int conv_out_size(int input, int kernel, int stride, int padding) {
+  MP_EXPECT(input >= 1 && kernel >= 1 && stride >= 1 && padding >= 0,
+            "invalid convolution geometry");
+  const int out = (input + 2 * padding - kernel) / stride + 1;
+  MP_EXPECT(out >= 1, "convolution output collapses to zero size");
+  return out;
+}
+
+BlockBuilder::BlockBuilder(std::string name, Tensor input)
+    : name_(std::move(name)), shape_(input) {
+  MP_EXPECT(input.channels >= 1 && input.height >= 1 && input.width >= 1,
+            "block input shape must be positive");
+}
+
+BlockBuilder& BlockBuilder::conv_rect(int out_channels, int kernel_h,
+                                      int kernel_w, int stride, int padding_h,
+                                      int padding_w, bool batch_norm) {
+  MP_EXPECT(out_channels >= 1, "invalid convolution");
+  if (padding_h < 0) padding_h = kernel_h / 2;
+  if (padding_w < 0) padding_w = kernel_w / 2;
+
+  const int out_h = conv_out_size(shape_.height, kernel_h, stride, padding_h);
+  const int out_w = conv_out_size(shape_.width, kernel_w, stride, padding_w);
+
+  const long long kernel_params = static_cast<long long>(kernel_h) * kernel_w *
+                                  shape_.channels * out_channels;
+  params_ += kernel_params;
+  flops_ += 2.0 * static_cast<double>(kernel_params) * out_h * out_w;
+  if (batch_norm) {
+    params_ += 2LL * out_channels;
+    flops_ += 2.0 * static_cast<double>(out_channels) * out_h * out_w;
+  } else {
+    params_ += out_channels;
+  }
+  shape_ = Tensor{out_channels, out_h, out_w};
+  return *this;
+}
+
+BlockBuilder& BlockBuilder::conv(int out_channels, int kernel, int stride,
+                                 int padding, int groups, bool batch_norm) {
+  MP_EXPECT(out_channels >= 1 && groups >= 1, "invalid convolution");
+  MP_EXPECT(shape_.channels % groups == 0 && out_channels % groups == 0,
+            "groups must divide channel counts");
+  if (padding < 0) padding = kernel / 2;
+
+  const int out_h = conv_out_size(shape_.height, kernel, stride, padding);
+  const int out_w = conv_out_size(shape_.width, kernel, stride, padding);
+  const long long in_per_group = shape_.channels / groups;
+
+  const long long kernel_params =
+      static_cast<long long>(kernel) * kernel * in_per_group * out_channels;
+  params_ += kernel_params;
+  // 2 FLOPs per multiply-add, applied at every output position.
+  flops_ += 2.0 * static_cast<double>(kernel_params) * out_h * out_w;
+
+  if (batch_norm) {
+    params_ += 2LL * out_channels;  // scale + shift
+    flops_ += 2.0 * static_cast<double>(out_channels) * out_h * out_w;
+  } else {
+    params_ += out_channels;  // bias
+  }
+
+  shape_ = Tensor{out_channels, out_h, out_w};
+  return *this;
+}
+
+BlockBuilder& BlockBuilder::max_pool(int kernel, int stride, int padding) {
+  const int out_h = conv_out_size(shape_.height, kernel, stride, padding);
+  const int out_w = conv_out_size(shape_.width, kernel, stride, padding);
+  flops_ += static_cast<double>(kernel) * kernel * shape_.channels * out_h * out_w;
+  shape_.height = out_h;
+  shape_.width = out_w;
+  return *this;
+}
+
+BlockBuilder& BlockBuilder::avg_pool(int kernel, int stride, int padding) {
+  return max_pool(kernel, stride, padding);  // identical cost/shape model
+}
+
+BlockBuilder& BlockBuilder::global_avg_pool() {
+  flops_ += static_cast<double>(shape_.elements());
+  shape_.height = 1;
+  shape_.width = 1;
+  return *this;
+}
+
+BlockBuilder& BlockBuilder::fully_connected(int out_features) {
+  MP_EXPECT(out_features >= 1, "invalid fully-connected size");
+  const long long in_features = shape_.elements();
+  params_ += in_features * out_features + out_features;
+  flops_ += 2.0 * static_cast<double>(in_features) * out_features;
+  shape_ = Tensor{out_features, 1, 1};
+  return *this;
+}
+
+BlockBuilder& BlockBuilder::relu() {
+  flops_ += static_cast<double>(shape_.elements());
+  return *this;
+}
+
+BlockBuilder& BlockBuilder::add_residual(const Tensor& identity) {
+  MP_EXPECT(identity == shape_, "residual add requires matching shapes");
+  flops_ += static_cast<double>(shape_.elements());
+  return *this;
+}
+
+BlockBuilder& BlockBuilder::concat_branch(const BlockStats& branch) {
+  MP_EXPECT(branch.output.height == shape_.height &&
+                branch.output.width == shape_.width,
+            "concatenated branches must agree on spatial size");
+  flops_ += branch.forward_flops;
+  params_ += branch.params;
+  shape_.channels += branch.output.channels;
+  return *this;
+}
+
+BlockStats BlockBuilder::finish() const {
+  return BlockStats{name_, flops_, params_, shape_};
+}
+
+}  // namespace madpipe::models

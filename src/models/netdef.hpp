@@ -1,0 +1,86 @@
+// Shape arithmetic for building network profiles.
+//
+// The paper profiles real networks and feeds MadPipe per-layer durations and
+// sizes. We do not have the authors' measured traces, so this module
+// regenerates equivalent profiles from first principles: each network is
+// described as a sequence of *blocks* (the atomic nodes of the linearized
+// chain — a residual bottleneck, an inception module, a dense layer, ...),
+// and for each block we compute the exact parameter count, output tensor
+// shape and forward FLOPs from standard convolution arithmetic. The cost
+// model (`cost_model.hpp`) then converts FLOPs to durations.
+//
+// What MadPipe's algorithms consume is only the per-node (u_F, u_B, W, a)
+// vectors; the crucial property — early layers have huge activations and few
+// weights, late layers the reverse — is a consequence of the shapes, which
+// are exact here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace madpipe::models {
+
+/// Per-sample tensor shape (batch handled by the cost model).
+struct Tensor {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+
+  long long elements() const noexcept {
+    return static_cast<long long>(channels) * height * width;
+  }
+  bool operator==(const Tensor&) const = default;
+};
+
+/// Aggregated statistics of one chain block.
+struct BlockStats {
+  std::string name;
+  double forward_flops = 0.0;  ///< multiply-add counted as 2 FLOPs, per sample
+  long long params = 0;        ///< scalar parameter count
+  Tensor output;               ///< per-sample output shape
+};
+
+/// Output spatial size of a convolution/pooling: floor((in + 2p − k)/s) + 1.
+int conv_out_size(int input, int kernel, int stride, int padding);
+
+/// Fluent accumulator: start from an input shape, chain ops, read off the
+/// block statistics. Each op updates the running shape and adds its FLOPs
+/// and parameters.
+class BlockBuilder {
+ public:
+  BlockBuilder(std::string name, Tensor input);
+
+  /// 2D convolution. `padding < 0` means "same" (k/2). Adds batch-norm
+  /// parameters when `batch_norm` (2 per channel; its FLOPs are counted as
+  /// 2 per output element).
+  BlockBuilder& conv(int out_channels, int kernel, int stride = 1,
+                     int padding = -1, int groups = 1, bool batch_norm = true);
+  /// Rectangular convolution (e.g. Inception's 1x7 / 7x1 factorizations).
+  /// `padding_* < 0` means "same" (kernel/2).
+  BlockBuilder& conv_rect(int out_channels, int kernel_h, int kernel_w,
+                          int stride = 1, int padding_h = -1,
+                          int padding_w = -1, bool batch_norm = true);
+  BlockBuilder& max_pool(int kernel, int stride, int padding = 0);
+  BlockBuilder& avg_pool(int kernel, int stride, int padding = 0);
+  BlockBuilder& global_avg_pool();
+  BlockBuilder& fully_connected(int out_features);
+  BlockBuilder& relu();
+  /// Elementwise addition with a same-shaped branch (residual connections).
+  BlockBuilder& add_residual(const Tensor& identity);
+  /// Append the stats of a parallel branch computed separately and
+  /// concatenate its output along channels (inception-style).
+  BlockBuilder& concat_branch(const BlockStats& branch);
+
+  const Tensor& shape() const noexcept { return shape_; }
+  BlockStats finish() const;
+
+ private:
+  std::string name_;
+  Tensor shape_;
+  double flops_ = 0.0;
+  long long params_ = 0;
+};
+
+}  // namespace madpipe::models

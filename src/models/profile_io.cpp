@@ -1,0 +1,114 @@
+#include "models/profile_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace madpipe::models {
+
+namespace {
+constexpr const char* kMagic = "madpipe-profile-v1";
+
+[[noreturn]] void parse_error(int line, const std::string& message) {
+  MP_EXPECT(false, "profile parse error at line " + std::to_string(line) +
+                       ": " + message);
+  __builtin_unreachable();
+}
+}  // namespace
+
+std::string profile_to_string(const Chain& chain) {
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << "name " << chain.name() << "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", chain.activation(0));
+  os << "input_bytes " << buf << "\n";
+  os << "# layer <name> <forward_s> <backward_s> <weight_bytes> "
+        "<output_bytes>\n";
+  for (int l = 1; l <= chain.length(); ++l) {
+    const Layer& layer = chain.layer(l);
+    os << "layer " << layer.name;
+    for (const double v : {layer.forward_time, layer.backward_time,
+                           layer.weight_bytes, layer.output_bytes}) {
+      std::snprintf(buf, sizeof(buf), " %.17g", v);
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Chain profile_from_string(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_number = 0;
+  bool magic_seen = false;
+  std::string name = "unnamed";
+  Bytes input_bytes = -1.0;
+  std::vector<Layer> layers;
+
+  while (std::getline(is, line)) {
+    ++line_number;
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) continue;
+
+    if (!magic_seen) {
+      if (keyword != kMagic) {
+        parse_error(line_number, "expected '" + std::string(kMagic) + "'");
+      }
+      magic_seen = true;
+      continue;
+    }
+    if (keyword == "name") {
+      if (!(fields >> name)) parse_error(line_number, "missing network name");
+    } else if (keyword == "input_bytes") {
+      if (!(fields >> input_bytes) || input_bytes < 0.0) {
+        parse_error(line_number, "input_bytes needs a non-negative number");
+      }
+    } else if (keyword == "layer") {
+      Layer layer;
+      if (!(fields >> layer.name >> layer.forward_time >>
+            layer.backward_time >> layer.weight_bytes >>
+            layer.output_bytes)) {
+        parse_error(line_number,
+                    "layer needs: name forward_s backward_s weight_bytes "
+                    "output_bytes");
+      }
+      if (layer.forward_time < 0.0 || layer.backward_time < 0.0 ||
+          layer.weight_bytes < 0.0 || layer.output_bytes < 0.0) {
+        parse_error(line_number, "layer fields must be non-negative");
+      }
+      layers.push_back(std::move(layer));
+    } else {
+      parse_error(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (!magic_seen) parse_error(line_number, "empty document");
+  if (input_bytes < 0.0) parse_error(line_number, "missing input_bytes");
+  if (layers.empty()) parse_error(line_number, "profile has no layers");
+  return Chain(name, input_bytes, std::move(layers));
+}
+
+void save_profile(const Chain& chain, const std::string& path) {
+  std::ofstream out(path);
+  MP_EXPECT(out.good(), "cannot open profile file for writing: " + path);
+  out << profile_to_string(chain);
+  MP_EXPECT(out.good(), "write failed for profile file: " + path);
+}
+
+Chain load_profile(const std::string& path) {
+  std::ifstream in(path);
+  MP_EXPECT(in.good(), "cannot open profile file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return profile_from_string(buffer.str());
+}
+
+}  // namespace madpipe::models

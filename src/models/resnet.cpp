@@ -1,0 +1,77 @@
+#include "models/resnet.hpp"
+
+#include "util/expect.hpp"
+
+namespace madpipe::models {
+
+namespace {
+
+/// One bottleneck residual block: 1x1 reduce → 3x3 (stride) → 1x1 expand,
+/// plus a projection shortcut when the shape changes.
+BlockStats bottleneck(const std::string& name, const Tensor& input,
+                      int width, int stride) {
+  const int out_channels = 4 * width;
+  BlockBuilder main(name, input);
+  main.conv(width, 1).relu();
+  main.conv(width, 3, stride).relu();
+  main.conv(out_channels, 1);
+
+  if (stride != 1 || input.channels != out_channels) {
+    BlockBuilder shortcut(name + "/proj", input);
+    shortcut.conv(out_channels, 1, stride);
+    const BlockStats proj = shortcut.finish();
+    MP_ENSURE(proj.output == main.shape(), "projection shape mismatch");
+    // The projection runs in parallel with the main path; its cost and
+    // parameters belong to this block. Channels must not double-count, so we
+    // fold it in manually rather than via concat.
+    BlockStats stats = main.relu().finish();
+    BlockStats combined = stats;
+    combined.forward_flops += proj.forward_flops +
+                              static_cast<double>(stats.output.elements());
+    combined.params += proj.params;
+    return combined;
+  }
+  main.add_residual(main.shape()).relu();
+  return main.finish();
+}
+
+}  // namespace
+
+std::vector<BlockStats> build_resnet(const Tensor& input,
+                                     const std::vector<int>& stage_blocks,
+                                     int num_classes) {
+  MP_EXPECT(stage_blocks.size() == 4, "ResNet has four bottleneck stages");
+  std::vector<BlockStats> blocks;
+
+  // Stem: 7x7/2 conv + 3x3/2 max pool.
+  BlockBuilder stem("stem", input);
+  stem.conv(64, 7, 2, 3).relu().max_pool(3, 2, 1);
+  blocks.push_back(stem.finish());
+
+  Tensor shape = blocks.back().output;
+  const int widths[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < stage_blocks[static_cast<std::size_t>(stage)]; ++b) {
+      const int stride = (b == 0 && stage > 0) ? 2 : 1;
+      const std::string name = "conv" + std::to_string(stage + 2) + "_" +
+                               std::to_string(b + 1);
+      blocks.push_back(bottleneck(name, shape, widths[stage], stride));
+      shape = blocks.back().output;
+    }
+  }
+
+  BlockBuilder head("head", shape);
+  head.global_avg_pool().fully_connected(num_classes);
+  blocks.push_back(head.finish());
+  return blocks;
+}
+
+std::vector<BlockStats> build_resnet50(const Tensor& input, int num_classes) {
+  return build_resnet(input, {3, 4, 6, 3}, num_classes);
+}
+
+std::vector<BlockStats> build_resnet101(const Tensor& input, int num_classes) {
+  return build_resnet(input, {3, 4, 23, 3}, num_classes);
+}
+
+}  // namespace madpipe::models

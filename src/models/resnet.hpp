@@ -1,0 +1,23 @@
+// ResNet-50 / ResNet-101 block sequences (He et al., 2016) with exact
+// bottleneck shape arithmetic. One chain block per bottleneck, plus the stem
+// and the classification head — the natural linearization of the residual
+// graph (each block's skip connection is internal to the block).
+#pragma once
+
+#include <vector>
+
+#include "models/netdef.hpp"
+
+namespace madpipe::models {
+
+/// Bottleneck counts per stage: ResNet-50 = {3,4,6,3}, ResNet-101 = {3,4,23,3}.
+std::vector<BlockStats> build_resnet(const Tensor& input,
+                                     const std::vector<int>& stage_blocks,
+                                     int num_classes = 1000);
+
+std::vector<BlockStats> build_resnet50(const Tensor& input,
+                                       int num_classes = 1000);
+std::vector<BlockStats> build_resnet101(const Tensor& input,
+                                        int num_classes = 1000);
+
+}  // namespace madpipe::models

@@ -1,0 +1,48 @@
+#include "models/zoo.hpp"
+
+#include "models/densenet.hpp"
+#include "models/inception.hpp"
+#include "models/resnet.hpp"
+#include "util/expect.hpp"
+
+namespace madpipe::models {
+
+std::vector<std::string> list_networks() {
+  return {"resnet50", "resnet101", "inception_v3", "densenet121"};
+}
+
+Chain build_network(const NetworkConfig& config) {
+  MP_EXPECT(config.image_size >= 64, "image size too small");
+  const Tensor input{3, config.image_size, config.image_size};
+
+  std::vector<BlockStats> blocks;
+  if (config.network == "resnet50") {
+    blocks = build_resnet50(input);
+  } else if (config.network == "resnet101") {
+    blocks = build_resnet101(input);
+  } else if (config.network == "inception_v3") {
+    blocks = build_inception_v3(input);
+  } else if (config.network == "densenet121") {
+    blocks = build_densenet121(input);
+  } else {
+    MP_EXPECT(false, "unknown network: " + config.network);
+  }
+
+  Chain chain =
+      blocks_to_chain(config.network, input, blocks, config.batch, config.device);
+  if (config.chain_length > 0) {
+    chain = coarsen(chain, config.chain_length, config.coarsen_strategy);
+  }
+  return chain;
+}
+
+Chain paper_network(const std::string& name) {
+  NetworkConfig config;
+  config.network = name;
+  config.image_size = 1000;
+  config.batch = 8;
+  config.chain_length = 24;
+  return build_network(config);
+}
+
+}  // namespace madpipe::models

@@ -1,0 +1,35 @@
+// Registry of the paper's evaluation networks (§5.1): ResNet-50,
+// ResNet-101, Inception-v3, DenseNet-121, profiled at a given square image
+// size and mini-batch size on a device model, then linearized to a target
+// chain length.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/chain.hpp"
+#include "models/cost_model.hpp"
+#include "models/linearize.hpp"
+
+namespace madpipe::models {
+
+struct NetworkConfig {
+  std::string network = "resnet50";  ///< see list_networks()
+  int image_size = 1000;             ///< square input, pixels
+  int batch = 8;                     ///< mini-batch size B
+  int chain_length = 0;              ///< 0 = no coarsening
+  DeviceModel device;
+  CoarsenStrategy coarsen_strategy = CoarsenStrategy::MinCompute;
+};
+
+/// Names accepted by build_network.
+std::vector<std::string> list_networks();
+
+/// Build the linearized profile chain for `config`. Throws on unknown names.
+Chain build_network(const NetworkConfig& config);
+
+/// The paper's default evaluation setting for a given network name:
+/// 1000x1000 images, batch 8, coarsened to 24 stages.
+Chain paper_network(const std::string& name);
+
+}  // namespace madpipe::models

@@ -1,0 +1,102 @@
+#include "pipedream/pipedream.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/memory_model.hpp"
+#include "schedule/one_f_one_b.hpp"
+#include "util/expect.hpp"
+
+namespace madpipe {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+}
+
+std::optional<PipeDreamResult> pipedream_partition(const Chain& chain,
+                                                   const Platform& platform) {
+  platform.validate();
+  const int L = chain.length();
+  const int P = platform.processors;
+  const Bytes M = platform.memory_per_processor;
+
+  // best[k][p] = minimal max-load over partitionings of layers k..L into
+  // exactly p stages, where the first of those stages (layers k..j) is the
+  // p-th stage from the end and is assumed to keep p in-flight activations.
+  // cut[k][p] = the j achieving it.
+  std::vector<std::vector<Seconds>> best(
+      static_cast<std::size_t>(L + 2),
+      std::vector<Seconds>(static_cast<std::size_t>(P + 1), kInfinity));
+  std::vector<std::vector<int>> cut(
+      static_cast<std::size_t>(L + 2),
+      std::vector<int>(static_cast<std::size_t>(P + 1), -1));
+
+  for (int k = L; k >= 1; --k) {
+    // One final stage: layers k..L, stores 1 activation copy.
+    if (stage_memory(chain, k, L, 1) <= M) {
+      best[k][1] = chain.compute_load(k, L);
+      cut[k][1] = L;
+    }
+    for (int p = 2; p <= P; ++p) {
+      for (int j = k; j < L; ++j) {
+        if (stage_memory(chain, k, j, p) > M) continue;
+        const Seconds stage_load = chain.compute_load(k, j);
+        const Seconds comm_load = platform.boundary_comm_time(chain, j);
+        const Seconds rest = best[j + 1][p - 1];
+        const Seconds value =
+            std::max(stage_load, std::max(comm_load, rest));
+        if (value < best[k][p]) {
+          best[k][p] = value;
+          cut[k][p] = j;
+        }
+      }
+    }
+  }
+
+  int best_p = -1;
+  Seconds best_value = kInfinity;
+  for (int p = 1; p <= P; ++p) {
+    if (best[1][p] < best_value) {
+      best_value = best[1][p];
+      best_p = p;
+    }
+  }
+  if (best_p < 0) return std::nullopt;
+
+  std::vector<Stage> stages;
+  int k = 1;
+  for (int p = best_p; p >= 1; --p) {
+    const int j = cut[k][p];
+    MP_ENSURE(j >= k, "corrupt PipeDream DP back-pointers");
+    stages.push_back(Stage{k, j});
+    k = j + 1;
+  }
+  MP_ENSURE(k == L + 1, "PipeDream reconstruction must cover the chain");
+
+  PipeDreamResult result{
+      make_contiguous_allocation(chain, std::move(stages), P), best_value};
+  return result;
+}
+
+std::optional<Plan> plan_pipedream(const Chain& chain, const Platform& platform) {
+  const auto start_time = std::chrono::steady_clock::now();
+  std::optional<PipeDreamResult> partition = pipedream_partition(chain, platform);
+  if (!partition) return std::nullopt;
+
+  std::optional<Plan> plan =
+      plan_one_f_one_b(partition->allocation, chain, platform);
+  MP_ENSURE(plan.has_value(),
+            "1F1B* always schedules a partitioning whose single-activation "
+            "memory fits, which the PipeDream DP guarantees");
+  plan->planner = "pipedream";
+  plan->phase1_period = partition->dp_period;
+  plan->planning_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  return plan;
+}
+
+}  // namespace madpipe

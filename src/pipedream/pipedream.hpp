@@ -1,0 +1,41 @@
+// The PipeDream baseline of the paper's evaluation (§5.1): the contiguous
+// dynamic-programming partitioner of Narayanan et al. (SOSP'19), restricted
+// to pure model parallelism (no stage replication), with PipeDream's coarse
+// memory estimate — stage number i from the *end* of the pipeline keeps i
+// in-flight activation copies (so the first stage keeps at most P), whereas
+// §4.1 shows up to 2P−1 copies may actually be needed once communication
+// stages count.
+//
+// The partition is then scheduled with 1F1B* (as the paper does) to obtain a
+// valid pattern; the gap between the DP's optimistic period (the dashed
+// lines of Figure 6) and the 1F1B* period (solid) is the paper's headline
+// observation.
+#pragma once
+
+#include <optional>
+
+#include "core/chain.hpp"
+#include "core/partition.hpp"
+#include "core/plan.hpp"
+#include "core/platform.hpp"
+
+namespace madpipe {
+
+struct PipeDreamResult {
+  Allocation allocation;
+  /// The DP's believed period (max of stage compute and comm loads).
+  Seconds dp_period = 0.0;
+};
+
+/// Run the PipeDream partitioning DP. Returns nullopt when no contiguous
+/// partitioning fits PipeDream's own memory estimate.
+std::optional<PipeDreamResult> pipedream_partition(const Chain& chain,
+                                                   const Platform& platform);
+
+/// Full baseline: partition with PipeDream's DP, schedule with 1F1B*.
+/// The Plan's phase1_period is the DP estimate; pattern.period the valid
+/// schedule's. Returns nullopt when no partitioning passes the DP's memory
+/// estimate (1F1B* itself always finds some period for a partitioning).
+std::optional<Plan> plan_pipedream(const Chain& chain, const Platform& platform);
+
+}  // namespace madpipe

@@ -1,0 +1,39 @@
+#include "schedule/comm_transform.hpp"
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+
+std::vector<PseudoStage> comm_transform(const Allocation& allocation,
+                                        const Chain& chain,
+                                        const Platform& platform) {
+  MP_EXPECT(allocation.contiguous(),
+            "the communication transformation applies to contiguous "
+            "allocations (each processor holds one stage)");
+  const Partitioning& parts = allocation.partitioning();
+  std::vector<PseudoStage> pseudo;
+  pseudo.reserve(static_cast<std::size_t>(2 * parts.num_stages()));
+
+  for (int s = 0; s < parts.num_stages(); ++s) {
+    PseudoStage compute;
+    compute.kind = PseudoStage::Kind::Compute;
+    compute.stage = s;
+    compute.forward_duration = parts.stage_forward_load(chain, s);
+    compute.backward_duration = parts.stage_backward_load(chain, s);
+    pseudo.push_back(compute);
+
+    if (allocation.boundary_cut(s)) {
+      PseudoStage comm;
+      comm.kind = PseudoStage::Kind::Comm;
+      comm.stage = s;
+      const Seconds oneway =
+          platform.boundary_oneway_time(chain, parts.boundary_after(s));
+      comm.forward_duration = oneway;
+      comm.backward_duration = oneway;
+      pseudo.push_back(comm);
+    }
+  }
+  return pseudo;
+}
+
+}  // namespace madpipe

@@ -1,0 +1,32 @@
+// The communication transformation of §4.1: a contiguous partitioning on P
+// processors with communication costs becomes a partitioning on 2P−1
+// resources without communication costs, by treating the communication over
+// each cut boundary as a pseudo-stage (forward part = sending a^(l),
+// backward part = sending b^(l), each a_l/β).
+#pragma once
+
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/platform.hpp"
+
+namespace madpipe {
+
+struct PseudoStage {
+  enum class Kind { Compute, Comm };
+  Kind kind = Kind::Compute;
+  /// Compute: the stage index. Comm: the stage whose trailing boundary it is.
+  int stage = 0;
+  Seconds forward_duration = 0.0;
+  Seconds backward_duration = 0.0;
+
+  Seconds total() const noexcept { return forward_duration + backward_duration; }
+};
+
+/// Expand `allocation` (must be contiguous) into the alternating
+/// compute/comm pseudo-stage sequence, in chain order.
+std::vector<PseudoStage> comm_transform(const Allocation& allocation,
+                                        const Chain& chain,
+                                        const Platform& platform);
+
+}  // namespace madpipe

@@ -1,0 +1,177 @@
+#include "schedule/eager.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+
+namespace {
+
+struct Completion {
+  Seconds time = 0.0;
+  enum class Kind { Forward, Backward, CommForward, CommBackward } kind;
+  int stage = 0;  ///< for comms, the boundary after this stage
+  int batch = 0;
+
+  bool operator>(const Completion& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+EagerResult simulate_eager(const Allocation& allocation, const Chain& chain,
+                           const Platform& platform,
+                           const EagerOptions& options) {
+  MP_EXPECT(allocation.contiguous(), "the eager policy runs contiguous "
+                                     "allocations (one stage per processor)");
+  MP_EXPECT(options.batches >= 2, "simulate at least two batches");
+  const Partitioning& parts = allocation.partitioning();
+  const int N = parts.num_stages();
+  const int depth = options.pipeline_depth > 0 ? options.pipeline_depth : N;
+
+  const auto cap = [&](int s) {
+    return options.decreasing_depth ? std::max(1, depth - s) : depth;
+  };
+
+  // Per-stage state.
+  std::vector<std::deque<int>> fwd_ready(N);  // batches with inputs on hand
+  std::vector<std::deque<int>> bwd_ready(N);  // batches with gradients on hand
+  std::vector<int> inflight(N, 0);            // F started − B completed
+  std::vector<Seconds> proc_free(N, 0.0);
+  std::vector<bool> proc_busy(N, false);
+  // Per-boundary link state (boundary after stage s, s in [0, N−2]).
+  struct Transfer {
+    bool backward = false;
+    int batch = 0;
+  };
+  std::vector<std::deque<Transfer>> link_queue(std::max(0, N - 1));
+  std::vector<bool> link_busy(std::max(0, N - 1), false);
+
+  for (int b = 0; b < options.batches; ++b) fwd_ready[0].push_back(b);
+
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      agenda;
+
+  EagerResult result;
+  result.stage_max_inflight.assign(N, 0);
+  std::vector<int> fwd_done(N, 0), bwd_done(N, 0);
+  std::vector<Bytes> act_level(N, 0.0), act_peak(N, 0.0);
+  std::vector<Seconds> completion(static_cast<std::size_t>(options.batches),
+                                  0.0);
+
+  const auto try_start = [&](Seconds now) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int s = 0; s < N; ++s) {
+        if (proc_busy[s]) continue;
+        if (!bwd_ready[s].empty()) {  // backward first: the 1F1B priority
+          const int b = bwd_ready[s].front();
+          bwd_ready[s].pop_front();
+          proc_busy[s] = true;
+          agenda.push({now + parts.stage_backward_load(chain, s),
+                       Completion::Kind::Backward, s, b});
+          progress = true;
+        } else if (!fwd_ready[s].empty() && inflight[s] < cap(s)) {
+          const int b = fwd_ready[s].front();
+          fwd_ready[s].pop_front();
+          ++inflight[s];
+          result.stage_max_inflight[s] =
+              std::max(result.stage_max_inflight[s], inflight[s]);
+          proc_busy[s] = true;
+          agenda.push({now + parts.stage_forward_load(chain, s),
+                       Completion::Kind::Forward, s, b});
+          progress = true;
+        }
+      }
+      for (int l = 0; l + 1 < N; ++l) {
+        if (link_busy[l] || link_queue[l].empty()) continue;
+        // Gradients preempt activations in the queue: drain backpressure.
+        auto it = std::find_if(link_queue[l].begin(), link_queue[l].end(),
+                               [](const Transfer& t) { return t.backward; });
+        if (it == link_queue[l].end()) it = link_queue[l].begin();
+        const Transfer transfer = *it;
+        link_queue[l].erase(it);
+        link_busy[l] = true;
+        const Seconds duration =
+            platform.boundary_oneway_time(chain, parts.boundary_after(l));
+        agenda.push({now + duration,
+                     transfer.backward ? Completion::Kind::CommBackward
+                                       : Completion::Kind::CommForward,
+                     l, transfer.batch});
+        progress = true;
+      }
+    }
+  };
+
+  try_start(0.0);
+  while (!agenda.empty()) {
+    const Completion ev = agenda.top();
+    agenda.pop();
+    const Seconds now = ev.time;
+    switch (ev.kind) {
+      case Completion::Kind::Forward: {
+        const int s = ev.stage;
+        proc_busy[s] = false;
+        ++fwd_done[s];
+        act_level[s] += parts.stage_stored_activations(chain, s);
+        act_peak[s] = std::max(act_peak[s], act_level[s]);
+        if (s + 1 < N) {
+          link_queue[s].push_back({false, ev.batch});
+        } else {
+          bwd_ready[s].push_back(ev.batch);  // last stage: B follows directly
+        }
+        break;
+      }
+      case Completion::Kind::Backward: {
+        const int s = ev.stage;
+        proc_busy[s] = false;
+        ++bwd_done[s];
+        --inflight[s];
+        act_level[s] -= parts.stage_stored_activations(chain, s);
+        if (s > 0) {
+          link_queue[s - 1].push_back({true, ev.batch});
+        } else {
+          completion[static_cast<std::size_t>(ev.batch)] = now;
+          result.makespan = std::max(result.makespan, now);
+        }
+        break;
+      }
+      case Completion::Kind::CommForward: {
+        link_busy[ev.stage] = false;
+        fwd_ready[ev.stage + 1].push_back(ev.batch);
+        break;
+      }
+      case Completion::Kind::CommBackward: {
+        link_busy[ev.stage] = false;
+        bwd_ready[ev.stage].push_back(ev.batch);
+        break;
+      }
+    }
+    try_start(now);
+  }
+
+  // Steady period: median completion gap over the second half.
+  std::vector<Seconds> gaps;
+  for (int b = options.batches / 2; b + 1 < options.batches; ++b) {
+    gaps.push_back(completion[static_cast<std::size_t>(b + 1)] -
+                   completion[static_cast<std::size_t>(b)]);
+  }
+  if (!gaps.empty()) {
+    std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+    result.steady_period = gaps[gaps.size() / 2];
+  }
+
+  result.processor_memory_peak.assign(allocation.num_processors(), 0.0);
+  for (int s = 0; s < N; ++s) {
+    const int p = allocation.processor_of(s);
+    result.processor_memory_peak[static_cast<std::size_t>(p)] =
+        allocation.static_memory(chain, p) + act_peak[s];
+  }
+  return result;
+}
+
+}  // namespace madpipe

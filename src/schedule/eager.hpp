@@ -1,0 +1,42 @@
+// PipeDream's *eager* 1F1B execution policy (§4.1): fix a pipeline depth,
+// start every operation as soon as its inputs are available, prefer
+// backward work when both are ready. This is the scheduling discipline the
+// paper contrasts with 1F1B*: it reaches a similar steady-state rate but
+// gives no control over (and no easy prediction of) the memory it consumes —
+// Proposition 1 shows 1F1B* is the memory floor at equal period.
+//
+// Implemented as a discrete-event simulation over a contiguous allocation.
+#pragma once
+
+#include <vector>
+
+#include "core/chain.hpp"
+#include "core/partition.hpp"
+#include "core/platform.hpp"
+
+namespace madpipe {
+
+struct EagerOptions {
+  /// In-flight batches admitted at the first stage; 0 = number of stages
+  /// (PipeDream's default depth).
+  int pipeline_depth = 0;
+  int batches = 64;
+  /// Per-stage in-flight cap: stage s (0-based) admits depth − s batches
+  /// (PipeDream's decreasing discipline) when true, a flat `depth` when
+  /// false.
+  bool decreasing_depth = true;
+};
+
+struct EagerResult {
+  Seconds makespan = 0.0;
+  Seconds steady_period = 0.0;
+  std::vector<Bytes> processor_memory_peak;
+  std::vector<int> stage_max_inflight;
+};
+
+/// Simulate the eager policy. The allocation must be contiguous.
+EagerResult simulate_eager(const Allocation& allocation, const Chain& chain,
+                           const Platform& platform,
+                           const EagerOptions& options = {});
+
+}  // namespace madpipe

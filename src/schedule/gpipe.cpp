@@ -1,0 +1,117 @@
+#include "schedule/gpipe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "schedule/comm_transform.hpp"
+#include "util/expect.hpp"
+
+namespace madpipe {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+}
+
+Seconds gpipe_period(const Allocation& allocation, const Chain& chain,
+                     const Platform& platform, int micro_batches) {
+  MP_EXPECT(micro_batches >= 1, "need at least one micro-batch");
+  const double m = micro_batches;
+  const std::vector<PseudoStage> slots =
+      comm_transform(allocation, chain, platform);
+
+  // Linear pipeline of m identical jobs over the slot sequence:
+  // makespan = Σ d_j + (m−1)·max d_j, applied to the forward sweep and the
+  // backward sweep, executed one after the other (GPipe's fill/drain).
+  Seconds fwd_sum = 0.0, fwd_max = 0.0, bwd_sum = 0.0, bwd_max = 0.0;
+  for (const PseudoStage& slot : slots) {
+    const Seconds fwd = slot.forward_duration / m;
+    const Seconds bwd = slot.backward_duration / m;
+    fwd_sum += fwd;
+    bwd_sum += bwd;
+    fwd_max = std::max(fwd_max, fwd);
+    bwd_max = std::max(bwd_max, bwd);
+  }
+  return fwd_sum + (m - 1.0) * fwd_max + bwd_sum + (m - 1.0) * bwd_max;
+}
+
+Bytes gpipe_stage_memory(const Chain& chain, int first_layer, int last_layer,
+                         int micro_batches) {
+  MP_EXPECT(micro_batches >= 1, "need at least one micro-batch");
+  Bytes buffers = 0.0;
+  if (first_layer > 1) buffers += 2.0 * chain.activation(first_layer - 1);
+  if (last_layer < chain.length()) buffers += 2.0 * chain.activation(last_layer);
+  // One weight copy + accumulated gradient; all m micro-batch activations
+  // (one full batch worth) held between the sweeps; micro-batch-sized
+  // communication buffers.
+  return 2.0 * chain.weight_sum(first_layer, last_layer) +
+         chain.stored_activation_sum(first_layer, last_layer) +
+         buffers / micro_batches;
+}
+
+std::optional<GPipePlan> plan_gpipe(const Chain& chain,
+                                    const Platform& platform,
+                                    const GPipeOptions& options) {
+  platform.validate();
+  MP_EXPECT(options.micro_batches >= 1, "need at least one micro-batch");
+  const int L = chain.length();
+  const int P = platform.processors;
+  const Bytes M = platform.memory_per_processor;
+
+  // Bottleneck-balancing DP (PipeDream-style) under the GPipe memory model:
+  // best[k][p] = minimal max slot load over partitions of layers k..L into
+  // exactly p stages.
+  std::vector<std::vector<Seconds>> best(
+      static_cast<std::size_t>(L + 2),
+      std::vector<Seconds>(static_cast<std::size_t>(P + 1), kInfinity));
+  std::vector<std::vector<int>> cut(
+      static_cast<std::size_t>(L + 2),
+      std::vector<int>(static_cast<std::size_t>(P + 1), -1));
+
+  for (int k = L; k >= 1; --k) {
+    if (gpipe_stage_memory(chain, k, L, options.micro_batches) <= M) {
+      best[k][1] = chain.compute_load(k, L);
+      cut[k][1] = L;
+    }
+    for (int p = 2; p <= P; ++p) {
+      for (int j = k; j < L; ++j) {
+        if (gpipe_stage_memory(chain, k, j, options.micro_batches) > M) continue;
+        const Seconds value =
+            std::max({chain.compute_load(k, j),
+                      platform.boundary_comm_time(chain, j), best[j + 1][p - 1]});
+        if (value < best[k][p]) {
+          best[k][p] = value;
+          cut[k][p] = j;
+        }
+      }
+    }
+  }
+
+  // For each feasible stage count, reconstruct and evaluate the exact GPipe
+  // makespan; keep the best (more stages balance the bottleneck but deepen
+  // the fill/drain bubble).
+  std::optional<GPipePlan> result;
+  for (int stages = 1; stages <= P; ++stages) {
+    if (!std::isfinite(best[1][stages])) continue;
+    std::vector<Stage> partition;
+    int k = 1;
+    for (int p = stages; p >= 1; --p) {
+      const int j = cut[k][p];
+      MP_ENSURE(j >= k, "corrupt GPipe DP back-pointers");
+      partition.push_back(Stage{k, j});
+      k = j + 1;
+    }
+    MP_ENSURE(k == L + 1, "GPipe reconstruction must cover the chain");
+    Allocation allocation =
+        make_contiguous_allocation(chain, std::move(partition), P);
+    const Seconds period =
+        gpipe_period(allocation, chain, platform, options.micro_batches);
+    if (!result || period < result->period) {
+      result = GPipePlan{std::move(allocation), period, options.micro_batches};
+    }
+  }
+  return result;
+}
+
+}  // namespace madpipe

@@ -1,0 +1,60 @@
+// GPipe-style baseline (Huang et al., §2 ref [9] of the paper): the batch is
+// split into m micro-batches pushed through a contiguous pipeline in a
+// fill/compute/drain pattern; weights update after the whole batch, so only
+// ONE weight version is needed (memory 1·W + gradient, vs the 2+1 of the
+// 1F1B schemes), but the pipeline bubble costs (S−1)/(m+S−1) of the
+// throughput in each direction.
+//
+// Modeled analytically on a contiguous allocation:
+//   * per-batch period  T = (m + S' − 1) · max_s (u_s/m)  for the forward
+//     and backward sweeps chained, where S' counts compute and comm slots
+//     and u_s is a slot's full-batch duration (micro-batch slot = u_s/m);
+//   * stage memory      2·W_s (weights + gradient accumulator) + up to m
+//     micro-batch activations (≈ one full batch worth) + comm buffers.
+//
+// The planner reuses the PipeDream partitioning DP's structure but balances
+// against GPipe's own bottleneck formula and memory model.
+#pragma once
+
+#include <optional>
+
+#include "core/chain.hpp"
+#include "core/partition.hpp"
+#include "core/platform.hpp"
+#include "core/types.hpp"
+
+namespace madpipe {
+
+struct GPipeOptions {
+  int micro_batches = 8;  ///< m; the paper's mini-batch of 8 splits naturally
+};
+
+struct GPipePlan {
+  Allocation allocation;
+  Seconds period = 0.0;  ///< seconds per full mini-batch in steady state
+  int micro_batches = 0;
+
+  double throughput() const { return 1.0 / period; }
+  double speedup(const Chain& chain) const {
+    return chain.total_compute() / period;
+  }
+};
+
+/// Analytic per-batch period of a contiguous allocation under GPipe's
+/// fill/drain execution with m micro-batches.
+Seconds gpipe_period(const Allocation& allocation, const Chain& chain,
+                     const Platform& platform, int micro_batches);
+
+/// Peak memory of stage s (layers k..l) under GPipe: 2·W + m micro-batch
+/// activation copies (the full batch's worth, stored between the forward
+/// and backward sweeps) + communication buffers.
+Bytes gpipe_stage_memory(const Chain& chain, int first_layer, int last_layer,
+                         int micro_batches);
+
+/// Plan: contiguous partitioning minimizing the GPipe period subject to the
+/// GPipe memory model. Returns nullopt when nothing fits.
+std::optional<GPipePlan> plan_gpipe(const Chain& chain,
+                                    const Platform& platform,
+                                    const GPipeOptions& options = {});
+
+}  // namespace madpipe

@@ -1,0 +1,56 @@
+// The 1F1B* algorithm of §4.1: given a contiguous allocation and a feasible
+// period T, build the periodic pattern that keeps the provably minimal
+// number of in-flight activations on every processor (Proposition 1).
+//
+// Groups of pseudo-stages are formed greedily from the end of the chain
+// under the constraint Σ U(s) ≤ T; a stage in group g stores exactly g
+// activation copies. The minimal feasible period under a memory limit is
+// found exactly: group structure only changes at periods equal to sums of
+// consecutive pseudo-stage loads, so the breakpoint set is enumerated and
+// the smallest memory-feasible one returned.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/chain.hpp"
+#include "core/partition.hpp"
+#include "core/pattern.hpp"
+#include "core/plan.hpp"
+#include "core/platform.hpp"
+#include "schedule/comm_transform.hpp"
+
+namespace madpipe {
+
+/// Greedy suffix grouping: group index of each pseudo-stage (1 = the group
+/// of the last pseudo-stage, increasing towards the chain start).
+std::vector<int> build_groups(const std::vector<PseudoStage>& pseudo,
+                              Seconds period);
+
+struct OneFOneBSchedule {
+  PeriodicPattern pattern;
+  std::vector<int> group_of_pseudo_stage;
+};
+
+/// Build the 1F1B* pattern for `allocation` at period T. Preconditions:
+/// allocation contiguous and T ≥ every pseudo-stage load. The result is a
+/// structurally valid pattern; whether it fits in memory is for the caller
+/// (or validate_pattern) to decide.
+OneFOneBSchedule build_one_f_one_b(const Allocation& allocation,
+                                   const Chain& chain,
+                                   const Platform& platform, Seconds period);
+
+/// Analytic memory check for a candidate period: every compute stage in
+/// group g must satisfy 𝓜(k,l,g) ≤ M. Exactly matches what the built
+/// pattern consumes (validated in tests).
+bool memory_feasible(const Allocation& allocation, const Chain& chain,
+                     const Platform& platform, Seconds period);
+
+/// Smallest memory-feasible period for the allocation, and its pattern.
+/// Returns nullopt when even the fully-relaxed period (one group, one
+/// activation per stage) exceeds memory.
+std::optional<Plan> plan_one_f_one_b(const Allocation& allocation,
+                                     const Chain& chain,
+                                     const Platform& platform);
+
+}  // namespace madpipe

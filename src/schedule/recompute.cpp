@@ -1,0 +1,131 @@
+#include "schedule/recompute.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/memory_model.hpp"
+#include "schedule/one_f_one_b.hpp"
+#include "util/expect.hpp"
+
+namespace madpipe {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+}
+
+Chain merge_recompute_segments(const Chain& chain,
+                               const Partitioning& partitioning) {
+  std::vector<Layer> merged;
+  merged.reserve(static_cast<std::size_t>(partitioning.num_stages()));
+  for (int s = 0; s < partitioning.num_stages(); ++s) {
+    const Stage& st = partitioning.stage(s);
+    Layer layer;
+    layer.name = "recompute[" + std::to_string(st.first) + ".." +
+                 std::to_string(st.last) + "]";
+    layer.forward_time = chain.forward_load(st.first, st.last);
+    layer.backward_time = chain.backward_load(st.first, st.last) +
+                          chain.forward_load(st.first, st.last);
+    layer.weight_bytes = chain.weight_sum(st.first, st.last);
+    layer.output_bytes = chain.activation(st.last);
+    layer.scratch_bytes = chain.stored_activation_sum(st.first, st.last) -
+                          chain.activation(st.first - 1) +
+                          chain.scratch_sum(st.first, st.last);
+    merged.push_back(std::move(layer));
+  }
+  return Chain(chain.name() + "+recompute", chain.activation(0),
+               std::move(merged));
+}
+
+Bytes recompute_stage_memory(const Chain& chain, int first_layer,
+                             int last_layer, int active_batches) {
+  MP_EXPECT(active_batches >= 0, "active batch count must be non-negative");
+  Bytes buffers = 0.0;
+  if (first_layer > 1) buffers += 2.0 * chain.activation(first_layer - 1);
+  if (last_layer < chain.length()) {
+    buffers += 2.0 * chain.activation(last_layer);
+  }
+  const Bytes input = chain.activation(first_layer - 1);
+  const Bytes transient =
+      chain.stored_activation_sum(first_layer, last_layer) - input +
+      chain.scratch_sum(first_layer, last_layer);
+  return 3.0 * chain.weight_sum(first_layer, last_layer) +
+         static_cast<double>(active_batches) * input + transient + buffers;
+}
+
+std::optional<RecomputePlan> plan_recompute_pipeline(const Chain& chain,
+                                                     const Platform& platform) {
+  platform.validate();
+  const int L = chain.length();
+  const int P = platform.processors;
+  const Bytes M = platform.memory_per_processor;
+
+  // Suffix DP: best[k][p] = min max-load over partitions of k..L into p
+  // recomputed stages, the first of which (p-th from the end) is assumed to
+  // keep p in-flight inputs. Stage load includes the forward replay.
+  const auto stage_load = [&](int k, int j) {
+    return chain.compute_load(k, j) + chain.forward_load(k, j);
+  };
+  std::vector<std::vector<Seconds>> best(
+      static_cast<std::size_t>(L + 2),
+      std::vector<Seconds>(static_cast<std::size_t>(P + 1), kInfinity));
+  std::vector<std::vector<int>> cut(
+      static_cast<std::size_t>(L + 2),
+      std::vector<int>(static_cast<std::size_t>(P + 1), -1));
+
+  for (int k = L; k >= 1; --k) {
+    if (recompute_stage_memory(chain, k, L, 1) <= M) {
+      best[k][1] = stage_load(k, L);
+      cut[k][1] = L;
+    }
+    for (int p = 2; p <= P; ++p) {
+      for (int j = k; j < L; ++j) {
+        if (recompute_stage_memory(chain, k, j, p) > M) continue;
+        const Seconds value =
+            std::max({stage_load(k, j), platform.boundary_comm_time(chain, j),
+                      best[j + 1][p - 1]});
+        if (value < best[k][p]) {
+          best[k][p] = value;
+          cut[k][p] = j;
+        }
+      }
+    }
+  }
+
+  int best_p = -1;
+  Seconds best_value = kInfinity;
+  for (int p = 1; p <= P; ++p) {
+    if (best[1][p] < best_value) {
+      best_value = best[1][p];
+      best_p = p;
+    }
+  }
+  if (best_p < 0) return std::nullopt;
+
+  std::vector<Stage> stages;
+  int k = 1;
+  for (int p = best_p; p >= 1; --p) {
+    const int j = cut[k][p];
+    MP_ENSURE(j >= k, "corrupt recompute DP back-pointers");
+    stages.push_back(Stage{k, j});
+    k = j + 1;
+  }
+  MP_ENSURE(k == L + 1, "recompute reconstruction must cover the chain");
+
+  Chain merged = merge_recompute_segments(chain, Partitioning(chain, stages));
+  // Stage i of the merged chain is exactly merged layer i, one per
+  // processor; schedule with 1F1B* (optimal for contiguous allocations).
+  std::vector<Stage> merged_stages;
+  for (int s = 0; s < static_cast<int>(stages.size()); ++s) {
+    merged_stages.push_back(Stage{s + 1, s + 1});
+  }
+  const Allocation allocation =
+      make_contiguous_allocation(merged, std::move(merged_stages), P);
+  std::optional<Plan> plan = plan_one_f_one_b(allocation, merged, platform);
+  if (!plan) return std::nullopt;
+  plan->planner = "recompute+1f1b*";
+  plan->phase1_period = best_value;
+  return RecomputePlan{std::move(merged), std::move(*plan)};
+}
+
+}  // namespace madpipe

@@ -1,0 +1,55 @@
+// Activation recomputation ("gradient checkpointing", Chen et al. — §2
+// ref [3] of the paper) as a planning extension: a recompute *segment*
+// stores only its input activation per in-flight batch and replays its
+// forward pass before the backward, trading ~U_F of extra compute for an
+// activation footprint of a single tensor per batch.
+//
+// Mechanically, a segment of layers k..l becomes one merged chain layer:
+//     forward  = U_F(k,l)
+//     backward = U_B(k,l) + U_F(k,l)          (the replay)
+//     weights  = Σ W_i
+//     stored   = a_{k−1}                      (the segment input only)
+//     scratch  = ā(k,l) − a_{k−1}             (transient replay workspace,
+//                                              conservatively always counted)
+// so every existing planner, scheduler, verifier and simulator works on the
+// transformed chain unchanged.
+//
+// `plan_recompute_pipeline` jointly picks the contiguous partitioning *and*
+// applies recomputation to every stage: a PipeDream-style DP under the
+// recompute memory model, followed by 1F1B* on the merged chain.
+#pragma once
+
+#include <optional>
+
+#include "core/chain.hpp"
+#include "core/partition.hpp"
+#include "core/plan.hpp"
+#include "core/platform.hpp"
+
+namespace madpipe {
+
+/// Merge each stage of `partitioning` (over `chain`) into a single
+/// recompute segment, yielding the transformed chain described above.
+Chain merge_recompute_segments(const Chain& chain,
+                               const Partitioning& partitioning);
+
+/// Memory of a recomputed segment k..l with g in-flight batches:
+/// 3W + g·a_{k−1} + (ā − a_{k−1}) + communication buffers.
+Bytes recompute_stage_memory(const Chain& chain, int first_layer,
+                             int last_layer, int active_batches);
+
+struct RecomputePlan {
+  /// The transformed chain (one merged layer per stage); `plan` refers to
+  /// this chain, not the original.
+  Chain merged_chain;
+  Plan plan;
+};
+
+/// Contiguous planning with per-stage recomputation: DP partitioning under
+/// the recompute load/memory model, then 1F1B* on the merged chain. The
+/// stage position-from-end estimate mirrors plan_pipedream's, so the two
+/// planners are directly comparable. Returns nullopt when nothing fits.
+std::optional<RecomputePlan> plan_recompute_pipeline(const Chain& chain,
+                                                     const Platform& platform);
+
+}  // namespace madpipe

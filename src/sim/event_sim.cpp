@@ -1,0 +1,186 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+
+namespace {
+
+struct OpRef {
+  const PatternOp* op = nullptr;
+  int chain_position = 0;  ///< position in the dependency sequence
+};
+
+/// One executed instance: operation `ref` applied to batch `batch`.
+struct Instance {
+  int op_index = 0;     ///< into the chain-ordered op sequence
+  int batch = 0;
+  long long cycle = 0;  ///< batch + shift: the pattern period it belongs to
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+};
+
+}  // namespace
+
+double SimulationResult::utilization_of(const ResourceId& resource) const {
+  for (const auto& [id, value] : resource_utilization) {
+    if (id == resource) return value;
+  }
+  return 0.0;
+}
+
+SimulationResult simulate_pattern(const PeriodicPattern& pattern,
+                                  const Allocation& allocation,
+                                  const Chain& chain, const Platform& platform,
+                                  const SimulationOptions& options) {
+  (void)platform;  // the pattern already embeds all platform-derived durations
+  MP_EXPECT(options.batches >= 2, "simulate at least two batches");
+  const Partitioning& parts = allocation.partitioning();
+  const int num_stages = parts.num_stages();
+
+  // Rebuild the dependency-chain order of the ops (as in the verifier).
+  std::vector<const PatternOp*> fwd(num_stages, nullptr);
+  std::vector<const PatternOp*> bwd(num_stages, nullptr);
+  std::vector<const PatternOp*> comm_fwd(num_stages, nullptr);
+  std::vector<const PatternOp*> comm_bwd(num_stages, nullptr);
+  for (const PatternOp& op : pattern.ops) {
+    switch (op.kind) {
+      case OpKind::Forward: fwd[op.stage] = &op; break;
+      case OpKind::Backward: bwd[op.stage] = &op; break;
+      case OpKind::CommForward: comm_fwd[op.stage] = &op; break;
+      case OpKind::CommBackward: comm_bwd[op.stage] = &op; break;
+    }
+  }
+  std::vector<const PatternOp*> sequence;
+  for (int s = 0; s < num_stages; ++s) {
+    MP_EXPECT(fwd[s] != nullptr && bwd[s] != nullptr,
+              "pattern misses compute ops");
+    sequence.push_back(fwd[s]);
+    if (comm_fwd[s] != nullptr) sequence.push_back(comm_fwd[s]);
+  }
+  for (int s = num_stages - 1; s >= 0; --s) {
+    sequence.push_back(bwd[s]);
+    if (s > 0 && comm_bwd[s - 1] != nullptr) sequence.push_back(comm_bwd[s - 1]);
+  }
+  const int num_ops = static_cast<int>(sequence.size());
+
+  // All instances, in a topological order compatible with both chain and
+  // resource dependencies: lexicographic (cycle, pattern start, chain pos).
+  std::vector<Instance> instances;
+  instances.reserve(static_cast<std::size_t>(num_ops) * options.batches);
+  for (int b = 0; b < options.batches; ++b) {
+    for (int o = 0; o < num_ops; ++o) {
+      instances.push_back(Instance{o, b, b + sequence[o]->shift, 0.0, 0.0});
+    }
+  }
+  std::sort(instances.begin(), instances.end(),
+            [&](const Instance& x, const Instance& y) {
+              if (x.cycle != y.cycle) return x.cycle < y.cycle;
+              const Seconds sx = sequence[x.op_index]->start;
+              const Seconds sy = sequence[y.op_index]->start;
+              if (sx != sy) return sx < sy;
+              return x.op_index < y.op_index;
+            });
+
+  // Relax earliest start times in that order.
+  std::map<ResourceId, Seconds> resource_free;  // when each resource frees up
+  // chain_done[o][b]: completion of chain-position o on batch b.
+  std::vector<std::vector<Seconds>> chain_done(
+      static_cast<std::size_t>(num_ops),
+      std::vector<Seconds>(static_cast<std::size_t>(options.batches), -1.0));
+
+  for (Instance& inst : instances) {
+    const PatternOp& op = *sequence[inst.op_index];
+    Seconds ready = 0.0;
+    if (inst.op_index > 0) {
+      const Seconds dep =
+          chain_done[static_cast<std::size_t>(inst.op_index - 1)]
+                    [static_cast<std::size_t>(inst.batch)];
+      MP_ENSURE(dep >= 0.0, "instance order is not topological");
+      ready = std::max(ready, dep);
+    }
+    const auto it = resource_free.find(op.resource);
+    if (it != resource_free.end()) ready = std::max(ready, it->second);
+
+    inst.start = ready;
+    inst.end = ready + op.duration;
+    resource_free[op.resource] = inst.end;
+    chain_done[static_cast<std::size_t>(inst.op_index)]
+              [static_cast<std::size_t>(inst.batch)] = inst.end;
+  }
+
+  SimulationResult result;
+  result.batch_completion.resize(static_cast<std::size_t>(options.batches));
+  for (int b = 0; b < options.batches; ++b) {
+    result.batch_completion[static_cast<std::size_t>(b)] =
+        chain_done[static_cast<std::size_t>(num_ops - 1)]
+                  [static_cast<std::size_t>(b)];
+    result.makespan = std::max(result.makespan,
+                               result.batch_completion[static_cast<std::size_t>(b)]);
+  }
+
+  // Steady period: median gap over the second half of the batches.
+  std::vector<Seconds> gaps;
+  for (int b = options.batches / 2; b + 1 < options.batches; ++b) {
+    gaps.push_back(result.batch_completion[static_cast<std::size_t>(b + 1)] -
+                   result.batch_completion[static_cast<std::size_t>(b)]);
+  }
+  if (!gaps.empty()) {
+    std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+    result.steady_period = gaps[gaps.size() / 2];
+  }
+
+  // Busy fractions over the steady window [makespan/2, makespan].
+  {
+    const Seconds window_begin = result.makespan * 0.5;
+    const Seconds window = result.makespan - window_begin;
+    std::map<ResourceId, Seconds> busy;
+    for (const Instance& inst : instances) {
+      const PatternOp& op = *sequence[inst.op_index];
+      const Seconds begin = std::max(inst.start, window_begin);
+      const Seconds end = std::min(inst.end, result.makespan);
+      busy[op.resource];  // ensure the resource is listed even if idle here
+      if (end > begin) busy[op.resource] += end - begin;
+    }
+    for (const auto& [resource, time] : busy) {
+      result.resource_utilization.emplace_back(
+          resource, window > 0.0 ? time / window : 0.0);
+    }
+  }
+
+  // Memory sweep per processor: +ā at F completion, −ā at B completion.
+  result.processor_memory_peak.assign(allocation.num_processors(), 0.0);
+  std::vector<std::vector<std::pair<Seconds, Bytes>>> events(
+      static_cast<std::size_t>(allocation.num_processors()));
+  for (const Instance& inst : instances) {
+    const PatternOp& op = *sequence[inst.op_index];
+    if (op.kind != OpKind::Forward && op.kind != OpKind::Backward) continue;
+    const int proc = allocation.processor_of(op.stage);
+    const Bytes bytes = parts.stage_stored_activations(chain, op.stage);
+    events[static_cast<std::size_t>(proc)].emplace_back(
+        inst.end, op.kind == OpKind::Forward ? bytes : -bytes);
+  }
+  for (int p = 0; p < allocation.num_processors(); ++p) {
+    auto& list = events[static_cast<std::size_t>(p)];
+    std::sort(list.begin(), list.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second < b.second;  // frees before allocations at ties
+              });
+    Bytes level = 0.0;
+    Bytes peak = 0.0;
+    for (const auto& [time, delta] : list) {
+      level += delta;
+      peak = std::max(peak, level);
+    }
+    result.processor_memory_peak[static_cast<std::size_t>(p)] =
+        allocation.static_memory(chain, p) + peak;
+  }
+  return result;
+}
+
+}  // namespace madpipe

@@ -1,0 +1,167 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/format.hpp"
+#include "util/json.hpp"
+
+namespace madpipe {
+
+namespace {
+
+char op_symbol(const PatternOp& op) {
+  switch (op.kind) {
+    case OpKind::Forward:
+      return static_cast<char>('A' + op.stage % 26);
+    case OpKind::Backward:
+      return static_cast<char>('a' + op.stage % 26);
+    case OpKind::CommForward:
+      return '>';
+    case OpKind::CommBackward:
+      return '<';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_gantt(const PeriodicPattern& pattern,
+                         const Allocation& allocation, const Chain& chain,
+                         const GanttOptions& options) {
+  MP_EXPECT(options.width >= 10 && options.periods >= 1,
+            "unreasonable gantt geometry");
+  const Seconds T = pattern.period;
+  const int total_width = options.width * options.periods;
+
+  std::map<ResourceId, std::string> rows;
+  for (const PatternOp& op : pattern.ops) {
+    rows.emplace(op.resource, std::string(total_width, '.'));
+  }
+
+  for (const PatternOp& op : pattern.ops) {
+    std::string& row = rows[op.resource];
+    for (int period = 0; period < options.periods; ++period) {
+      const double begin =
+          (op.start / T + period) * options.width;
+      const double end = begin + op.duration / T * options.width;
+      int c0 = static_cast<int>(std::floor(begin));
+      int c1 = std::max(c0 + 1, static_cast<int>(std::ceil(end)));
+      c0 = std::clamp(c0, 0, total_width - 1);
+      c1 = std::clamp(c1, c0 + 1, total_width);
+      for (int c = c0; c < c1; ++c) {
+        // Wrap long ops around the drawing area.
+        row[static_cast<std::size_t>(c % total_width)] = op_symbol(op);
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "period " << fmt::seconds(T) << ", " << options.periods
+     << " period(s), stage letters A.. = forward, a.. = backward, >/< = comm\n";
+  for (const auto& [resource, row] : rows) {
+    os << resource.to_string();
+    os << std::string(resource.to_string().size() < 10
+                          ? 10 - resource.to_string().size()
+                          : 1,
+                      ' ');
+    os << '|' << row << "|\n";
+  }
+  // Shift annotations.
+  os << "shifts: ";
+  for (const PatternOp& op : pattern.ops) {
+    os << to_string(op.kind) << op.stage << "=" << op.shift << ' ';
+  }
+  os << '\n';
+  (void)allocation;
+  (void)chain;
+  return os.str();
+}
+
+std::string pattern_to_chrome_trace(const PeriodicPattern& pattern,
+                                    const Allocation& allocation,
+                                    const Chain& chain, int periods) {
+  MP_EXPECT(periods >= 1, "need at least one period to export");
+  (void)chain;
+
+  // Stable row ids: processors first, links after.
+  std::map<ResourceId, int> row;
+  for (const PatternOp& op : pattern.ops) {
+    row.emplace(op.resource, 0);
+  }
+  int next = 0;
+  for (auto& [resource, id] : row) id = next++;
+
+  json::Writer w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Thread-name metadata so rows are labeled in the viewer.
+  for (const auto& [resource, id] : row) {
+    w.begin_object();
+    w.key("name");
+    w.value("thread_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(0);
+    w.key("tid");
+    w.value(id);
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(resource.to_string());
+    w.end_object();
+    w.end_object();
+  }
+
+  const double to_us = 1e6;
+  for (int period = 0; period < periods; ++period) {
+    for (const PatternOp& op : pattern.ops) {
+      const long long batch = period - op.shift;
+      if (batch < 0) continue;  // before the pipeline filled
+      w.begin_object();
+      w.key("name");
+      w.value(std::string(to_string(op.kind)) + std::to_string(op.stage) +
+              " b" + std::to_string(batch));
+      w.key("cat");
+      w.value(op.kind == OpKind::Forward || op.kind == OpKind::Backward
+                  ? "compute"
+                  : "comm");
+      w.key("ph");
+      w.value("X");
+      w.key("pid");
+      w.value(0);
+      w.key("tid");
+      w.value(row.at(op.resource));
+      w.key("ts");
+      w.value((op.start + period * pattern.period) * to_us);
+      w.key("dur");
+      w.value(op.duration * to_us);
+      w.key("args");
+      w.begin_object();
+      w.key("batch");
+      w.value(batch);
+      w.key("stage");
+      w.value(op.stage);
+      w.key("shift");
+      w.value(op.shift);
+      w.key("processor");
+      w.value(allocation.processor_of(op.stage));
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace madpipe

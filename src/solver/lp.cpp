@@ -1,0 +1,275 @@
+#include "solver/lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace madpipe::solver {
+
+namespace {
+
+/// Dense simplex tableau in standard form: minimize c·y subject to A·y = b,
+/// y ≥ 0, b ≥ 0, with an identity-forming basis maintained explicitly.
+class Tableau {
+ public:
+  Tableau(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        a_(static_cast<std::size_t>(rows) * cols, 0.0),
+        b_(static_cast<std::size_t>(rows), 0.0),
+        cost_(static_cast<std::size_t>(cols), 0.0),
+        basis_(static_cast<std::size_t>(rows), -1) {}
+
+  double& at(int r, int c) { return a_[static_cast<std::size_t>(r) * cols_ + c]; }
+  double at(int r, int c) const {
+    return a_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  double& rhs(int r) { return b_[static_cast<std::size_t>(r)]; }
+  double rhs(int r) const { return b_[static_cast<std::size_t>(r)]; }
+  double& cost(int c) { return cost_[static_cast<std::size_t>(c)]; }
+  int& basis(int r) { return basis_[static_cast<std::size_t>(r)]; }
+  int basis(int r) const { return basis_[static_cast<std::size_t>(r)]; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Reduced costs from the current basis: r_c = c_c − Σ_r c_{basis(r)}·a_rc.
+  std::vector<double> reduced_costs() const {
+    std::vector<double> reduced(cost_);
+    for (int r = 0; r < rows_; ++r) {
+      const double cb = cost_[static_cast<std::size_t>(basis(r))];
+      if (cb == 0.0) continue;
+      for (int c = 0; c < cols_; ++c) {
+        reduced[static_cast<std::size_t>(c)] -= cb * at(r, c);
+      }
+    }
+    return reduced;
+  }
+
+  void pivot(int pivot_row, int pivot_col) {
+    const double pivot_value = at(pivot_row, pivot_col);
+    MP_ENSURE(std::abs(pivot_value) > 1e-12, "numerically singular pivot");
+    const double inv = 1.0 / pivot_value;
+    for (int c = 0; c < cols_; ++c) at(pivot_row, c) *= inv;
+    rhs(pivot_row) *= inv;
+    for (int r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = at(r, pivot_col);
+      if (factor == 0.0) continue;
+      for (int c = 0; c < cols_; ++c) {
+        at(r, c) -= factor * at(pivot_row, c);
+      }
+      rhs(r) -= factor * rhs(pivot_row);
+    }
+    basis(pivot_row) = pivot_col;
+  }
+
+  /// Bland's rule primal simplex on the current cost vector. Returns
+  /// Optimal / Unbounded / IterationLimit.
+  LPStatus iterate(long long max_iterations, double tol,
+                   long long& iterations_used) {
+    while (iterations_used < max_iterations) {
+      const std::vector<double> reduced = reduced_costs();
+      int entering = -1;
+      for (int c = 0; c < cols_; ++c) {  // Bland: smallest index
+        if (reduced[static_cast<std::size_t>(c)] < -tol) {
+          entering = c;
+          break;
+        }
+      }
+      if (entering < 0) return LPStatus::Optimal;
+
+      int leaving = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < rows_; ++r) {
+        const double coeff = at(r, entering);
+        if (coeff > tol) {
+          const double ratio = rhs(r) / coeff;
+          // Bland tie-break: smallest basis index.
+          if (ratio < best_ratio - tol ||
+              (ratio < best_ratio + tol &&
+               (leaving < 0 || basis(r) < basis(leaving)))) {
+            best_ratio = ratio;
+            leaving = r;
+          }
+        }
+      }
+      if (leaving < 0) return LPStatus::Unbounded;
+      pivot(leaving, entering);
+      ++iterations_used;
+    }
+    return LPStatus::IterationLimit;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> a_;
+  std::vector<double> b_;
+  std::vector<double> cost_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LPResult solve_lp(const Model& model, const LPOptions& options) {
+  const int n = model.num_variables();
+  const double tol = options.tolerance;
+
+  // --- Assemble rows in shifted variables y = x − lb ≥ 0 -----------------
+  struct Row {
+    std::vector<double> coeffs;  // dense over y
+    Relation relation;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  const auto add_row = [&](const LinearExpr& expr, Relation rel, double rhs) {
+    Row row{std::vector<double>(static_cast<std::size_t>(n), 0.0), rel, rhs};
+    for (const auto& [v, coeff] : expr.terms) {
+      row.coeffs[static_cast<std::size_t>(v)] += coeff;
+      row.rhs -= coeff * model.variable(v).lower;
+    }
+    rows.push_back(std::move(row));
+  };
+
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    const ConstraintDef& c = model.constraint(i);
+    add_row(c.expr, c.relation, c.rhs);
+  }
+  for (int v = 0; v < n; ++v) {
+    const VariableDef& def = model.variable(v);
+    if (std::isfinite(def.upper)) {
+      LinearExpr bound;
+      bound.add(v, 1.0);
+      add_row(bound, Relation::LessEqual, def.upper);
+    }
+  }
+
+  // Normalize to rhs ≥ 0.
+  for (Row& row : rows) {
+    if (row.rhs < 0.0) {
+      for (double& coeff : row.coeffs) coeff = -coeff;
+      row.rhs = -row.rhs;
+      row.relation = row.relation == Relation::LessEqual ? Relation::GreaterEqual
+                     : row.relation == Relation::GreaterEqual
+                         ? Relation::LessEqual
+                         : Relation::Equal;
+    }
+  }
+
+  // --- Build the tableau: y | slacks | artificials | (rhs separate) ------
+  const int m = static_cast<int>(rows.size());
+  int num_slack = 0;
+  for (const Row& row : rows) {
+    if (row.relation != Relation::Equal) ++num_slack;
+  }
+  int num_artificial = 0;
+  for (const Row& row : rows) {
+    if (row.relation != Relation::LessEqual) ++num_artificial;
+  }
+
+  const int total = n + num_slack + num_artificial;
+  Tableau tableau(m, total);
+  int slack_cursor = n;
+  int artificial_cursor = n + num_slack;
+  std::vector<int> artificial_cols;
+
+  for (int r = 0; r < m; ++r) {
+    const Row& row = rows[static_cast<std::size_t>(r)];
+    for (int v = 0; v < n; ++v) {
+      tableau.at(r, v) = row.coeffs[static_cast<std::size_t>(v)];
+    }
+    tableau.rhs(r) = row.rhs;
+    switch (row.relation) {
+      case Relation::LessEqual:
+        tableau.at(r, slack_cursor) = 1.0;
+        tableau.basis(r) = slack_cursor++;
+        break;
+      case Relation::GreaterEqual:
+        tableau.at(r, slack_cursor++) = -1.0;
+        tableau.at(r, artificial_cursor) = 1.0;
+        tableau.basis(r) = artificial_cursor;
+        artificial_cols.push_back(artificial_cursor++);
+        break;
+      case Relation::Equal:
+        tableau.at(r, artificial_cursor) = 1.0;
+        tableau.basis(r) = artificial_cursor;
+        artificial_cols.push_back(artificial_cursor++);
+        break;
+    }
+  }
+
+  long long iterations = 0;
+
+  // --- Phase 1: minimize the artificial sum -------------------------------
+  if (num_artificial > 0) {
+    for (const int c : artificial_cols) tableau.cost(c) = 1.0;
+    const LPStatus status =
+        tableau.iterate(options.max_iterations, tol, iterations);
+    if (status == LPStatus::IterationLimit) {
+      return LPResult{LPStatus::IterationLimit, 0.0, {}};
+    }
+    MP_ENSURE(status != LPStatus::Unbounded,
+              "phase-1 objective is bounded below by zero");
+    double infeasibility = 0.0;
+    for (int r = 0; r < m; ++r) {
+      if (tableau.basis(r) >= n + num_slack) infeasibility += tableau.rhs(r);
+    }
+    if (infeasibility > 1e-7) {
+      return LPResult{LPStatus::Infeasible, 0.0, {}};
+    }
+    // Pivot any artificial still in the basis (at zero level) out of it.
+    for (int r = 0; r < m; ++r) {
+      if (tableau.basis(r) < n + num_slack) continue;
+      int replacement = -1;
+      for (int c = 0; c < n + num_slack; ++c) {
+        if (std::abs(tableau.at(r, c)) > 1e-9) {
+          replacement = c;
+          break;
+        }
+      }
+      if (replacement >= 0) {
+        tableau.pivot(r, replacement);
+      }
+      // Otherwise the row is all-zero over real columns: redundant, leave
+      // the zero-level artificial basic; it can never re-enter because its
+      // cost is neutral in phase 2 and its column is excluded below.
+    }
+    for (const int c : artificial_cols) tableau.cost(c) = 0.0;
+    // Block artificial columns from re-entering: give them a prohibitive
+    // cost in phase 2.
+    for (const int c : artificial_cols) tableau.cost(c) = 1e30;
+  }
+
+  // --- Phase 2: the real objective ----------------------------------------
+  const double sense_factor = model.sense() == Sense::Minimize ? 1.0 : -1.0;
+  for (int v = 0; v < n; ++v) {
+    tableau.cost(v) = sense_factor * model.variable(v).objective;
+  }
+  const LPStatus status =
+      tableau.iterate(options.max_iterations, tol, iterations);
+  if (status == LPStatus::IterationLimit) {
+    return LPResult{LPStatus::IterationLimit, 0.0, {}};
+  }
+  if (status == LPStatus::Unbounded) {
+    return LPResult{LPStatus::Unbounded, 0.0, {}};
+  }
+
+  LPResult result;
+  result.status = LPStatus::Optimal;
+  result.values.assign(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    if (tableau.basis(r) < n) {
+      result.values[static_cast<std::size_t>(tableau.basis(r))] =
+          tableau.rhs(r);
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    result.values[static_cast<std::size_t>(v)] += model.variable(v).lower;
+    result.objective +=
+        model.variable(v).objective * result.values[static_cast<std::size_t>(v)];
+  }
+  return result;
+}
+
+}  // namespace madpipe::solver

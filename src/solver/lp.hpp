@@ -1,0 +1,29 @@
+// Dense two-phase primal simplex for the linear relaxations used by the
+// branch-and-bound MILP solver. Built for the small, well-scaled scheduling
+// models of this library (tens of variables, ~hundreds of rows): a dense
+// tableau with Bland's anti-cycling rule is simple, robust and fast enough.
+#pragma once
+
+#include <vector>
+
+#include "solver/model.hpp"
+
+namespace madpipe::solver {
+
+enum class LPStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LPResult {
+  LPStatus status = LPStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> values;  ///< per original model variable
+};
+
+struct LPOptions {
+  long long max_iterations = 200'000;
+  double tolerance = 1e-9;
+};
+
+/// Solve the continuous relaxation of `model` (integrality ignored).
+LPResult solve_lp(const Model& model, const LPOptions& options = {});
+
+}  // namespace madpipe::solver

@@ -1,0 +1,149 @@
+#include "solver/milp.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace madpipe::solver {
+
+namespace {
+
+struct BranchBound {
+  /// Extra variable bounds layered on the base model, indexed by variable.
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+/// Copy of `model` with tightened bounds (branching is expressed purely
+/// through bounds, so only the variable table changes).
+Model with_bounds(const Model& model, const BranchBound& bounds) {
+  Model result;
+  result.set_sense(model.sense());
+  for (int v = 0; v < model.num_variables(); ++v) {
+    const VariableDef& def = model.variable(v);
+    result.add_variable(def.name, bounds.lower[static_cast<std::size_t>(v)],
+                        bounds.upper[static_cast<std::size_t>(v)],
+                        def.objective, def.type);
+  }
+  for (int c = 0; c < model.num_constraints(); ++c) {
+    const ConstraintDef& def = model.constraint(c);
+    result.add_constraint(def.expr, def.relation, def.rhs, def.name);
+  }
+  return result;
+}
+
+}  // namespace
+
+MILPResult solve_milp(const Model& model, const MILPOptions& options) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options.time_limit_seconds));
+  const double sense_factor = model.sense() == Sense::Minimize ? 1.0 : -1.0;
+
+  MILPResult result;
+  double incumbent = std::numeric_limits<double>::infinity();  // minimized
+  bool any_lp_truncated = false;
+
+  BranchBound root;
+  for (int v = 0; v < model.num_variables(); ++v) {
+    root.lower.push_back(model.variable(v).lower);
+    root.upper.push_back(model.variable(v).upper);
+  }
+  std::vector<BranchBound> stack{root};
+
+  while (!stack.empty()) {
+    if (result.nodes_explored >= options.max_nodes ||
+        std::chrono::steady_clock::now() >= deadline) {
+      any_lp_truncated = true;
+      break;
+    }
+    const BranchBound node = std::move(stack.back());
+    stack.pop_back();
+    ++result.nodes_explored;
+
+    // Bound check: a branch with crossed bounds is empty.
+    bool empty = false;
+    for (std::size_t v = 0; v < node.lower.size(); ++v) {
+      if (node.lower[v] > node.upper[v]) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty) continue;
+
+    const Model branched = with_bounds(model, node);
+    const LPResult lp = solve_lp(branched, options.lp);
+    if (lp.status == LPStatus::Infeasible) continue;
+    if (lp.status == LPStatus::Unbounded) {
+      // Unbounded relaxation at the root means an unbounded MILP (or one we
+      // refuse to chase); report and stop.
+      result.status = MILPStatus::Unbounded;
+      return result;
+    }
+    if (lp.status == LPStatus::IterationLimit) {
+      any_lp_truncated = true;
+      continue;
+    }
+
+    const double bound = sense_factor * lp.objective;
+    if (bound >= incumbent - options.absolute_gap) continue;
+
+    // Most fractional integer variable.
+    int branch_var = -1;
+    double worst_fraction = options.integrality_tolerance;
+    for (int v = 0; v < model.num_variables(); ++v) {
+      if (model.variable(v).type != VarType::Integer) continue;
+      const double x = lp.values[static_cast<std::size_t>(v)];
+      const double fraction = std::abs(x - std::round(x));
+      if (fraction > worst_fraction) {
+        worst_fraction = fraction;
+        branch_var = v;
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integer feasible: new incumbent.
+      incumbent = bound;
+      result.objective = lp.objective;
+      result.values = lp.values;
+      // Snap integer variables exactly.
+      for (int v = 0; v < model.num_variables(); ++v) {
+        if (model.variable(v).type == VarType::Integer) {
+          result.values[static_cast<std::size_t>(v)] =
+              std::round(result.values[static_cast<std::size_t>(v)]);
+        }
+      }
+      continue;
+    }
+
+    const double x = lp.values[static_cast<std::size_t>(branch_var)];
+    BranchBound down = node;
+    down.upper[static_cast<std::size_t>(branch_var)] = std::floor(x);
+    BranchBound up = node;
+    up.lower[static_cast<std::size_t>(branch_var)] = std::ceil(x);
+    // DFS: explore the side nearer the relaxation value first.
+    if (x - std::floor(x) <= 0.5) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  const bool have_incumbent = std::isfinite(incumbent);
+  if (have_incumbent) {
+    result.status = (stack.empty() && !any_lp_truncated) ? MILPStatus::Optimal
+                                                         : MILPStatus::Feasible;
+  } else {
+    result.status = (stack.empty() && !any_lp_truncated)
+                        ? MILPStatus::Infeasible
+                        : MILPStatus::Limit;
+  }
+  return result;
+}
+
+}  // namespace madpipe::solver

@@ -1,0 +1,40 @@
+// Branch-and-bound MILP solver over the simplex relaxation: depth-first
+// search branching on the most fractional integer variable, bounded by the
+// incumbent, with node and wall-clock limits (mirroring the paper's
+// one-minute ILP budget).
+#pragma once
+
+#include <vector>
+
+#include "solver/lp.hpp"
+#include "solver/model.hpp"
+
+namespace madpipe::solver {
+
+enum class MILPStatus {
+  Optimal,     ///< incumbent proven optimal
+  Feasible,    ///< incumbent found, search truncated by a limit
+  Infeasible,  ///< no integer-feasible point exists
+  Unbounded,
+  Limit,       ///< limits hit before any incumbent was found
+};
+
+struct MILPOptions {
+  double time_limit_seconds = 60.0;
+  long long max_nodes = 200'000;
+  double integrality_tolerance = 1e-6;
+  /// Prune nodes whose bound is within this of the incumbent.
+  double absolute_gap = 1e-9;
+  LPOptions lp;
+};
+
+struct MILPResult {
+  MILPStatus status = MILPStatus::Limit;
+  double objective = 0.0;
+  std::vector<double> values;
+  long long nodes_explored = 0;
+};
+
+MILPResult solve_milp(const Model& model, const MILPOptions& options = {});
+
+}  // namespace madpipe::solver

@@ -1,0 +1,75 @@
+#include "solver/model.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace madpipe::solver {
+
+int Model::add_variable(const std::string& name, double lower, double upper,
+                        double objective, VarType type) {
+  MP_EXPECT(std::isfinite(lower), "variable lower bound must be finite");
+  MP_EXPECT(upper >= lower, "variable bounds must be ordered");
+  variables_.push_back(VariableDef{name, lower, upper, objective, type});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+void Model::add_constraint(LinearExpr expr, Relation relation, double rhs,
+                           const std::string& name) {
+  for (const auto& [variable, coeff] : expr.terms) {
+    MP_EXPECT(variable >= 0 && variable < num_variables(),
+              "constraint references unknown variable");
+    MP_EXPECT(std::isfinite(coeff), "constraint coefficients must be finite");
+  }
+  MP_EXPECT(std::isfinite(rhs), "constraint rhs must be finite");
+  constraints_.push_back(ConstraintDef{std::move(expr), relation, rhs, name});
+}
+
+const VariableDef& Model::variable(int index) const {
+  MP_EXPECT(index >= 0 && index < num_variables(), "variable index range");
+  return variables_[static_cast<std::size_t>(index)];
+}
+
+const ConstraintDef& Model::constraint(int index) const {
+  MP_EXPECT(index >= 0 && index < num_constraints(), "constraint index range");
+  return constraints_[static_cast<std::size_t>(index)];
+}
+
+double Model::evaluate(const LinearExpr& expr,
+                       const std::vector<double>& values) {
+  double total = 0.0;
+  for (const auto& [variable, coeff] : expr.terms) {
+    total += coeff * values[static_cast<std::size_t>(variable)];
+  }
+  return total;
+}
+
+bool Model::is_feasible(const std::vector<double>& values, double tol) const {
+  if (static_cast<int>(values.size()) != num_variables()) return false;
+  for (int v = 0; v < num_variables(); ++v) {
+    const VariableDef& def = variables_[static_cast<std::size_t>(v)];
+    const double x = values[static_cast<std::size_t>(v)];
+    if (x < def.lower - tol || x > def.upper + tol) return false;
+    if (def.type == VarType::Integer &&
+        std::abs(x - std::round(x)) > tol) {
+      return false;
+    }
+  }
+  for (const ConstraintDef& c : constraints_) {
+    const double lhs = evaluate(c.expr, values);
+    switch (c.relation) {
+      case Relation::LessEqual:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Relation::GreaterEqual:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Relation::Equal:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace madpipe::solver

@@ -1,0 +1,77 @@
+// Linear/mixed-integer model builder: the input format of the in-house
+// solver stack (two-phase simplex in lp.hpp, branch-and-bound in milp.hpp).
+// The paper solves its phase-2 scheduling step with a commercial ILP solver
+// under a one-minute time limit; this subsystem is our from-scratch
+// replacement (see DESIGN.md, substitutions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace madpipe::solver {
+
+enum class Sense { Minimize, Maximize };
+enum class VarType { Continuous, Integer };
+enum class Relation { LessEqual, GreaterEqual, Equal };
+
+/// Sparse linear expression Σ coeff·x over variable indices.
+struct LinearExpr {
+  std::vector<std::pair<int, double>> terms;
+
+  LinearExpr& add(int variable, double coeff) {
+    terms.emplace_back(variable, coeff);
+    return *this;
+  }
+};
+
+struct VariableDef {
+  std::string name;
+  double lower = 0.0;
+  double upper = 0.0;
+  double objective = 0.0;
+  VarType type = VarType::Continuous;
+};
+
+struct ConstraintDef {
+  LinearExpr expr;
+  Relation relation = Relation::LessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// A mixed-integer linear program. Variable bounds must be finite lower
+/// (≥ some value) — use a large explicit upper bound instead of +inf when a
+/// variable is effectively unbounded (the solver is built for the small,
+/// well-scaled scheduling models of this library).
+class Model {
+ public:
+  /// Add a variable; returns its index.
+  int add_variable(const std::string& name, double lower, double upper,
+                   double objective, VarType type = VarType::Continuous);
+  void add_constraint(LinearExpr expr, Relation relation, double rhs,
+                      const std::string& name = "");
+  void set_sense(Sense sense) noexcept { sense_ = sense; }
+
+  Sense sense() const noexcept { return sense_; }
+  int num_variables() const noexcept { return static_cast<int>(variables_.size()); }
+  int num_constraints() const noexcept {
+    return static_cast<int>(constraints_.size());
+  }
+  const VariableDef& variable(int index) const;
+  const ConstraintDef& constraint(int index) const;
+
+  /// Value of `expr` under an assignment.
+  static double evaluate(const LinearExpr& expr,
+                         const std::vector<double>& values);
+
+  /// True when `values` satisfies all constraints and bounds within `tol`,
+  /// including integrality of integer variables.
+  bool is_feasible(const std::vector<double>& values, double tol = 1e-6) const;
+
+ private:
+  std::vector<VariableDef> variables_;
+  std::vector<ConstraintDef> constraints_;
+  Sense sense_ = Sense::Minimize;
+};
+
+}  // namespace madpipe::solver

@@ -1,0 +1,65 @@
+// Contract-checking helpers (C++ Core Guidelines I.6 / E.12 style).
+//
+// MP_EXPECT  — precondition on a public API; always on, throws.
+// MP_ENSURE  — postcondition / internal invariant; always on, throws.
+// MP_ASSERT  — hot-path invariant; compiled out in NDEBUG builds.
+//
+// We throw (rather than abort) so that tests can exercise contract
+// violations and library users get a catchable, descriptive error.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace madpipe {
+
+/// Error thrown when a contract (pre/postcondition) is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const std::string& msg,
+                                       const std::source_location loc) {
+  std::string what(kind);
+  what += " failed: ";
+  what += expr;
+  if (!msg.empty()) {
+    what += " — ";
+    what += msg;
+  }
+  what += " [";
+  what += loc.file_name();
+  what += ':';
+  what += std::to_string(loc.line());
+  what += ']';
+  throw ContractViolation(what);
+}
+}  // namespace detail
+
+#define MP_EXPECT(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::madpipe::detail::contract_fail("precondition", #cond, (msg),  \
+                                       std::source_location::current()); \
+    }                                                                 \
+  } while (false)
+
+#define MP_ENSURE(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::madpipe::detail::contract_fail("invariant", #cond, (msg),     \
+                                       std::source_location::current()); \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define MP_ASSERT(cond, msg) ((void)0)
+#else
+#define MP_ASSERT(cond, msg) MP_ENSURE(cond, msg)
+#endif
+
+}  // namespace madpipe

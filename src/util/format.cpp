@@ -1,0 +1,78 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace madpipe::fmt {
+
+namespace {
+std::string printf_str(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+}  // namespace
+
+std::string bytes(double value) {
+  const double sign = value < 0 ? -1.0 : 1.0;
+  const double v = std::abs(value);
+  if (v >= 1e9) return printf_str("%.2f GB", sign * v / 1e9);
+  if (v >= 1e6) return printf_str("%.1f MB", sign * v / 1e6);
+  if (v >= 1e3) return printf_str("%.1f kB", sign * v / 1e3);
+  return printf_str("%.0f B", sign * v);
+}
+
+std::string seconds(double value) {
+  const double sign = value < 0 ? -1.0 : 1.0;
+  const double v = std::abs(value);
+  if (v >= 1.0) return printf_str("%.3f s", sign * v);
+  if (v >= 1e-3) return printf_str("%.2f ms", sign * v * 1e3);
+  if (v >= 1e-6) return printf_str("%.1f us", sign * v * 1e6);
+  return printf_str("%.1f ns", sign * v * 1e9);
+}
+
+std::string fixed(double value, int precision) {
+  MP_EXPECT(precision >= 0 && precision <= 17, "unsupported precision");
+  char format[16];
+  std::snprintf(format, sizeof(format), "%%.%df", precision);
+  return printf_str(format, value);
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MP_EXPECT(!header_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MP_EXPECT(cells.size() == header_.size(),
+            "row width must match the header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      os << (c + 1 < row.size() ? "  " : "\n");
+    }
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace madpipe::fmt

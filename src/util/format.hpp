@@ -1,0 +1,34 @@
+// Human-readable formatting of quantities and simple fixed-width tables,
+// used by examples and the benchmark harness to print paper-style rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace madpipe::fmt {
+
+/// "1.50 GB", "512.0 MB", "96 B" — powers of 10 like the paper (GB = 1e9).
+std::string bytes(double value);
+
+/// "12.3 ms", "1.204 s", "850 us".
+std::string seconds(double value);
+
+/// Fixed-precision decimal, e.g. ratio("1.2345", 3) -> "1.234".
+std::string fixed(double value, int precision);
+
+/// Pretty fixed-width text table. Column widths auto-fit the content.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with a header underline; every row padded to column width.
+  std::string to_string() const;
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace madpipe::fmt

@@ -1,0 +1,122 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/expect.hpp"
+
+namespace madpipe::json {
+
+void Writer::maybe_comma() {
+  if (!scopes_.empty() && !pending_key_) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+  }
+  pending_key_ = false;
+}
+
+void Writer::append_escaped(const std::string& raw) {
+  out_ += '"';
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      case '\r': out_ += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void Writer::begin_object() {
+  maybe_comma();
+  out_ += '{';
+  scopes_.push_back(Scope::Object);
+  has_items_.push_back(false);
+}
+
+void Writer::end_object() {
+  MP_EXPECT(!scopes_.empty() && scopes_.back() == Scope::Object,
+            "end_object without matching begin_object");
+  out_ += '}';
+  scopes_.pop_back();
+  has_items_.pop_back();
+}
+
+void Writer::begin_array() {
+  maybe_comma();
+  out_ += '[';
+  scopes_.push_back(Scope::Array);
+  has_items_.push_back(false);
+}
+
+void Writer::end_array() {
+  MP_EXPECT(!scopes_.empty() && scopes_.back() == Scope::Array,
+            "end_array without matching begin_array");
+  out_ += ']';
+  scopes_.pop_back();
+  has_items_.pop_back();
+}
+
+void Writer::key(const std::string& name) {
+  MP_EXPECT(!scopes_.empty() && scopes_.back() == Scope::Object,
+            "key() only valid inside an object");
+  maybe_comma();
+  append_escaped(name);
+  out_ += ':';
+  pending_key_ = true;
+}
+
+void Writer::value(const std::string& v) {
+  maybe_comma();
+  append_escaped(v);
+}
+
+void Writer::value(const char* v) { value(std::string(v)); }
+
+void Writer::value(double v) {
+  maybe_comma();
+  if (std::isfinite(v)) {
+    // Shortest representation that round-trips exactly.
+    char buf[48];
+    for (const int precision : {15, 16, 17}) {
+      std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+      if (std::strtod(buf, nullptr) == v) break;
+    }
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no Inf/NaN literal
+  }
+}
+
+void Writer::value(long long v) {
+  maybe_comma();
+  out_ += std::to_string(v);
+}
+
+void Writer::value(bool v) {
+  maybe_comma();
+  out_ += v ? "true" : "false";
+}
+
+void Writer::null() {
+  maybe_comma();
+  out_ += "null";
+}
+
+std::string Writer::str() const {
+  MP_EXPECT(scopes_.empty(), "document has unterminated scopes");
+  return out_;
+}
+
+}  // namespace madpipe::json

@@ -1,0 +1,49 @@
+// Minimal JSON writer, sufficient to dump plans / schedules / experiment
+// results for external plotting. Write-only by design: the library never
+// needs to parse JSON, so no parser is included.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace madpipe::json {
+
+/// Streaming JSON writer with explicit structure calls.
+///
+///   Writer w;
+///   w.begin_object();
+///   w.key("period"); w.value(0.125);
+///   w.key("stages"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+///   std::string out = w.str();
+class Writer {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(const std::string& name);
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(double v);
+  void value(long long v);
+  void value(int v) { value(static_cast<long long>(v)); }
+  void value(std::size_t v) { value(static_cast<long long>(v)); }
+  void value(bool v);
+  void null();
+
+  /// Final document; valid once all begun scopes are ended.
+  std::string str() const;
+
+ private:
+  enum class Scope { Object, Array };
+  void maybe_comma();
+  void append_escaped(const std::string& raw);
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace madpipe::json

@@ -1,0 +1,39 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace madpipe::log {
+
+namespace {
+std::atomic<Level> g_threshold{Level::Warn};
+std::mutex g_write_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info:  return "INFO ";
+    case Level::Warn:  return "WARN ";
+    case Level::Error: return "ERROR";
+    case Level::Off:   return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+Level threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void write(Level level, std::string_view message) {
+  if (level < threshold()) return;
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[madpipe %s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace madpipe::log

@@ -1,0 +1,44 @@
+// Minimal leveled logger for library diagnostics.
+//
+// The library is quiet by default (level = Warn). Benchmarks and examples
+// raise the level for progress reporting. Thread-safe: each log call
+// assembles the full line before a single locked write.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace madpipe::log {
+
+enum class Level { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global threshold; messages below it are dropped.
+Level threshold() noexcept;
+void set_threshold(Level level) noexcept;
+
+/// Emit one line at `level` (no trailing newline needed).
+void write(Level level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void emit(Level level, const Args&... args) {
+  if (level < threshold()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void trace(const Args&... args) { detail::emit(Level::Trace, args...); }
+template <typename... Args>
+void debug(const Args&... args) { detail::emit(Level::Debug, args...); }
+template <typename... Args>
+void info(const Args&... args) { detail::emit(Level::Info, args...); }
+template <typename... Args>
+void warn(const Args&... args) { detail::emit(Level::Warn, args...); }
+template <typename... Args>
+void error(const Args&... args) { detail::emit(Level::Error, args...); }
+
+}  // namespace madpipe::log

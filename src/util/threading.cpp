@@ -1,0 +1,63 @@
+#include "util/threading.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace madpipe::par {
+
+std::size_t default_workers() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void parallel_for_blocks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t workers) {
+  if (begin >= end) return;
+  if (workers == 0) workers = default_workers();
+  const std::size_t n = end - begin;
+  workers = std::min(workers, n);
+
+  if (workers <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([&, lo, hi] {
+      try {
+        body(lo, hi);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t workers) {
+  parallel_for_blocks(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      workers);
+}
+
+}  // namespace madpipe::par

@@ -1,0 +1,30 @@
+// Tiny thread-level parallelism substrate (no external dependency).
+//
+// parallel_for splits [begin, end) into contiguous blocks, one per worker
+// thread. On a single-core host it degrades to a plain serial loop with no
+// thread creation. Exceptions thrown by the body are captured and the first
+// one is rethrown on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace madpipe::par {
+
+/// Number of workers parallel_for will use by default (hardware threads,
+/// at least 1).
+std::size_t default_workers() noexcept;
+
+/// Apply `body(i)` for every i in [begin, end). `workers == 0` means
+/// default_workers(). The body must be safe to run concurrently for
+/// distinct indices.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t workers = 0);
+
+/// Block-wise variant: body(block_begin, block_end) per contiguous chunk.
+void parallel_for_blocks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t workers = 0);
+
+}  // namespace madpipe::par

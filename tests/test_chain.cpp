@@ -1,0 +1,115 @@
+#include "core/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/types.hpp"
+#include "util/expect.hpp"
+
+namespace madpipe {
+namespace {
+
+Chain three_layer_chain() {
+  std::vector<Layer> layers{
+      {"l1", ms(2), ms(4), 10 * MB, 100 * MB},
+      {"l2", ms(3), ms(6), 20 * MB, 50 * MB},
+      {"l3", ms(1), ms(2), 30 * MB, 10 * MB},
+  };
+  return Chain("test", 80 * MB, std::move(layers));
+}
+
+TEST(Chain, LengthAndLayerAccess) {
+  const Chain c = three_layer_chain();
+  EXPECT_EQ(c.length(), 3);
+  EXPECT_EQ(c.layer(1).name, "l1");
+  EXPECT_EQ(c.layer(3).name, "l3");
+}
+
+TEST(Chain, LayerIndexIsOneBased) {
+  const Chain c = three_layer_chain();
+  EXPECT_THROW(c.layer(0), ContractViolation);
+  EXPECT_THROW(c.layer(4), ContractViolation);
+}
+
+TEST(Chain, ActivationsIncludeInput) {
+  const Chain c = three_layer_chain();
+  EXPECT_DOUBLE_EQ(c.activation(0), 80 * MB);
+  EXPECT_DOUBLE_EQ(c.activation(1), 100 * MB);
+  EXPECT_DOUBLE_EQ(c.activation(3), 10 * MB);
+  EXPECT_THROW(c.activation(4), ContractViolation);
+}
+
+TEST(Chain, ComputeLoadRanges) {
+  const Chain c = three_layer_chain();
+  EXPECT_DOUBLE_EQ(c.compute_load(1, 1), ms(6));
+  EXPECT_DOUBLE_EQ(c.compute_load(1, 3), ms(18));
+  EXPECT_DOUBLE_EQ(c.compute_load(2, 3), ms(12));
+  EXPECT_DOUBLE_EQ(c.total_compute(), ms(18));
+}
+
+TEST(Chain, EmptyRangeIsZero) {
+  const Chain c = three_layer_chain();
+  EXPECT_DOUBLE_EQ(c.compute_load(3, 2), 0.0);
+  EXPECT_DOUBLE_EQ(c.weight_sum(2, 1), 0.0);
+}
+
+TEST(Chain, ForwardBackwardSplit) {
+  const Chain c = three_layer_chain();
+  EXPECT_DOUBLE_EQ(c.forward_load(1, 3), ms(6));
+  EXPECT_DOUBLE_EQ(c.backward_load(1, 3), ms(12));
+}
+
+TEST(Chain, WeightSums) {
+  const Chain c = three_layer_chain();
+  EXPECT_DOUBLE_EQ(c.weight_sum(1, 3), 60 * MB);
+  EXPECT_DOUBLE_EQ(c.weight_sum(2, 2), 20 * MB);
+}
+
+TEST(Chain, StoredActivationSumUsesLayerInputs) {
+  const Chain c = three_layer_chain();
+  // Layers 2..3 store their inputs: a_1 + a_2 = 100 + 50 MB.
+  EXPECT_DOUBLE_EQ(c.stored_activation_sum(2, 3), 150 * MB);
+  // Layer 1 stores the network input a_0.
+  EXPECT_DOUBLE_EQ(c.stored_activation_sum(1, 1), 80 * MB);
+}
+
+TEST(Chain, TotalActivations) {
+  const Chain c = three_layer_chain();
+  EXPECT_DOUBLE_EQ(c.total_activations(), (80 + 100 + 50 + 10) * MB);
+}
+
+TEST(Chain, RejectsEmpty) {
+  EXPECT_THROW(Chain("bad", 0.0, {}), ContractViolation);
+}
+
+TEST(Chain, RejectsNegativeDurations) {
+  std::vector<Layer> layers{{"l", -1.0, 1.0, 0.0, 0.0}};
+  EXPECT_THROW(Chain("bad", 0.0, std::move(layers)), ContractViolation);
+}
+
+TEST(Chain, RejectsZeroComputeLayer) {
+  std::vector<Layer> layers{{"l", 0.0, 0.0, 1.0, 1.0}};
+  EXPECT_THROW(Chain("bad", 0.0, std::move(layers)), ContractViolation);
+}
+
+TEST(Chain, UniformBuilder) {
+  const Chain c = make_uniform_chain(5, ms(1), ms(2), MB, 2 * MB, 3 * MB);
+  EXPECT_EQ(c.length(), 5);
+  EXPECT_DOUBLE_EQ(c.total_compute(), ms(15));
+  EXPECT_DOUBLE_EQ(c.activation(0), 3 * MB);
+  EXPECT_DOUBLE_EQ(c.activation(5), 2 * MB);
+  EXPECT_DOUBLE_EQ(c.weight_sum(1, 5), 5 * MB);
+}
+
+TEST(Chain, UniformBuilderRejectsZeroLength) {
+  EXPECT_THROW(make_uniform_chain(0, ms(1), ms(1), 0, 0, 0),
+               ContractViolation);
+}
+
+TEST(Chain, EqualityIsStructural) {
+  EXPECT_EQ(three_layer_chain(), three_layer_chain());
+  const Chain other = make_uniform_chain(3, ms(1), ms(1), MB, MB, MB);
+  EXPECT_FALSE(three_layer_chain() == other);
+}
+
+}  // namespace
+}  // namespace madpipe

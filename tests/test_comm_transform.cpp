@@ -1,0 +1,63 @@
+#include "schedule/comm_transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+namespace {
+
+TEST(CommTransform, AlternatesComputeAndComm) {
+  const Chain c = make_uniform_chain(6, ms(1), ms(2), MB, 12 * MB, MB);
+  const Platform p{3, GB, 12 * GB};
+  const Allocation a =
+      make_contiguous_allocation(c, {{1, 2}, {3, 4}, {5, 6}}, 3);
+  const auto pseudo = comm_transform(a, c, p);
+  ASSERT_EQ(pseudo.size(), 5u);  // 3 compute + 2 comm = 2P−1
+  EXPECT_EQ(pseudo[0].kind, PseudoStage::Kind::Compute);
+  EXPECT_EQ(pseudo[1].kind, PseudoStage::Kind::Comm);
+  EXPECT_EQ(pseudo[2].kind, PseudoStage::Kind::Compute);
+  EXPECT_EQ(pseudo[3].kind, PseudoStage::Kind::Comm);
+  EXPECT_EQ(pseudo[4].kind, PseudoStage::Kind::Compute);
+}
+
+TEST(CommTransform, ComputeDurationsMatchStageLoads) {
+  const Chain c = make_uniform_chain(6, ms(1), ms(2), MB, 12 * MB, MB);
+  const Platform p{3, GB, 12 * GB};
+  const Allocation a =
+      make_contiguous_allocation(c, {{1, 2}, {3, 4}, {5, 6}}, 3);
+  const auto pseudo = comm_transform(a, c, p);
+  EXPECT_DOUBLE_EQ(pseudo[0].forward_duration, ms(2));
+  EXPECT_DOUBLE_EQ(pseudo[0].backward_duration, ms(4));
+  EXPECT_DOUBLE_EQ(pseudo[0].total(), ms(6));
+}
+
+TEST(CommTransform, CommDurationsSymmetric) {
+  const Chain c = make_uniform_chain(6, ms(1), ms(2), MB, 12 * MB, MB);
+  const Platform p{3, GB, 12 * GB};
+  const Allocation a =
+      make_contiguous_allocation(c, {{1, 2}, {3, 4}, {5, 6}}, 3);
+  const auto pseudo = comm_transform(a, c, p);
+  // 12 MB / 12 GB/s = 1 ms each direction.
+  EXPECT_DOUBLE_EQ(pseudo[1].forward_duration, ms(1));
+  EXPECT_DOUBLE_EQ(pseudo[1].backward_duration, ms(1));
+  EXPECT_EQ(pseudo[1].stage, 0);  // boundary after stage 0
+}
+
+TEST(CommTransform, SingleStageHasNoComm) {
+  const Chain c = make_uniform_chain(4, ms(1), ms(1), MB, MB, MB);
+  const Platform p{1, GB, 12 * GB};
+  const Allocation a = make_contiguous_allocation(c, {{1, 4}}, 1);
+  const auto pseudo = comm_transform(a, c, p);
+  EXPECT_EQ(pseudo.size(), 1u);
+}
+
+TEST(CommTransform, RejectsNonContiguous) {
+  const Chain c = make_uniform_chain(4, ms(1), ms(1), MB, MB, MB);
+  const Platform p{2, GB, 12 * GB};
+  Allocation a(Partitioning(c, {{1, 1}, {2, 3}, {4, 4}}), {0, 1, 0}, 2);
+  EXPECT_THROW(comm_transform(a, c, p), ContractViolation);
+}
+
+}  // namespace
+}  // namespace madpipe

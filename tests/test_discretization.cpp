@@ -1,0 +1,80 @@
+#include "madpipe/discretization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+namespace {
+
+TEST(Grid, ValuesSpanRange) {
+  const Grid grid(10.0, 11);
+  EXPECT_DOUBLE_EQ(grid.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(grid.value(10), 10.0);
+  EXPECT_DOUBLE_EQ(grid.value(5), 5.0);
+}
+
+TEST(Grid, ValueClampsIndex) {
+  const Grid grid(10.0, 11);
+  EXPECT_DOUBLE_EQ(grid.value(-3), 0.0);
+  EXPECT_DOUBLE_EQ(grid.value(99), 10.0);
+}
+
+TEST(Grid, NearestRounding) {
+  const Grid grid(10.0, 11);
+  EXPECT_EQ(grid.index(2.4), 2);
+  EXPECT_EQ(grid.index(2.6), 3);
+  EXPECT_EQ(grid.index(2.5), 3);  // round half away from zero
+}
+
+TEST(Grid, UpRounding) {
+  const Grid grid(10.0, 11);
+  EXPECT_EQ(grid.index(2.01, RoundingMode::Up), 3);
+  EXPECT_EQ(grid.index(3.0, RoundingMode::Up), 3);  // exact values stay
+}
+
+TEST(Grid, ClampsBeyondMax) {
+  const Grid grid(10.0, 11);
+  EXPECT_EQ(grid.index(42.0), 10);
+  EXPECT_DOUBLE_EQ(grid.snap(42.0), 10.0);
+}
+
+TEST(Grid, SnapRoundTrips) {
+  const Grid grid(7.0, 29);
+  for (double v = 0.0; v <= 7.0; v += 0.11) {
+    const double snapped = grid.snap(v);
+    EXPECT_EQ(grid.index(snapped), grid.index(snapped));
+    EXPECT_NEAR(snapped, v, 7.0 / 28.0 / 2.0 + 1e-12);
+  }
+}
+
+TEST(Grid, UpRoundingNeverDecreases) {
+  const Grid grid(5.0, 17);
+  for (double v = 0.0; v <= 5.0; v += 0.07) {
+    EXPECT_GE(grid.snap(v, RoundingMode::Up), v - 1e-9);
+  }
+}
+
+TEST(Grid, RejectsDegenerate) {
+  EXPECT_THROW(Grid(10.0, 1), ContractViolation);
+  EXPECT_THROW(Grid(0.0, 5), ContractViolation);
+}
+
+TEST(Grid, RejectsNegativeValues) {
+  const Grid grid(10.0, 11);
+  EXPECT_THROW(grid.index(-1.0), ContractViolation);
+}
+
+TEST(Discretization, PresetsAreOrdered) {
+  const Discretization coarse = Discretization::coarse();
+  const Discretization paper = Discretization::paper();
+  EXPECT_LT(coarse.load_points, paper.load_points);
+  EXPECT_LE(coarse.memory_points, paper.memory_points);
+  EXPECT_LT(coarse.delay_points, paper.delay_points);
+  EXPECT_EQ(paper.load_points, 101);   // §5.1 of the paper
+  EXPECT_EQ(paper.memory_points, 11);
+  EXPECT_EQ(paper.delay_points, 51);
+}
+
+}  // namespace
+}  // namespace madpipe

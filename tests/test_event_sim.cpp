@@ -1,0 +1,151 @@
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "util/expect.hpp"
+
+#include "pipedream/pipedream.hpp"
+#include "schedule/one_f_one_b.hpp"
+
+namespace madpipe {
+namespace {
+
+Chain random_chain(unsigned seed, int length) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dur(1.0, 15.0);
+  std::uniform_real_distribution<double> size(5.0, 80.0);
+  std::vector<Layer> layers;
+  for (int i = 0; i < length; ++i) {
+    layers.push_back(Layer{"r" + std::to_string(i), ms(dur(rng)),
+                           ms(dur(rng)), size(rng) * MB, size(rng) * MB});
+  }
+  return Chain("random" + std::to_string(seed), size(rng) * MB,
+               std::move(layers));
+}
+
+std::vector<Stage> even_split(const Chain& chain, int stages) {
+  std::vector<Stage> result;
+  const int per = (chain.length() + stages - 1) / stages;
+  for (int first = 1; first <= chain.length(); first += per) {
+    result.push_back({first, std::min(chain.length(), first + per - 1)});
+  }
+  return result;
+}
+
+TEST(EventSim, BatchCompletionsAreMonotone) {
+  const Chain c = random_chain(1, 8);
+  const Platform p{4, 100 * GB, 12 * GB};
+  const Allocation a = make_contiguous_allocation(c, even_split(c, 4), 4);
+  const auto plan = plan_one_f_one_b(a, c, p);
+  ASSERT_TRUE(plan.has_value());
+  const auto sim = simulate_pattern(plan->pattern, a, c, p, {32});
+  for (std::size_t b = 1; b < sim.batch_completion.size(); ++b) {
+    EXPECT_GT(sim.batch_completion[b], sim.batch_completion[b - 1]);
+  }
+  EXPECT_DOUBLE_EQ(sim.makespan, sim.batch_completion.back());
+}
+
+class SimAgreesWithPattern : public ::testing::TestWithParam<unsigned> {};
+
+// The ASAP execution of a valid pattern can only be as fast or faster than
+// the pattern's period, and its memory cannot exceed what the verifier
+// certified for the pattern (earlier execution can only free earlier).
+TEST_P(SimAgreesWithPattern, ThroughputAndMemoryBounds) {
+  const unsigned seed = GetParam();
+  const Chain c = random_chain(seed, 6 + seed % 5);
+  const int procs = 2 + seed % 3;
+  if (c.length() < procs) GTEST_SKIP();
+  const Platform p{procs, (1.5 + seed % 4) * GB, 12 * GB};
+  const Allocation a =
+      make_contiguous_allocation(c, even_split(c, procs), procs);
+  const auto plan = plan_one_f_one_b(a, c, p);
+  if (!plan) GTEST_SKIP() << "infeasible configuration";
+
+  const auto check = validate_pattern(plan->pattern, a, c, p);
+  ASSERT_TRUE(check.valid);
+
+  const auto sim = simulate_pattern(plan->pattern, a, c, p, {64});
+  EXPECT_LE(sim.steady_period, plan->period() * (1.0 + 1e-6));
+  for (int proc = 0; proc < procs; ++proc) {
+    EXPECT_LE(sim.processor_memory_peak[proc],
+              check.processor_memory_peak[proc] * (1.0 + 1e-9))
+        << "processor " << proc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimAgreesWithPattern,
+                         ::testing::Range(50u, 70u));
+
+TEST(EventSim, SteadyPeriodMatchesBottleneck) {
+  // Balanced two-stage pipeline without memory pressure: the simulated
+  // steady period equals the bottleneck stage load.
+  const Chain c = make_uniform_chain(4, ms(5), ms(10), MB, MB, MB);
+  const Platform p{2, 100 * GB, 1e6 * GB};
+  const Allocation a = make_contiguous_allocation(c, {{1, 2}, {3, 4}}, 2);
+  const auto plan = plan_one_f_one_b(a, c, p);
+  ASSERT_TRUE(plan.has_value());
+  const auto sim = simulate_pattern(plan->pattern, a, c, p, {64});
+  EXPECT_NEAR(sim.steady_period, ms(30), ms(0.01));
+}
+
+TEST(EventSim, RequiresTwoBatches) {
+  const Chain c = make_uniform_chain(2, ms(1), ms(1), MB, MB, MB);
+  const Platform p{2, 100 * GB, 1e6 * GB};
+  const Allocation a = make_contiguous_allocation(c, {{1, 1}, {2, 2}}, 2);
+  const auto plan = plan_one_f_one_b(a, c, p);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_THROW(simulate_pattern(plan->pattern, a, c, p, {1}),
+               ContractViolation);
+}
+
+TEST(EventSim, WorksOnPipeDreamPlans) {
+  const Chain c = random_chain(3, 10);
+  const Platform p{4, 3 * GB, 12 * GB};
+  const auto plan = plan_pipedream(c, p);
+  if (!plan) GTEST_SKIP();
+  const auto sim =
+      simulate_pattern(plan->pattern, plan->allocation, c, p, {48});
+  EXPECT_LE(sim.steady_period, plan->period() * (1.0 + 1e-6));
+}
+
+
+TEST(EventSim, UtilizationBoundedAndBottleneckSaturated) {
+  // Balanced two-stage pipeline: in steady state both GPUs are (nearly)
+  // fully busy; the near-idle link shows a tiny utilization.
+  const Chain c = make_uniform_chain(4, ms(5), ms(10), MB, MB, MB);
+  const Platform p{2, 100 * GB, 1e6 * GB};
+  const Allocation a = make_contiguous_allocation(c, {{1, 2}, {3, 4}}, 2);
+  const auto plan = plan_one_f_one_b(a, c, p);
+  ASSERT_TRUE(plan.has_value());
+  const auto sim = simulate_pattern(plan->pattern, a, c, p, {64});
+  ASSERT_FALSE(sim.resource_utilization.empty());
+  for (const auto& [resource, value] : sim.resource_utilization) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0 + 1e-9) << resource.to_string();
+  }
+  EXPECT_GT(sim.utilization_of(ResourceId::processor(0)), 0.95);
+  EXPECT_GT(sim.utilization_of(ResourceId::processor(1)), 0.95);
+  EXPECT_LT(sim.utilization_of(ResourceId::link(0, 1)), 0.05);
+  EXPECT_EQ(sim.utilization_of(ResourceId::processor(7)), 0.0);
+}
+
+TEST(EventSim, ImbalancedPipelineShowsIdleStage) {
+  // Stage 1 carries 3/4 of the work: stage 2's GPU must idle ~2/3.
+  std::vector<Layer> layers{
+      {"heavy", ms(15), ms(30), MB, MB},
+      {"light", ms(5), ms(10), MB, MB},
+  };
+  const Chain c("imbalanced", MB, std::move(layers));
+  const Platform p{2, 100 * GB, 1e6 * GB};
+  const Allocation a = make_contiguous_allocation(c, {{1, 1}, {2, 2}}, 2);
+  const auto plan = plan_one_f_one_b(a, c, p);
+  ASSERT_TRUE(plan.has_value());
+  const auto sim = simulate_pattern(plan->pattern, a, c, p, {64});
+  EXPECT_GT(sim.utilization_of(ResourceId::processor(0)), 0.9);
+  EXPECT_LT(sim.utilization_of(ResourceId::processor(1)), 0.45);
+}
+
+}  // namespace
+}  // namespace madpipe

@@ -1,0 +1,56 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace madpipe::fmt {
+namespace {
+
+TEST(Format, BytesScales) {
+  EXPECT_EQ(bytes(12.0), "12 B");
+  EXPECT_EQ(bytes(1.5e3), "1.5 kB");
+  EXPECT_EQ(bytes(512e6), "512.0 MB");
+  EXPECT_EQ(bytes(3e9), "3.00 GB");
+}
+
+TEST(Format, BytesNegative) { EXPECT_EQ(bytes(-2e9), "-2.00 GB"); }
+
+TEST(Format, SecondsScales) {
+  EXPECT_EQ(seconds(1.204), "1.204 s");
+  EXPECT_EQ(seconds(12.5e-3), "12.50 ms");
+  EXPECT_EQ(seconds(850e-6), "850.0 us");
+  EXPECT_EQ(seconds(3e-9), "3.0 ns");
+}
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(fixed(1.23456, 3), "1.235");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Format, FixedRejectsSillyPrecision) {
+  EXPECT_THROW(fixed(1.0, -1), ContractViolation);
+  EXPECT_THROW(fixed(1.0, 30), ContractViolation);
+}
+
+TEST(Format, TableAlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Format, TableRejectsMismatchedRow) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Format, TableRejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace madpipe::fmt

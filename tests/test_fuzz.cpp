@@ -1,0 +1,204 @@
+// Randomized cross-checks against brute force: on small random instances,
+// the dynamic programs must match exhaustive enumeration and the schedulers
+// must agree with each other. Seeds are fixed — failures are reproducible.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+#include "core/memory_model.hpp"
+#include "cyclic/bb_scheduler.hpp"
+#include "cyclic/ilp_scheduler.hpp"
+#include "cyclic/period_search.hpp"
+#include "pipedream/pipedream.hpp"
+#include "schedule/gpipe.hpp"
+#include "schedule/one_f_one_b.hpp"
+#include "sim/event_sim.hpp"
+
+namespace madpipe {
+namespace {
+
+Chain random_chain(unsigned seed, int length) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dur(1.0, 12.0);
+  std::uniform_real_distribution<double> size(5.0, 120.0);
+  std::vector<Layer> layers;
+  for (int i = 0; i < length; ++i) {
+    layers.push_back(Layer{"f" + std::to_string(i), ms(dur(rng)),
+                           ms(dur(rng)), size(rng) * MB, size(rng) * MB});
+  }
+  return Chain("fuzz" + std::to_string(seed), size(rng) * MB,
+               std::move(layers));
+}
+
+/// All contiguous partitionings of `chain` into at most `max_stages` stages.
+std::vector<std::vector<Stage>> all_partitionings(const Chain& chain,
+                                                  int max_stages) {
+  const int L = chain.length();
+  std::vector<std::vector<Stage>> result;
+  for (int mask = 0; mask < (1 << (L - 1)); ++mask) {
+    std::vector<Stage> stages;
+    int first = 1;
+    for (int l = 1; l <= L; ++l) {
+      if (l == L || (mask & (1 << (l - 1)))) {
+        stages.push_back({first, l});
+        first = l + 1;
+      }
+    }
+    if (static_cast<int>(stages.size()) <= max_stages) {
+      result.push_back(std::move(stages));
+    }
+  }
+  return result;
+}
+
+class PipeDreamFuzz : public ::testing::TestWithParam<unsigned> {};
+
+// The PipeDream DP must equal brute force over every contiguous
+// partitioning under the same load and memory rules.
+TEST_P(PipeDreamFuzz, MatchesBruteForce) {
+  const unsigned seed = GetParam();
+  const Chain c = random_chain(seed, 6 + seed % 3);
+  const Platform p{3, (0.8 + (seed % 5) * 0.4) * GB, 12 * GB};
+
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& stages : all_partitionings(c, p.processors)) {
+    const int n = static_cast<int>(stages.size());
+    bool feasible = true;
+    double value = 0.0;
+    for (int s = 0; s < n && feasible; ++s) {
+      if (stage_memory(c, stages[s].first, stages[s].last, n - s) >
+          p.memory_per_processor) {
+        feasible = false;
+        break;
+      }
+      value = std::max(value, c.compute_load(stages[s].first, stages[s].last));
+      if (s + 1 < n) {
+        value = std::max(value, p.boundary_comm_time(c, stages[s].last));
+      }
+    }
+    if (feasible) best = std::min(best, value);
+  }
+
+  const auto result = pipedream_partition(c, p);
+  if (!std::isfinite(best)) {
+    EXPECT_FALSE(result.has_value());
+  } else {
+    ASSERT_TRUE(result.has_value());
+    EXPECT_NEAR(result->dp_period, best, best * 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipeDreamFuzz, ::testing::Range(100u, 130u));
+
+class SchedulerAgreementFuzz : public ::testing::TestWithParam<unsigned> {};
+
+// On random non-contiguous allocations: whenever the (conservative) ILP
+// schedules at some period, the exact B&B must too; both patterns must pass
+// the exact verifier; and the ASAP simulation of either can only be faster.
+TEST_P(SchedulerAgreementFuzz, IlpImpliesBBAndBothValidate) {
+  const unsigned seed = GetParam();
+  const Chain c = random_chain(seed, 6);
+  const Platform p{2, (1.0 + (seed % 4) * 0.8) * GB, 12 * GB};
+  // Allocation shape: [1,a] on 0, [a+1,b] on 1, [b+1,6] on 0.
+  const int a = 1 + static_cast<int>(seed % 3);
+  const int b = a + 1 + static_cast<int>((seed / 3) % (5 - a));
+  Allocation allocation(Partitioning(c, {{1, a}, {a + 1, b}, {b + 1, 6}}),
+                        {0, 1, 0}, 2);
+  const CyclicProblem problem = build_cyclic_problem(allocation, c, p);
+
+  for (const double factor : {1.05, 1.3, 1.8}) {
+    const Seconds period = problem.min_period * factor;
+    const ILPScheduleResult ilp =
+        ilp_schedule(problem, allocation, c, p, period);
+    const BBResult bb = bb_schedule(problem, allocation, c, p, period);
+    if (ilp.feasible) {
+      EXPECT_TRUE(bb.feasible) << "seed " << seed << " factor " << factor;
+    }
+    for (const PeriodicPattern* pattern :
+         {ilp.feasible ? &ilp.pattern : nullptr,
+          bb.feasible ? &bb.pattern : nullptr}) {
+      if (pattern == nullptr) continue;
+      const auto check = validate_pattern(*pattern, allocation, c, p);
+      EXPECT_TRUE(check.valid);
+      const auto sim = simulate_pattern(*pattern, allocation, c, p, {24});
+      EXPECT_LE(sim.steady_period, period * (1.0 + 1e-6));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerAgreementFuzz,
+                         ::testing::Range(200u, 220u));
+
+class GPipeFuzz : public ::testing::TestWithParam<unsigned> {};
+
+// plan_gpipe balances under its memory model; brute force over contiguous
+// partitionings with the same period formula must not beat it.
+TEST_P(GPipeFuzz, NearBruteForce) {
+  const unsigned seed = GetParam();
+  const Chain c = random_chain(seed, 6 + seed % 3);
+  const Platform p{3, (0.8 + (seed % 4) * 0.5) * GB, 12 * GB};
+  const int m = 4;
+
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& stages : all_partitionings(c, p.processors)) {
+    bool feasible = true;
+    for (const Stage& st : stages) {
+      if (gpipe_stage_memory(c, st.first, st.last, m) >
+          p.memory_per_processor) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    const Allocation allocation =
+        make_contiguous_allocation(c, stages, p.processors);
+    best = std::min(best, gpipe_period(allocation, c, p, m));
+  }
+
+  const auto plan = plan_gpipe(c, p, {m});
+  if (!std::isfinite(best)) {
+    EXPECT_FALSE(plan.has_value());
+    return;
+  }
+  ASSERT_TRUE(plan.has_value());
+  // The planner balances the bottleneck rather than the exact makespan, so
+  // allow a modest optimality gap — but never infeasibility or nonsense.
+  EXPECT_LE(plan->period, best * 1.25) << "seed " << seed;
+  EXPECT_GE(plan->period, best * (1.0 - 1e-9)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GPipeFuzz, ::testing::Range(300u, 320u));
+
+class OneFOneBFuzzMin : public ::testing::TestWithParam<unsigned> {};
+
+// plan_one_f_one_b claims minimality via breakpoint enumeration; verify by
+// dense scanning: no period strictly below the returned one may be
+// memory-feasible.
+TEST_P(OneFOneBFuzzMin, BreakpointScanIsMinimal) {
+  const unsigned seed = GetParam();
+  const Chain c = random_chain(seed, 8);
+  const Platform p{4, (1.0 + (seed % 4) * 0.6) * GB, 12 * GB};
+  std::vector<Stage> stages{{1, 2}, {3, 4}, {5, 6}, {7, 8}};
+  const Allocation allocation = make_contiguous_allocation(c, stages, 4);
+  const auto plan = plan_one_f_one_b(allocation, c, p);
+  if (!plan) GTEST_SKIP();
+  const Seconds optimum = plan->period();
+  // Below the max pseudo-stage load no pattern exists regardless of memory,
+  // so only probe the range where memory is the binding constraint.
+  Seconds max_load = 0.0;
+  for (const PseudoStage& ps : comm_transform(allocation, c, p)) {
+    max_load = std::max(max_load, ps.total());
+  }
+  if (optimum <= max_load * 1.001) GTEST_SKIP() << "load-bound instance";
+  for (double f = 0.90; f < 0.999; f += 0.01) {
+    if (optimum * f <= max_load) continue;
+    EXPECT_FALSE(memory_feasible(allocation, c, p, optimum * f))
+        << "seed " << seed << " factor " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OneFOneBFuzzMin, ::testing::Range(400u, 425u));
+
+}  // namespace
+}  // namespace madpipe

@@ -1,0 +1,173 @@
+#include "hybrid/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.hpp"
+#include "util/expect.hpp"
+
+namespace madpipe::hybrid {
+namespace {
+
+Chain chain8() {
+  return make_uniform_chain(8, ms(5), ms(10), 10 * MB, 40 * MB, 30 * MB);
+}
+
+TEST(Hybrid, AllReduceFormula) {
+  // 2·(r−1)/r · bytes/β.
+  EXPECT_DOUBLE_EQ(allreduce_time(12 * GB, 2, 12 * GB), 1.0);
+  EXPECT_DOUBLE_EQ(allreduce_time(12 * GB, 4, 12 * GB), 1.5);
+  EXPECT_DOUBLE_EQ(allreduce_time(12 * GB, 1, 12 * GB), 0.0);
+}
+
+TEST(Hybrid, AllReduceApproachesTwiceTheVolume) {
+  const Seconds big = allreduce_time(GB, 1024, GB);
+  EXPECT_NEAR(big, 2.0, 0.01);
+}
+
+TEST(Hybrid, ShardedTransferScalesWithNarrowEnd) {
+  EXPECT_DOUBLE_EQ(sharded_transfer_time(12 * GB, 4, 2, 12 * GB), 0.5);
+  EXPECT_DOUBLE_EQ(sharded_transfer_time(12 * GB, 1, 8, 12 * GB), 1.0);
+}
+
+TEST(Hybrid, ContractChecks) {
+  EXPECT_THROW(allreduce_time(GB, 0, GB), ContractViolation);
+  EXPECT_THROW(sharded_transfer_time(GB, 0, 1, GB), ContractViolation);
+}
+
+TEST(Hybrid, PlanCoversChainAndRespectsGpuBudget) {
+  const Chain c = chain8();
+  const Platform p{8, 2 * GB, 12 * GB};
+  const auto plan = plan_hybrid(c, p);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_LE(plan->gpus_used, 8);
+  int layer = 1;
+  for (const HybridStage& stage : plan->stages) {
+    EXPECT_EQ(stage.layers.first, layer);
+    layer = stage.layers.last + 1;
+    EXPECT_GE(stage.replication, 1);
+    EXPECT_LE(stage.replica_memory, p.memory_per_processor * (1.0 + 1e-9));
+  }
+  EXPECT_EQ(layer, c.length() + 1);
+}
+
+TEST(Hybrid, PeriodIsTheBottleneckStage) {
+  const Chain c = chain8();
+  const Platform p{8, 2 * GB, 12 * GB};
+  const auto plan = plan_hybrid(c, p);
+  ASSERT_TRUE(plan.has_value());
+  Seconds max_load = 0.0;
+  for (const HybridStage& stage : plan->stages) {
+    max_load = std::max(max_load, stage.effective_load);
+  }
+  EXPECT_GE(plan->period, max_load - 1e-12);
+}
+
+TEST(Hybrid, DegeneratesToModelParallelOnOneGpuPerStage) {
+  // With memory forcing many stages and P small, replication stays 1 and
+  // the plan reduces to plain pipelined model parallelism.
+  const Chain c = chain8();
+  const Platform p{2, 800 * MB, 12 * GB};
+  const auto plan = plan_hybrid(c, p);
+  if (!plan) GTEST_SKIP();
+  for (const HybridStage& stage : plan->stages) {
+    EXPECT_EQ(stage.replication, 1);
+  }
+}
+
+TEST(Hybrid, BeatsPureDataParallelWhenWeightsAreHeavy) {
+  // Heavy weights make the P-way AllReduce expensive: hybrid grouping must
+  // match or beat pure data parallelism.
+  const Chain c = make_uniform_chain(8, ms(5), ms(10), 200 * MB, 10 * MB,
+                                     10 * MB);
+  const Platform p{16, 8 * GB, 12 * GB};
+  const auto hybrid_plan = plan_hybrid(c, p);
+  const auto dp_plan = plan_data_parallel(c, p);
+  ASSERT_TRUE(hybrid_plan.has_value());
+  ASSERT_TRUE(dp_plan.has_value());
+  EXPECT_LE(hybrid_plan->period, dp_plan->period * (1.0 + 1e-9));
+}
+
+TEST(Hybrid, ScalesBeyondPureModelParallelism) {
+  // Pure model parallelism is capped by the chain length / bottleneck
+  // stage; with 32 GPUs the hybrid must exploit replication.
+  const Chain c = chain8();
+  const Platform p{32, 4 * GB, 12 * GB};
+  const auto plan = plan_hybrid(c, p);
+  ASSERT_TRUE(plan.has_value());
+  int total_replicas = 0;
+  for (const HybridStage& stage : plan->stages) {
+    total_replicas += stage.replication;
+  }
+  EXPECT_GT(total_replicas, static_cast<int>(plan->stages.size()))
+      << "expected some stage to replicate";
+  // Better than the best pure-model bound (bottleneck = one 15 ms layer).
+  EXPECT_LT(plan->period, ms(15));
+}
+
+TEST(Hybrid, MoreGpusNeverHurt) {
+  const Chain c = chain8();
+  Seconds previous = std::numeric_limits<double>::infinity();
+  for (const int gpus : {2, 4, 8, 16, 32}) {
+    const Platform p{gpus, 2 * GB, 12 * GB};
+    const auto plan = plan_hybrid(c, p);
+    if (!plan) continue;
+    EXPECT_LE(plan->period, previous * (1.0 + 1e-9)) << gpus;
+    previous = plan->period;
+  }
+}
+
+TEST(Hybrid, PowerOfTwoRestrictionIsNeverBetter) {
+  const Chain c = chain8();
+  const Platform p{12, 2 * GB, 12 * GB};
+  HybridOptions pow2;
+  HybridOptions any;
+  any.power_of_two_replication = false;
+  const auto restricted = plan_hybrid(c, p, pow2);
+  const auto general = plan_hybrid(c, p, any);
+  ASSERT_TRUE(restricted.has_value());
+  ASSERT_TRUE(general.has_value());
+  EXPECT_LE(general->period, restricted->period * (1.0 + 1e-9));
+}
+
+TEST(Hybrid, DataParallelMatchesHandFormula) {
+  const Chain c = chain8();
+  const Platform p{8, 8 * GB, 12 * GB};
+  const auto plan = plan_data_parallel(c, p);
+  ASSERT_TRUE(plan.has_value());
+  const Seconds expected =
+      c.total_compute() / 8 +
+      allreduce_time(c.weight_sum(1, 8), 8, p.bandwidth);
+  EXPECT_NEAR(plan->period, expected, 1e-12);
+}
+
+TEST(Hybrid, DataParallelInfeasibleWhenReplicaTooBig) {
+  const Chain c = make_uniform_chain(4, ms(1), ms(1), GB, MB, MB);
+  const Platform p{4, 2 * GB, 12 * GB};  // 3·4GB of weights per replica
+  EXPECT_FALSE(plan_data_parallel(c, p).has_value());
+}
+
+TEST(Hybrid, PaperNetworkScalability) {
+  // The paper's conclusion scenario: hybrid keeps scaling where pure model
+  // parallelism saturates.
+  const Chain c = models::paper_network("resnet50");
+  const Platform p16{16, 8 * GB, 12 * GB};
+  const Platform p32{32, 8 * GB, 12 * GB};
+  const auto plan16 = plan_hybrid(c, p16);
+  const auto plan32 = plan_hybrid(c, p32);
+  ASSERT_TRUE(plan16.has_value());
+  ASSERT_TRUE(plan32.has_value());
+  EXPECT_GT(plan32->speedup(c), plan16->speedup(c) * 1.2);
+}
+
+TEST(Hybrid, PlanToStringMentionsReplication) {
+  const Chain c = chain8();
+  const Platform p{8, 2 * GB, 12 * GB};
+  const auto plan = plan_hybrid(c, p);
+  ASSERT_TRUE(plan.has_value());
+  const std::string text = hybrid_plan_to_string(*plan, c);
+  EXPECT_NE(text.find("replicas"), std::string::npos);
+  EXPECT_NE(text.find("stage 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace madpipe::hybrid

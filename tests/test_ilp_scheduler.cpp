@@ -1,0 +1,85 @@
+#include "cyclic/ilp_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cyclic/bb_scheduler.hpp"
+#include "schedule/one_f_one_b.hpp"
+
+namespace madpipe {
+namespace {
+
+Chain small_chain() {
+  std::vector<Layer> layers{
+      {"l1", ms(4), ms(8), 2 * MB, 30 * MB},
+      {"l2", ms(6), ms(12), 4 * MB, 20 * MB},
+      {"l3", ms(5), ms(10), 2 * MB, 25 * MB},
+      {"l4", ms(3), ms(6), 1 * MB, 10 * MB},
+  };
+  return Chain("small", 40 * MB, std::move(layers));
+}
+
+TEST(ILPScheduler, SchedulesTwoStagePipeline) {
+  const Chain c = small_chain();
+  const Platform p{2, 10 * GB, 12 * GB};
+  const Allocation a = make_contiguous_allocation(c, {{1, 2}, {3, 4}}, 2);
+  const CyclicProblem problem = build_cyclic_problem(a, c, p);
+  const ILPScheduleResult result =
+      ilp_schedule(problem, a, c, p, problem.serial_period);
+  ASSERT_TRUE(result.feasible);
+  const auto check = validate_pattern(result.pattern, a, c, p);
+  EXPECT_TRUE(check.valid) << (check.errors.empty() ? "" : check.errors[0]);
+}
+
+TEST(ILPScheduler, InfeasibleWhenOpExceedsPeriod) {
+  const Chain c = small_chain();
+  const Platform p{2, 10 * GB, 12 * GB};
+  const Allocation a = make_contiguous_allocation(c, {{1, 2}, {3, 4}}, 2);
+  const CyclicProblem problem = build_cyclic_problem(a, c, p);
+  EXPECT_FALSE(ilp_schedule(problem, a, c, p, ms(5)).feasible);
+}
+
+TEST(ILPScheduler, AgreesWithBBOnTightPeriod) {
+  const Chain c = small_chain();
+  const Platform p{2, 10 * GB, 12 * GB};
+  const Allocation a = make_contiguous_allocation(c, {{1, 2}, {3, 4}}, 2);
+  const CyclicProblem problem = build_cyclic_problem(a, c, p);
+  // Probe a few periods from the resource bound upward; whenever the
+  // (conservative) ILP schedules, the exact BB must too.
+  for (double f : {1.0, 1.15, 1.4, 2.0}) {
+    const Seconds period = problem.min_period * f;
+    const ILPScheduleResult ilp = ilp_schedule(problem, a, c, p, period);
+    const BBResult bb = bb_schedule(problem, a, c, p, period);
+    if (ilp.feasible) {
+      EXPECT_TRUE(bb.feasible) << "factor " << f;
+    }
+    if (ilp.feasible) {
+      const auto check = validate_pattern(ilp.pattern, a, c, p);
+      EXPECT_TRUE(check.valid);
+    }
+  }
+}
+
+TEST(ILPScheduler, HandlesNonContiguousSpecialProcessor) {
+  const Chain c = small_chain();
+  const Platform p{2, 10 * GB, 12 * GB};
+  Allocation a(Partitioning(c, {{1, 1}, {2, 3}, {4, 4}}), {1, 0, 1}, 2);
+  const CyclicProblem problem = build_cyclic_problem(a, c, p);
+  const ILPScheduleResult result =
+      ilp_schedule(problem, a, c, p, problem.serial_period);
+  ASSERT_TRUE(result.feasible);
+  const auto check = validate_pattern(result.pattern, a, c, p);
+  EXPECT_TRUE(check.valid) << (check.errors.empty() ? "" : check.errors[0]);
+}
+
+TEST(ILPScheduler, MemoryBudgetBlocksSchedules) {
+  // Activation floor beyond memory: the ILP must refuse.
+  const Chain c = make_uniform_chain(4, ms(5), ms(5), MB, 600 * MB, 600 * MB);
+  const Platform p{2, 2 * GB, 12 * GB};
+  Allocation a(Partitioning(c, {{1, 1}, {2, 3}, {4, 4}}), {0, 1, 0}, 2);
+  const CyclicProblem problem = build_cyclic_problem(a, c, p);
+  EXPECT_FALSE(
+      ilp_schedule(problem, a, c, p, problem.serial_period).feasible);
+}
+
+}  // namespace
+}  // namespace madpipe

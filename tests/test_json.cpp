@@ -1,0 +1,108 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace madpipe::json {
+namespace {
+
+TEST(Json, EmptyObject) {
+  Writer w;
+  w.begin_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(Json, FlatObject) {
+  Writer w;
+  w.begin_object();
+  w.key("a");
+  w.value(1);
+  w.key("b");
+  w.value("two");
+  w.key("c");
+  w.value(true);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"two","c":true})");
+}
+
+TEST(Json, NestedStructures) {
+  Writer w;
+  w.begin_object();
+  w.key("list");
+  w.begin_array();
+  w.value(1);
+  w.begin_object();
+  w.key("x");
+  w.null();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"list":[1,{"x":null}]})");
+}
+
+TEST(Json, EscapesSpecials) {
+  Writer w;
+  w.begin_object();
+  w.key("s");
+  w.value("a\"b\\c\nd\te");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, EscapesControlCharacters) {
+  Writer w;
+  w.begin_array();
+  w.value(std::string("\x01"));
+  w.end_array();
+  EXPECT_EQ(w.str(), "[\"\\u0001\"]");
+}
+
+TEST(Json, DoubleFormatting) {
+  Writer w;
+  w.begin_array();
+  w.value(0.5);
+  w.value(1e300);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[0.5,1e+300]");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  Writer w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(Json, ArrayCommas) {
+  Writer w;
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.value(3);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(Json, UnterminatedScopeThrows) {
+  Writer w;
+  w.begin_object();
+  EXPECT_THROW(w.str(), ContractViolation);
+}
+
+TEST(Json, MismatchedEndThrows) {
+  Writer w;
+  w.begin_object();
+  EXPECT_THROW(w.end_array(), ContractViolation);
+}
+
+TEST(Json, KeyOutsideObjectThrows) {
+  Writer w;
+  w.begin_array();
+  EXPECT_THROW(w.key("nope"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace madpipe::json

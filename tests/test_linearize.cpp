@@ -1,0 +1,118 @@
+#include "models/linearize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.hpp"
+#include "util/expect.hpp"
+
+namespace madpipe::models {
+namespace {
+
+Chain varied_chain() {
+  std::vector<Layer> layers;
+  for (int i = 0; i < 12; ++i) {
+    layers.push_back(Layer{"l" + std::to_string(i),
+                           ms(1.0 + (i % 4)), ms(2.0 + (i % 3)),
+                           (1.0 + i) * MB, (50.0 - 3 * i) * MB});
+  }
+  return Chain("varied", 60 * MB, std::move(layers));
+}
+
+TEST(Coarsen, ReachesTargetLength) {
+  const Chain c = varied_chain();
+  for (const int target : {1, 3, 6, 11}) {
+    EXPECT_EQ(coarsen(c, target).length(), target) << target;
+  }
+}
+
+TEST(Coarsen, NoopWhenShortEnough) {
+  const Chain c = varied_chain();
+  EXPECT_EQ(coarsen(c, 12), c);
+  EXPECT_EQ(coarsen(c, 50), c);
+}
+
+TEST(Coarsen, PreservesTotals) {
+  const Chain c = varied_chain();
+  const Chain merged = coarsen(c, 4);
+  EXPECT_NEAR(merged.total_compute(), c.total_compute(), 1e-12);
+  EXPECT_NEAR(merged.weight_sum(1, merged.length()),
+              c.weight_sum(1, c.length()), 1e-6);
+  EXPECT_DOUBLE_EQ(merged.activation(0), c.activation(0));
+  EXPECT_DOUBLE_EQ(merged.activation(merged.length()),
+                   c.activation(c.length()));
+}
+
+TEST(Coarsen, BoundaryActivationsAreSubsetOfOriginal) {
+  const Chain c = varied_chain();
+  const Chain merged = coarsen(c, 5);
+  std::vector<Bytes> original;
+  for (int l = 0; l <= c.length(); ++l) original.push_back(c.activation(l));
+  for (int l = 0; l <= merged.length(); ++l) {
+    const Bytes a = merged.activation(l);
+    EXPECT_NE(std::find(original.begin(), original.end(), a), original.end())
+        << "activation " << a << " not a boundary of the original chain";
+  }
+}
+
+TEST(Coarsen, MaxBoundaryStrategyRemovesBigBoundariesFirst) {
+  const Chain c = varied_chain();  // activations decrease along the chain
+  const Chain merged = coarsen(c, 6, CoarsenStrategy::MaxBoundaryActivation);
+  // The largest internal boundaries (at the front) must be gone: the first
+  // merged layer swallows the earliest layers.
+  EXPECT_GT(merged.layer(1).forward_time, c.layer(1).forward_time);
+}
+
+TEST(Coarsen, RejectsZeroTarget) {
+  EXPECT_THROW(coarsen(varied_chain(), 0), ContractViolation);
+}
+
+TEST(Zoo, ListsFourNetworks) {
+  EXPECT_EQ(list_networks().size(), 4u);
+}
+
+TEST(Zoo, BuildsEveryNetwork) {
+  for (const std::string& name : list_networks()) {
+    NetworkConfig config;
+    config.network = name;
+    config.image_size = 256;  // small for test speed
+    config.batch = 2;
+    const Chain chain = build_network(config);
+    EXPECT_GE(chain.length(), 10) << name;
+    EXPECT_GT(chain.total_compute(), 0.0) << name;
+    EXPECT_EQ(chain.name(), name);
+  }
+}
+
+TEST(Zoo, ChainLengthConfigCoarsens) {
+  NetworkConfig config;
+  config.network = "densenet121";
+  config.image_size = 256;
+  config.chain_length = 20;
+  EXPECT_EQ(build_network(config).length(), 20);
+}
+
+TEST(Zoo, RejectsUnknownNetwork) {
+  NetworkConfig config;
+  config.network = "alexnet";
+  EXPECT_THROW(build_network(config), ContractViolation);
+}
+
+TEST(Zoo, PaperNetworkMatchesPaperSetting) {
+  const Chain chain = paper_network("resnet50");
+  // Batch 8 of 1000×1000×3 fp32 images: 96 MB input tensor.
+  EXPECT_DOUBLE_EQ(chain.activation(0), 8.0 * 3 * 1000 * 1000 * 4);
+  EXPECT_LE(chain.length(), 24);
+}
+
+TEST(Zoo, ActivationHeavyFrontWeightHeavyBack) {
+  // The structural property the paper's analysis hinges on.
+  const Chain chain = paper_network("resnet50");
+  const int L = chain.length();
+  const int half = L / 2;
+  EXPECT_GT(chain.stored_activation_sum(1, half),
+            chain.stored_activation_sum(half + 1, L));
+  EXPECT_LT(chain.weight_sum(1, half), chain.weight_sum(half + 1, L));
+}
+
+}  // namespace
+}  // namespace madpipe::models

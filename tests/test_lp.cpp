@@ -1,0 +1,143 @@
+#include "solver/lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace madpipe::solver {
+namespace {
+using madpipe::ContractViolation;
+
+TEST(Simplex, TwoVariableClassic) {
+  // max 3x + 5y  s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), objective 36.
+  Model m;
+  m.set_sense(Sense::Maximize);
+  const int x = m.add_variable("x", 0.0, 4.0, 3.0);
+  const int y = m.add_variable("y", 0.0, 1e9, 5.0);
+  m.add_constraint(LinearExpr().add(y, 2.0), Relation::LessEqual, 12.0);
+  m.add_constraint(LinearExpr().add(x, 3.0).add(y, 2.0), Relation::LessEqual,
+                   18.0);
+  const LPResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LPStatus::Optimal);
+  EXPECT_NEAR(r.objective, 36.0, 1e-6);
+  EXPECT_NEAR(r.values[x], 2.0, 1e-6);
+  EXPECT_NEAR(r.values[y], 6.0, 1e-6);
+}
+
+TEST(Simplex, MinimizationWithGreaterEqual) {
+  // min 2x + 3y  s.t. x + y ≥ 10, x ≥ 2 → (8, 2)? No: cost favors x (2<3),
+  // so x = 10 … but x also ≥ 2 only. Optimum: y = 0, x = 10, objective 20.
+  Model m;
+  const int x = m.add_variable("x", 2.0, 1e9, 2.0);
+  const int y = m.add_variable("y", 0.0, 1e9, 3.0);
+  m.add_constraint(LinearExpr().add(x, 1.0).add(y, 1.0),
+                   Relation::GreaterEqual, 10.0);
+  const LPResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LPStatus::Optimal);
+  EXPECT_NEAR(r.objective, 20.0, 1e-6);
+  EXPECT_NEAR(r.values[x], 10.0, 1e-6);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y  s.t. x + 2y = 8, x,y ≥ 0 → (0, 4), objective 4.
+  Model m;
+  const int x = m.add_variable("x", 0.0, 1e9, 1.0);
+  const int y = m.add_variable("y", 0.0, 1e9, 1.0);
+  m.add_constraint(LinearExpr().add(x, 1.0).add(y, 2.0), Relation::Equal, 8.0);
+  const LPResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LPStatus::Optimal);
+  EXPECT_NEAR(r.objective, 4.0, 1e-6);
+  EXPECT_NEAR(r.values[y], 4.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.add_variable("x", 0.0, 5.0, 1.0);
+  m.add_constraint(LinearExpr().add(x, 1.0), Relation::GreaterEqual, 10.0);
+  EXPECT_EQ(solve_lp(m).status, LPStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  m.set_sense(Sense::Maximize);
+  const int x = m.add_variable("x", 0.0,
+                               std::numeric_limits<double>::infinity(), 1.0);
+  m.add_constraint(LinearExpr().add(x, -1.0), Relation::LessEqual, 0.0);
+  EXPECT_EQ(solve_lp(m).status, LPStatus::Unbounded);
+}
+
+TEST(Simplex, RespectsShiftedLowerBounds) {
+  // min x with x ∈ [3, 10]: answer 3.
+  Model m;
+  const int x = m.add_variable("x", 3.0, 10.0, 1.0);
+  const LPResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LPStatus::Optimal);
+  EXPECT_NEAR(r.values[x], 3.0, 1e-9);
+}
+
+TEST(Simplex, RespectsUpperBounds) {
+  Model m;
+  m.set_sense(Sense::Maximize);
+  const int x = m.add_variable("x", 0.0, 7.5, 1.0);
+  const LPResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LPStatus::Optimal);
+  EXPECT_NEAR(r.values[x], 7.5, 1e-9);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x − y ≤ −2 with min x + y, x,y ≥ 0 → y ≥ x + 2 → (0, 2).
+  Model m;
+  const int x = m.add_variable("x", 0.0, 1e9, 1.0);
+  const int y = m.add_variable("y", 0.0, 1e9, 1.0);
+  m.add_constraint(LinearExpr().add(x, 1.0).add(y, -1.0), Relation::LessEqual,
+                   -2.0);
+  const LPResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LPStatus::Optimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-6);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex (degeneracy):
+  // Bland's rule must still terminate.
+  Model m;
+  m.set_sense(Sense::Maximize);
+  const int x = m.add_variable("x", 0.0, 1e9, 1.0);
+  const int y = m.add_variable("y", 0.0, 1e9, 1.0);
+  m.add_constraint(LinearExpr().add(x, 1.0).add(y, 1.0), Relation::LessEqual,
+                   4.0);
+  m.add_constraint(LinearExpr().add(x, 2.0).add(y, 2.0), Relation::LessEqual,
+                   8.0);
+  m.add_constraint(LinearExpr().add(x, 1.0), Relation::LessEqual, 4.0);
+  m.add_constraint(LinearExpr().add(y, 1.0), Relation::LessEqual, 4.0);
+  const LPResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LPStatus::Optimal);
+  EXPECT_NEAR(r.objective, 4.0, 1e-6);
+}
+
+TEST(Simplex, SolutionSatisfiesModel) {
+  Model m;
+  const int x = m.add_variable("x", 0.0, 9.0, 2.0);
+  const int y = m.add_variable("y", 1.0, 9.0, 1.0);
+  m.add_constraint(LinearExpr().add(x, 1.0).add(y, 3.0),
+                   Relation::GreaterEqual, 6.0);
+  const LPResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LPStatus::Optimal);
+  EXPECT_TRUE(m.is_feasible(r.values));
+  (void)x;
+  (void)y;
+}
+
+TEST(SolverModel, RejectsBadInput) {
+  Model m;
+  EXPECT_THROW(m.add_variable("x", 5.0, 1.0, 0.0), ContractViolation);
+  const int x = m.add_variable("x", 0.0, 1.0, 0.0);
+  (void)x;
+  EXPECT_THROW(m.add_constraint(LinearExpr().add(7, 1.0),
+                                Relation::LessEqual, 0.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace madpipe::solver

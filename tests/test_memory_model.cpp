@@ -1,0 +1,124 @@
+#include "core/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+namespace {
+
+Chain chain4() {
+  std::vector<Layer> layers{
+      {"l1", ms(2), ms(4), 1 * MB, 40 * MB},
+      {"l2", ms(2), ms(4), 2 * MB, 30 * MB},
+      {"l3", ms(2), ms(4), 4 * MB, 20 * MB},
+      {"l4", ms(2), ms(4), 8 * MB, 10 * MB},
+  };
+  return Chain("m", 50 * MB, std::move(layers));
+}
+
+TEST(MemoryModel, WeightsAreTripled) {
+  const Chain c = chain4();
+  EXPECT_DOUBLE_EQ(weights_memory(c, 2, 3), 18 * MB);
+}
+
+TEST(MemoryModel, ActivationsPerBatchAreLayerInputs) {
+  const Chain c = chain4();
+  EXPECT_DOUBLE_EQ(activations_memory_per_batch(c, 2, 3), (40 + 30) * MB);
+  EXPECT_DOUBLE_EQ(activations_memory_per_batch(c, 1, 1), 50 * MB);
+}
+
+TEST(MemoryModel, BuffersAtBothCuts) {
+  const Chain c = chain4();
+  EXPECT_DOUBLE_EQ(comm_buffers_memory(c, 2, 3), 2 * (40 + 20) * MB);
+}
+
+TEST(MemoryModel, BuffersDropAtChainEnds) {
+  const Chain c = chain4();
+  EXPECT_DOUBLE_EQ(comm_buffers_memory(c, 1, 3), 2 * 20 * MB);
+  EXPECT_DOUBLE_EQ(comm_buffers_memory(c, 2, 4), 2 * 40 * MB);
+  EXPECT_DOUBLE_EQ(comm_buffers_memory(c, 1, 4), 0.0);
+}
+
+TEST(MemoryModel, StageMemoryComposition) {
+  const Chain c = chain4();
+  const Bytes expected = weights_memory(c, 2, 3) +
+                         3.0 * activations_memory_per_batch(c, 2, 3) +
+                         comm_buffers_memory(c, 2, 3);
+  EXPECT_DOUBLE_EQ(stage_memory(c, 2, 3, 3), expected);
+}
+
+TEST(MemoryModel, StageMemoryZeroBatches) {
+  const Chain c = chain4();
+  EXPECT_DOUBLE_EQ(stage_memory(c, 2, 3, 0),
+                   weights_memory(c, 2, 3) + comm_buffers_memory(c, 2, 3));
+  EXPECT_THROW(stage_memory(c, 2, 3, -1), ContractViolation);
+}
+
+TEST(MemoryModel, ActivationCountCeil) {
+  const Chain c = chain4();  // U(2,3) = 12 ms
+  EXPECT_EQ(activation_count(c, 2, 3, 0.0, ms(12)), 1);
+  EXPECT_EQ(activation_count(c, 2, 3, 0.0, ms(11)), 2);
+  EXPECT_EQ(activation_count(c, 2, 3, ms(1), ms(12)), 2);
+  EXPECT_EQ(activation_count(c, 2, 3, ms(24), ms(12)), 3);
+}
+
+TEST(MemoryModel, ActivationCountAtLeastOne) {
+  const Chain c = chain4();
+  EXPECT_GE(activation_count(c, 2, 3, 0.0, 100.0), 1);
+}
+
+TEST(MemoryModel, ActivationCountRobustToRoundoff) {
+  const Chain c = chain4();
+  // U(1,4) = 24 ms built from 8 additions; exactly 2 periods of 12 ms.
+  EXPECT_EQ(activation_count(c, 1, 4, 0.0, ms(12)), 2);
+}
+
+// --- The ⊕ operator (delay_advance) ---------------------------------------
+
+TEST(DelayAdvance, NoGroupCrossingIsPlainAddition) {
+  // x = 3, y = 2, T̂ = 10: ceil(3/10) = ceil(5/10) = 1 → 5.
+  EXPECT_DOUBLE_EQ(delay_advance(3.0, 2.0, 10.0), 5.0);
+}
+
+TEST(DelayAdvance, GroupCrossingRoundsUpFirst) {
+  // x = 3, y = 9, T̂ = 10: ceil(3/10)=1, ceil(12/10)=2 → 10·1 + 9 = 19.
+  EXPECT_DOUBLE_EQ(delay_advance(3.0, 9.0, 10.0), 19.0);
+}
+
+TEST(DelayAdvance, ZeroTaskIsIdentity) {
+  EXPECT_DOUBLE_EQ(delay_advance(7.0, 0.0, 10.0), 7.0);
+}
+
+TEST(DelayAdvance, FromZero) {
+  // ceil(0)=0; ceil(y/T) ≥ 1 → crossing: 10·0 + y = y.
+  EXPECT_DOUBLE_EQ(delay_advance(0.0, 4.0, 10.0), 4.0);
+}
+
+TEST(DelayAdvance, ExactMultipleDoesNotCross) {
+  // x = 10 (exactly one period), y = 5: ceil(10/10)=1, ceil(15/10)=2 →
+  // crossing → 10·1 + 5 = 15 = plain addition here.
+  EXPECT_DOUBLE_EQ(delay_advance(10.0, 5.0, 10.0), 15.0);
+}
+
+TEST(DelayAdvance, MonotoneInX) {
+  for (double x = 0.0; x < 30.0; x += 0.7) {
+    EXPECT_LE(delay_advance(x, 4.0, 10.0), delay_advance(x + 0.5, 4.0, 10.0));
+  }
+}
+
+TEST(DelayAdvance, ResultAtLeastSum) {
+  for (double x = 0.0; x < 30.0; x += 0.7) {
+    for (double y = 0.0; y < 25.0; y += 1.1) {
+      EXPECT_GE(delay_advance(x, y, 10.0) + 1e-12, x + y);
+    }
+  }
+}
+
+TEST(DelayAdvance, RejectsNegative) {
+  EXPECT_THROW(delay_advance(-1.0, 1.0, 10.0), ContractViolation);
+  EXPECT_THROW(delay_advance(1.0, 1.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace madpipe

@@ -1,0 +1,135 @@
+#include "solver/milp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace madpipe::solver {
+namespace {
+
+TEST(MILP, PureLpPassesThrough) {
+  Model m;
+  m.set_sense(Sense::Maximize);
+  const int x = m.add_variable("x", 0.0, 4.0, 1.0);
+  const MILPResult r = solve_milp(m);
+  ASSERT_EQ(r.status, MILPStatus::Optimal);
+  EXPECT_NEAR(r.values[x], 4.0, 1e-6);
+}
+
+TEST(MILP, RoundsAwayFractionalRelaxation) {
+  // max x + y s.t. 2x + 2y ≤ 5, integers → LP gives 2.5 total; MILP 2.
+  Model m;
+  m.set_sense(Sense::Maximize);
+  const int x = m.add_variable("x", 0.0, 10.0, 1.0, VarType::Integer);
+  const int y = m.add_variable("y", 0.0, 10.0, 1.0, VarType::Integer);
+  m.add_constraint(LinearExpr().add(x, 2.0).add(y, 2.0), Relation::LessEqual,
+                   5.0);
+  const MILPResult r = solve_milp(m);
+  ASSERT_EQ(r.status, MILPStatus::Optimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-6);
+  EXPECT_TRUE(m.is_feasible(r.values));
+}
+
+TEST(MILP, KnapsackMatchesBruteForce) {
+  const std::vector<double> weight{3, 5, 7, 4, 6};
+  const std::vector<double> value{4, 6, 9, 5, 7};
+  const double capacity = 13;
+
+  Model m;
+  m.set_sense(Sense::Maximize);
+  LinearExpr total_weight;
+  std::vector<int> items;
+  for (std::size_t i = 0; i < weight.size(); ++i) {
+    items.push_back(m.add_variable("i" + std::to_string(i), 0.0, 1.0,
+                                   value[i], VarType::Integer));
+    total_weight.add(items.back(), weight[i]);
+  }
+  m.add_constraint(std::move(total_weight), Relation::LessEqual, capacity);
+
+  double best = 0.0;
+  for (int mask = 0; mask < (1 << 5); ++mask) {
+    double w = 0.0, v = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      if (mask & (1 << i)) {
+        w += weight[static_cast<std::size_t>(i)];
+        v += value[static_cast<std::size_t>(i)];
+      }
+    }
+    if (w <= capacity) best = std::max(best, v);
+  }
+
+  const MILPResult r = solve_milp(m);
+  ASSERT_EQ(r.status, MILPStatus::Optimal);
+  EXPECT_NEAR(r.objective, best, 1e-6);
+}
+
+TEST(MILP, IntegerInfeasibleDetected) {
+  // 2x = 3 with x integer: LP feasible (x = 1.5), MILP infeasible.
+  Model m;
+  const int x = m.add_variable("x", 0.0, 10.0, 1.0, VarType::Integer);
+  m.add_constraint(LinearExpr().add(x, 2.0), Relation::Equal, 3.0);
+  EXPECT_EQ(solve_milp(m).status, MILPStatus::Infeasible);
+}
+
+TEST(MILP, LpInfeasibleDetected) {
+  Model m;
+  const int x = m.add_variable("x", 0.0, 1.0, 1.0, VarType::Integer);
+  m.add_constraint(LinearExpr().add(x, 1.0), Relation::GreaterEqual, 5.0);
+  EXPECT_EQ(solve_milp(m).status, MILPStatus::Infeasible);
+}
+
+TEST(MILP, MixedIntegerContinuous) {
+  // max 2x + y: x integer ≤ 2.5 (→ 2), y ≤ 1.3 continuous.
+  Model m;
+  m.set_sense(Sense::Maximize);
+  const int x = m.add_variable("x", 0.0, 2.5, 2.0, VarType::Integer);
+  const int y = m.add_variable("y", 0.0, 1.3, 1.0);
+  const MILPResult r = solve_milp(m);
+  ASSERT_EQ(r.status, MILPStatus::Optimal);
+  EXPECT_NEAR(r.values[x], 2.0, 1e-6);
+  EXPECT_NEAR(r.values[y], 1.3, 1e-6);
+  EXPECT_NEAR(r.objective, 5.3, 1e-6);
+}
+
+TEST(MILP, EqualityWithIntegers) {
+  // x + y = 7, maximize x − y, both integer in [0,5] → x = 5, y = 2.
+  Model m;
+  m.set_sense(Sense::Maximize);
+  const int x = m.add_variable("x", 0.0, 5.0, 1.0, VarType::Integer);
+  const int y = m.add_variable("y", 0.0, 5.0, -1.0, VarType::Integer);
+  m.add_constraint(LinearExpr().add(x, 1.0).add(y, 1.0), Relation::Equal, 7.0);
+  const MILPResult r = solve_milp(m);
+  ASSERT_EQ(r.status, MILPStatus::Optimal);
+  EXPECT_NEAR(r.values[x], 5.0, 1e-6);
+  EXPECT_NEAR(r.values[y], 2.0, 1e-6);
+}
+
+TEST(MILP, NodeLimitReportsTruncation) {
+  // A 12-item knapsack with the node budget strangled to 1 node: the solver
+  // must not claim optimality.
+  Model m;
+  m.set_sense(Sense::Maximize);
+  LinearExpr total;
+  for (int i = 0; i < 12; ++i) {
+    const int x = m.add_variable("x" + std::to_string(i), 0.0, 1.0,
+                                 1.0 + 0.1 * i, VarType::Integer);
+    total.add(x, 2.0 + 0.3 * i);
+  }
+  m.add_constraint(std::move(total), Relation::LessEqual, 11.0);
+  MILPOptions options;
+  options.max_nodes = 1;
+  const MILPResult r = solve_milp(m, options);
+  EXPECT_NE(r.status, MILPStatus::Optimal);
+}
+
+TEST(MILP, CountsNodes) {
+  Model m;
+  m.set_sense(Sense::Maximize);
+  const int x = m.add_variable("x", 0.0, 10.0, 1.0, VarType::Integer);
+  m.add_constraint(LinearExpr().add(x, 2.0), Relation::LessEqual, 5.0);
+  const MILPResult r = solve_milp(m);
+  EXPECT_GE(r.nodes_explored, 1);
+}
+
+}  // namespace
+}  // namespace madpipe::solver

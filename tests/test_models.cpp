@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "models/cost_model.hpp"
+#include "models/densenet.hpp"
+#include "models/inception.hpp"
+#include "models/netdef.hpp"
+#include "models/resnet.hpp"
+#include "util/expect.hpp"
+
+namespace madpipe::models {
+namespace {
+
+long long total_params(const std::vector<BlockStats>& blocks) {
+  long long total = 0;
+  for (const BlockStats& b : blocks) total += b.params;
+  return total;
+}
+
+double total_flops(const std::vector<BlockStats>& blocks) {
+  double total = 0;
+  for (const BlockStats& b : blocks) total += b.forward_flops;
+  return total;
+}
+
+TEST(NetDef, ConvOutSize) {
+  EXPECT_EQ(conv_out_size(224, 7, 2, 3), 112);
+  EXPECT_EQ(conv_out_size(56, 3, 1, 1), 56);
+  EXPECT_EQ(conv_out_size(224, 3, 2, 0), 111);
+  EXPECT_THROW(conv_out_size(2, 7, 1, 0), ContractViolation);
+}
+
+TEST(NetDef, ConvParamsAndShape) {
+  BlockBuilder b("t", {3, 32, 32});
+  b.conv(16, 3, 1, 1, 1, /*batch_norm=*/false);
+  const BlockStats stats = b.finish();
+  EXPECT_EQ(stats.params, 3 * 3 * 3 * 16 + 16);  // kernel + bias
+  EXPECT_EQ(stats.output, (Tensor{16, 32, 32}));
+  // 2 FLOPs per MAC at each of 32·32 positions.
+  EXPECT_DOUBLE_EQ(stats.forward_flops, 2.0 * 3 * 3 * 3 * 16 * 32 * 32);
+}
+
+TEST(NetDef, BatchNormAddsTwoPerChannel) {
+  BlockBuilder b("t", {3, 8, 8});
+  b.conv(4, 1, 1, 0, 1, true);
+  EXPECT_EQ(b.finish().params, 3 * 4 + 2 * 4);
+}
+
+TEST(NetDef, RectConv) {
+  BlockBuilder b("t", {8, 16, 16});
+  b.conv_rect(8, 1, 7);
+  const BlockStats stats = b.finish();
+  EXPECT_EQ(stats.output, (Tensor{8, 16, 16}));
+  EXPECT_EQ(stats.params, 1LL * 7 * 8 * 8 + 2 * 8);
+}
+
+TEST(NetDef, PoolingChangesShapeOnly) {
+  BlockBuilder b("t", {4, 17, 17});
+  b.max_pool(3, 2, 0);
+  const BlockStats stats = b.finish();
+  EXPECT_EQ(stats.output, (Tensor{4, 8, 8}));
+  EXPECT_EQ(stats.params, 0);
+}
+
+TEST(NetDef, FullyConnected) {
+  BlockBuilder b("t", {16, 1, 1});
+  b.fully_connected(10);
+  const BlockStats stats = b.finish();
+  EXPECT_EQ(stats.params, 16 * 10 + 10);
+  EXPECT_EQ(stats.output, (Tensor{10, 1, 1}));
+}
+
+TEST(NetDef, ConcatAddsChannels) {
+  BlockBuilder main("t", {4, 8, 8});
+  main.conv(6, 1);
+  BlockBuilder branch("t/b", {4, 8, 8});
+  branch.conv(10, 1);
+  main.concat_branch(branch.finish());
+  EXPECT_EQ(main.shape().channels, 16);
+}
+
+TEST(NetDef, ResidualRequiresMatchingShape) {
+  BlockBuilder b("t", {4, 8, 8});
+  EXPECT_THROW(b.add_residual(Tensor{8, 8, 8}), ContractViolation);
+}
+
+// --- Reference parameter counts (per the original papers / torchvision) ---
+
+TEST(ResNet, Resnet50ParameterCount) {
+  const auto blocks = build_resnet50({3, 224, 224});
+  // torchvision: 25.56M; our BN-for-bias accounting lands within 2%.
+  EXPECT_NEAR(static_cast<double>(total_params(blocks)), 25.56e6, 0.5e6);
+}
+
+TEST(ResNet, Resnet101ParameterCount) {
+  const auto blocks = build_resnet101({3, 224, 224});
+  EXPECT_NEAR(static_cast<double>(total_params(blocks)), 44.55e6, 0.9e6);
+}
+
+TEST(ResNet, Resnet50FlopsAt224) {
+  const auto blocks = build_resnet50({3, 224, 224});
+  // ~4.1 GFLOPs (counting MAC = 2 FLOPs) per image.
+  EXPECT_NEAR(total_flops(blocks), 8.2e9, 0.8e9);
+}
+
+TEST(ResNet, BlockCountMatchesArchitecture) {
+  EXPECT_EQ(build_resnet50({3, 224, 224}).size(), 1u + 3 + 4 + 6 + 3 + 1);
+  EXPECT_EQ(build_resnet101({3, 224, 224}).size(), 1u + 3 + 4 + 23 + 3 + 1);
+}
+
+TEST(ResNet, SpatialResolutionHalvesPerStage) {
+  const auto blocks = build_resnet50({3, 224, 224});
+  EXPECT_EQ(blocks[0].output.height, 56);   // stem: /4
+  EXPECT_EQ(blocks[3].output.height, 56);   // conv2_x
+  EXPECT_EQ(blocks[7].output.height, 28);   // conv3_x
+  EXPECT_EQ(blocks[13].output.height, 14);  // conv4_x
+  EXPECT_EQ(blocks[16].output.height, 7);   // conv5_x
+}
+
+TEST(Inception, ParameterCount) {
+  const auto blocks = build_inception_v3({3, 299, 299});
+  // torchvision (without aux classifier): ~23.8M.
+  EXPECT_NEAR(static_cast<double>(total_params(blocks)), 23.8e6, 1.5e6);
+}
+
+TEST(Inception, ChannelProgression) {
+  const auto blocks = build_inception_v3({3, 299, 299});
+  EXPECT_EQ(blocks[1].output.channels, 192);   // stem
+  EXPECT_EQ(blocks[2].output.channels, 256);   // mixed5b
+  EXPECT_EQ(blocks[4].output.channels, 288);   // mixed5d
+  EXPECT_EQ(blocks[5].output.channels, 768);   // mixed6a
+  EXPECT_EQ(blocks[10].output.channels, 1280);  // mixed7a
+  EXPECT_EQ(blocks[12].output.channels, 2048);  // mixed7c
+}
+
+TEST(Inception, RejectsTinyInputs) {
+  EXPECT_THROW(build_inception_v3({3, 32, 32}), ContractViolation);
+}
+
+TEST(DenseNet, ParameterCount) {
+  const auto blocks = build_densenet121({3, 224, 224});
+  // torchvision: 7.98M.
+  EXPECT_NEAR(static_cast<double>(total_params(blocks)), 7.98e6, 0.5e6);
+}
+
+TEST(DenseNet, ChannelsGrowByGrowthRate) {
+  const auto blocks = build_densenet121({3, 224, 224});
+  // stem: 64 channels; each dense layer adds 32.
+  EXPECT_EQ(blocks[0].output.channels, 64);
+  EXPECT_EQ(blocks[1].output.channels, 96);
+  EXPECT_EQ(blocks[6].output.channels, 64 + 6 * 32);  // end of block 1
+  // transition halves: 256 → 128.
+  EXPECT_EQ(blocks[7].output.channels, 128);
+}
+
+TEST(DenseNet, BlockCount) {
+  // stem + 6 + trans + 12 + trans + 24 + trans + 16 + head = 63.
+  EXPECT_EQ(build_densenet121({3, 224, 224}).size(), 63u);
+}
+
+// --- Cost model ------------------------------------------------------------
+
+TEST(CostModel, LayerDurationsScaleWithBatch) {
+  const BlockStats block{"b", 1e9, 1000, {16, 10, 10}};
+  const DeviceModel device;
+  const Layer one = block_to_layer(block, 1, device);
+  const Layer eight = block_to_layer(block, 8, device);
+  EXPECT_NEAR((eight.forward_time - device.op_overhead),
+              8.0 * (one.forward_time - device.op_overhead), 1e-12);
+}
+
+TEST(CostModel, BackwardCostsDouble) {
+  const BlockStats block{"b", 1e9, 1000, {16, 10, 10}};
+  const DeviceModel device;
+  const Layer layer = block_to_layer(block, 4, device);
+  EXPECT_NEAR(layer.backward_time - device.op_overhead,
+              2.0 * (layer.forward_time - device.op_overhead), 1e-12);
+}
+
+TEST(CostModel, SizesInBytes) {
+  const BlockStats block{"b", 1e9, 1000, {16, 10, 10}};
+  const DeviceModel device;
+  const Layer layer = block_to_layer(block, 4, device);
+  EXPECT_DOUBLE_EQ(layer.weight_bytes, 4000.0);
+  EXPECT_DOUBLE_EQ(layer.output_bytes, 16.0 * 10 * 10 * 4 * 4);
+}
+
+TEST(CostModel, ChainIncludesInputActivation) {
+  const std::vector<BlockStats> blocks{{"b", 1e9, 1000, {16, 10, 10}}};
+  const Chain chain =
+      blocks_to_chain("net", {3, 10, 10}, blocks, 2, DeviceModel{});
+  EXPECT_DOUBLE_EQ(chain.activation(0), 3.0 * 10 * 10 * 4 * 2);
+  EXPECT_EQ(chain.length(), 1);
+}
+
+}  // namespace
+}  // namespace madpipe::models

@@ -1,0 +1,229 @@
+#include "schedule/one_f_one_b.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/memory_model.hpp"
+#include "util/expect.hpp"
+
+namespace madpipe {
+namespace {
+
+Chain random_chain(unsigned seed, int length) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dur(1.0, 20.0);
+  std::uniform_real_distribution<double> size(1.0, 100.0);
+  std::vector<Layer> layers;
+  for (int i = 0; i < length; ++i) {
+    Layer layer;
+    layer.name = "r" + std::to_string(i);
+    layer.forward_time = ms(dur(rng));
+    layer.backward_time = ms(dur(rng));
+    layer.weight_bytes = size(rng) * MB;
+    layer.output_bytes = size(rng) * MB;
+    layers.push_back(layer);
+  }
+  return Chain("random" + std::to_string(seed), size(rng) * MB,
+               std::move(layers));
+}
+
+std::vector<Stage> even_split(const Chain& chain, int stages) {
+  std::vector<Stage> result;
+  const int per = (chain.length() + stages - 1) / stages;
+  for (int first = 1; first <= chain.length(); first += per) {
+    result.push_back({first, std::min(chain.length(), first + per - 1)});
+  }
+  return result;
+}
+
+TEST(BuildGroups, SingleGroupWhenPeriodCoversAll) {
+  std::vector<PseudoStage> pseudo(3);
+  for (auto& ps : pseudo) {
+    ps.forward_duration = ms(1);
+    ps.backward_duration = ms(1);
+  }
+  const auto groups = build_groups(pseudo, ms(6));
+  EXPECT_EQ(groups, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(BuildGroups, GreedyFromTheEnd) {
+  std::vector<PseudoStage> pseudo(4);
+  for (auto& ps : pseudo) {
+    ps.forward_duration = ms(1);
+    ps.backward_duration = ms(1);
+  }
+  // T = 2ms: each group holds exactly one 2ms pseudo-stage.
+  EXPECT_EQ(build_groups(pseudo, ms(2)), (std::vector<int>{4, 3, 2, 1}));
+  // T = 4ms: pairs.
+  EXPECT_EQ(build_groups(pseudo, ms(4)), (std::vector<int>{2, 2, 1, 1}));
+}
+
+TEST(BuildGroups, ExactFitStaysInGroup) {
+  std::vector<PseudoStage> pseudo(3);
+  pseudo[0].forward_duration = ms(2);
+  pseudo[1].forward_duration = ms(3);
+  pseudo[2].forward_duration = ms(5);
+  // T = 8: suffix {3,5} sums exactly to 8 → one group; the 2 opens group 2.
+  EXPECT_EQ(build_groups(pseudo, ms(8)), (std::vector<int>{2, 1, 1}));
+}
+
+TEST(BuildGroups, GroupNumbersNonIncreasingInPeriod) {
+  std::vector<PseudoStage> pseudo(6);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dur(0.5, 5.0);
+  for (auto& ps : pseudo) {
+    ps.forward_duration = ms(dur(rng));
+    ps.backward_duration = ms(dur(rng));
+  }
+  Seconds total = 0.0;
+  for (const auto& ps : pseudo) total += ps.total();
+  std::vector<int> previous;
+  for (Seconds period = total; period >= total / 8; period *= 0.9) {
+    const auto groups = build_groups(pseudo, period);
+    if (!previous.empty()) {
+      for (std::size_t i = 0; i < groups.size(); ++i) {
+        EXPECT_GE(groups[i], previous[i]) << "period " << period;
+      }
+    }
+    previous = groups;
+  }
+}
+
+TEST(OneFOneB, PatternValidAtGenerousPeriod) {
+  const Chain c = random_chain(1, 8);
+  const Platform p{4, 100 * GB, 12 * GB};
+  const Allocation a = make_contiguous_allocation(c, even_split(c, 4), 4);
+  const auto schedule = build_one_f_one_b(a, c, p, c.total_compute());
+  const auto check = validate_pattern(schedule.pattern, a, c, p);
+  EXPECT_TRUE(check.valid) << (check.errors.empty() ? "" : check.errors[0]);
+}
+
+TEST(OneFOneB, RejectsPeriodBelowStageLoad) {
+  const Chain c = random_chain(2, 8);
+  const Platform p{4, 100 * GB, 12 * GB};
+  const Allocation a = make_contiguous_allocation(c, even_split(c, 4), 4);
+  EXPECT_THROW(build_one_f_one_b(a, c, p, ms(0.1)), ContractViolation);
+}
+
+TEST(OneFOneB, ValidatorInflightMatchesGroupNumbers) {
+  const Chain c = random_chain(3, 10);
+  const Platform p{5, 1000 * GB, 12 * GB};
+  const Allocation a = make_contiguous_allocation(c, even_split(c, 5), 5);
+  const Seconds period = 0.45 * c.total_compute();
+  const auto pseudo = comm_transform(a, c, p);
+  Seconds max_load = 0.0;
+  for (const auto& ps : pseudo) max_load = std::max(max_load, ps.total());
+  if (period < max_load) GTEST_SKIP() << "period below load for this seed";
+
+  const auto schedule = build_one_f_one_b(a, c, p, period);
+  const auto check = validate_pattern(schedule.pattern, a, c, p);
+  ASSERT_TRUE(check.valid) << (check.errors.empty() ? "" : check.errors[0]);
+  for (std::size_t q = 0; q < pseudo.size(); ++q) {
+    if (pseudo[q].kind != PseudoStage::Kind::Compute) continue;
+    EXPECT_EQ(check.stage_active_batches[pseudo[q].stage],
+              schedule.group_of_pseudo_stage[q])
+        << "stage " << pseudo[q].stage;
+  }
+}
+
+TEST(OneFOneB, AnalyticMemoryMatchesValidator) {
+  const Chain c = random_chain(4, 9);
+  const Platform p{3, 1000 * GB, 12 * GB};
+  const Allocation a = make_contiguous_allocation(c, even_split(c, 3), 3);
+  const Seconds period = 0.6 * c.total_compute();
+  const auto schedule = build_one_f_one_b(a, c, p, period);
+  const auto check = validate_pattern(schedule.pattern, a, c, p);
+  ASSERT_TRUE(check.valid);
+  const auto pseudo = comm_transform(a, c, p);
+  for (std::size_t q = 0; q < pseudo.size(); ++q) {
+    if (pseudo[q].kind != PseudoStage::Kind::Compute) continue;
+    const Stage& st = a.partitioning().stage(pseudo[q].stage);
+    const Bytes analytic = stage_memory(
+        c, st.first, st.last, schedule.group_of_pseudo_stage[q]);
+    const int proc = a.processor_of(pseudo[q].stage);
+    EXPECT_NEAR(check.processor_memory_peak[proc], analytic, 1.0)
+        << "stage " << pseudo[q].stage;
+  }
+}
+
+TEST(PlanOneFOneB, UnlimitedMemoryReachesLoadBound) {
+  const Chain c = random_chain(5, 8);
+  const Platform p{4, 1e6 * GB, 12 * GB};
+  const Allocation a = make_contiguous_allocation(c, even_split(c, 4), 4);
+  const auto plan = plan_one_f_one_b(a, c, p);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_NEAR(plan->period(), a.period_lower_bound(c, p),
+              1e-9 * plan->period());
+}
+
+TEST(PlanOneFOneB, PeriodNonIncreasingInMemory) {
+  const Chain c = random_chain(6, 10);
+  const Allocation a = make_contiguous_allocation(c, even_split(c, 5), 5);
+  Seconds previous = -1.0;
+  for (double mem_gb = 0.7; mem_gb <= 12.0; mem_gb *= 1.6) {
+    const Platform p{5, mem_gb * GB, 12 * GB};
+    const auto plan = plan_one_f_one_b(a, c, p);
+    if (!plan) continue;
+    const auto check = validate_pattern(plan->pattern, a, c, p);
+    EXPECT_TRUE(check.valid);
+    if (previous >= 0.0) {
+      EXPECT_LE(plan->period(), previous * (1.0 + 1e-9)) << mem_gb;
+    }
+    previous = plan->period();
+  }
+  EXPECT_GE(previous, 0.0) << "no memory size was feasible";
+}
+
+TEST(PlanOneFOneB, InfeasibleWhenWeightsAloneDoNotFit) {
+  const Chain c = random_chain(7, 6);
+  const Platform p{3, 1 * MB, 12 * GB};  // less than the weights
+  const Allocation a = make_contiguous_allocation(c, even_split(c, 3), 3);
+  EXPECT_FALSE(plan_one_f_one_b(a, c, p).has_value());
+}
+
+TEST(PlanOneFOneB, MemoryFeasibleAgreesWithPattern) {
+  // memory_feasible's analytic answer must agree with exact validation of
+  // the built pattern over a sweep of candidate periods.
+  const Chain c = random_chain(8, 8);
+  const Platform p{4, 2.5 * GB, 12 * GB};
+  const Allocation a = make_contiguous_allocation(c, even_split(c, 4), 4);
+  const auto pseudo = comm_transform(a, c, p);
+  Seconds max_load = 0.0;
+  Seconds total = 0.0;
+  for (const auto& ps : pseudo) {
+    max_load = std::max(max_load, ps.total());
+    total += ps.total();
+  }
+  for (double f = 1.0; f <= 2.0; f += 0.13) {
+    const Seconds period = max_load * f;
+    if (period > total) break;
+    const bool analytic = memory_feasible(a, c, p, period);
+    const auto schedule = build_one_f_one_b(a, c, p, period);
+    ValidationOptions options;
+    const auto check = validate_pattern(schedule.pattern, a, c, p, options);
+    EXPECT_EQ(analytic, check.valid) << "period factor " << f;
+  }
+}
+
+class OneFOneBRandomized : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OneFOneBRandomized, PlansAreAlwaysValid) {
+  const Chain c = random_chain(GetParam(), 4 + GetParam() % 9);
+  const int procs = 2 + GetParam() % 4;
+  if (c.length() < procs) GTEST_SKIP();
+  const Platform p{procs, (1.0 + GetParam() % 7) * GB, 12 * GB};
+  const Allocation a =
+      make_contiguous_allocation(c, even_split(c, procs), procs);
+  const auto plan = plan_one_f_one_b(a, c, p);
+  if (!plan) GTEST_SKIP() << "infeasible configuration";
+  const auto check = validate_pattern(plan->pattern, a, c, p);
+  EXPECT_TRUE(check.valid) << (check.errors.empty() ? "" : check.errors[0]);
+  EXPECT_GE(plan->period(), a.period_lower_bound(c, p) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OneFOneBRandomized,
+                         ::testing::Range(10u, 40u));
+
+}  // namespace
+}  // namespace madpipe

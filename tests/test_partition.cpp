@@ -1,0 +1,134 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+namespace {
+
+Chain chain6() { return make_uniform_chain(6, ms(1), ms(2), MB, 10 * MB, 5 * MB); }
+
+TEST(Partitioning, AcceptsFullCover) {
+  const Chain c = chain6();
+  const Partitioning p(c, {{1, 2}, {3, 3}, {4, 6}});
+  EXPECT_EQ(p.num_stages(), 3);
+  EXPECT_EQ(p.stage(1).first, 3);
+  EXPECT_EQ(p.boundary_after(0), 2);
+}
+
+TEST(Partitioning, RejectsGap) {
+  const Chain c = chain6();
+  EXPECT_THROW(Partitioning(c, {{1, 2}, {4, 6}}), ContractViolation);
+}
+
+TEST(Partitioning, RejectsOverlap) {
+  const Chain c = chain6();
+  EXPECT_THROW(Partitioning(c, {{1, 3}, {3, 6}}), ContractViolation);
+}
+
+TEST(Partitioning, RejectsWrongEnds) {
+  const Chain c = chain6();
+  EXPECT_THROW(Partitioning(c, {{2, 6}}), ContractViolation);
+  EXPECT_THROW(Partitioning(c, {{1, 5}}), ContractViolation);
+}
+
+TEST(Partitioning, StageLoads) {
+  const Chain c = chain6();
+  const Partitioning p(c, {{1, 2}, {3, 6}});
+  EXPECT_DOUBLE_EQ(p.stage_load(c, 0), ms(6));
+  EXPECT_DOUBLE_EQ(p.stage_forward_load(c, 1), ms(4));
+  EXPECT_DOUBLE_EQ(p.stage_backward_load(c, 1), ms(8));
+}
+
+TEST(Partitioning, StoredActivations) {
+  const Chain c = chain6();
+  const Partitioning p(c, {{1, 2}, {3, 6}});
+  // Stage 0 stores a_0 + a_1 = 5 + 10 MB.
+  EXPECT_DOUBLE_EQ(p.stage_stored_activations(c, 0), 15 * MB);
+  EXPECT_DOUBLE_EQ(p.stage_stored_activations(c, 1), 40 * MB);
+}
+
+TEST(Allocation, ContiguousDetection) {
+  const Chain c = chain6();
+  const Allocation contig =
+      make_contiguous_allocation(c, {{1, 3}, {4, 6}}, 2);
+  EXPECT_TRUE(contig.contiguous());
+
+  Allocation shared(Partitioning(c, {{1, 2}, {3, 4}, {5, 6}}), {0, 1, 0}, 2);
+  EXPECT_FALSE(shared.contiguous());
+}
+
+TEST(Allocation, StagesOnProcessor) {
+  const Chain c = chain6();
+  Allocation a(Partitioning(c, {{1, 2}, {3, 4}, {5, 6}}), {1, 0, 1}, 2);
+  EXPECT_EQ(a.stages_on(1), (std::vector<int>{0, 2}));
+  EXPECT_EQ(a.stages_on(0), (std::vector<int>{1}));
+}
+
+TEST(Allocation, BoundaryCut) {
+  const Chain c = chain6();
+  Allocation a(Partitioning(c, {{1, 2}, {3, 4}, {5, 6}}), {0, 0, 1}, 2);
+  EXPECT_FALSE(a.boundary_cut(0));
+  EXPECT_TRUE(a.boundary_cut(1));
+  EXPECT_FALSE(a.boundary_cut(2));  // last stage: no boundary after
+}
+
+TEST(Allocation, ProcessorLoad) {
+  const Chain c = chain6();
+  Allocation a(Partitioning(c, {{1, 2}, {3, 4}, {5, 6}}), {1, 0, 1}, 2);
+  EXPECT_DOUBLE_EQ(a.processor_load(c, 1), ms(12));
+  EXPECT_DOUBLE_EQ(a.processor_load(c, 0), ms(6));
+}
+
+TEST(Allocation, PeriodLowerBoundComputeDominated) {
+  const Chain c = chain6();
+  const Platform plat{2, 16 * GB, 100 * GB};  // fast links
+  const Allocation a = make_contiguous_allocation(c, {{1, 3}, {4, 6}}, 2);
+  EXPECT_DOUBLE_EQ(a.period_lower_bound(c, plat), ms(9));
+}
+
+TEST(Allocation, PeriodLowerBoundSharedLinkAddsUp) {
+  const Chain c = chain6();
+  const Platform plat{2, 16 * GB, 1 * GB};  // 10MB / 1GB/s = 10ms oneway
+  // Stages alternate 0,1,0: both cut boundaries use link (0,1).
+  Allocation a(Partitioning(c, {{1, 2}, {3, 4}, {5, 6}}), {0, 1, 0}, 2);
+  // Each boundary costs 2·10 MB / 1 GB/s = 20 ms; shared link: 40 ms > any
+  // processor load (12 ms).
+  EXPECT_NEAR(a.period_lower_bound(c, plat), ms(40), 1e-12);
+}
+
+TEST(Allocation, StaticMemoryCountsWeightsAndBuffers) {
+  const Chain c = chain6();
+  const Platform plat{2, 16 * GB, 12 * GB};
+  (void)plat;
+  const Allocation a = make_contiguous_allocation(c, {{1, 3}, {4, 6}}, 2);
+  // Proc 0: 3 layers of 1MB weights ×3 + outgoing buffer 2·a_3.
+  EXPECT_DOUBLE_EQ(a.static_memory(c, 0), 9 * MB + 20 * MB);
+  // Proc 1: weights ×3 + incoming buffer 2·a_3 (last stage: no outgoing).
+  EXPECT_DOUBLE_EQ(a.static_memory(c, 1), 9 * MB + 20 * MB);
+}
+
+TEST(Allocation, StaticMemoryNoBufferInsideProcessor) {
+  const Chain c = chain6();
+  Allocation a(Partitioning(c, {{1, 2}, {3, 4}, {5, 6}}), {0, 0, 1}, 2);
+  // Boundary between stages 0 and 1 is internal to proc 0: no buffer.
+  EXPECT_DOUBLE_EQ(a.static_memory(c, 0), 12 * MB + 20 * MB);
+}
+
+TEST(Allocation, RejectsBadProcessorIndices) {
+  const Chain c = chain6();
+  EXPECT_THROW(Allocation(Partitioning(c, {{1, 6}}), {2}, 2),
+               ContractViolation);
+  EXPECT_THROW(Allocation(Partitioning(c, {{1, 6}}), {0, 1}, 2),
+               ContractViolation);
+}
+
+TEST(Allocation, ContiguousBuilderNeedsEnoughProcessors) {
+  const Chain c = chain6();
+  EXPECT_THROW(make_contiguous_allocation(c, {{1, 2}, {3, 4}, {5, 6}}, 2),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace madpipe

@@ -1,0 +1,235 @@
+#include "core/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+namespace {
+
+// Two equal layers on two processors, negligible communication: the classic
+// two-stage pipeline of the paper's Figure 2, built by hand.
+struct TwoStageFixture {
+  Chain chain = make_uniform_chain(2, ms(10), ms(10), MB, MB, MB);
+  // Near-infinite bandwidth: communications become negligible (sub-tolerance)
+  // so periods can be packed exactly around compute.
+  Platform platform{2, 10 * GB, 1e9 * GB};
+  Allocation allocation =
+      make_contiguous_allocation(chain, {{1, 1}, {2, 2}}, 2);
+
+  PeriodicPattern pattern(Seconds T = ms(40)) const {
+    PeriodicPattern p;
+    p.period = T;
+    const Seconds comm = platform.boundary_oneway_time(chain, 1);
+    const ResourceId gpu0 = ResourceId::processor(0);
+    const ResourceId gpu1 = ResourceId::processor(1);
+    const ResourceId link = ResourceId::link(0, 1);
+    // Virtual times: F0, CF, F1, B1, CB, B0 back to back.
+    Seconds z = 0.0;
+    p.ops.push_back(PeriodicPattern::make_op(OpKind::Forward, 0, gpu0, z, ms(10), T));
+    z += ms(10);
+    p.ops.push_back(PeriodicPattern::make_op(OpKind::CommForward, 0, link, z, comm, T));
+    z += comm;
+    p.ops.push_back(PeriodicPattern::make_op(OpKind::Forward, 1, gpu1, z, ms(10), T));
+    z += ms(10);
+    p.ops.push_back(PeriodicPattern::make_op(OpKind::Backward, 1, gpu1, z, ms(10), T));
+    z += ms(10);
+    p.ops.push_back(PeriodicPattern::make_op(OpKind::CommBackward, 0, link, z, comm, T));
+    z += comm;
+    p.ops.push_back(PeriodicPattern::make_op(OpKind::Backward, 0, gpu0, z, ms(10), T));
+    return p;
+  }
+};
+
+TEST(PatternOp, MakeOpSplitsVirtualTime) {
+  const PatternOp op = PeriodicPattern::make_op(
+      OpKind::Forward, 0, ResourceId::processor(0), 25.0, 1.0, 10.0);
+  EXPECT_EQ(op.shift, 2);
+  EXPECT_DOUBLE_EQ(op.start, 5.0);
+  EXPECT_DOUBLE_EQ(op.virtual_time(10.0), 25.0);
+}
+
+TEST(PatternOp, MakeOpExactMultiple) {
+  const PatternOp op = PeriodicPattern::make_op(
+      OpKind::Forward, 0, ResourceId::processor(0), 30.0, 1.0, 10.0);
+  EXPECT_EQ(op.shift, 3);
+  EXPECT_DOUBLE_EQ(op.start, 0.0);
+}
+
+TEST(PatternOp, MakeOpRejectsNegativeTime) {
+  EXPECT_THROW(PeriodicPattern::make_op(OpKind::Forward, 0,
+                                        ResourceId::processor(0), -1.0, 1.0,
+                                        10.0),
+               ContractViolation);
+}
+
+TEST(ResourceIdTest, LinkNormalizesEndpoints) {
+  EXPECT_EQ(ResourceId::link(3, 1), ResourceId::link(1, 3));
+  EXPECT_THROW(ResourceId::link(2, 2), ContractViolation);
+}
+
+TEST(ResourceIdTest, Ordering) {
+  EXPECT_LT(ResourceId::processor(0), ResourceId::processor(1));
+  EXPECT_LT(ResourceId::processor(5), ResourceId::link(0, 1));
+}
+
+TEST(ValidatePattern, AcceptsHandBuiltPipeline) {
+  const TwoStageFixture f;
+  const auto result = validate_pattern(f.pattern(), f.allocation, f.chain,
+                                       f.platform);
+  EXPECT_TRUE(result.valid) << (result.errors.empty() ? "" : result.errors[0]);
+}
+
+TEST(ValidatePattern, ReportsActiveBatchCounts) {
+  const TwoStageFixture f;
+  // At T = 40 ms everything fits one period: one in-flight batch per stage.
+  const auto result = validate_pattern(f.pattern(ms(40)), f.allocation,
+                                       f.chain, f.platform);
+  ASSERT_TRUE(result.valid);
+  EXPECT_EQ(result.stage_active_batches[0], 1);
+  EXPECT_EQ(result.stage_active_batches[1], 1);
+}
+
+TEST(ValidatePattern, TighterPeriodRaisesInflight) {
+  const TwoStageFixture f;
+  // At T = 20 ms the round trip (≈40 ms) spans 2 periods: stage 0 must keep
+  // 2 in-flight batches.
+  const auto result = validate_pattern(f.pattern(ms(20)), f.allocation,
+                                       f.chain, f.platform);
+  ASSERT_TRUE(result.valid) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_EQ(result.stage_active_batches[0], 2);
+  EXPECT_EQ(result.stage_active_batches[1], 1);
+}
+
+TEST(ValidatePattern, RejectsMissingOp) {
+  const TwoStageFixture f;
+  PeriodicPattern p = f.pattern();
+  p.ops.pop_back();
+  const auto result = validate_pattern(p, f.allocation, f.chain, f.platform);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(ValidatePattern, RejectsDuplicateOp) {
+  const TwoStageFixture f;
+  PeriodicPattern p = f.pattern();
+  p.ops.push_back(p.ops.front());
+  const auto result = validate_pattern(p, f.allocation, f.chain, f.platform);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(ValidatePattern, RejectsWrongResource) {
+  const TwoStageFixture f;
+  PeriodicPattern p = f.pattern();
+  p.ops[0].resource = ResourceId::processor(1);
+  const auto result = validate_pattern(p, f.allocation, f.chain, f.platform);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(ValidatePattern, RejectsWrongDuration) {
+  const TwoStageFixture f;
+  PeriodicPattern p = f.pattern();
+  p.ops[0].duration = ms(11);
+  const auto result = validate_pattern(p, f.allocation, f.chain, f.platform);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(ValidatePattern, RejectsDependencyViolation) {
+  const TwoStageFixture f;
+  PeriodicPattern p = f.pattern();
+  // Pull F of stage 1 before the comm delivering its input.
+  for (PatternOp& op : p.ops) {
+    if (op.kind == OpKind::Forward && op.stage == 1) {
+      op.start = 0.0;
+      op.shift = 0;
+    }
+  }
+  const auto result = validate_pattern(p, f.allocation, f.chain, f.platform);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(ValidatePattern, RejectsResourceOverlap) {
+  const TwoStageFixture f;
+  PeriodicPattern p = f.pattern();
+  // Slam B of stage 0 onto F of stage 0 (same processor, same window) while
+  // keeping its virtual time sane by bumping the shift.
+  for (PatternOp& op : p.ops) {
+    if (op.kind == OpKind::Backward && op.stage == 0) {
+      op.start = ms(5);
+      op.shift = 2;
+    }
+  }
+  const auto result = validate_pattern(p, f.allocation, f.chain, f.platform);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(ValidatePattern, RejectsOvercommittedResource) {
+  const TwoStageFixture f;
+  PeriodicPattern p = f.pattern(ms(15));  // 20 ms of work per GPU > 15 ms
+  const auto result = validate_pattern(p, f.allocation, f.chain, f.platform);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(ValidatePattern, RejectsMemoryOverrun) {
+  TwoStageFixture f;
+  f.platform.memory_per_processor = 4 * MB;  // weights ≈3MB + act 1MB + buf 2MB
+  const auto result = validate_pattern(f.pattern(), f.allocation, f.chain,
+                                       f.platform);
+  EXPECT_FALSE(result.valid);
+  // Diagnostics survive the failure.
+  ASSERT_EQ(result.processor_memory_peak.size(), 2u);
+  EXPECT_GT(result.processor_memory_peak[0], 4 * MB);
+}
+
+TEST(ValidatePattern, MemoryCheckCanBeDisabled) {
+  TwoStageFixture f;
+  f.platform.memory_per_processor = 4 * MB;
+  ValidationOptions options;
+  options.check_memory = false;
+  const auto result = validate_pattern(f.pattern(), f.allocation, f.chain,
+                                       f.platform, options);
+  EXPECT_TRUE(result.valid);
+}
+
+TEST(ValidatePattern, MemoryPeakMatchesHandComputation) {
+  const TwoStageFixture f;
+  const auto result = validate_pattern(f.pattern(), f.allocation, f.chain,
+                                       f.platform);
+  ASSERT_TRUE(result.valid);
+  // GPU0: 3·1MB weights + 2·1MB buffer + 1 in-flight · a_0 (1MB) = 6MB.
+  EXPECT_DOUBLE_EQ(result.processor_memory_peak[0], 6 * MB);
+}
+
+TEST(ValidatePattern, RejectsNegativePeriod) {
+  const TwoStageFixture f;
+  PeriodicPattern p = f.pattern();
+  p.period = 0.0;
+  const auto result = validate_pattern(p, f.allocation, f.chain, f.platform);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(ValidatePattern, RejectsCommOnUncutBoundary) {
+  // Both stages on one processor: the boundary needs no comm ops.
+  const Chain chain = make_uniform_chain(2, ms(10), ms(10), MB, MB, MB);
+  const Platform platform{2, 10 * GB, 1000 * GB};
+  Allocation allocation(Partitioning(chain, {{1, 1}, {2, 2}}), {0, 0}, 2);
+  PeriodicPattern p;
+  p.period = ms(50);
+  const ResourceId gpu0 = ResourceId::processor(0);
+  Seconds z = 0.0;
+  for (const auto& [kind, stage] :
+       std::vector<std::pair<OpKind, int>>{{OpKind::Forward, 0},
+                                           {OpKind::Forward, 1},
+                                           {OpKind::Backward, 1},
+                                           {OpKind::Backward, 0}}) {
+    p.ops.push_back(
+        PeriodicPattern::make_op(kind, stage, gpu0, z, ms(10), p.period));
+    z += ms(10);
+  }
+  EXPECT_TRUE(validate_pattern(p, allocation, chain, platform).valid);
+  p.ops.push_back(PeriodicPattern::make_op(
+      OpKind::CommForward, 0, ResourceId::link(0, 1), z, ms(1), p.period));
+  EXPECT_FALSE(validate_pattern(p, allocation, chain, platform).valid);
+}
+
+}  // namespace
+}  // namespace madpipe

@@ -1,0 +1,55 @@
+#include "core/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace madpipe {
+namespace {
+
+TEST(Platform, TransferTime) {
+  const Platform p{4, 8 * GB, 12 * GB};
+  EXPECT_DOUBLE_EQ(p.transfer_time(6 * GB), 0.5);
+  EXPECT_DOUBLE_EQ(p.transfer_time(0.0), 0.0);
+}
+
+TEST(Platform, TransferRejectsNegative) {
+  const Platform p{4, 8 * GB, 12 * GB};
+  EXPECT_THROW(p.transfer_time(-1.0), ContractViolation);
+}
+
+TEST(Platform, BoundaryCommTimeIsRoundTrip) {
+  const Chain c = make_uniform_chain(3, ms(1), ms(1), MB, 6 * GB, MB);
+  const Platform p{2, 8 * GB, 12 * GB};
+  // 2·a_1/β = 2·6GB / 12GB/s = 1 s.
+  EXPECT_DOUBLE_EQ(p.boundary_comm_time(c, 1), 1.0);
+  EXPECT_DOUBLE_EQ(p.boundary_oneway_time(c, 1), 0.5);
+}
+
+TEST(Platform, ChainEndsHaveNoComm) {
+  const Chain c = make_uniform_chain(3, ms(1), ms(1), MB, 6 * GB, MB);
+  const Platform p{2, 8 * GB, 12 * GB};
+  EXPECT_DOUBLE_EQ(p.boundary_comm_time(c, 0), 0.0);
+  EXPECT_DOUBLE_EQ(p.boundary_comm_time(c, 3), 0.0);
+}
+
+TEST(Platform, BoundaryIndexValidated) {
+  const Chain c = make_uniform_chain(3, ms(1), ms(1), MB, MB, MB);
+  const Platform p{2, 8 * GB, 12 * GB};
+  EXPECT_THROW(p.boundary_comm_time(c, -1), ContractViolation);
+  EXPECT_THROW(p.boundary_comm_time(c, 4), ContractViolation);
+}
+
+TEST(Platform, ValidateAcceptsSane) {
+  const Platform p{2, GB, GB};
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Platform, ValidateRejectsBroken) {
+  EXPECT_THROW((Platform{0, GB, GB}).validate(), ContractViolation);
+  EXPECT_THROW((Platform{2, 0.0, GB}).validate(), ContractViolation);
+  EXPECT_THROW((Platform{2, GB, 0.0}).validate(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace madpipe

@@ -1,0 +1,104 @@
+#include "models/profile_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "models/zoo.hpp"
+#include "util/expect.hpp"
+
+namespace madpipe::models {
+namespace {
+
+TEST(ProfileIO, RoundTripsUniformChain) {
+  const Chain original = make_uniform_chain(5, ms(1.5), ms(3.25), 7 * MB,
+                                            13 * MB, 2 * MB, "roundtrip");
+  const Chain parsed = profile_from_string(profile_to_string(original));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(ProfileIO, RoundTripsRealNetwork) {
+  NetworkConfig config;
+  config.network = "resnet50";
+  config.image_size = 256;
+  config.batch = 2;
+  const Chain original = build_network(config);
+  const Chain parsed = profile_from_string(profile_to_string(original));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(ProfileIO, ParsesHandWrittenDocument) {
+  const std::string doc = R"(madpipe-profile-v1
+# a tiny example
+name tiny
+input_bytes 100
+layer a 0.001 0.002 10 20   # trailing comment
+layer b 0.003 0.004 30 40
+)";
+  const Chain chain = profile_from_string(doc);
+  EXPECT_EQ(chain.name(), "tiny");
+  EXPECT_EQ(chain.length(), 2);
+  EXPECT_DOUBLE_EQ(chain.activation(0), 100.0);
+  EXPECT_DOUBLE_EQ(chain.layer(2).output_bytes, 40.0);
+  EXPECT_DOUBLE_EQ(chain.forward_time(1), 0.001);
+}
+
+TEST(ProfileIO, RejectsMissingMagic) {
+  EXPECT_THROW(profile_from_string("name x\n"), ContractViolation);
+}
+
+TEST(ProfileIO, RejectsMissingInputBytes) {
+  EXPECT_THROW(
+      profile_from_string("madpipe-profile-v1\nlayer a 1 1 1 1\n"),
+      ContractViolation);
+}
+
+TEST(ProfileIO, RejectsEmptyProfile) {
+  EXPECT_THROW(profile_from_string("madpipe-profile-v1\ninput_bytes 5\n"),
+               ContractViolation);
+}
+
+TEST(ProfileIO, RejectsMalformedLayer) {
+  EXPECT_THROW(profile_from_string(
+                   "madpipe-profile-v1\ninput_bytes 5\nlayer a 1 1\n"),
+               ContractViolation);
+}
+
+TEST(ProfileIO, RejectsNegativeFields) {
+  EXPECT_THROW(profile_from_string("madpipe-profile-v1\ninput_bytes 5\n"
+                                   "layer a -1 1 1 1\n"),
+               ContractViolation);
+}
+
+TEST(ProfileIO, RejectsUnknownKeyword) {
+  EXPECT_THROW(profile_from_string("madpipe-profile-v1\nbogus 1\n"),
+               ContractViolation);
+}
+
+TEST(ProfileIO, ErrorMessagesCarryLineNumbers) {
+  try {
+    profile_from_string("madpipe-profile-v1\ninput_bytes 5\nlayer a 1 1\n");
+    FAIL() << "expected a parse error";
+  } catch (const ContractViolation& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ProfileIO, FileRoundTrip) {
+  const Chain original =
+      make_uniform_chain(3, ms(1), ms(2), MB, 2 * MB, 3 * MB, "file-test");
+  const std::string path = ::testing::TempDir() + "/madpipe_profile_test.txt";
+  save_profile(original, path);
+  const Chain loaded = load_profile(path);
+  EXPECT_EQ(loaded, original);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIO, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_profile("/nonexistent/definitely/missing.profile"),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace madpipe::models

@@ -1,0 +1,136 @@
+#include "schedule/recompute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/memory_model.hpp"
+#include "core/pattern.hpp"
+#include "pipedream/pipedream.hpp"
+#include "util/expect.hpp"
+
+namespace madpipe {
+namespace {
+
+Chain chain6() {
+  std::vector<Layer> layers{
+      {"l1", ms(2), ms(4), 1 * MB, 80 * MB},
+      {"l2", ms(3), ms(6), 2 * MB, 60 * MB},
+      {"l3", ms(2), ms(4), 4 * MB, 40 * MB},
+      {"l4", ms(4), ms(8), 8 * MB, 30 * MB},
+      {"l5", ms(2), ms(4), 16 * MB, 20 * MB},
+      {"l6", ms(1), ms(2), 32 * MB, 10 * MB},
+  };
+  return Chain("rc", 100 * MB, std::move(layers));
+}
+
+TEST(Recompute, MergePreservesComputeAndWeights) {
+  const Chain c = chain6();
+  const Partitioning parts(c, {{1, 3}, {4, 6}});
+  const Chain merged = merge_recompute_segments(c, parts);
+  ASSERT_EQ(merged.length(), 2);
+  EXPECT_DOUBLE_EQ(merged.forward_load(1, 2), c.forward_load(1, 6));
+  // Backward gains one forward replay per segment.
+  EXPECT_DOUBLE_EQ(merged.backward_load(1, 2),
+                   c.backward_load(1, 6) + c.forward_load(1, 6));
+  EXPECT_DOUBLE_EQ(merged.weight_sum(1, 2), c.weight_sum(1, 6));
+}
+
+TEST(Recompute, MergedSegmentStoresOnlyItsInput) {
+  const Chain c = chain6();
+  const Partitioning parts(c, {{1, 3}, {4, 6}});
+  const Chain merged = merge_recompute_segments(c, parts);
+  // Per in-flight batch, segment 1 stores a_0 = 100 MB (not 100+80+60).
+  EXPECT_DOUBLE_EQ(merged.stored_activation_sum(1, 1), 100 * MB);
+  // The freed bytes reappear as always-resident replay scratch.
+  EXPECT_DOUBLE_EQ(merged.scratch_sum(1, 1), (80 + 60) * MB);
+  // Segment boundary activations are preserved.
+  EXPECT_DOUBLE_EQ(merged.activation(1), c.activation(3));
+  EXPECT_DOUBLE_EQ(merged.activation(2), c.activation(6));
+}
+
+TEST(Recompute, StageMemoryFormulaMatchesMergedChain) {
+  const Chain c = chain6();
+  const Partitioning parts(c, {{1, 3}, {4, 6}});
+  const Chain merged = merge_recompute_segments(c, parts);
+  for (int g : {1, 2, 3}) {
+    EXPECT_NEAR(recompute_stage_memory(c, 1, 3, g),
+                stage_memory(merged, 1, 1, g), 1.0)
+        << g;
+    EXPECT_NEAR(recompute_stage_memory(c, 4, 6, g),
+                stage_memory(merged, 2, 2, g), 1.0)
+        << g;
+  }
+}
+
+TEST(Recompute, MemorySavingGrowsWithInflight) {
+  const Chain c = chain6();
+  // At g in-flight batches, recompute stores g·a_in + transient instead of
+  // g·ā: the saving is (g−1)·(ā−a_in) and must grow with g.
+  Bytes previous_saving = -1.0;
+  for (int g = 1; g <= 5; ++g) {
+    const Bytes plain = stage_memory(c, 1, 3, g);
+    const Bytes recomputed = recompute_stage_memory(c, 1, 3, g);
+    const Bytes saving = plain - recomputed;
+    EXPECT_GE(saving, previous_saving);
+    previous_saving = saving;
+  }
+  EXPECT_GT(previous_saving, 0.0);
+}
+
+TEST(Recompute, PlanProducesValidPattern) {
+  const Chain c = chain6();
+  const Platform p{3, 500 * MB, 12 * GB};
+  const auto result = plan_recompute_pipeline(c, p);
+  ASSERT_TRUE(result.has_value());
+  const auto check = validate_pattern(result->plan.pattern,
+                                      result->plan.allocation,
+                                      result->merged_chain, p);
+  EXPECT_TRUE(check.valid) << (check.errors.empty() ? "" : check.errors[0]);
+  EXPECT_EQ(result->plan.planner, "recompute+1f1b*");
+}
+
+TEST(Recompute, SurvivesMemoryWherePlainPipelineFails) {
+  // Alternating bottleneck activations (wide layer -> narrow layer): a
+  // recompute segment spanning a wide/narrow pair stores only the narrow
+  // input per in-flight batch, while plain planning must keep every wide
+  // internal tensor per batch.
+  std::vector<Layer> layers;
+  for (int i = 0; i < 4; ++i) {
+    layers.push_back(Layer{"wide" + std::to_string(i), ms(5), ms(10), 1 * MB,
+                           400 * MB});
+    layers.push_back(Layer{"narrow" + std::to_string(i), ms(5), ms(10),
+                           1 * MB, 20 * MB});
+  }
+  const Chain c("alternating", 20 * MB, std::move(layers));
+  bool found_window = false;
+  for (double mem = 0.5; mem <= 3.0; mem += 0.125) {
+    const Platform p{4, mem * GB, 12 * GB};
+    const bool recompute_ok = plan_recompute_pipeline(c, p).has_value();
+    const bool plain_ok = plan_pipedream(c, p).has_value();
+    if (recompute_ok && !plain_ok) found_window = true;
+    if (plain_ok) {
+      // Once plain fits, recompute must fit too (it never needs more).
+      EXPECT_TRUE(recompute_ok) << mem;
+    }
+  }
+  EXPECT_TRUE(found_window);
+}
+
+TEST(Recompute, CostsThroughputWhenMemoryIsAmple) {
+  const Chain c = chain6();
+  const Platform p{3, 100 * GB, 1e6 * GB};
+  const auto recomputed = plan_recompute_pipeline(c, p);
+  const auto plain = plan_pipedream(c, p);
+  ASSERT_TRUE(recomputed.has_value());
+  ASSERT_TRUE(plain.has_value());
+  // The forward replay makes the bottleneck strictly heavier.
+  EXPECT_GT(recomputed->plan.period(), plain->period());
+}
+
+TEST(Recompute, InfeasibleWhenWeightsDominate) {
+  const Chain c = make_uniform_chain(4, ms(1), ms(1), GB, MB, MB);
+  const Platform p{2, GB, 12 * GB};
+  EXPECT_FALSE(plan_recompute_pipeline(c, p).has_value());
+}
+
+}  // namespace
+}  // namespace madpipe

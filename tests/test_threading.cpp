@@ -1,0 +1,65 @@
+#include "util/threading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace madpipe::par {
+namespace {
+
+TEST(Threading, DefaultWorkersPositive) { EXPECT_GE(default_workers(), 1u); }
+
+TEST(Threading, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Threading, EmptyRangeIsNoop) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Threading, SingleWorkerRunsSerially) {
+  std::vector<std::size_t> order;
+  parallel_for(0, 10, [&](std::size_t i) { order.push_back(i); }, 1);
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Threading, BlocksCoverRangeWithoutOverlap) {
+  constexpr std::size_t n = 777;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_blocks(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      },
+      3);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Threading, PropagatesBodyException) {
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("boom");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(Threading, MoreWorkersThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(0, 3, [&](std::size_t i) { hits[i].fetch_add(1); }, 16);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+}  // namespace
+}  // namespace madpipe::par

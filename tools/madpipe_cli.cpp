@@ -1,0 +1,251 @@
+// madpipe — command-line front end to the library.
+//
+//   madpipe profile <network> [-o FILE] [--image N] [--batch N] [--length N]
+//       Generate a synthetic profile for resnet50 / resnet101 /
+//       inception_v3 / densenet121 and write it to FILE (default stdout).
+//
+//   madpipe plan <profile-file> [--planner NAME] [--gpus N] [--memory-gb X]
+//                [--bandwidth-gbs X] [--json FILE] [--trace FILE]
+//       Plan the profile on the platform. Planners: madpipe (default),
+//       madpipe-contig, pipedream, gpipe, recompute. --json dumps the full
+//       plan; --trace writes a chrome://tracing document of the steady
+//       state.
+//
+//   madpipe simulate <profile-file> [--batches N] [plan options]
+//       Plan, then execute the plan in the discrete-event simulator and
+//       report measured throughput and memory peaks.
+//
+//   madpipe hybrid <profile-file> [--gpus N] [--memory-gb X]
+//                [--bandwidth-gbs X]
+//       Hybrid data+model-parallel planning (stage replication).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hybrid/hybrid.hpp"
+#include "madpipe/planner.hpp"
+#include "models/profile_io.hpp"
+#include "models/zoo.hpp"
+#include "pipedream/pipedream.hpp"
+#include "schedule/gpipe.hpp"
+#include "schedule/recompute.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/trace.hpp"
+#include "util/format.hpp"
+
+using namespace madpipe;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string planner = "madpipe";
+  int gpus = 4;
+  double memory_gb = 8.0;
+  double bandwidth_gbs = 12.0;
+  int batches = 64;
+  int image = 1000;
+  int batch = 8;
+  int length = 24;
+  std::string output;
+  std::string json_path;
+  std::string trace_path;
+};
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
+  std::fprintf(stderr,
+               "usage: madpipe <profile|plan|simulate|hybrid> ...\n"
+               "  profile <network> [-o FILE] [--image N] [--batch N] "
+               "[--length N]\n"
+               "  plan <profile> [--planner NAME] [--gpus N] [--memory-gb X]\n"
+               "       [--bandwidth-gbs X] [--json FILE] [--trace FILE]\n"
+               "  simulate <profile> [--batches N] [plan options]\n"
+               "  hybrid <profile> [--gpus N] [--memory-gb X] "
+               "[--bandwidth-gbs X]\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--planner") {
+      args.planner = next_value();
+    } else if (arg == "--gpus") {
+      args.gpus = std::atoi(next_value().c_str());
+    } else if (arg == "--memory-gb") {
+      args.memory_gb = std::atof(next_value().c_str());
+    } else if (arg == "--bandwidth-gbs") {
+      args.bandwidth_gbs = std::atof(next_value().c_str());
+    } else if (arg == "--batches") {
+      args.batches = std::atoi(next_value().c_str());
+    } else if (arg == "--image") {
+      args.image = std::atoi(next_value().c_str());
+    } else if (arg == "--batch") {
+      args.batch = std::atoi(next_value().c_str());
+    } else if (arg == "--length") {
+      args.length = std::atoi(next_value().c_str());
+    } else if (arg == "-o" || arg == "--output") {
+      args.output = next_value();
+    } else if (arg == "--json") {
+      args.json_path = next_value();
+    } else if (arg == "--trace") {
+      args.trace_path = next_value();
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(("unknown option " + arg).c_str());
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << content;
+}
+
+int cmd_profile(const Args& args) {
+  if (args.positional.empty()) usage("profile needs a network name");
+  models::NetworkConfig config;
+  config.network = args.positional[0];
+  config.image_size = args.image;
+  config.batch = args.batch;
+  config.chain_length = args.length;
+  const Chain chain = models::build_network(config);
+  const std::string text = models::profile_to_string(chain);
+  if (args.output.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    write_file(args.output, text);
+    std::printf("wrote %s (%d layers)\n", args.output.c_str(), chain.length());
+  }
+  return 0;
+}
+
+std::optional<Plan> run_planner(const Args& args, const Chain& chain,
+                                const Platform& platform, Chain& plan_chain) {
+  plan_chain = chain;
+  if (args.planner == "madpipe" || args.planner == "madpipe-contig") {
+    MadPipeOptions options;
+    options.phase1.dp.grid = Discretization::paper();
+    options.disable_special_processor = args.planner == "madpipe-contig";
+    return plan_madpipe(chain, platform, options);
+  }
+  if (args.planner == "pipedream") return plan_pipedream(chain, platform);
+  if (args.planner == "recompute") {
+    auto result = plan_recompute_pipeline(chain, platform);
+    if (!result) return std::nullopt;
+    plan_chain = result->merged_chain;  // the plan refers to the merged chain
+    return std::move(result->plan);
+  }
+  if (args.planner == "gpipe") {
+    const auto gpipe = plan_gpipe(chain, platform);
+    if (!gpipe) {
+      std::printf("infeasible\n");
+      std::exit(1);
+    }
+    std::printf("gpipe plan (analytic fill/drain, m = %d micro-batches): "
+                "period %s, speedup %sx\n",
+                gpipe->micro_batches, fmt::seconds(gpipe->period).c_str(),
+                fmt::fixed(gpipe->speedup(chain), 2).c_str());
+    const Partitioning& parts = gpipe->allocation.partitioning();
+    for (int s = 0; s < parts.num_stages(); ++s) {
+      std::printf("  stage %d: layers [%d, %d]\n", s, parts.stage(s).first,
+                  parts.stage(s).last);
+    }
+    std::exit(0);
+  }
+  usage(("unknown planner " + args.planner).c_str());
+}
+
+int cmd_plan(const Args& args, bool simulate) {
+  if (args.positional.empty()) usage("plan needs a profile file");
+  const Chain chain = models::load_profile(args.positional[0]);
+  const Platform platform{args.gpus, args.memory_gb * GB,
+                          args.bandwidth_gbs * GB};
+  platform.validate();
+
+  Chain plan_chain = chain;
+  const std::optional<Plan> plan = run_planner(args, chain, platform,
+                                               plan_chain);
+  if (!plan) {
+    std::printf("infeasible: no allocation fits %d GPUs with %s each\n",
+                args.gpus, fmt::bytes(platform.memory_per_processor).c_str());
+    return 1;
+  }
+  std::printf("%s", plan_to_string(*plan, plan_chain, platform).c_str());
+  const auto check =
+      validate_pattern(plan->pattern, plan->allocation, plan_chain, platform);
+  std::printf("verifier: %s\n", check.valid ? "valid" : "INVALID");
+
+  if (!args.json_path.empty()) {
+    write_file(args.json_path, plan_to_json(*plan, plan_chain, platform));
+    std::printf("plan JSON -> %s\n", args.json_path.c_str());
+  }
+  if (!args.trace_path.empty()) {
+    write_file(args.trace_path,
+               pattern_to_chrome_trace(plan->pattern, plan->allocation,
+                                       plan_chain, 6));
+    std::printf("chrome trace -> %s (open in chrome://tracing)\n",
+                args.trace_path.c_str());
+  }
+  if (simulate) {
+    const auto sim = simulate_pattern(plan->pattern, plan->allocation,
+                                      plan_chain, platform,
+                                      {args.batches});
+    std::printf("simulated %d batches: steady period %s, makespan %s\n",
+                args.batches, fmt::seconds(sim.steady_period).c_str(),
+                fmt::seconds(sim.makespan).c_str());
+    for (std::size_t p = 0; p < sim.processor_memory_peak.size(); ++p) {
+      std::printf("  gpu%zu peak %s\n", p,
+                  fmt::bytes(sim.processor_memory_peak[p]).c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_hybrid(const Args& args) {
+  if (args.positional.empty()) usage("hybrid needs a profile file");
+  const Chain chain = models::load_profile(args.positional[0]);
+  const Platform platform{args.gpus, args.memory_gb * GB,
+                          args.bandwidth_gbs * GB};
+  const auto plan = hybrid::plan_hybrid(chain, platform);
+  if (!plan) {
+    std::printf("infeasible\n");
+    return 1;
+  }
+  std::printf("%s", hybrid::hybrid_plan_to_string(*plan, chain).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    const Args args = parse(argc, argv);
+    if (command == "profile") return cmd_profile(args);
+    if (command == "plan") return cmd_plan(args, /*simulate=*/false);
+    if (command == "simulate") return cmd_plan(args, /*simulate=*/true);
+    if (command == "hybrid") return cmd_hybrid(args);
+    usage(("unknown command " + command).c_str());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
