@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_scalability.dir/bench_hybrid_scalability.cpp.o"
+  "CMakeFiles/bench_hybrid_scalability.dir/bench_hybrid_scalability.cpp.o.d"
+  "bench_hybrid_scalability"
+  "bench_hybrid_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

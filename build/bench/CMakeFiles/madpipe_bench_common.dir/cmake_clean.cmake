@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madpipe_bench_common.dir/common.cpp.o"
+  "CMakeFiles/madpipe_bench_common.dir/common.cpp.o.d"
+  "libmadpipe_bench_common.a"
+  "libmadpipe_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madpipe_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmadpipe_bench_common.a"
+)

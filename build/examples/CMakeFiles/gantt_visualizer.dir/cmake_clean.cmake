@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gantt_visualizer.dir/gantt_visualizer.cpp.o"
+  "CMakeFiles/gantt_visualizer.dir/gantt_visualizer.cpp.o.d"
+  "gantt_visualizer"
+  "gantt_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gantt_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

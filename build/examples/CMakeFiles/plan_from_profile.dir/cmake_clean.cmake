@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_from_profile.dir/plan_from_profile.cpp.o"
+  "CMakeFiles/plan_from_profile.dir/plan_from_profile.cpp.o.d"
+  "plan_from_profile"
+  "plan_from_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_from_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet50_pipeline.dir/resnet50_pipeline.cpp.o"
+  "CMakeFiles/resnet50_pipeline.dir/resnet50_pipeline.cpp.o.d"
+  "resnet50_pipeline"
+  "resnet50_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet50_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

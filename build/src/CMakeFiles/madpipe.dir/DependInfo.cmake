@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chain.cpp" "src/CMakeFiles/madpipe.dir/core/chain.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/core/chain.cpp.o.d"
+  "/root/repo/src/core/memory_model.cpp" "src/CMakeFiles/madpipe.dir/core/memory_model.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/core/memory_model.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/madpipe.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/pattern.cpp" "src/CMakeFiles/madpipe.dir/core/pattern.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/core/pattern.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/CMakeFiles/madpipe.dir/core/plan.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/core/plan.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/CMakeFiles/madpipe.dir/core/platform.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/core/platform.cpp.o.d"
+  "/root/repo/src/cyclic/bb_scheduler.cpp" "src/CMakeFiles/madpipe.dir/cyclic/bb_scheduler.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/cyclic/bb_scheduler.cpp.o.d"
+  "/root/repo/src/cyclic/ilp_scheduler.cpp" "src/CMakeFiles/madpipe.dir/cyclic/ilp_scheduler.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/cyclic/ilp_scheduler.cpp.o.d"
+  "/root/repo/src/cyclic/period_search.cpp" "src/CMakeFiles/madpipe.dir/cyclic/period_search.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/cyclic/period_search.cpp.o.d"
+  "/root/repo/src/cyclic/stage_graph.cpp" "src/CMakeFiles/madpipe.dir/cyclic/stage_graph.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/cyclic/stage_graph.cpp.o.d"
+  "/root/repo/src/hybrid/hybrid.cpp" "src/CMakeFiles/madpipe.dir/hybrid/hybrid.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/hybrid/hybrid.cpp.o.d"
+  "/root/repo/src/madpipe/discretization.cpp" "src/CMakeFiles/madpipe.dir/madpipe/discretization.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/madpipe/discretization.cpp.o.d"
+  "/root/repo/src/madpipe/dp.cpp" "src/CMakeFiles/madpipe.dir/madpipe/dp.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/madpipe/dp.cpp.o.d"
+  "/root/repo/src/madpipe/planner.cpp" "src/CMakeFiles/madpipe.dir/madpipe/planner.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/madpipe/planner.cpp.o.d"
+  "/root/repo/src/madpipe/search.cpp" "src/CMakeFiles/madpipe.dir/madpipe/search.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/madpipe/search.cpp.o.d"
+  "/root/repo/src/models/cost_model.cpp" "src/CMakeFiles/madpipe.dir/models/cost_model.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/models/cost_model.cpp.o.d"
+  "/root/repo/src/models/densenet.cpp" "src/CMakeFiles/madpipe.dir/models/densenet.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/models/densenet.cpp.o.d"
+  "/root/repo/src/models/inception.cpp" "src/CMakeFiles/madpipe.dir/models/inception.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/models/inception.cpp.o.d"
+  "/root/repo/src/models/linearize.cpp" "src/CMakeFiles/madpipe.dir/models/linearize.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/models/linearize.cpp.o.d"
+  "/root/repo/src/models/netdef.cpp" "src/CMakeFiles/madpipe.dir/models/netdef.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/models/netdef.cpp.o.d"
+  "/root/repo/src/models/profile_io.cpp" "src/CMakeFiles/madpipe.dir/models/profile_io.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/models/profile_io.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/CMakeFiles/madpipe.dir/models/resnet.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/models/resnet.cpp.o.d"
+  "/root/repo/src/models/zoo.cpp" "src/CMakeFiles/madpipe.dir/models/zoo.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/models/zoo.cpp.o.d"
+  "/root/repo/src/pipedream/pipedream.cpp" "src/CMakeFiles/madpipe.dir/pipedream/pipedream.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/pipedream/pipedream.cpp.o.d"
+  "/root/repo/src/schedule/comm_transform.cpp" "src/CMakeFiles/madpipe.dir/schedule/comm_transform.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/schedule/comm_transform.cpp.o.d"
+  "/root/repo/src/schedule/eager.cpp" "src/CMakeFiles/madpipe.dir/schedule/eager.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/schedule/eager.cpp.o.d"
+  "/root/repo/src/schedule/gpipe.cpp" "src/CMakeFiles/madpipe.dir/schedule/gpipe.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/schedule/gpipe.cpp.o.d"
+  "/root/repo/src/schedule/one_f_one_b.cpp" "src/CMakeFiles/madpipe.dir/schedule/one_f_one_b.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/schedule/one_f_one_b.cpp.o.d"
+  "/root/repo/src/schedule/recompute.cpp" "src/CMakeFiles/madpipe.dir/schedule/recompute.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/schedule/recompute.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/CMakeFiles/madpipe.dir/sim/event_sim.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/sim/event_sim.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/madpipe.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/solver/lp.cpp" "src/CMakeFiles/madpipe.dir/solver/lp.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/solver/lp.cpp.o.d"
+  "/root/repo/src/solver/milp.cpp" "src/CMakeFiles/madpipe.dir/solver/milp.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/solver/milp.cpp.o.d"
+  "/root/repo/src/solver/model.cpp" "src/CMakeFiles/madpipe.dir/solver/model.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/solver/model.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/CMakeFiles/madpipe.dir/util/format.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/util/format.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/madpipe.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/madpipe.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/madpipe.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/threading.cpp" "src/CMakeFiles/madpipe.dir/util/threading.cpp.o" "gcc" "src/CMakeFiles/madpipe.dir/util/threading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bb_scheduler.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_bb_scheduler.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_bb_scheduler.cpp.o.d"
+  "/root/repo/tests/test_chain.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_chain.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_chain.cpp.o.d"
+  "/root/repo/tests/test_comm_transform.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_comm_transform.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_comm_transform.cpp.o.d"
+  "/root/repo/tests/test_discretization.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_discretization.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_discretization.cpp.o.d"
+  "/root/repo/tests/test_eager.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_eager.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_eager.cpp.o.d"
+  "/root/repo/tests/test_event_sim.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_event_sim.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_event_sim.cpp.o.d"
+  "/root/repo/tests/test_format.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_format.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_format.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gpipe.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_gpipe.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_gpipe.cpp.o.d"
+  "/root/repo/tests/test_hybrid.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_hybrid.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_hybrid.cpp.o.d"
+  "/root/repo/tests/test_ilp_scheduler.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_ilp_scheduler.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_ilp_scheduler.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_linearize.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_linearize.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_linearize.cpp.o.d"
+  "/root/repo/tests/test_logging.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_logging.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_logging.cpp.o.d"
+  "/root/repo/tests/test_lp.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_lp.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_lp.cpp.o.d"
+  "/root/repo/tests/test_madpipe_dp.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_madpipe_dp.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_madpipe_dp.cpp.o.d"
+  "/root/repo/tests/test_memory_model.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_memory_model.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_memory_model.cpp.o.d"
+  "/root/repo/tests/test_milp.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_milp.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_milp.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_one_f_one_b.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_one_f_one_b.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_one_f_one_b.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_pattern.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_pattern.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_pattern.cpp.o.d"
+  "/root/repo/tests/test_pipedream.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_pipedream.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_pipedream.cpp.o.d"
+  "/root/repo/tests/test_plan.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_plan.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_plan.cpp.o.d"
+  "/root/repo/tests/test_planner.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_planner.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_planner.cpp.o.d"
+  "/root/repo/tests/test_platform.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_platform.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_platform.cpp.o.d"
+  "/root/repo/tests/test_profile_io.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_profile_io.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_profile_io.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_recompute.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_recompute.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_recompute.cpp.o.d"
+  "/root/repo/tests/test_regression.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_regression.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_regression.cpp.o.d"
+  "/root/repo/tests/test_search.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_search.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_search.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_threading.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_threading.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_threading.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/madpipe_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/madpipe_tests.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/madpipe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madpipe_cli.dir/madpipe_cli.cpp.o"
+  "CMakeFiles/madpipe_cli.dir/madpipe_cli.cpp.o.d"
+  "madpipe"
+  "madpipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madpipe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
