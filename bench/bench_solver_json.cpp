@@ -1,0 +1,253 @@
+// Machine-readable solver benchmark: times the LP and MILP hot paths on
+// fixed workloads (a dense random LP, a branchy knapsack, and the real
+// ILP-scheduler model from a phase-1 allocation) and writes the numbers to
+// BENCH_solver.json so the solver's perf trajectory can be tracked across
+// PRs. Human-readable numbers go to stdout as well.
+//
+//   bench_solver [-o FILE]     (default: BENCH_solver.json)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common.hpp"
+#include "cyclic/ilp_scheduler.hpp"
+#include "cyclic/stage_graph.hpp"
+#include "madpipe/search.hpp"
+#include "solver/lp.hpp"
+#include "solver/milp.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace madpipe;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Deterministic LCG in [0,1), matching bench_runtime's BM_SimplexDense.
+struct Lcg {
+  unsigned value = 12345;
+  double next() {
+    value = value * 1103515245u + 12345u;
+    return static_cast<double>((value >> 16) & 0x7fff) / 32768.0;
+  }
+};
+
+solver::Model dense_lp(int n) {
+  solver::Model model;
+  model.set_sense(solver::Sense::Maximize);
+  Lcg rng;
+  for (int i = 0; i < n; ++i) {
+    model.add_variable("x" + std::to_string(i), 0.0, 10.0, rng.next());
+  }
+  for (int r = 0; r < n; ++r) {
+    solver::LinearExpr expr;
+    for (int i = 0; i < n; ++i) expr.add(i, rng.next());
+    model.add_constraint(std::move(expr), solver::Relation::LessEqual,
+                         1.0 + 5.0 * rng.next());
+  }
+  return model;
+}
+
+solver::Model knapsack_milp(int items) {
+  solver::Model model;
+  model.set_sense(solver::Sense::Maximize);
+  solver::LinearExpr total;
+  Lcg rng;
+  double capacity = 0.0;
+  for (int i = 0; i < items; ++i) {
+    const double weight = 1.0 + 9.0 * rng.next();
+    const double value = 1.0 + 9.0 * rng.next();
+    const int x = model.add_variable("x" + std::to_string(i), 0.0, 1.0, value,
+                                     solver::VarType::Integer);
+    total.add(x, weight);
+    capacity += weight;
+  }
+  model.add_constraint(std::move(total), solver::Relation::LessEqual,
+                       0.45 * capacity);
+  return model;
+}
+
+struct WorkloadRecord {
+  std::string name;
+  long long repeats = 0;
+  double wall_seconds = 0.0;
+  double per_solve_seconds = 0.0;
+  long long nodes = 0;
+  double nodes_per_sec = 0.0;
+  long long pivots = 0;
+  double pivots_per_sec = 0.0;
+  long long warm_start_hits = 0;
+  std::string status;
+};
+
+void print_record(const WorkloadRecord& record) {
+  std::printf("%-24s %8.3f ms/solve", record.name.c_str(),
+              record.per_solve_seconds * 1e3);
+  if (record.nodes > 0) {
+    std::printf("  %8lld nodes  %10.0f nodes/s", record.nodes,
+                record.nodes_per_sec);
+  }
+  if (record.pivots > 0) {
+    std::printf("  %8lld pivots  %10.0f pivots/s", record.pivots,
+                record.pivots_per_sec);
+  }
+  if (!record.status.empty()) std::printf("  [%s]", record.status.c_str());
+  std::printf("\n");
+}
+
+WorkloadRecord bench_lp(const std::string& name, const solver::Model& model,
+                        double min_seconds) {
+  WorkloadRecord record;
+  record.name = name;
+  const Clock::time_point start = Clock::now();
+  solver::LPResult last;
+  do {
+    last = solver::solve_lp(model);
+    ++record.repeats;
+  } while (seconds_since(start) < min_seconds);
+  record.wall_seconds = seconds_since(start);
+  record.per_solve_seconds =
+      record.wall_seconds / static_cast<double>(record.repeats);
+#if defined(MADPIPE_SOLVER_STATS)
+  record.pivots = last.stats.pivots * record.repeats;
+  record.pivots_per_sec =
+      static_cast<double>(record.pivots) / record.wall_seconds;
+#endif
+  record.status = last.status == solver::LPStatus::Optimal ? "optimal" : "?";
+  print_record(record);
+  return record;
+}
+
+WorkloadRecord bench_milp(const std::string& name, const solver::Model& model,
+                          double min_seconds,
+                          const solver::MILPOptions& options = {}) {
+  WorkloadRecord record;
+  record.name = name;
+  const Clock::time_point start = Clock::now();
+  solver::MILPResult last;
+  do {
+    last = solver::solve_milp(model, options);
+    ++record.repeats;
+  } while (seconds_since(start) < min_seconds);
+  record.wall_seconds = seconds_since(start);
+  record.per_solve_seconds =
+      record.wall_seconds / static_cast<double>(record.repeats);
+  record.nodes = last.nodes_explored * record.repeats;
+  record.nodes_per_sec =
+      static_cast<double>(record.nodes) / record.wall_seconds;
+#if defined(MADPIPE_SOLVER_STATS)
+  record.pivots = last.stats.pivots * record.repeats;
+  record.pivots_per_sec =
+      static_cast<double>(record.pivots) / record.wall_seconds;
+  record.warm_start_hits = last.stats.warm_start_hits;
+#endif
+  switch (last.status) {
+    case solver::MILPStatus::Optimal: record.status = "optimal"; break;
+    case solver::MILPStatus::Feasible: record.status = "feasible"; break;
+    case solver::MILPStatus::Infeasible: record.status = "infeasible"; break;
+    case solver::MILPStatus::Unbounded: record.status = "unbounded"; break;
+    case solver::MILPStatus::Limit: record.status = "limit"; break;
+  }
+  print_record(record);
+  return record;
+}
+
+/// The real phase-2 workload: the ILP scheduler's MILP on a ResNet-50
+/// phase-1 allocation, probed at a slightly relaxed period (feasible) —
+/// the shape `find_min_period` hammers the solver with.
+WorkloadRecord bench_ilp_scheduler(double min_seconds) {
+  WorkloadRecord record;
+  record.name = "milp_ilp_scheduler";
+  const Chain& chain = bench::evaluation_chain("resnet50");
+  const Platform platform{4, 8 * GB, 12 * GB};
+  Phase1Options options;
+  options.dp.grid = Discretization::paper();
+  const Phase1Result phase1 = madpipe_phase1(chain, platform, options);
+  if (!phase1.feasible()) {
+    record.status = "phase1-infeasible";
+    print_record(record);
+    return record;
+  }
+  const CyclicProblem problem =
+      build_cyclic_problem(*phase1.allocation, chain, platform);
+  const Seconds period = phase1.period * 1.05;
+
+  const Clock::time_point start = Clock::now();
+  ILPScheduleResult last;
+  do {
+    last = ilp_schedule(problem, *phase1.allocation, chain, platform, period);
+    ++record.repeats;
+  } while (seconds_since(start) < min_seconds);
+  record.wall_seconds = seconds_since(start);
+  record.per_solve_seconds =
+      record.wall_seconds / static_cast<double>(record.repeats);
+  record.nodes = last.nodes_explored * record.repeats;
+  record.nodes_per_sec =
+      static_cast<double>(record.nodes) / record.wall_seconds;
+#if defined(MADPIPE_SOLVER_STATS)
+  record.pivots = last.stats.pivots * record.repeats;
+  record.pivots_per_sec =
+      static_cast<double>(record.pivots) / record.wall_seconds;
+  record.warm_start_hits = last.stats.warm_start_hits;
+#endif
+  record.status = last.feasible ? "feasible" : "infeasible";
+  print_record(record);
+  return record;
+}
+
+void write_json(const std::string& path,
+                const std::vector<WorkloadRecord>& records) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema");
+  w.value("madpipe-bench-solver-v1");
+  w.key("solver_stats_instrumented");
+#if defined(MADPIPE_SOLVER_STATS)
+  w.value(true);
+#else
+  w.value(false);
+#endif
+  w.key("workloads");
+  w.begin_array();
+  for (const WorkloadRecord& record : records) {
+    w.begin_object();
+    w.key("name"); w.value(record.name);
+    w.key("repeats"); w.value(record.repeats);
+    w.key("wall_seconds"); w.value(record.wall_seconds);
+    w.key("per_solve_seconds"); w.value(record.per_solve_seconds);
+    w.key("nodes"); w.value(record.nodes);
+    w.key("nodes_per_sec"); w.value(record.nodes_per_sec);
+    w.key("pivots"); w.value(record.pivots);
+    w.key("pivots_per_sec"); w.value(record.pivots_per_sec);
+    w.key("warm_start_hits"); w.value(record.warm_start_hits);
+    w.key("status"); w.value(record.status);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream out(path);
+  out << w.str() << "\n";
+  std::printf("solver benchmark JSON -> %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output = "BENCH_solver.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) output = argv[++i];
+  }
+
+  std::vector<WorkloadRecord> records;
+  records.push_back(bench_lp("lp_dense_n30", dense_lp(30), 1.0));
+  records.push_back(bench_lp("lp_dense_n60", dense_lp(60), 1.0));
+  records.push_back(bench_milp("milp_knapsack16", knapsack_milp(16), 1.0));
+  records.push_back(bench_ilp_scheduler(1.0));
+  write_json(output, records);
+  return 0;
+}

@@ -109,6 +109,7 @@ ILPScheduleResult ilp_schedule(const CyclicProblem& problem,
   const solver::MILPResult milp = solver::solve_milp(model, options.milp);
   result.status = milp.status;
   result.nodes_explored = milp.nodes_explored;
+  result.stats = milp.stats;
   if (milp.status != solver::MILPStatus::Optimal &&
       milp.status != solver::MILPStatus::Feasible) {
     return result;

@@ -35,6 +35,9 @@ struct ILPScheduleResult {
   PeriodicPattern pattern;
   solver::MILPStatus status = solver::MILPStatus::Limit;
   long long nodes_explored = 0;
+  /// Solver counters of the underlying branch-and-bound run (pivots,
+  /// warm-start hits, wall time, …).
+  solver::SolverStats stats;
 };
 
 /// Try to build a valid pattern at exactly `period` via the MILP.

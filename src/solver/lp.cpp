@@ -1,6 +1,7 @@
 #include "solver/lp.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -10,8 +11,17 @@ namespace madpipe::solver {
 
 namespace {
 
+/// Level at which a basic artificial variable counts as "really" nonzero,
+/// i.e. the constraint system is infeasible.
+constexpr double kInfeasibilityTol = 1e-7;
+/// Smallest pivot magnitude accepted when reinstating a warm-start basis.
+constexpr double kCrashPivotTol = 1e-7;
+
 /// Dense simplex tableau in standard form: minimize c·y subject to A·y = b,
-/// y ≥ 0, b ≥ 0, with an identity-forming basis maintained explicitly.
+/// y ≥ 0, with an identity-forming basis maintained explicitly. The
+/// reduced-cost row and objective value are carried incrementally through
+/// pivot() — refresh_reduced() rebuilds them only at phase switches and
+/// warm restarts, never per iteration.
 class Tableau {
  public:
   Tableau(int rows, int cols)
@@ -19,7 +29,10 @@ class Tableau {
         a_(static_cast<std::size_t>(rows) * cols, 0.0),
         b_(static_cast<std::size_t>(rows), 0.0),
         cost_(static_cast<std::size_t>(cols), 0.0),
-        basis_(static_cast<std::size_t>(rows), -1) {}
+        reduced_(static_cast<std::size_t>(cols), 0.0),
+        basis_(static_cast<std::size_t>(rows), -1),
+        structural_(static_cast<std::size_t>(cols), 0),
+        blocked_(static_cast<std::size_t>(cols), 0) {}
 
   double& at(int r, int c) { return a_[static_cast<std::size_t>(r) * cols_ + c]; }
   double at(int r, int c) const {
@@ -27,24 +40,57 @@ class Tableau {
   }
   double& rhs(int r) { return b_[static_cast<std::size_t>(r)]; }
   double rhs(int r) const { return b_[static_cast<std::size_t>(r)]; }
-  double& cost(int c) { return cost_[static_cast<std::size_t>(c)]; }
+  void set_cost(int c, double v) { cost_[static_cast<std::size_t>(c)] = v; }
+  double reduced(int c) const { return reduced_[static_cast<std::size_t>(c)]; }
   int& basis(int r) { return basis_[static_cast<std::size_t>(r)]; }
   int basis(int r) const { return basis_[static_cast<std::size_t>(r)]; }
   int rows() const { return rows_; }
   int cols() const { return cols_; }
 
-  /// Reduced costs from the current basis: r_c = c_c − Σ_r c_{basis(r)}·a_rc.
-  std::vector<double> reduced_costs() const {
-    std::vector<double> reduced(cost_);
+  /// Bar a column from ever entering the basis (artificials after phase 1).
+  void block_column(int c) { blocked_[static_cast<std::size_t>(c)] = 1; }
+  bool blocked(int c) const { return blocked_[static_cast<std::size_t>(c)] != 0; }
+
+  /// Record which columns hold any nonzero entry. Call once after the
+  /// matrix is filled: pricing skips structurally-zero columns entirely
+  /// (their reduced cost never moves off the raw cost coefficient).
+  void mark_structure() {
+    for (int c = 0; c < cols_; ++c) {
+      char any = 0;
+      for (int r = 0; r < rows_; ++r) {
+        if (at(r, c) != 0.0) {
+          any = 1;
+          break;
+        }
+      }
+      structural_[static_cast<std::size_t>(c)] = any;
+    }
+  }
+  bool structural(int c) const {
+    return structural_[static_cast<std::size_t>(c)] != 0;
+  }
+
+  /// Rebuild the reduced-cost row r = c − c_B·B⁻¹·A and the objective
+  /// c_B·B⁻¹·b from scratch. O(m·n).
+  void refresh_reduced() {
+    std::copy(cost_.begin(), cost_.end(), reduced_.begin());
+    objective_ = 0.0;
     for (int r = 0; r < rows_; ++r) {
       const double cb = cost_[static_cast<std::size_t>(basis(r))];
       if (cb == 0.0) continue;
+      objective_ += cb * rhs(r);
       for (int c = 0; c < cols_; ++c) {
-        reduced[static_cast<std::size_t>(c)] -= cb * at(r, c);
+        reduced_[static_cast<std::size_t>(c)] -= cb * at(r, c);
       }
     }
-    return reduced;
+    for (int r = 0; r < rows_; ++r) {
+      reduced_[static_cast<std::size_t>(basis(r))] = 0.0;
+    }
   }
+
+  /// Zero the reduced row so pivots applied while it is meaningless (basis
+  /// crashes) skip the incremental update; refresh_reduced() afterwards.
+  void clear_reduced() { std::fill(reduced_.begin(), reduced_.end(), 0.0); }
 
   void pivot(int pivot_row, int pivot_col) {
     const double pivot_value = at(pivot_row, pivot_col);
@@ -61,23 +107,60 @@ class Tableau {
       }
       rhs(r) -= factor * rhs(pivot_row);
     }
+    // The same elimination applied to the reduced row keeps
+    // r = c − c_B·B⁻¹·A valid without an O(m·n) rebuild per iteration.
+    const double entering_reduced = reduced_[static_cast<std::size_t>(pivot_col)];
+    if (entering_reduced != 0.0) {
+      for (int c = 0; c < cols_; ++c) {
+        reduced_[static_cast<std::size_t>(c)] -= entering_reduced * at(pivot_row, c);
+      }
+      objective_ += entering_reduced * rhs(pivot_row);
+    }
+    reduced_[static_cast<std::size_t>(pivot_col)] = 0.0;
     basis(pivot_row) = pivot_col;
   }
 
-  /// Bland's rule primal simplex on the current cost vector. Returns
-  /// Optimal / Unbounded / IterationLimit.
-  LPStatus iterate(long long max_iterations, double tol,
-                   long long& iterations_used) {
+  /// Primal simplex on the current cost vector: Dantzig pricing, falling
+  /// back to Bland's rule after `stall_threshold` consecutive degenerate
+  /// pivots and staying there until the objective moves (termination: Bland
+  /// never revisits a basis, and every objective improvement is permanent).
+  LPStatus primal_iterate(long long max_iterations, double tol,
+                          long long stall_threshold, long long& iterations_used,
+                          SolverStats& stats, long long& phase_pivots) {
+    long long stall = 0;
+    bool bland = stall_threshold <= 0;
     while (iterations_used < max_iterations) {
-      const std::vector<double> reduced = reduced_costs();
       int entering = -1;
-      for (int c = 0; c < cols_; ++c) {  // Bland: smallest index
-        if (reduced[static_cast<std::size_t>(c)] < -tol) {
-          entering = c;
-          break;
+      if (!bland) {
+        double most_negative = -tol;
+        for (int c = 0; c < cols_; ++c) {
+          if (!structural(c) || blocked(c)) continue;
+          const double rc = reduced_[static_cast<std::size_t>(c)];
+          if (rc < most_negative) {
+            most_negative = rc;
+            entering = c;
+          }
+        }
+      } else {
+        for (int c = 0; c < cols_; ++c) {  // Bland: smallest index
+          if (!structural(c) || blocked(c)) continue;
+          if (reduced_[static_cast<std::size_t>(c)] < -tol) {
+            entering = c;
+            break;
+          }
         }
       }
-      if (entering < 0) return LPStatus::Optimal;
+      if (entering < 0) {
+        // Structurally-zero columns were skipped above; a negative reduced
+        // cost there has no row to block it — unbounded ascent.
+        for (int c = 0; c < cols_; ++c) {
+          if (structural(c) || blocked(c)) continue;
+          if (reduced_[static_cast<std::size_t>(c)] < -tol) {
+            return LPStatus::Unbounded;
+          }
+        }
+        return LPStatus::Optimal;
+      }
 
       int leaving = -1;
       double best_ratio = std::numeric_limits<double>::infinity();
@@ -85,7 +168,8 @@ class Tableau {
         const double coeff = at(r, entering);
         if (coeff > tol) {
           const double ratio = rhs(r) / coeff;
-          // Bland tie-break: smallest basis index.
+          // Smallest-basis-index tie-break: deterministic, and exactly
+          // Bland's leaving rule when the fallback is engaged.
           if (ratio < best_ratio - tol ||
               (ratio < best_ratio + tol &&
                (leaving < 0 || basis(r) < basis(leaving)))) {
@@ -95,11 +179,66 @@ class Tableau {
         }
       }
       if (leaving < 0) return LPStatus::Unbounded;
+      const bool degenerate = best_ratio <= tol;
       pivot(leaving, entering);
       ++iterations_used;
+      ++stats.pivots;
+      ++phase_pivots;
+      if (bland && stall_threshold > 0) ++stats.bland_pivots;
+      if (degenerate) {
+        if (!bland && ++stall >= stall_threshold) bland = true;
+      } else {
+        stall = 0;
+        bland = stall_threshold <= 0;
+      }
     }
     return LPStatus::IterationLimit;
   }
+
+  /// Dual simplex from a dual-feasible basis (reduced costs ≥ 0) toward
+  /// primal feasibility — the restart engine for warm-started solves whose
+  /// bound changes only perturbed the right-hand side. Returns Optimal when
+  /// rhs ≥ 0 everywhere, Infeasible when a negative row has no eligible
+  /// entering column (dual unbounded).
+  LPStatus dual_iterate(long long max_iterations, double tol,
+                        long long& iterations_used, SolverStats& stats) {
+    while (iterations_used < max_iterations) {
+      int leaving = -1;
+      double most_negative = -tol;
+      for (int r = 0; r < rows_; ++r) {
+        if (rhs(r) < most_negative) {
+          most_negative = rhs(r);
+          leaving = r;
+        }
+      }
+      if (leaving < 0) return LPStatus::Optimal;
+
+      int entering = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < cols_; ++c) {
+        if (blocked(c)) continue;
+        const double coeff = at(leaving, c);
+        if (coeff < -tol) {
+          const double ratio =
+              std::max(reduced_[static_cast<std::size_t>(c)], 0.0) / -coeff;
+          // Smallest-index tie-break: the dual analogue of Bland's rule.
+          if (ratio < best_ratio - tol ||
+              (ratio < best_ratio + tol && (entering < 0 || c < entering))) {
+            best_ratio = ratio;
+            entering = c;
+          }
+        }
+      }
+      if (entering < 0) return LPStatus::Infeasible;
+      pivot(leaving, entering);
+      ++iterations_used;
+      ++stats.pivots;
+      ++stats.dual_iterations;
+    }
+    return LPStatus::IterationLimit;
+  }
+
+  double objective() const { return objective_; }
 
  private:
   int rows_;
@@ -107,16 +246,51 @@ class Tableau {
   std::vector<double> a_;
   std::vector<double> b_;
   std::vector<double> cost_;
+  std::vector<double> reduced_;
   std::vector<int> basis_;
+  std::vector<char> structural_;
+  std::vector<char> blocked_;
+  double objective_ = 0.0;
 };
 
-}  // namespace
+/// The standard-form construction of one solve: the tableau plus the
+/// bookkeeping needed to run phases and extract a solution.
+struct Assembly {
+  Tableau tableau;
+  int num_vars = 0;
+  int num_slack = 0;
+  std::vector<int> artificial_cols;  ///< artificials basic at the start
+  bool needs_phase1 = false;
+};
 
-LPResult solve_lp(const Model& model, const LPOptions& options) {
+struct Bounds {
+  std::span<const double> lower;
+  std::span<const double> upper;
+  const Model* model = nullptr;
+
+  double lower_of(int v) const {
+    return lower.empty() ? model->variable(v).lower
+                         : lower[static_cast<std::size_t>(v)];
+  }
+  double upper_of(int v) const {
+    return upper.empty() ? model->variable(v).upper
+                         : upper[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Build the standard-form tableau in shifted variables y = x − lb ≥ 0.
+///
+/// The column layout is a function of the model structure alone — never of
+/// bound *values* — so a basis taken from one solve can be reinstated in a
+/// solve with different bounds (the warm-start contract): columns are
+/// [structural | one slack per inequality row | one artificial per row],
+/// with each row's slack/artificial index fixed by its position. Rows are
+/// equilibrated (divided by their largest coefficient magnitude) and rhs
+/// signs normalized; a row whose rhs sign flips merely flips its slack's
+/// coefficient, not the layout.
+Assembly assemble(const Model& model, const Bounds& bounds) {
   const int n = model.num_variables();
-  const double tol = options.tolerance;
 
-  // --- Assemble rows in shifted variables y = x − lb ≥ 0 -----------------
   struct Row {
     std::vector<double> coeffs;  // dense over y
     Relation relation;
@@ -127,7 +301,7 @@ LPResult solve_lp(const Model& model, const LPOptions& options) {
     Row row{std::vector<double>(static_cast<std::size_t>(n), 0.0), rel, rhs};
     for (const auto& [v, coeff] : expr.terms) {
       row.coeffs[static_cast<std::size_t>(v)] += coeff;
-      row.rhs -= coeff * model.variable(v).lower;
+      row.rhs -= coeff * bounds.lower_of(v);
     }
     rows.push_back(std::move(row));
   };
@@ -137,16 +311,27 @@ LPResult solve_lp(const Model& model, const LPOptions& options) {
     add_row(c.expr, c.relation, c.rhs);
   }
   for (int v = 0; v < n; ++v) {
-    const VariableDef& def = model.variable(v);
-    if (std::isfinite(def.upper)) {
+    if (std::isfinite(bounds.upper_of(v))) {
       LinearExpr bound;
       bound.add(v, 1.0);
-      add_row(bound, Relation::LessEqual, def.upper);
+      add_row(bound, Relation::LessEqual, bounds.upper_of(v));
     }
   }
 
-  // Normalize to rhs ≥ 0.
   for (Row& row : rows) {
+    // Equilibrate: scheduling models mix byte-scale and second-scale
+    // coefficients (~10 orders of magnitude); scaling each row to unit
+    // max-magnitude keeps elimination noise far below the pivot tolerance.
+    double scale = 0.0;
+    for (const double coeff : row.coeffs) {
+      scale = std::max(scale, std::abs(coeff));
+    }
+    if (scale > 0.0) {
+      const double inv = 1.0 / scale;
+      for (double& coeff : row.coeffs) coeff *= inv;
+      row.rhs *= inv;
+    }
+    // Normalize to rhs ≥ 0.
     if (row.rhs < 0.0) {
       for (double& coeff : row.coeffs) coeff = -coeff;
       row.rhs = -row.rhs;
@@ -157,22 +342,16 @@ LPResult solve_lp(const Model& model, const LPOptions& options) {
     }
   }
 
-  // --- Build the tableau: y | slacks | artificials | (rhs separate) ------
   const int m = static_cast<int>(rows.size());
   int num_slack = 0;
   for (const Row& row : rows) {
     if (row.relation != Relation::Equal) ++num_slack;
   }
-  int num_artificial = 0;
-  for (const Row& row : rows) {
-    if (row.relation != Relation::LessEqual) ++num_artificial;
-  }
 
-  const int total = n + num_slack + num_artificial;
-  Tableau tableau(m, total);
+  Assembly assembly{Tableau(m, n + num_slack + m), n, num_slack, {}, false};
+  Tableau& tableau = assembly.tableau;
+  const int first_artificial = n + num_slack;
   int slack_cursor = n;
-  int artificial_cursor = n + num_slack;
-  std::vector<int> artificial_cols;
 
   for (int r = 0; r < m; ++r) {
     const Row& row = rows[static_cast<std::size_t>(r)];
@@ -180,6 +359,11 @@ LPResult solve_lp(const Model& model, const LPOptions& options) {
       tableau.at(r, v) = row.coeffs[static_cast<std::size_t>(v)];
     }
     tableau.rhs(r) = row.rhs;
+    const int artificial = first_artificial + r;
+    tableau.at(r, artificial) = 1.0;
+    // Artificials can leave the basis but never re-enter it (the standard
+    // drop-on-exit simplification, enforced by blocking the column).
+    tableau.block_column(artificial);
     switch (row.relation) {
       case Relation::LessEqual:
         tableau.at(r, slack_cursor) = 1.0;
@@ -187,88 +371,248 @@ LPResult solve_lp(const Model& model, const LPOptions& options) {
         break;
       case Relation::GreaterEqual:
         tableau.at(r, slack_cursor++) = -1.0;
-        tableau.at(r, artificial_cursor) = 1.0;
-        tableau.basis(r) = artificial_cursor;
-        artificial_cols.push_back(artificial_cursor++);
+        tableau.basis(r) = artificial;
+        assembly.artificial_cols.push_back(artificial);
         break;
       case Relation::Equal:
-        tableau.at(r, artificial_cursor) = 1.0;
-        tableau.basis(r) = artificial_cursor;
-        artificial_cols.push_back(artificial_cursor++);
+        tableau.basis(r) = artificial;
+        assembly.artificial_cols.push_back(artificial);
         break;
     }
   }
+  assembly.needs_phase1 = !assembly.artificial_cols.empty();
+  tableau.mark_structure();
+  return assembly;
+}
 
-  long long iterations = 0;
+void install_phase2_costs(Assembly& assembly, const Model& model,
+                          double sense_factor, double cost_scale) {
+  // The objective is scaled to unit max-magnitude like the rows; the true
+  // objective is recomputed from the model at extraction.
+  const double factor = sense_factor / cost_scale;
+  for (int v = 0; v < assembly.num_vars; ++v) {
+    assembly.tableau.set_cost(v, factor * model.variable(v).objective);
+  }
+  // Artificials carry zero cost in phase 2; their columns were blocked at
+  // assembly, so a zero-level artificial left basic on a redundant row
+  // stays put and no artificial can ever re-enter the basis.
+  for (const int c : assembly.artificial_cols) {
+    assembly.tableau.set_cost(c, 0.0);
+  }
+}
 
-  // --- Phase 1: minimize the artificial sum -------------------------------
-  if (num_artificial > 0) {
-    for (const int c : artificial_cols) tableau.cost(c) = 1.0;
-    const LPStatus status =
-        tableau.iterate(options.max_iterations, tol, iterations);
-    if (status == LPStatus::IterationLimit) {
-      return LPResult{LPStatus::IterationLimit, 0.0, {}};
+/// Any artificial basic at a really-nonzero level means the (bound-shifted)
+/// constraint system has no solution.
+bool artificials_at_zero(const Assembly& assembly) {
+  const Tableau& tableau = assembly.tableau;
+  const int first_artificial = assembly.num_vars + assembly.num_slack;
+  for (int r = 0; r < tableau.rows(); ++r) {
+    if (tableau.basis(r) >= first_artificial &&
+        std::abs(tableau.rhs(r)) > kInfeasibilityTol) {
+      return false;
     }
-    MP_ENSURE(status != LPStatus::Unbounded,
-              "phase-1 objective is bounded below by zero");
-    double infeasibility = 0.0;
-    for (int r = 0; r < m; ++r) {
-      if (tableau.basis(r) >= n + num_slack) infeasibility += tableau.rhs(r);
-    }
-    if (infeasibility > 1e-7) {
-      return LPResult{LPStatus::Infeasible, 0.0, {}};
-    }
-    // Pivot any artificial still in the basis (at zero level) out of it.
-    for (int r = 0; r < m; ++r) {
-      if (tableau.basis(r) < n + num_slack) continue;
-      int replacement = -1;
-      for (int c = 0; c < n + num_slack; ++c) {
-        if (std::abs(tableau.at(r, c)) > 1e-9) {
-          replacement = c;
-          break;
-        }
-      }
-      if (replacement >= 0) {
-        tableau.pivot(r, replacement);
-      }
-      // Otherwise the row is all-zero over real columns: redundant, leave
-      // the zero-level artificial basic; it can never re-enter because its
-      // cost is neutral in phase 2 and its column is excluded below.
-    }
-    for (const int c : artificial_cols) tableau.cost(c) = 0.0;
-    // Block artificial columns from re-entering: give them a prohibitive
-    // cost in phase 2.
-    for (const int c : artificial_cols) tableau.cost(c) = 1e30;
   }
+  return true;
+}
 
-  // --- Phase 2: the real objective ----------------------------------------
-  const double sense_factor = model.sense() == Sense::Minimize ? 1.0 : -1.0;
-  for (int v = 0; v < n; ++v) {
-    tableau.cost(v) = sense_factor * model.variable(v).objective;
-  }
-  const LPStatus status =
-      tableau.iterate(options.max_iterations, tol, iterations);
-  if (status == LPStatus::IterationLimit) {
-    return LPResult{LPStatus::IterationLimit, 0.0, {}};
-  }
-  if (status == LPStatus::Unbounded) {
-    return LPResult{LPStatus::Unbounded, 0.0, {}};
-  }
-
-  LPResult result;
+void extract_solution(const Assembly& assembly, const Model& model,
+                      const Bounds& bounds, const LPOptions& options,
+                      LPResult& result) {
+  const Tableau& tableau = assembly.tableau;
+  const int n = assembly.num_vars;
   result.status = LPStatus::Optimal;
+  result.objective = 0.0;
   result.values.assign(static_cast<std::size_t>(n), 0.0);
-  for (int r = 0; r < m; ++r) {
+  for (int r = 0; r < tableau.rows(); ++r) {
     if (tableau.basis(r) < n) {
       result.values[static_cast<std::size_t>(tableau.basis(r))] =
           tableau.rhs(r);
     }
   }
   for (int v = 0; v < n; ++v) {
-    result.values[static_cast<std::size_t>(v)] += model.variable(v).lower;
+    result.values[static_cast<std::size_t>(v)] += bounds.lower_of(v);
     result.objective +=
         model.variable(v).objective * result.values[static_cast<std::size_t>(v)];
   }
+  if (options.want_basis) {
+    result.basis.rows = tableau.rows();
+    result.basis.cols = tableau.cols();
+    result.basis.columns.resize(static_cast<std::size_t>(tableau.rows()));
+    for (int r = 0; r < tableau.rows(); ++r) {
+      result.basis.columns[static_cast<std::size_t>(r)] = tableau.basis(r);
+    }
+  }
+}
+
+/// Reinstate `want` as the basis of a freshly assembled tableau by Gaussian
+/// elimination restricted to the wanted columns. Returns false (tableau in
+/// an unspecified state) when the suggestion is singular on this data.
+bool crash_basis(Tableau& tableau, const std::vector<int>& want) {
+  tableau.clear_reduced();
+  const int m = tableau.rows();
+  std::vector<char> row_done(static_cast<std::size_t>(m), 0);
+  for (const int j : want) {
+    if (j < 0 || j >= tableau.cols()) return false;
+    // Look up basic status live: an earlier crash pivot may have evicted a
+    // column that the initial basis held, so a snapshot taken up front
+    // would double-mark rows and strand the evicted column outside.
+    int already = -1;
+    for (int r = 0; r < m; ++r) {
+      if (tableau.basis(r) == j) {
+        already = r;
+        break;
+      }
+    }
+    if (already >= 0) {
+      row_done[static_cast<std::size_t>(already)] = 1;
+      continue;
+    }
+    int best_row = -1;
+    double best_mag = kCrashPivotTol;
+    for (int r = 0; r < m; ++r) {
+      if (row_done[static_cast<std::size_t>(r)]) continue;
+      const double mag = std::abs(tableau.at(r, j));
+      if (mag > best_mag) {
+        best_mag = mag;
+        best_row = r;
+      }
+    }
+    if (best_row < 0) return false;
+    tableau.pivot(best_row, j);
+    row_done[static_cast<std::size_t>(best_row)] = 1;
+  }
+  for (int r = 0; r < m; ++r) {
+    if (!row_done[static_cast<std::size_t>(r)]) return false;
+  }
+  return true;
+}
+
+LPResult solve_lp_impl(const Model& model, const LPOptions& options) {
+  const int n = model.num_variables();
+  const double tol = options.tolerance;
+  MP_EXPECT(options.lower_bounds.empty() ||
+                static_cast<int>(options.lower_bounds.size()) == n,
+            "lower-bound override must cover every variable");
+  MP_EXPECT(options.upper_bounds.empty() ||
+                static_cast<int>(options.upper_bounds.size()) == n,
+            "upper-bound override must cover every variable");
+
+  const Bounds bounds{options.lower_bounds, options.upper_bounds, &model};
+  LPResult result;
+  for (int v = 0; v < n; ++v) {
+    MP_EXPECT(std::isfinite(bounds.lower_of(v)),
+              "variable lower bound must be finite");
+    if (bounds.lower_of(v) > bounds.upper_of(v)) {
+      result.status = LPStatus::Infeasible;  // crossed bounds: empty box
+      return result;
+    }
+  }
+
+  Assembly assembly = assemble(model, bounds);
+  const double sense_factor = model.sense() == Sense::Minimize ? 1.0 : -1.0;
+  double cost_scale = 0.0;
+  for (int v = 0; v < n; ++v) {
+    cost_scale = std::max(cost_scale, std::abs(model.variable(v).objective));
+  }
+  if (cost_scale == 0.0) cost_scale = 1.0;
+  long long iterations = 0;
+
+  // --- Warm path: dual-simplex restart from a prior basis ------------------
+  if (options.warm_start != nullptr && options.warm_start->valid()) {
+    const LPBasis& warm = *options.warm_start;
+    if (warm.rows == assembly.tableau.rows() &&
+        warm.cols == assembly.tableau.cols() &&
+        crash_basis(assembly.tableau, warm.columns)) {
+      install_phase2_costs(assembly, model, sense_factor, cost_scale);
+      assembly.tableau.refresh_reduced();
+      bool dual_feasible = true;
+      for (int c = 0; c < assembly.tableau.cols(); ++c) {
+        if (assembly.tableau.blocked(c)) continue;
+        if (assembly.tableau.reduced(c) < -kInfeasibilityTol) {
+          dual_feasible = false;
+          break;
+        }
+      }
+      if (dual_feasible) {
+        const LPStatus status = assembly.tableau.dual_iterate(
+            options.max_iterations, tol, iterations, result.stats);
+        if (status == LPStatus::Optimal && artificials_at_zero(assembly)) {
+          ++result.stats.warm_start_hits;
+          extract_solution(assembly, model, bounds, options, result);
+          return result;
+        }
+        if (status == LPStatus::Infeasible) {
+          ++result.stats.warm_start_hits;
+          result.status = LPStatus::Infeasible;
+          return result;
+        }
+        // IterationLimit (or a nonzero artificial): distrust the restart
+        // and fall through to a cold solve.
+      }
+    }
+    // Every path that used the warm basis returned above.
+    ++result.stats.warm_start_misses;
+    assembly = assemble(model, bounds);  // crash mutated the tableau
+  }
+
+  // --- Phase 1: minimize the artificial sum -------------------------------
+  if (assembly.needs_phase1) {
+    for (const int c : assembly.artificial_cols) {
+      assembly.tableau.set_cost(c, 1.0);
+    }
+    assembly.tableau.refresh_reduced();
+    const LPStatus status = assembly.tableau.primal_iterate(
+        options.max_iterations, tol, options.stall_pivots_before_bland,
+        iterations, result.stats, result.stats.phase1_iterations);
+    if (status == LPStatus::IterationLimit) {
+      result.status = LPStatus::IterationLimit;
+      return result;
+    }
+    MP_ENSURE(status != LPStatus::Unbounded,
+              "phase-1 objective is bounded below by zero");
+    if (!artificials_at_zero(assembly)) {
+      result.status = LPStatus::Infeasible;
+      return result;
+    }
+    // Pivot any artificial still in the basis (at zero level) out of it.
+    const int real_cols = assembly.num_vars + assembly.num_slack;
+    for (int r = 0; r < assembly.tableau.rows(); ++r) {
+      if (assembly.tableau.basis(r) < real_cols) continue;
+      for (int c = 0; c < real_cols; ++c) {
+        if (std::abs(assembly.tableau.at(r, c)) > 1e-9) {
+          assembly.tableau.pivot(r, c);
+          break;
+        }
+      }
+      // No replacement: the row is all-zero over real columns (redundant).
+      // The zero-level artificial stays basic; its column is blocked, so it
+      // can never re-enter elsewhere or pick up cost.
+    }
+  }
+
+  // --- Phase 2: the real objective ----------------------------------------
+  install_phase2_costs(assembly, model, sense_factor, cost_scale);
+  assembly.tableau.refresh_reduced();
+  const LPStatus status = assembly.tableau.primal_iterate(
+      options.max_iterations, tol, options.stall_pivots_before_bland,
+      iterations, result.stats, result.stats.phase2_iterations);
+  if (status != LPStatus::Optimal) {
+    result.status = status;
+    return result;
+  }
+  extract_solution(assembly, model, bounds, options, result);
+  return result;
+}
+
+}  // namespace
+
+LPResult solve_lp(const Model& model, const LPOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  LPResult result = solve_lp_impl(model, options);
+  result.stats.lp_solves = 1;
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return result;
 }
 

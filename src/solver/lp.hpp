@@ -1,26 +1,67 @@
 // Dense two-phase primal simplex for the linear relaxations used by the
 // branch-and-bound MILP solver. Built for the small, well-scaled scheduling
 // models of this library (tens of variables, ~hundreds of rows): a dense
-// tableau with Bland's anti-cycling rule is simple, robust and fast enough.
+// tableau is simple and robust, and the hot path is tuned for the
+// branch-and-bound access pattern — the reduced-cost row is maintained
+// incrementally across pivots, pricing is Dantzig (most negative) with an
+// automatic fallback to Bland's rule after a degeneracy stall (anti-cycling
+// guarantee), variable bounds can be overridden per solve without rebuilding
+// the model, and a solve can be warm-started from the basis of a
+// structurally identical previous solve (dual-simplex restart).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "solver/model.hpp"
+#include "solver/solver_stats.hpp"
 
 namespace madpipe::solver {
 
 enum class LPStatus { Optimal, Infeasible, Unbounded, IterationLimit };
 
+/// Snapshot of a simplex basis: the basic column per tableau row, plus the
+/// tableau dimensions it was taken at. Opaque to callers — pass it back via
+/// LPOptions::warm_start to a solve of the same model structure (same
+/// constraints, same set of finite upper bounds; only bound *values* may
+/// differ). A mismatched basis is ignored, never an error.
+struct LPBasis {
+  std::vector<int> columns;
+  int rows = 0;
+  int cols = 0;
+
+  bool valid() const noexcept {
+    return rows > 0 && static_cast<int>(columns.size()) == rows;
+  }
+};
+
 struct LPResult {
   LPStatus status = LPStatus::Infeasible;
   double objective = 0.0;
   std::vector<double> values;  ///< per original model variable
+  LPBasis basis;               ///< filled on Optimal when options.want_basis
+  SolverStats stats;
 };
 
 struct LPOptions {
   long long max_iterations = 200'000;
   double tolerance = 1e-9;
+  /// Consecutive degenerate (zero objective progress) Dantzig pivots
+  /// tolerated before pricing falls back to Bland's rule; Bland stays in
+  /// force until the objective moves again. 0 = always Bland.
+  long long stall_pivots_before_bland = 64;
+  /// Optional per-variable bound overrides (the branch-and-bound view onto
+  /// a shared base model). When non-empty each span must hold exactly
+  /// num_variables() entries; empty spans use the model's own bounds.
+  std::span<const double> lower_bounds{};
+  std::span<const double> upper_bounds{};
+  /// Optional basis of a structurally identical prior solve to restart
+  /// from. Unusable bases (dimension mismatch, singular crash, lost dual
+  /// feasibility) fall back to a cold two-phase solve and count as a
+  /// warm-start miss in the stats.
+  const LPBasis* warm_start = nullptr;
+  /// Record the final basis in LPResult::basis (Optimal solves only).
+  bool want_basis = false;
 };
 
 /// Solve the continuous relaxation of `model` (integrality ignored).

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "util/expect.hpp"
 
@@ -10,57 +11,59 @@ namespace madpipe::solver {
 
 namespace {
 
-struct BranchBound {
-  /// Extra variable bounds layered on the base model, indexed by variable.
+/// One open subproblem: variable bounds layered over the base model (the
+/// branching state) plus the optimal basis of the parent's relaxation to
+/// warm-start from. The base model itself is never copied.
+struct Node {
   std::vector<double> lower;
   std::vector<double> upper;
+  LPBasis parent_basis;
 };
 
-/// Copy of `model` with tightened bounds (branching is expressed purely
-/// through bounds, so only the variable table changes).
-Model with_bounds(const Model& model, const BranchBound& bounds) {
-  Model result;
-  result.set_sense(model.sense());
+double objective_of(const Model& model, const std::vector<double>& values) {
+  double total = 0.0;
   for (int v = 0; v < model.num_variables(); ++v) {
-    const VariableDef& def = model.variable(v);
-    result.add_variable(def.name, bounds.lower[static_cast<std::size_t>(v)],
-                        bounds.upper[static_cast<std::size_t>(v)],
-                        def.objective, def.type);
+    total +=
+        model.variable(v).objective * values[static_cast<std::size_t>(v)];
   }
-  for (int c = 0; c < model.num_constraints(); ++c) {
-    const ConstraintDef& def = model.constraint(c);
-    result.add_constraint(def.expr, def.relation, def.rhs, def.name);
-  }
-  return result;
+  return total;
 }
 
 }  // namespace
 
 MILPResult solve_milp(const Model& model, const MILPOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
   const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(options.time_limit_seconds));
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(options.time_limit_seconds));
   const double sense_factor = model.sense() == Sense::Minimize ? 1.0 : -1.0;
+  const auto finalize = [&](MILPResult& r) -> MILPResult& {
+    r.stats.nodes_explored = r.nodes_explored;
+    r.stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return r;
+  };
 
   MILPResult result;
   double incumbent = std::numeric_limits<double>::infinity();  // minimized
-  bool any_lp_truncated = false;
+  bool tried_rounding = false;
 
-  BranchBound root;
+  Node root;
   for (int v = 0; v < model.num_variables(); ++v) {
     root.lower.push_back(model.variable(v).lower);
     root.upper.push_back(model.variable(v).upper);
   }
-  std::vector<BranchBound> stack{root};
+  std::vector<Node> stack;
+  stack.push_back(std::move(root));
 
   while (!stack.empty()) {
     if (result.nodes_explored >= options.max_nodes ||
         std::chrono::steady_clock::now() >= deadline) {
-      any_lp_truncated = true;
+      result.budget_exhausted = true;
       break;
     }
-    const BranchBound node = std::move(stack.back());
+    const Node node = std::move(stack.back());
     stack.pop_back();
     ++result.nodes_explored;
 
@@ -74,17 +77,24 @@ MILPResult solve_milp(const Model& model, const MILPOptions& options) {
     }
     if (empty) continue;
 
-    const Model branched = with_bounds(model, node);
-    const LPResult lp = solve_lp(branched, options.lp);
+    LPOptions lp_options = options.lp;
+    lp_options.lower_bounds = node.lower;
+    lp_options.upper_bounds = node.upper;
+    lp_options.want_basis = true;
+    if (options.warm_start && node.parent_basis.valid()) {
+      lp_options.warm_start = &node.parent_basis;
+    }
+    const LPResult lp = solve_lp(model, lp_options);
+    result.stats.absorb(lp.stats);
     if (lp.status == LPStatus::Infeasible) continue;
     if (lp.status == LPStatus::Unbounded) {
       // Unbounded relaxation at the root means an unbounded MILP (or one we
       // refuse to chase); report and stop.
       result.status = MILPStatus::Unbounded;
-      return result;
+      return finalize(result);
     }
     if (lp.status == LPStatus::IterationLimit) {
-      any_lp_truncated = true;
+      result.lp_truncated = true;
       continue;
     }
 
@@ -119,11 +129,41 @@ MILPResult solve_milp(const Model& model, const MILPOptions& options) {
       continue;
     }
 
+    // Root rounding heuristic: snap the relaxation to the nearest integer
+    // point; when that point is feasible it seeds the incumbent so the
+    // bound test above prunes from the very first branched node.
+    if (options.rounding_heuristic && !tried_rounding) {
+      tried_rounding = true;
+      std::vector<double> rounded = lp.values;
+      for (int v = 0; v < model.num_variables(); ++v) {
+        if (model.variable(v).type != VarType::Integer) continue;
+        double x = std::round(rounded[static_cast<std::size_t>(v)]);
+        x = std::max(x, node.lower[static_cast<std::size_t>(v)]);
+        x = std::min(x, node.upper[static_cast<std::size_t>(v)]);
+        rounded[static_cast<std::size_t>(v)] = x;
+      }
+      if (model.is_feasible(rounded)) {
+        const double rounded_objective = objective_of(model, rounded);
+        incumbent = sense_factor * rounded_objective;
+        result.objective = rounded_objective;
+        result.values = std::move(rounded);
+        ++result.stats.heuristic_incumbents;
+      }
+    }
+
     const double x = lp.values[static_cast<std::size_t>(branch_var)];
-    BranchBound down = node;
+    Node down;
+    down.lower = node.lower;
+    down.upper = node.upper;
     down.upper[static_cast<std::size_t>(branch_var)] = std::floor(x);
-    BranchBound up = node;
+    Node up;
+    up.lower = node.lower;
+    up.upper = node.upper;
     up.lower[static_cast<std::size_t>(branch_var)] = std::ceil(x);
+    if (options.warm_start) {
+      down.parent_basis = lp.basis;
+      up.parent_basis = lp.basis;
+    }
     // DFS: explore the side nearer the relaxation value first.
     if (x - std::floor(x) <= 0.5) {
       stack.push_back(std::move(up));
@@ -135,15 +175,14 @@ MILPResult solve_milp(const Model& model, const MILPOptions& options) {
   }
 
   const bool have_incumbent = std::isfinite(incumbent);
+  const bool truncated =
+      result.budget_exhausted || result.lp_truncated || !stack.empty();
   if (have_incumbent) {
-    result.status = (stack.empty() && !any_lp_truncated) ? MILPStatus::Optimal
-                                                         : MILPStatus::Feasible;
+    result.status = truncated ? MILPStatus::Feasible : MILPStatus::Optimal;
   } else {
-    result.status = (stack.empty() && !any_lp_truncated)
-                        ? MILPStatus::Infeasible
-                        : MILPStatus::Limit;
+    result.status = truncated ? MILPStatus::Limit : MILPStatus::Infeasible;
   }
-  return result;
+  return finalize(result);
 }
 
 }  // namespace madpipe::solver

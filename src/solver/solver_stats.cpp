@@ -1,0 +1,48 @@
+#include "solver/solver_stats.hpp"
+
+#include "util/json.hpp"
+
+namespace madpipe::solver {
+
+void SolverStats::absorb(const SolverStats& other) noexcept {
+  pivots += other.pivots;
+  phase1_iterations += other.phase1_iterations;
+  phase2_iterations += other.phase2_iterations;
+  dual_iterations += other.dual_iterations;
+  bland_pivots += other.bland_pivots;
+  lp_solves += other.lp_solves;
+  nodes_explored += other.nodes_explored;
+  warm_start_hits += other.warm_start_hits;
+  warm_start_misses += other.warm_start_misses;
+  heuristic_incumbents += other.heuristic_incumbents;
+  wall_seconds += other.wall_seconds;
+}
+
+void SolverStats::write_json(json::Writer& writer) const {
+  writer.begin_object();
+  writer.key("pivots");
+  writer.value(pivots);
+  writer.key("phase1_iterations");
+  writer.value(phase1_iterations);
+  writer.key("phase2_iterations");
+  writer.value(phase2_iterations);
+  writer.key("dual_iterations");
+  writer.value(dual_iterations);
+  writer.key("bland_pivots");
+  writer.value(bland_pivots);
+  writer.key("lp_solves");
+  writer.value(lp_solves);
+  writer.key("nodes_explored");
+  writer.value(nodes_explored);
+  writer.key("warm_start_hits");
+  writer.value(warm_start_hits);
+  writer.key("warm_start_misses");
+  writer.value(warm_start_misses);
+  writer.key("heuristic_incumbents");
+  writer.value(heuristic_incumbents);
+  writer.key("wall_seconds");
+  writer.value(wall_seconds);
+  writer.end_object();
+}
+
+}  // namespace madpipe::solver

@@ -1,0 +1,38 @@
+// Perf counters threaded through every LP/MILP solve so the planner's
+// dominant cost — solver throughput — is observable end to end: in unit
+// tests, in the bench harness (BENCH_solver.json) and in madpipe_cli.
+#pragma once
+
+namespace madpipe::json {
+class Writer;
+}
+
+namespace madpipe::solver {
+
+/// Defined when LPResult/MILPResult carry a SolverStats block; lets tools
+/// compile against both the instrumented and the pre-instrumentation API.
+#define MADPIPE_SOLVER_STATS 1
+
+struct SolverStats {
+  long long pivots = 0;             ///< all simplex pivots (primal + dual)
+  long long phase1_iterations = 0;  ///< pivots spent driving artificials out
+  long long phase2_iterations = 0;  ///< pivots on the real objective
+  long long dual_iterations = 0;    ///< dual-simplex pivots (warm restarts)
+  long long bland_pivots = 0;       ///< pivots under the anti-cycling fallback
+  long long lp_solves = 0;          ///< calls into the simplex
+  long long nodes_explored = 0;     ///< branch-and-bound nodes (MILP)
+  long long warm_start_hits = 0;    ///< LP solves restarted from a prior basis
+  long long warm_start_misses = 0;  ///< warm bases offered but unusable
+  long long heuristic_incumbents = 0;  ///< incumbents found by LP rounding
+  double wall_seconds = 0.0;
+
+  /// Sum every field of `other` into this block. Callers that own a field
+  /// (e.g. solve_milp owns wall_seconds and nodes_explored) overwrite it
+  /// after accumulating.
+  void absorb(const SolverStats& other) noexcept;
+
+  /// Append this block as one JSON object value (the caller writes the key).
+  void write_json(json::Writer& writer) const;
+};
+
+}  // namespace madpipe::solver

@@ -1,0 +1,376 @@
+// Golden-equivalence and regression coverage for the solver fast paths:
+// Dantzig pricing with the Bland anti-cycling fallback, per-solve bound
+// overrides, warm-started (dual simplex) re-solves, the root rounding
+// heuristic, and the budget/truncation status split in solve_milp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "solver/lp.hpp"
+#include "solver/milp.hpp"
+
+namespace madpipe::solver {
+namespace {
+
+// --- A small model corpus shared by the equivalence suites -----------------
+
+/// Deterministic LCG in [0,1) (same family as the bench generators).
+struct Lcg {
+  unsigned value = 12345;
+  double next() {
+    value = value * 1103515245u + 12345u;
+    return static_cast<double>((value >> 16) & 0x7fff) / 32768.0;
+  }
+};
+
+Model dense_lp(int n, unsigned seed) {
+  Model model;
+  model.set_sense(Sense::Maximize);
+  Lcg rng{seed};
+  for (int i = 0; i < n; ++i) {
+    model.add_variable("x" + std::to_string(i), 0.0, 10.0, rng.next());
+  }
+  for (int r = 0; r < n; ++r) {
+    LinearExpr expr;
+    for (int i = 0; i < n; ++i) expr.add(i, rng.next());
+    model.add_constraint(std::move(expr), Relation::LessEqual,
+                         1.0 + 5.0 * rng.next());
+  }
+  return model;
+}
+
+Model knapsack_milp(int items, unsigned seed) {
+  Model model;
+  model.set_sense(Sense::Maximize);
+  Lcg rng{seed};
+  LinearExpr total;
+  double capacity = 0.0;
+  for (int i = 0; i < items; ++i) {
+    const double weight = 1.0 + 9.0 * rng.next();
+    const double worth = 1.0 + 9.0 * rng.next();
+    const int x = model.add_variable("x" + std::to_string(i), 0.0, 1.0, worth,
+                                     VarType::Integer);
+    total.add(x, weight);
+    capacity += weight;
+  }
+  model.add_constraint(std::move(total), Relation::LessEqual, 0.45 * capacity);
+  return model;
+}
+
+/// Mixed-relation LP with an equality and shifted lower bounds, so the
+/// phase-1 / artificial machinery is on the path.
+Model mixed_lp() {
+  Model model;
+  const int x = model.add_variable("x", 2.0, 1e9, 2.0);
+  const int y = model.add_variable("y", 0.0, 8.0, 3.0);
+  const int z = model.add_variable("z", 0.0, 1e9, 1.0);
+  model.add_constraint(LinearExpr().add(x, 1.0).add(y, 1.0),
+                       Relation::GreaterEqual, 10.0);
+  model.add_constraint(LinearExpr().add(y, 1.0).add(z, 2.0), Relation::Equal,
+                       8.0);
+  return model;
+}
+
+// --- Golden equivalence: every pricing / restart mode, same answers --------
+
+TEST(SolverGolden, PricingModesAgreeOnLPCorpus) {
+  for (const int n : {6, 12, 24}) {
+    const Model model = dense_lp(n, 12345u + static_cast<unsigned>(n));
+    LPOptions dantzig;  // defaults: Dantzig with Bland fallback
+    LPOptions bland;
+    bland.stall_pivots_before_bland = 0;  // pure Bland, the seed strategy
+    const LPResult a = solve_lp(model, dantzig);
+    const LPResult b = solve_lp(model, bland);
+    ASSERT_EQ(a.status, LPStatus::Optimal) << "n=" << n;
+    ASSERT_EQ(b.status, LPStatus::Optimal) << "n=" << n;
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "n=" << n;
+  }
+}
+
+TEST(SolverGolden, PricingModesAgreeOnMixedRelations) {
+  const Model model = mixed_lp();
+  LPOptions bland;
+  bland.stall_pivots_before_bland = 0;
+  const LPResult a = solve_lp(model);
+  const LPResult b = solve_lp(model, bland);
+  ASSERT_EQ(a.status, LPStatus::Optimal);
+  ASSERT_EQ(b.status, LPStatus::Optimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+}
+
+TEST(SolverGolden, MILPModesAgreeOnKnapsackCorpus) {
+  for (const unsigned seed : {1u, 7u, 12345u}) {
+    const Model model = knapsack_milp(14, seed);
+    MILPOptions plain;
+    plain.warm_start = false;
+    plain.rounding_heuristic = false;
+    MILPOptions fast;
+    fast.warm_start = true;
+    fast.rounding_heuristic = true;
+    MILPOptions bland;
+    bland.warm_start = false;
+    bland.rounding_heuristic = false;
+    bland.lp.stall_pivots_before_bland = 0;
+    const MILPResult a = solve_milp(model, plain);
+    const MILPResult b = solve_milp(model, fast);
+    const MILPResult c = solve_milp(model, bland);
+    ASSERT_EQ(a.status, MILPStatus::Optimal) << "seed=" << seed;
+    ASSERT_EQ(b.status, MILPStatus::Optimal) << "seed=" << seed;
+    ASSERT_EQ(c.status, MILPStatus::Optimal) << "seed=" << seed;
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "seed=" << seed;
+    EXPECT_NEAR(a.objective, c.objective, 1e-6) << "seed=" << seed;
+  }
+}
+
+TEST(SolverGolden, MILPModesAgreeOnInfeasibleModel) {
+  // x + y ≥ 12 with x,y ∈ {0..5}: integer- and LP-infeasible.
+  Model model;
+  const int x = model.add_variable("x", 0.0, 5.0, 1.0, VarType::Integer);
+  const int y = model.add_variable("y", 0.0, 5.0, 1.0, VarType::Integer);
+  model.add_constraint(LinearExpr().add(x, 1.0).add(y, 1.0),
+                       Relation::GreaterEqual, 12.0);
+  for (const bool warm : {false, true}) {
+    MILPOptions options;
+    options.warm_start = warm;
+    EXPECT_EQ(solve_milp(model, options).status, MILPStatus::Infeasible);
+  }
+}
+
+// --- Bound overrides: the copy-free branching view -------------------------
+
+TEST(SolverBounds, OverridesMatchRebuiltModel) {
+  const Model base = dense_lp(10, 99u);
+  const int n = base.num_variables();
+  std::vector<double> lower(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> upper(static_cast<std::size_t>(n), 10.0);
+  lower[2] = 0.2;  // tightened like a B&B "up" branch
+  upper[5] = 0.3;  // tightened like a B&B "down" branch
+  upper[7] = 0.0;  // fixed at zero
+
+  LPOptions options;
+  options.lower_bounds = lower;
+  options.upper_bounds = upper;
+  const LPResult with_view = solve_lp(base, options);
+
+  Model rebuilt;
+  rebuilt.set_sense(base.sense());
+  for (int v = 0; v < n; ++v) {
+    const VariableDef& def = base.variable(v);
+    rebuilt.add_variable(def.name, lower[static_cast<std::size_t>(v)],
+                         upper[static_cast<std::size_t>(v)], def.objective,
+                         def.type);
+  }
+  for (int c = 0; c < base.num_constraints(); ++c) {
+    const ConstraintDef& def = base.constraint(c);
+    rebuilt.add_constraint(def.expr, def.relation, def.rhs, def.name);
+  }
+  const LPResult from_rebuild = solve_lp(rebuilt);
+
+  ASSERT_EQ(with_view.status, from_rebuild.status);
+  ASSERT_EQ(with_view.status, LPStatus::Optimal);
+  EXPECT_NEAR(with_view.objective, from_rebuild.objective, 1e-6);
+  EXPECT_GE(with_view.values[2], 0.2 - 1e-9);
+  EXPECT_LE(with_view.values[5], 0.3 + 1e-9);
+  EXPECT_NEAR(with_view.values[7], 0.0, 1e-9);
+}
+
+TEST(SolverBounds, CrossedOverrideBoundsAreInfeasible) {
+  const Model base = dense_lp(4, 5u);
+  std::vector<double> lower(4, 0.0);
+  std::vector<double> upper(4, 10.0);
+  lower[1] = 3.0;
+  upper[1] = 2.0;  // empty box
+  LPOptions options;
+  options.lower_bounds = lower;
+  options.upper_bounds = upper;
+  EXPECT_EQ(solve_lp(base, options).status, LPStatus::Infeasible);
+}
+
+// --- Warm starts: basis out, basis in --------------------------------------
+
+TEST(SolverWarmStart, BasisRoundTripsAndHits) {
+  const Model base = dense_lp(8, 7u);
+  const int n = base.num_variables();
+  LPOptions first;
+  first.want_basis = true;
+  const LPResult parent = solve_lp(base, first);
+  ASSERT_EQ(parent.status, LPStatus::Optimal);
+  ASSERT_TRUE(parent.basis.valid());
+
+  // Re-solve with one bound tightened, restarting from the parent's basis:
+  // must agree with a cold solve of the same subproblem and count a hit
+  // (the restart is only a performance path, never a semantic one — but a
+  // hit proves the dual-simplex path actually ran).
+  std::vector<double> lower(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> upper(static_cast<std::size_t>(n), 10.0);
+  upper[0] = 1.0;
+  LPOptions warm;
+  warm.lower_bounds = lower;
+  warm.upper_bounds = upper;
+  warm.warm_start = &parent.basis;
+  const LPResult restarted = solve_lp(base, warm);
+
+  LPOptions cold;
+  cold.lower_bounds = lower;
+  cold.upper_bounds = upper;
+  const LPResult reference = solve_lp(base, cold);
+
+  ASSERT_EQ(restarted.status, reference.status);
+  ASSERT_EQ(restarted.status, LPStatus::Optimal);
+  EXPECT_NEAR(restarted.objective, reference.objective, 1e-6);
+  EXPECT_EQ(restarted.stats.warm_start_hits +
+                restarted.stats.warm_start_misses,
+            1);
+}
+
+TEST(SolverWarmStart, MismatchedBasisFallsBackToColdSolve) {
+  const Model base = dense_lp(8, 7u);
+  LPBasis bogus;
+  bogus.rows = 3;
+  bogus.cols = 5;
+  bogus.columns = {0, 1, 2};
+  LPOptions options;
+  options.warm_start = &bogus;
+  const LPResult r = solve_lp(base, options);
+  ASSERT_EQ(r.status, LPStatus::Optimal);
+  EXPECT_EQ(r.stats.warm_start_hits, 0);
+  EXPECT_EQ(r.stats.warm_start_misses, 1);
+  const LPResult cold = solve_lp(base);
+  EXPECT_NEAR(r.objective, cold.objective, 1e-9);
+}
+
+TEST(SolverWarmStart, MILPWarmRunReportsHits) {
+  const Model model = knapsack_milp(12, 3u);
+  MILPOptions options;
+  options.warm_start = true;
+  const MILPResult r = solve_milp(model, options);
+  ASSERT_EQ(r.status, MILPStatus::Optimal);
+  // Every non-root node carries its parent's basis; at least some must
+  // restart successfully for the feature to be worth its plumbing.
+  EXPECT_GT(r.stats.warm_start_hits, 0);
+}
+
+// --- Degenerate cycling regression: the Dantzig→Bland fallback -------------
+
+TEST(SolverDegenerate, BealeCycleTerminatesUnderDantzig) {
+  // Beale's classic cycling LP: Dantzig pricing with a naive tie-break
+  // cycles forever; the stall-triggered Bland fallback must terminate at
+  // the optimum, objective −0.05 (min −0.75x1 + 150x2 − 0.02x3 + 6x4).
+  Model model;
+  const int x1 = model.add_variable("x1", 0.0, 1e9, -0.75);
+  const int x2 = model.add_variable("x2", 0.0, 1e9, 150.0);
+  const int x3 = model.add_variable("x3", 0.0, 1e9, -0.02);
+  const int x4 = model.add_variable("x4", 0.0, 1e9, 6.0);
+  model.add_constraint(LinearExpr().add(x1, 0.25).add(x2, -60.0).add(x3, -0.04)
+                           .add(x4, 9.0),
+                       Relation::LessEqual, 0.0);
+  model.add_constraint(LinearExpr().add(x1, 0.5).add(x2, -90.0).add(x3, -0.02)
+                           .add(x4, 3.0),
+                       Relation::LessEqual, 0.0);
+  model.add_constraint(LinearExpr().add(x3, 1.0), Relation::LessEqual, 1.0);
+
+  LPOptions options;
+  options.stall_pivots_before_bland = 2;  // force the fallback quickly
+  const LPResult r = solve_lp(model, options);
+  ASSERT_EQ(r.status, LPStatus::Optimal);
+  EXPECT_NEAR(r.objective, -0.05, 1e-9);
+  // The degenerate stall must actually have engaged Bland's rule.
+  EXPECT_GT(r.stats.bland_pivots, 0);
+}
+
+TEST(SolverDegenerate, PureBlandMatchesFallbackResult) {
+  Model model;
+  const int x1 = model.add_variable("x1", 0.0, 1e9, -0.75);
+  model.add_variable("x2", 0.0, 1e9, 150.0);
+  const int x3 = model.add_variable("x3", 0.0, 1e9, -0.02);
+  model.add_variable("x4", 0.0, 1e9, 6.0);
+  model.add_constraint(LinearExpr().add(x1, 0.25).add(1, -60.0).add(x3, -0.04)
+                           .add(3, 9.0),
+                       Relation::LessEqual, 0.0);
+  model.add_constraint(LinearExpr().add(x1, 0.5).add(1, -90.0).add(x3, -0.02)
+                           .add(3, 3.0),
+                       Relation::LessEqual, 0.0);
+  model.add_constraint(LinearExpr().add(x3, 1.0), Relation::LessEqual, 1.0);
+  LPOptions bland;
+  bland.stall_pivots_before_bland = 0;
+  const LPResult r = solve_lp(model, bland);
+  ASSERT_EQ(r.status, LPStatus::Optimal);
+  EXPECT_NEAR(r.objective, -0.05, 1e-9);
+}
+
+// --- Budget exhaustion vs LP truncation ------------------------------------
+
+TEST(SolverStatus, NodeBudgetSetsOnlyBudgetExhausted) {
+  const Model model = knapsack_milp(14, 12345u);
+  MILPOptions options;
+  options.max_nodes = 1;
+  const MILPResult r = solve_milp(model, options);
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_FALSE(r.lp_truncated);
+  EXPECT_TRUE(r.status == MILPStatus::Limit ||
+              r.status == MILPStatus::Feasible);
+}
+
+TEST(SolverStatus, LPIterationLimitSetsOnlyLpTruncated) {
+  const Model model = knapsack_milp(14, 12345u);
+  MILPOptions options;
+  options.lp.max_iterations = 1;  // every relaxation truncates
+  const MILPResult r = solve_milp(model, options);
+  EXPECT_TRUE(r.lp_truncated);
+  EXPECT_FALSE(r.budget_exhausted);
+  EXPECT_EQ(r.status, MILPStatus::Limit);
+}
+
+TEST(SolverStatus, CleanRunSetsNeitherFlag) {
+  const Model model = knapsack_milp(10, 2u);
+  const MILPResult r = solve_milp(model);
+  ASSERT_EQ(r.status, MILPStatus::Optimal);
+  EXPECT_FALSE(r.budget_exhausted);
+  EXPECT_FALSE(r.lp_truncated);
+}
+
+// --- SolverStats plumbing ---------------------------------------------------
+
+TEST(SolverStatsCounters, LPCountsPivotsAndSolves) {
+  const Model model = dense_lp(10, 42u);
+  const LPResult r = solve_lp(model);
+  ASSERT_EQ(r.status, LPStatus::Optimal);
+  EXPECT_EQ(r.stats.lp_solves, 1);
+  EXPECT_GT(r.stats.pivots, 0);
+  EXPECT_EQ(r.stats.pivots,
+            r.stats.phase1_iterations + r.stats.phase2_iterations +
+                r.stats.dual_iterations);
+  EXPECT_GE(r.stats.wall_seconds, 0.0);
+}
+
+TEST(SolverStatsCounters, MILPAggregatesAcrossNodes) {
+  const Model model = knapsack_milp(12, 12345u);
+  const MILPResult r = solve_milp(model);
+  ASSERT_EQ(r.status, MILPStatus::Optimal);
+  EXPECT_EQ(r.stats.nodes_explored, r.nodes_explored);
+  EXPECT_EQ(r.stats.lp_solves, r.nodes_explored);
+  EXPECT_GT(r.stats.pivots, 0);
+  EXPECT_GE(r.stats.wall_seconds, 0.0);
+}
+
+TEST(SolverStatsCounters, RoundingHeuristicSeedsIncumbent) {
+  // A model where rounding the root relaxation down is feasible: maximize
+  // Σx over x_i ∈ {0,1} with Σ w x ≤ W. Rounding the fractional item to 0
+  // keeps the weight constraint satisfied, so the heuristic must fire.
+  const Model model = knapsack_milp(16, 12345u);
+  MILPOptions options;
+  options.rounding_heuristic = true;
+  const MILPResult with_heur = solve_milp(model, options);
+  options.rounding_heuristic = false;
+  const MILPResult without = solve_milp(model, options);
+  ASSERT_EQ(with_heur.status, MILPStatus::Optimal);
+  ASSERT_EQ(without.status, MILPStatus::Optimal);
+  EXPECT_NEAR(with_heur.objective, without.objective, 1e-6);
+  EXPECT_EQ(with_heur.stats.heuristic_incumbents, 1);
+  EXPECT_EQ(without.stats.heuristic_incumbents, 0);
+}
+
+}  // namespace
+}  // namespace madpipe::solver

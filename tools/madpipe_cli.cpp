@@ -18,6 +18,11 @@
 //   madpipe hybrid <profile-file> [--gpus N] [--memory-gb X]
 //                [--bandwidth-gbs X]
 //       Hybrid data+model-parallel planning (stage replication).
+//
+//   madpipe solver <profile-file> [--slack X] [plan options]
+//       Run phase 1, then one ILP-scheduler probe at slack × the phase-1
+//       period, and print the branch-and-bound solver counters (nodes,
+//       pivots, warm starts, wall time).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,8 +31,11 @@
 #include <string>
 #include <vector>
 
+#include "cyclic/ilp_scheduler.hpp"
+#include "cyclic/stage_graph.hpp"
 #include "hybrid/hybrid.hpp"
 #include "madpipe/planner.hpp"
+#include "madpipe/search.hpp"
 #include "models/profile_io.hpp"
 #include "models/zoo.hpp"
 #include "pipedream/pipedream.hpp"
@@ -51,6 +59,7 @@ struct Args {
   int image = 1000;
   int batch = 8;
   int length = 24;
+  double slack = 1.05;
   std::string output;
   std::string json_path;
   std::string trace_path;
@@ -59,14 +68,15 @@ struct Args {
 [[noreturn]] void usage(const char* message = nullptr) {
   if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
   std::fprintf(stderr,
-               "usage: madpipe <profile|plan|simulate|hybrid> ...\n"
+               "usage: madpipe <profile|plan|simulate|hybrid|solver> ...\n"
                "  profile <network> [-o FILE] [--image N] [--batch N] "
                "[--length N]\n"
                "  plan <profile> [--planner NAME] [--gpus N] [--memory-gb X]\n"
                "       [--bandwidth-gbs X] [--json FILE] [--trace FILE]\n"
                "  simulate <profile> [--batches N] [plan options]\n"
                "  hybrid <profile> [--gpus N] [--memory-gb X] "
-               "[--bandwidth-gbs X]\n");
+               "[--bandwidth-gbs X]\n"
+               "  solver <profile> [--slack X] [plan options]\n");
   std::exit(2);
 }
 
@@ -94,6 +104,8 @@ Args parse(int argc, char** argv) {
       args.batch = std::atoi(next_value().c_str());
     } else if (arg == "--length") {
       args.length = std::atoi(next_value().c_str());
+    } else if (arg == "--slack") {
+      args.slack = std::atof(next_value().c_str());
     } else if (arg == "-o" || arg == "--output") {
       args.output = next_value();
     } else if (arg == "--json") {
@@ -218,6 +230,48 @@ int cmd_plan(const Args& args, bool simulate) {
   return 0;
 }
 
+int cmd_solver(const Args& args) {
+  if (args.positional.empty()) usage("solver needs a profile file");
+  const Chain chain = models::load_profile(args.positional[0]);
+  const Platform platform{args.gpus, args.memory_gb * GB,
+                          args.bandwidth_gbs * GB};
+  platform.validate();
+
+  Phase1Options options;
+  options.dp.grid = Discretization::paper();
+  const Phase1Result phase1 = madpipe_phase1(chain, platform, options);
+  if (!phase1.feasible()) {
+    std::printf("phase 1 infeasible: nothing to probe\n");
+    return 1;
+  }
+  const CyclicProblem problem =
+      build_cyclic_problem(*phase1.allocation, chain, platform);
+  const Seconds period = phase1.period * args.slack;
+  const ILPScheduleResult probe =
+      ilp_schedule(problem, *phase1.allocation, chain, platform, period);
+  std::printf("ILP probe at %s (%.2fx phase-1 period): %s\n",
+              fmt::seconds(period).c_str(), args.slack,
+              probe.feasible ? "feasible" : "infeasible");
+  const solver::SolverStats& stats = probe.stats;
+  std::printf("  nodes explored     %lld (%.0f nodes/s)\n",
+              stats.nodes_explored,
+              stats.wall_seconds > 0.0
+                  ? static_cast<double>(stats.nodes_explored) /
+                        stats.wall_seconds
+                  : 0.0);
+  std::printf("  lp solves          %lld\n", stats.lp_solves);
+  std::printf("  simplex pivots     %lld (phase1 %lld, phase2 %lld, dual %lld,"
+              " bland %lld)\n",
+              stats.pivots, stats.phase1_iterations, stats.phase2_iterations,
+              stats.dual_iterations, stats.bland_pivots);
+  std::printf("  warm starts        %lld hit / %lld miss\n",
+              stats.warm_start_hits, stats.warm_start_misses);
+  std::printf("  heuristic seeds    %lld\n", stats.heuristic_incumbents);
+  std::printf("  solver wall        %s\n",
+              fmt::seconds(stats.wall_seconds).c_str());
+  return 0;
+}
+
 int cmd_hybrid(const Args& args) {
   if (args.positional.empty()) usage("hybrid needs a profile file");
   const Chain chain = models::load_profile(args.positional[0]);
@@ -243,6 +297,7 @@ int main(int argc, char** argv) {
     if (command == "plan") return cmd_plan(args, /*simulate=*/false);
     if (command == "simulate") return cmd_plan(args, /*simulate=*/true);
     if (command == "hybrid") return cmd_hybrid(args);
+    if (command == "solver") return cmd_solver(args);
     usage(("unknown command " + command).c_str());
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
