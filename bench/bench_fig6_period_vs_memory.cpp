@@ -20,6 +20,7 @@ int main() {
       std::printf("-- P = %d, beta = %.0f GB/s --\n", processors, bandwidth);
       fmt::Table table({"M(GB)", "PD-dash", "PD-solid", "MP-dash", "MP-solid",
                         "MP-contig", "PD/MP"});
+      std::vector<CellConfig> configs;
       for (const double memory : paper_memory_sweep()) {
         CellConfig config;
         config.network = "resnet50";
@@ -27,8 +28,13 @@ int main() {
         config.memory_gb = memory;
         config.bandwidth_gbs = bandwidth;
         config.run_contiguous_ablation = true;
-        const CellResult cell = run_cell(config);
-
+        configs.push_back(config);
+      }
+      // The memory column of one panel is embarrassingly parallel; results
+      // come back in sweep order.
+      const std::vector<CellResult> cells = run_cells(configs);
+      for (const CellResult& cell : cells) {
+        const double memory = cell.config.memory_gb;
         std::string ratio = "-";
         if (cell.pipedream.feasible && cell.madpipe.feasible) {
           ratio = fmt::fixed(cell.pipedream.period / cell.madpipe.period, 2);

@@ -1,0 +1,239 @@
+// Machine-readable planner benchmark: times the MadPipe planner hot path on
+// fixed paper-scale workloads (end-to-end plan_madpipe, phase 1 alone, and a
+// single MadPipe-DP probe) and writes the numbers to BENCH_planner.json so
+// the planner's perf trajectory can be tracked across PRs — the planner-side
+// sibling of bench_solver/BENCH_solver.json. Besides timings the records
+// carry the achieved periods and an allocation fingerprint, so seed/fast-path
+// equivalence can be checked by diffing two JSON files.
+//
+//   bench_planner [-o FILE] [--smoke]   (default: BENCH_planner.json;
+//                                        --smoke = 1 repeat per workload)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "madpipe/planner.hpp"
+#include "models/zoo.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace madpipe;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Chain resnet101_chain(int length) {
+  models::NetworkConfig config;
+  config.network = "resnet101";
+  config.image_size = 1000;
+  config.batch = 8;
+  config.chain_length = length;
+  return models::build_network(config);
+}
+
+/// Compact allocation fingerprint: "first-last@proc;..." in stage order.
+std::string allocation_fingerprint(const Allocation& allocation) {
+  std::string out;
+  const Partitioning& parts = allocation.partitioning();
+  for (int s = 0; s < parts.num_stages(); ++s) {
+    if (!out.empty()) out += ';';
+    out += std::to_string(parts.stage(s).first) + '-' +
+           std::to_string(parts.stage(s).last) + '@' +
+           std::to_string(allocation.processor_of(s));
+  }
+  return out;
+}
+
+struct WorkloadRecord {
+  std::string name;
+  long long repeats = 0;
+  double wall_seconds = 0.0;
+  double per_solve_seconds = 0.0;
+  bool feasible = false;
+  double period = 0.0;
+  double phase1_period = 0.0;
+  std::string allocation;
+  long long dp_states = 0;
+#if defined(MADPIPE_PLANNER_STATS)
+  madpipe::PlannerStats stats;
+#endif
+};
+
+void print_record(const WorkloadRecord& record) {
+  std::printf("%-28s %9.3f ms/solve  %s", record.name.c_str(),
+              record.per_solve_seconds * 1e3,
+              record.feasible ? "feasible" : "infeasible");
+  if (record.feasible) {
+    std::printf("  period %.3f ms", record.period * 1e3);
+  }
+  if (record.dp_states > 0) {
+    std::printf("  %lld dp states", record.dp_states);
+  }
+  std::printf("\n");
+}
+
+/// Run `body` repeatedly (at least once) until `min_seconds` elapse and fill
+/// the timing fields of `record`.
+template <typename Body>
+void time_workload(WorkloadRecord& record, double min_seconds,
+                   const Body& body) {
+  const Clock::time_point start = Clock::now();
+  do {
+    body();
+    ++record.repeats;
+  } while (seconds_since(start) < min_seconds);
+  record.wall_seconds = seconds_since(start);
+  record.per_solve_seconds =
+      record.wall_seconds / static_cast<double>(record.repeats);
+}
+
+WorkloadRecord bench_plan(const std::string& name, const Chain& chain,
+                          const Platform& platform,
+                          const MadPipeOptions& options, double min_seconds) {
+  WorkloadRecord record;
+  record.name = name;
+  std::optional<Plan> last;
+  time_workload(record, min_seconds,
+                [&] { last = plan_madpipe(chain, platform, options); });
+  if (last.has_value()) {
+    record.feasible = true;
+    record.period = last->period();
+    record.phase1_period = last->phase1_period;
+    record.allocation = allocation_fingerprint(last->allocation);
+#if defined(MADPIPE_PLANNER_STATS)
+    record.stats = last->stats;
+    record.dp_states = last->stats.dp_states;
+#endif
+  }
+  print_record(record);
+  return record;
+}
+
+WorkloadRecord bench_phase1(const std::string& name, const Chain& chain,
+                            const Platform& platform,
+                            const Phase1Options& options, double min_seconds) {
+  WorkloadRecord record;
+  record.name = name;
+  Phase1Result last;
+  time_workload(record, min_seconds,
+                [&] { last = madpipe_phase1(chain, platform, options); });
+  if (last.feasible()) {
+    record.feasible = true;
+    record.period = last.period;
+    record.phase1_period = last.period;
+    record.allocation = allocation_fingerprint(*last.allocation);
+#if defined(MADPIPE_PLANNER_STATS)
+    record.stats = last.stats;
+    record.dp_states = last.stats.dp_states;
+#endif
+  }
+  print_record(record);
+  return record;
+}
+
+WorkloadRecord bench_dp_probe(const std::string& name, const Chain& chain,
+                              const Platform& platform, Seconds target,
+                              const MadPipeDPOptions& options,
+                              double min_seconds) {
+  WorkloadRecord record;
+  record.name = name;
+  MadPipeDPResult last;
+  time_workload(record, min_seconds,
+                [&] { last = madpipe_dp(chain, platform, target, options); });
+  record.dp_states = static_cast<long long>(last.states_visited);
+  if (last.allocation.has_value()) {
+    record.feasible = true;
+    record.period = last.period;
+    record.phase1_period = last.period;
+    record.allocation = allocation_fingerprint(*last.allocation);
+  }
+#if defined(MADPIPE_PLANNER_STATS)
+  record.stats = last.stats;
+#endif
+  print_record(record);
+  return record;
+}
+
+void write_json(const std::string& path,
+                const std::vector<WorkloadRecord>& records) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema");
+  w.value("madpipe-bench-planner-v1");
+  w.key("planner_stats_instrumented");
+#if defined(MADPIPE_PLANNER_STATS)
+  w.value(true);
+#else
+  w.value(false);
+#endif
+  w.key("workloads");
+  w.begin_array();
+  for (const WorkloadRecord& record : records) {
+    w.begin_object();
+    w.key("name"); w.value(record.name);
+    w.key("repeats"); w.value(record.repeats);
+    w.key("wall_seconds"); w.value(record.wall_seconds);
+    w.key("per_solve_seconds"); w.value(record.per_solve_seconds);
+    w.key("feasible"); w.value(record.feasible);
+    w.key("period"); w.value(record.period);
+    w.key("phase1_period"); w.value(record.phase1_period);
+    w.key("allocation"); w.value(record.allocation);
+    w.key("dp_states"); w.value(record.dp_states);
+#if defined(MADPIPE_PLANNER_STATS)
+    w.key("stats");
+    record.stats.write_json(w);
+#endif
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream out(path);
+  out << w.str() << "\n";
+  std::printf("planner benchmark JSON -> %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output = "BENCH_planner.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) output = argv[++i];
+    if (arg == "--smoke") smoke = true;
+  }
+  const double min_seconds = smoke ? 0.0 : 1.0;
+
+  // The CLI's planning configuration: paper grids, default phase-2 budgets.
+  MadPipeOptions plan_options;
+  plan_options.phase1.dp.grid = Discretization::paper();
+
+  const Chain r101 = resnet101_chain(24);
+  const Chain& r50 = bench::evaluation_chain("resnet50");
+  const Platform p4{4, 8 * GB, 12 * GB};
+  const Platform p8{8, 8 * GB, 12 * GB};
+
+  std::vector<WorkloadRecord> records;
+  records.push_back(
+      bench_plan("plan_resnet50_p4_m8", r50, p4, plan_options, min_seconds));
+  records.push_back(bench_plan("plan_resnet101_24_p4_m8", r101, p4,
+                               plan_options, min_seconds));
+  records.push_back(bench_plan("plan_resnet101_24_p8_m8", r101, p8,
+                               plan_options, min_seconds));
+  records.push_back(bench_plan("plan_resnet101_24_p8_m16", r101,
+                               Platform{8, 16 * GB, 12 * GB}, plan_options,
+                               min_seconds));
+  records.push_back(bench_phase1("phase1_resnet101_24_p8_m8", r101, p8,
+                                 plan_options.phase1, min_seconds));
+  records.push_back(bench_dp_probe("dp_resnet101_24_p4_m8", r101, p4,
+                                   r101.total_compute() / 4,
+                                   plan_options.phase1.dp, min_seconds));
+  write_json(output, records);
+  return 0;
+}

@@ -3,17 +3,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "core/pattern.hpp"
 #include "models/zoo.hpp"
 #include "pipedream/pipedream.hpp"
 #include "util/format.hpp"
+#include "util/threading.hpp"
 
 namespace madpipe::bench {
 
 const Chain& evaluation_chain(const std::string& name) {
+  // Mutex-guarded: run_cells evaluates cells concurrently. Chains are never
+  // erased, and std::map inserts don't invalidate element references, so a
+  // returned reference stays valid after the lock drops.
+  static std::mutex mutex;
   static std::map<std::string, Chain> cache;
+  const std::scoped_lock lock(mutex);
   const auto it = cache.find(name);
   if (it != cache.end()) return it->second;
   return cache.emplace(name, models::paper_network(name)).first->second;
@@ -68,6 +75,15 @@ CellResult run_cell(const CellConfig& config) {
         to_outcome(plan_madpipe(chain, platform, contiguous), chain, platform);
   }
   return result;
+}
+
+std::vector<CellResult> run_cells(const std::vector<CellConfig>& configs,
+                                  std::size_t workers) {
+  std::vector<CellResult> results(configs.size());
+  par::parallel_for(
+      0, configs.size(),
+      [&](std::size_t i) { results[i] = run_cell(configs[i]); }, workers);
+  return results;
 }
 
 std::vector<double> paper_memory_sweep() {

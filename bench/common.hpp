@@ -54,6 +54,11 @@ const Chain& evaluation_chain(const std::string& name);
 /// plan — that would be a library bug, not an experiment result).
 CellResult run_cell(const CellConfig& config);
 
+/// Run a whole sweep of cells, `workers` at a time (0 = hardware threads).
+/// Results come back in input order, identical to looping run_cell.
+std::vector<CellResult> run_cells(const std::vector<CellConfig>& configs,
+                                  std::size_t workers = 0);
+
 /// Paper sweep axes.
 std::vector<double> paper_memory_sweep();      ///< {3..16} GB
 std::vector<int> paper_processor_sweep();      ///< {2, 4, 8}

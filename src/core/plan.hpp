@@ -10,6 +10,7 @@
 #include "core/partition.hpp"
 #include "core/pattern.hpp"
 #include "core/types.hpp"
+#include "madpipe/planner_stats.hpp"
 
 namespace madpipe {
 
@@ -21,6 +22,9 @@ struct Plan {
   /// scheduling made memory costs exact). phase1 ≤ period() in general.
   Seconds phase1_period = 0.0;
   Seconds planning_seconds = 0.0;  ///< wall time spent planning
+  /// Aggregated hot-path counters from every DP probe and period search the
+  /// planner ran; zero-initialized for planners that don't instrument.
+  PlannerStats stats;
 
   Seconds period() const noexcept { return pattern.period; }
   /// Throughput in batches per second.

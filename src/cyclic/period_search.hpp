@@ -17,13 +17,26 @@ struct PeriodSearchOptions {
   double relative_precision = 1e-3;
   int max_probes = 28;
   BBOptions bb;
+  /// Speculation width W: up to W branch-and-bound probes run concurrently.
+  /// Unlike phase 1, every probe outcome here is boolean, so the two-way
+  /// outcome tree predicts future probe periods *exactly*; results are
+  /// bit-identical to the sequential search for every W. 0 = auto
+  /// (min(4, hardware threads)); 1 = sequential.
+  int speculation = 0;
+  /// Worker threads for speculative probes; 0 = one per in-flight probe.
+  std::size_t workers = 0;
 };
 
 struct PeriodSearchResult {
   bool feasible = false;
   PeriodicPattern pattern;  ///< pattern at the best (smallest) feasible period
   Seconds period = 0.0;
-  int probes = 0;
+  int probes = 0;  ///< probes the search consumed (as in a sequential run)
+  /// Extra probes launched ahead of need, and consumed probes that were
+  /// served by an earlier speculative batch.
+  int speculative_probes = 0;
+  int speculative_hits = 0;
+  double wall_seconds = 0.0;
 };
 
 /// Find (approximately) the smallest period at which `allocation` can be

@@ -1,13 +1,33 @@
+// Two engines evaluate the MadPipe-DP recurrence (see dp.hpp for the
+// dispatch contract):
+//
+//  * FlatDpSolver — the fast path. An explicit work-stack replaces the deep
+//    recursion (L can be 1023), the memo is a flat open-addressing table
+//    with 16-byte entries probed at most twice per state (placeholder
+//    insert + final update), and everything a transition determines that
+//    depends only on (k, l, delay_idx) — stage/link loads, the advanced
+//    delay, g(k,l,V) and both memory footprints — is computed once per
+//    distinct triple in a transition cache shared with reconstruction.
+//    Dominated candidates (whose load/link floor already reaches the best
+//    value, which the strict-improvement rule can never accept) are pruned
+//    before recursing; this changes which states are memoized but provably
+//    not the achieved period or allocation.
+//
+//  * ReferenceDpSolver — the original recursive, unordered_map-memoized
+//    implementation, kept verbatim as the semantic reference for the
+//    golden-equivalence tests.
 #include "madpipe/dp.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/memory_model.hpp"
 #include "util/expect.hpp"
+#include "util/flat_hash.hpp"
 #include "util/logging.hpp"
 
 namespace madpipe {
@@ -26,16 +46,448 @@ std::uint64_t pack_state(int l, int p, int load_idx, int mem_idx,
          static_cast<std::uint64_t>(delay_idx);
 }
 
+/// Packed transition-cache key: k, l and delay_idx at 10 bits each.
+std::uint64_t pack_transition(int k, int l, int delay_idx) {
+  return (static_cast<std::uint64_t>(k) << 20) |
+         (static_cast<std::uint64_t>(l) << 10) |
+         static_cast<std::uint64_t>(delay_idx);
+}
+
+Seconds delay_upper_bound(const Chain& chain, const Platform& platform) {
+  Seconds total = chain.total_compute();
+  for (int j = 1; j < chain.length(); ++j) {
+    total += platform.boundary_comm_time(chain, j);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Fast path
+// ---------------------------------------------------------------------------
+
+class FlatDpSolver {
+ public:
+  FlatDpSolver(const Chain& chain, const Platform& platform, Seconds target,
+               const MadPipeDPOptions& options)
+      : chain_(chain),
+        platform_(platform),
+        target_(target),
+        options_(options),
+        load_grid_(chain.total_compute(), options.grid.load_points),
+        memory_grid_(platform.memory_per_processor, options.grid.memory_points),
+        delay_grid_(delay_upper_bound(chain, platform),
+                    options.grid.delay_points),
+        memo_(memo_size_heuristic()),
+        transitions_(transition_size_heuristic()) {}
+
+  MadPipeDPResult run() {
+    MadPipeDPResult result;
+    const int root_p = root_processors();
+    result.period = solve_root(chain_.length(), root_p);
+    result.states_visited = memo_.size();
+    result.state_budget_hit = budget_hit_;
+    if (std::isfinite(result.period)) {
+      reconstruct(result);
+    }
+    stats_.dp_probes = 1;
+    stats_.dp_states = static_cast<long long>(memo_.size());
+    stats_.memo_max_load_factor = memo_.load_factor();
+    stats_.state_budget_hits = budget_hit_ ? 1 : 0;
+    result.stats = stats_;
+    return result;
+  }
+
+ private:
+  /// Everything a transition taking stage k..l out of a state with delay
+  /// index delay_idx determines, independent of (p, load_idx, mem_idx):
+  /// cached per distinct (k, l, delay_idx) triple.
+  struct TransitionEntry {
+    Seconds stage_load = 0.0;
+    Seconds link_load = 0.0;        ///< C(k−1), lower bound on the front link
+    Bytes normal_memory = 0.0;      ///< 𝓜(k,l,g): the normal-processor cost
+    Bytes special_stage_memory = 0.0;  ///< 𝓜(k,l,g−1): §4.2.1's underestimate
+    int next_delay_idx = 0;
+    int active_batches = 0;  ///< g(k,l,V)
+  };
+
+  /// One suspended evaluation of T(l, p, load, mem, delay). `k`/`opt` are
+  /// the resume position in the candidate scan (opt 0 = normal option of k
+  /// still to do, 1 = special option of k still to do).
+  struct Frame {
+    std::uint64_t key = 0;
+    int l = 0, p = 0, load_idx = 0, mem_idx = 0, delay_idx = 0;
+    int k = 0;
+    std::uint8_t opt = 0;
+    bool waiting = false;     ///< a child was pushed; consume last_value_
+    double pending_floor = 0.0;  ///< max(load, link) of the suspended option
+    double best = kInfinity;
+  };
+
+  int root_processors() const {
+    return options_.allow_special ? platform_.processors - 1
+                                  : platform_.processors;
+  }
+
+  std::size_t memo_size_heuristic() const {
+    // Reachable states per layer scale with the delay grid and, when the
+    // special processor may absorb stages, with a handful of distinct
+    // (load, mem) pairs; sized so typical probes never grow the table.
+    const std::size_t per_layer =
+        static_cast<std::size_t>(options_.grid.delay_points) *
+        (options_.allow_special ? 8 : 1);
+    const std::size_t guess = static_cast<std::size_t>(chain_.length()) *
+                              static_cast<std::size_t>(std::max(
+                                  root_processors(), 1)) *
+                              per_layer;
+    return std::min({guess, options_.max_states,
+                     static_cast<std::size_t>(1) << 20});
+  }
+
+  std::size_t transition_size_heuristic() const {
+    const std::size_t pairs = static_cast<std::size_t>(chain_.length()) *
+                              static_cast<std::size_t>(chain_.length() + 1) /
+                              2;
+    return std::min(pairs * static_cast<std::size_t>(
+                                options_.grid.delay_points),
+                    static_cast<std::size_t>(1) << 17);
+  }
+
+  TransitionEntry transition(int k, int l, int delay_idx) {
+    ++stats_.transition_lookups;
+    const std::uint64_t key = pack_transition(k, l, delay_idx);
+    if (const TransitionEntry* hit = transitions_.find(key)) {
+      ++stats_.transition_hits;
+      return *hit;
+    }
+    TransitionEntry entry;
+    entry.stage_load = chain_.compute_load(k, l);
+    entry.link_load =
+        k > 1 ? platform_.boundary_comm_time(chain_, k - 1) : 0.0;
+    const Seconds delay = delay_grid_.value(delay_idx);
+    Seconds comm_for_delay = 0.0;
+    switch (options_.delay_comm_variant) {
+      case DelayCommVariant::BoundaryConsistent:
+        comm_for_delay = entry.link_load;
+        break;
+      case DelayCommVariant::PaperLiteral:
+        comm_for_delay = platform_.boundary_comm_time(chain_, k);
+        break;
+    }
+    const Seconds next_delay = delay_advance(
+        delay_advance(delay, entry.stage_load, target_), comm_for_delay,
+        target_);
+    entry.next_delay_idx =
+        delay_grid_.index(next_delay, options_.grid.rounding);
+    entry.active_batches = activation_count(chain_, k, l, delay, target_);
+    entry.normal_memory = stage_memory(chain_, k, l, entry.active_batches);
+    entry.special_stage_memory =
+        stage_memory(chain_, k, l, entry.active_batches - 1);
+    transitions_.emplace(key, entry);
+    return entry;
+  }
+
+  double base_l0(int load_idx) const { return load_grid_.value(load_idx); }
+
+  /// p == 0: all remaining layers become one stage on the special processor.
+  double special_base(int l, int load_idx, int mem_idx, int delay_idx) const {
+    if (!options_.allow_special) return kInfinity;
+    const Seconds delay = delay_grid_.value(delay_idx);
+    const int g = activation_count(chain_, 1, l, delay, target_);
+    const Bytes memory = memory_grid_.value(mem_idx) +
+                         stage_memory(chain_, 1, l, g - 1);
+    if (memory > platform_.memory_per_processor) return kInfinity;
+    return chain_.compute_load(1, l) + load_grid_.value(load_idx);
+  }
+
+  void note_budget() {
+    if (budget_hit_) return;
+    budget_hit_ = true;
+    log::warn("MadPipe-DP state budget exhausted; treating unexplored states "
+              "as infeasible");
+  }
+
+  void push_frame(int l, int p, int load_idx, int mem_idx, int delay_idx) {
+    Frame frame;
+    frame.key = pack_state(l, p, load_idx, mem_idx, delay_idx);
+    frame.l = l;
+    frame.p = p;
+    frame.load_idx = load_idx;
+    frame.mem_idx = mem_idx;
+    frame.delay_idx = delay_idx;
+    frame.k = l;
+    stack_.push_back(frame);
+    ++stats_.dp_state_visits;
+    // Reserve the state immediately (probe 1 of 2): keeps max_states
+    // accounting aligned with the recursive reference, which counted
+    // in-progress states. The placeholder is never read — a lookup can only
+    // reach a state with strictly smaller l than every in-progress one.
+    memo_.emplace(frame.key, kInfinity);
+    ++stats_.memo_probes;
+  }
+
+  /// Value of (l, p, load, mem, delay) if immediately available; otherwise
+  /// pushes a frame for it and returns nullopt — the value arrives in
+  /// last_value_ once that frame finalizes.
+  std::optional<double> child_value(int l, int p, int load_idx, int mem_idx,
+                                    int delay_idx) {
+    if (l == 0) return base_l0(load_idx);
+    if (p == 0) return special_base(l, load_idx, mem_idx, delay_idx);
+    ++stats_.memo_child_lookups;
+    if (const double* value =
+            memo_.find(pack_state(l, p, load_idx, mem_idx, delay_idx))) {
+      ++stats_.memo_hits;
+      return *value;
+    }
+    if (memo_.size() >= options_.max_states) {
+      note_budget();
+      return kInfinity;
+    }
+    push_frame(l, p, load_idx, mem_idx, delay_idx);
+    return std::nullopt;
+  }
+
+  double solve_root(int l, int p) {
+    if (l == 0) return base_l0(0);
+    if (p == 0) return special_base(l, 0, 0, 0);
+    if (memo_.size() >= options_.max_states) {
+      note_budget();
+      return kInfinity;
+    }
+    push_frame(l, p, 0, 0, 0);
+    while (!stack_.empty()) step();
+    return last_value_;
+  }
+
+  /// Run the top frame until it suspends on a child or finalizes.
+  void step() {
+    // Index, not reference: child_value can push a frame and reallocate the
+    // stack, so suspension writes must re-acquire through `fi`.
+    const std::size_t fi = stack_.size() - 1;
+    Frame& f = stack_[fi];
+    if (f.waiting) {
+      f.waiting = false;
+      const double value = std::max(f.pending_floor, last_value_);
+      if (value < f.best) f.best = value;
+    }
+    const Bytes limit = platform_.memory_per_processor;
+    while (f.k >= 1) {
+      const TransitionEntry e = transition(f.k, f.l, f.delay_idx);
+
+      if (f.opt == 0) {
+        // Option 1: stage k..l on a fresh normal processor.
+        f.opt = 1;
+        if (e.normal_memory <= limit) {
+          const double floor = std::max(e.stage_load, e.link_load);
+          if (floor < f.best) {  // dominated candidates can never win
+            const auto sub = child_value(f.k - 1, f.p - 1, f.load_idx,
+                                         f.mem_idx, e.next_delay_idx);
+            if (!sub.has_value()) {
+              stack_[fi].pending_floor = floor;
+              stack_[fi].waiting = true;
+              return;
+            }
+            const double value = std::max(floor, *sub);
+            if (value < f.best) f.best = value;
+          }
+        }
+      }
+
+      // Option 2: stage k..l joins the special processor (memory counted
+      // with g−1, the deliberate underestimate of §4.2.1).
+      const int k = f.k;
+      f.opt = 0;
+      --f.k;
+      if (!options_.allow_special) {
+        // Only normal stages exist and U(k,l) grows as k falls: once it
+        // reaches the incumbent nothing below can win.
+        if (e.stage_load >= f.best) break;
+        continue;
+      }
+      const Bytes special_memory =
+          memory_grid_.value(f.mem_idx) + e.special_stage_memory;
+      if (special_memory > limit) continue;
+      const Seconds special_load =
+          load_grid_.snap(load_grid_.value(f.load_idx) + e.stage_load,
+                          options_.grid.rounding);
+      const double floor = std::max(special_load, e.link_load);
+      if (floor >= f.best) continue;
+      const int next_load_idx =
+          load_grid_.index(special_load, options_.grid.rounding);
+      const int next_mem_idx = memory_grid_.index(
+          std::min(special_memory, limit), options_.grid.rounding);
+      const auto sub = child_value(k - 1, f.p, next_load_idx, next_mem_idx,
+                                   e.next_delay_idx);
+      if (!sub.has_value()) {
+        stack_[fi].pending_floor = floor;
+        stack_[fi].waiting = true;
+        return;
+      }
+      const double value = std::max(floor, *sub);
+      if (value < f.best) f.best = value;
+    }
+
+    // Candidate scan finished: final update (probe 2 of 2) and pop.
+    const auto [slot, inserted] = memo_.emplace(f.key, f.best);
+    if (!inserted) *slot = f.best;
+    ++stats_.memo_probes;
+    last_value_ = f.best;
+    stack_.pop_back();
+  }
+
+  /// Memoized value during reconstruction; a miss means the state budget
+  /// dropped the state, which the forward pass also saw as infeasible.
+  double lookup_value(int l, int p, int load_idx, int mem_idx,
+                      int delay_idx) {
+    if (l == 0) return base_l0(load_idx);
+    if (p == 0) return special_base(l, load_idx, mem_idx, delay_idx);
+    ++stats_.memo_child_lookups;
+    if (const double* value =
+            memo_.find(pack_state(l, p, load_idx, mem_idx, delay_idx))) {
+      ++stats_.memo_hits;
+      return *value;
+    }
+    return kInfinity;
+  }
+
+  void reconstruct(MadPipeDPResult& result) {
+    // Walk the winning choices from the root. The memo only stores values,
+    // so each step re-derives the argmin with the same candidate order,
+    // pruning and strict-improvement rule as the forward pass — every
+    // lookup it needs is either memoized or a base case, and the transition
+    // cache is shared, so this costs one candidate scan per stage.
+    std::vector<Stage> stages_reversed;
+    std::vector<bool> special_reversed;
+
+    int l = chain_.length();
+    int p = root_processors();
+    int load_idx = 0;
+    int mem_idx = 0;
+    int delay_idx = 0;
+    const Bytes limit = platform_.memory_per_processor;
+
+    while (l > 0) {
+      if (p == 0) {
+        stages_reversed.push_back(Stage{1, l});
+        special_reversed.push_back(true);
+        break;
+      }
+      double best = kInfinity;
+      int best_k = -1;
+      bool best_special = false;
+      int best_next_load = load_idx;
+      int best_next_mem = mem_idx;
+      int best_next_delay = delay_idx;
+      for (int k = l; k >= 1; --k) {
+        const TransitionEntry e = transition(k, l, delay_idx);
+        if (e.normal_memory <= limit) {
+          const double floor = std::max(e.stage_load, e.link_load);
+          if (floor < best) {
+            const double sub =
+                lookup_value(k - 1, p - 1, load_idx, mem_idx,
+                             e.next_delay_idx);
+            const double value = std::max(floor, sub);
+            if (value < best) {
+              best = value;
+              best_k = k;
+              best_special = false;
+              best_next_delay = e.next_delay_idx;
+            }
+          }
+        }
+        if (!options_.allow_special) {
+          if (e.stage_load >= best) break;
+          continue;
+        }
+        const Bytes special_memory =
+            memory_grid_.value(mem_idx) + e.special_stage_memory;
+        if (special_memory > limit) continue;
+        const Seconds special_load =
+            load_grid_.snap(load_grid_.value(load_idx) + e.stage_load,
+                            options_.grid.rounding);
+        const double floor = std::max(special_load, e.link_load);
+        if (floor >= best) continue;
+        const int next_load_idx =
+            load_grid_.index(special_load, options_.grid.rounding);
+        const int next_mem_idx = memory_grid_.index(
+            std::min(special_memory, limit), options_.grid.rounding);
+        const double sub = lookup_value(k - 1, p, next_load_idx,
+                                        next_mem_idx, e.next_delay_idx);
+        const double value = std::max(floor, sub);
+        if (value < best) {
+          best = value;
+          best_k = k;
+          best_special = true;
+          best_next_load = next_load_idx;
+          best_next_mem = next_mem_idx;
+          best_next_delay = e.next_delay_idx;
+        }
+      }
+      MP_ENSURE(best_k >= 1, "reconstruction fell off the memoized path");
+
+      stages_reversed.push_back(Stage{best_k, l});
+      special_reversed.push_back(best_special);
+      if (best_special) {
+        load_idx = best_next_load;
+        mem_idx = best_next_mem;
+      } else {
+        --p;
+      }
+      delay_idx = best_next_delay;
+      l = best_k - 1;
+    }
+
+    std::vector<Stage> stages(stages_reversed.rbegin(), stages_reversed.rend());
+    std::vector<bool> special(special_reversed.rbegin(),
+                              special_reversed.rend());
+
+    // Normal stages take processors 0,1,... in chain order; the special
+    // processor is P−1 (it exists even if unused).
+    const int normal_count = root_processors();
+    std::vector<int> procs(stages.size());
+    int next_normal = 0;
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      if (special[s]) {
+        procs[s] = platform_.processors - 1;
+        result.uses_special = true;
+      } else {
+        MP_ENSURE(next_normal < normal_count,
+                  "more normal stages than normal processors");
+        procs[s] = next_normal++;
+      }
+    }
+    result.allocation.emplace(Partitioning(chain_, std::move(stages)),
+                              std::move(procs), platform_.processors);
+  }
+
+  const Chain& chain_;
+  const Platform& platform_;
+  Seconds target_;
+  MadPipeDPOptions options_;
+  Grid load_grid_;
+  Grid memory_grid_;
+  Grid delay_grid_;
+  util::FlatHash64<double> memo_;
+  util::FlatHash64<TransitionEntry> transitions_;
+  std::vector<Frame> stack_;
+  double last_value_ = kInfinity;
+  bool budget_hit_ = false;
+  PlannerStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Reference engine (the original recursive implementation)
+// ---------------------------------------------------------------------------
+
 struct MemoEntry {
   double period = kInfinity;
   std::int16_t stage_start = -1;  ///< k of the winning transition
   std::int8_t to_special = 0;     ///< 1 when the winning stage goes special
 };
 
-class DpSolver {
+class ReferenceDpSolver {
  public:
-  DpSolver(const Chain& chain, const Platform& platform, Seconds target,
-           const MadPipeDPOptions& options)
+  ReferenceDpSolver(const Chain& chain, const Platform& platform,
+                    Seconds target, const MadPipeDPOptions& options)
       : chain_(chain),
         platform_(platform),
         target_(target),
@@ -45,24 +497,21 @@ class DpSolver {
         delay_grid_(delay_upper_bound(chain, platform),
                     options.grid.delay_points) {}
 
-  static Seconds delay_upper_bound(const Chain& chain,
-                                   const Platform& platform) {
-    Seconds total = chain.total_compute();
-    for (int j = 1; j < chain.length(); ++j) {
-      total += platform.boundary_comm_time(chain, j);
-    }
-    return total;
-  }
-
   MadPipeDPResult run() {
     MadPipeDPResult result;
     const int root_p = options_.allow_special ? platform_.processors - 1
                                               : platform_.processors;
     result.period = solve(chain_.length(), root_p, 0, 0, 0);
     result.states_visited = memo_.size();
+    result.state_budget_hit = budget_hit_;
     if (std::isfinite(result.period)) {
       reconstruct(result);
     }
+    stats_.dp_probes = 1;
+    stats_.dp_states = static_cast<long long>(memo_.size());
+    stats_.dp_state_visits = static_cast<long long>(memo_.size());
+    stats_.state_budget_hits = budget_hit_ ? 1 : 0;
+    result.stats = stats_;
     return result;
   }
 
@@ -114,16 +563,23 @@ class DpSolver {
     }
 
     const std::uint64_t key = pack_state(l, p, load_idx, mem_idx, delay_idx);
+    ++stats_.memo_probes;
     if (const auto it = memo_.find(key); it != memo_.end()) {
+      ++stats_.memo_hits;
       return it->second.period;
     }
     if (memo_.size() >= options_.max_states) {
-      log::warn("MadPipe-DP state budget exhausted; treating as infeasible");
+      if (!budget_hit_) {
+        budget_hit_ = true;
+        log::warn("MadPipe-DP state budget exhausted; treating unexplored "
+                  "states as infeasible");
+      }
       return kInfinity;
     }
     // Reserve the slot first: cycles are impossible (l strictly decreases),
     // but this keeps the map stable across the recursive calls below.
     memo_.emplace(key, MemoEntry{});
+    ++stats_.memo_probes;
 
     MemoEntry best;
     const Bytes limit = platform_.memory_per_processor;
@@ -169,6 +625,7 @@ class DpSolver {
     }
 
     memo_[key] = best;
+    ++stats_.memo_probes;
     return best.period;
   }
 
@@ -252,6 +709,8 @@ class DpSolver {
   Grid memory_grid_;
   Grid delay_grid_;
   std::unordered_map<std::uint64_t, MemoEntry> memo_;
+  bool budget_hit_ = false;
+  PlannerStats stats_;
 };
 
 }  // namespace
@@ -269,7 +728,11 @@ MadPipeDPResult madpipe_dp(const Chain& chain, const Platform& platform,
                 options.grid.delay_points <= 1024,
             "grids must fit the packed state (≤ 1024 points each)");
 
-  DpSolver solver(chain, platform, target_period, options);
+  if (options.engine == DpEngine::ReferenceRecursive) {
+    ReferenceDpSolver solver(chain, platform, target_period, options);
+    return solver.run();
+  }
+  FlatDpSolver solver(chain, platform, target_period, options);
   return solver.run();
 }
 

@@ -24,6 +24,7 @@
 #include "core/partition.hpp"
 #include "core/platform.hpp"
 #include "madpipe/discretization.hpp"
+#include "madpipe/planner_stats.hpp"
 
 namespace madpipe {
 
@@ -38,9 +39,22 @@ enum class DelayCommVariant {
   PaperLiteral,
 };
 
+/// Which DP implementation evaluates the recurrence. Both produce identical
+/// periods and allocations; the golden-equivalence tests enforce it.
+enum class DpEngine {
+  /// Fast path (default): explicit work-stack iteration (no recursion-depth
+  /// hazard at L = 1023), a flat open-addressing memo with 16-byte entries,
+  /// a (k, l, delay) transition cache, and dominated-candidate pruning.
+  FlatIterative,
+  /// The original recursive, std::unordered_map-memoized implementation;
+  /// kept as the reference for equivalence testing.
+  ReferenceRecursive,
+};
+
 struct MadPipeDPOptions {
   Discretization grid;
   DelayCommVariant delay_comm_variant = DelayCommVariant::BoundaryConsistent;
+  DpEngine engine = DpEngine::FlatIterative;
   /// When false, the special processor is removed and all P processors are
   /// normal — MadPipe degrades to a memory-aware *contiguous* partitioner
   /// (the ablation of DESIGN.md).
@@ -59,6 +73,11 @@ struct MadPipeDPResult {
   /// True when at least one stage sits on the special processor.
   bool uses_special = false;
   std::size_t states_visited = 0;
+  /// True when the max_states safety valve fired: unexplored states were
+  /// treated as infeasible, so an infinite `period` means "truncated", not
+  /// necessarily "infeasible".
+  bool state_budget_hit = false;
+  PlannerStats stats;
 };
 
 /// Run MadPipe-DP with target period `target_period` (T̂ > 0).

@@ -6,6 +6,7 @@
 #include "schedule/one_f_one_b.hpp"
 #include "util/expect.hpp"
 #include "util/logging.hpp"
+#include "util/threading.hpp"
 
 namespace madpipe {
 
@@ -13,17 +14,23 @@ namespace {
 
 /// Phase 2 for one allocation: 1F1B* when contiguous (provably
 /// memory-optimal), the cyclic search otherwise. `phase1_period` is the
-/// period lower bound argued in §4.2.3.
+/// period lower bound argued in §4.2.3. `stats` receives this candidate's
+/// period-search counters (zero for the search-free contiguous path).
 std::optional<Plan> schedule_allocation(const Allocation& allocation,
                                         const Chain& chain,
                                         const Platform& platform,
                                         Seconds phase1_period,
-                                        const PeriodSearchOptions& options) {
+                                        const PeriodSearchOptions& options,
+                                        PlannerStats& stats) {
   if (allocation.contiguous()) {
     return plan_one_f_one_b(allocation, chain, platform);
   }
   const PeriodSearchResult phase2 =
       find_min_period(allocation, chain, platform, phase1_period, options);
+  stats.phase2_probes = phase2.probes;
+  stats.speculative_probes = phase2.speculative_probes;
+  stats.speculative_hits = phase2.speculative_hits;
+  stats.phase2_wall_seconds = phase2.wall_seconds;
   if (!phase2.feasible) return std::nullopt;
   return Plan{"madpipe", allocation, phase2.pattern, 0.0, 0.0};
 }
@@ -70,12 +77,30 @@ std::optional<Plan> plan_madpipe(const Chain& chain, const Platform& platform,
     }
   }
 
+  // Each candidate's phase 2 is independent: schedule them concurrently and
+  // fold sequentially afterwards, so the winner (first strictly-smaller
+  // period in candidate order) is the one the sequential loop would pick.
+  std::vector<std::optional<Plan>> plans(candidates.size());
+  std::vector<PlannerStats> phase2_stats(candidates.size());
+  const std::size_t workers =
+      options.workers != 0
+          ? std::min<std::size_t>(options.workers, candidates.size())
+          : candidates.size();
+  par::parallel_for(
+      0, candidates.size(),
+      [&](std::size_t i) {
+        plans[i] = schedule_allocation(*candidates[i].second, chain, platform,
+                                       candidates[i].first, options.phase2,
+                                       phase2_stats[i]);
+      },
+      workers);
+
+  PlannerStats stats = phase1.stats;
   std::optional<Plan> best;
-  for (const auto& [estimate, allocation] : candidates) {
-    std::optional<Plan> plan = schedule_allocation(
-        *allocation, chain, platform, estimate, options.phase2);
-    if (plan && (!best || plan->period() < best->period())) {
-      best = std::move(plan);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    stats.absorb(phase2_stats[i]);
+    if (plans[i] && (!best || plans[i]->period() < best->period())) {
+      best = std::move(plans[i]);
     }
   }
   if (!best) {
@@ -90,6 +115,7 @@ std::optional<Plan> plan_madpipe(const Chain& chain, const Platform& platform,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time)
           .count();
+  best->stats = stats;
   return best;
 }
 

@@ -25,6 +25,11 @@ struct MadPipeOptions {
   /// the smallest real period, instead of only the iterate with the best
   /// phase-1 estimate. 1 = the paper's behaviour.
   int schedule_best_of = 1;
+  /// Worker threads for scheduling the schedule_best_of candidates
+  /// concurrently (each candidate's period search is independent; the
+  /// winner is picked by the same deterministic rule as the sequential
+  /// loop). 0 = one per candidate.
+  std::size_t workers = 0;
 };
 
 /// Plan `chain` on `platform` with MadPipe. Returns nullopt when no

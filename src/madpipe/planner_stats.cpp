@@ -1,0 +1,66 @@
+#include "madpipe/planner_stats.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+
+namespace madpipe {
+
+void PlannerStats::absorb(const PlannerStats& other) noexcept {
+  dp_probes += other.dp_probes;
+  dp_states += other.dp_states;
+  dp_state_visits += other.dp_state_visits;
+  memo_probes += other.memo_probes;
+  memo_child_lookups += other.memo_child_lookups;
+  memo_hits += other.memo_hits;
+  memo_max_load_factor =
+      std::max(memo_max_load_factor, other.memo_max_load_factor);
+  transition_lookups += other.transition_lookups;
+  transition_hits += other.transition_hits;
+  state_budget_hits += other.state_budget_hits;
+  phase1_probes += other.phase1_probes;
+  phase2_probes += other.phase2_probes;
+  speculative_probes += other.speculative_probes;
+  speculative_hits += other.speculative_hits;
+  phase1_wall_seconds += other.phase1_wall_seconds;
+  phase2_wall_seconds += other.phase2_wall_seconds;
+}
+
+void PlannerStats::write_json(json::Writer& writer) const {
+  writer.begin_object();
+  writer.key("dp_probes");
+  writer.value(dp_probes);
+  writer.key("dp_states");
+  writer.value(dp_states);
+  writer.key("dp_state_visits");
+  writer.value(dp_state_visits);
+  writer.key("memo_probes");
+  writer.value(memo_probes);
+  writer.key("memo_child_lookups");
+  writer.value(memo_child_lookups);
+  writer.key("memo_hits");
+  writer.value(memo_hits);
+  writer.key("memo_max_load_factor");
+  writer.value(memo_max_load_factor);
+  writer.key("transition_lookups");
+  writer.value(transition_lookups);
+  writer.key("transition_hits");
+  writer.value(transition_hits);
+  writer.key("state_budget_hits");
+  writer.value(state_budget_hits);
+  writer.key("phase1_probes");
+  writer.value(phase1_probes);
+  writer.key("phase2_probes");
+  writer.value(phase2_probes);
+  writer.key("speculative_probes");
+  writer.value(speculative_probes);
+  writer.key("speculative_hits");
+  writer.value(speculative_hits);
+  writer.key("phase1_wall_seconds");
+  writer.value(phase1_wall_seconds);
+  writer.key("phase2_wall_seconds");
+  writer.value(phase2_wall_seconds);
+  writer.end_object();
+}
+
+}  // namespace madpipe

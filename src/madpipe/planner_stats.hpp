@@ -1,0 +1,54 @@
+// Perf counters threaded through the planner hot path — MadPipe-DP's memo
+// and transition cache, Algorithm 1's bisection and the cyclic period
+// search — so planner throughput is observable end to end: in unit tests, in
+// the bench harness (BENCH_planner.json) and in `madpipe planner`. The
+// planner-side sibling of solver::SolverStats.
+#pragma once
+
+namespace madpipe::json {
+class Writer;
+}
+
+namespace madpipe {
+
+/// Defined when MadPipeDPResult/Phase1Result/Plan carry a PlannerStats
+/// block; lets tools compile against both the instrumented and the
+/// pre-instrumentation API.
+#define MADPIPE_PLANNER_STATS 1
+
+struct PlannerStats {
+  // --- MadPipe-DP ---
+  long long dp_probes = 0;       ///< madpipe_dp invocations
+  long long dp_states = 0;       ///< states memoized across all probes
+  long long dp_state_visits = 0; ///< state evaluations started (frames run)
+  /// Per-state memo operations: the entry placeholder insert plus the final
+  /// value update — exactly two hashings per visited state (the old
+  /// find/emplace/assign pattern did three).
+  long long memo_probes = 0;
+  long long memo_child_lookups = 0;  ///< child-value lookups in the k-loop
+  long long memo_hits = 0;           ///< lookups (either kind) that hit
+  double memo_max_load_factor = 0.0; ///< worst flat-table occupancy seen
+  long long transition_lookups = 0;  ///< (k, l, delay) cache consultations
+  long long transition_hits = 0;
+  long long state_budget_hits = 0;   ///< DP probes that tripped max_states
+
+  // --- bisection searches ---
+  long long phase1_probes = 0;  ///< DP probes consumed by Algorithm 1
+  long long phase2_probes = 0;  ///< bb_schedule probes consumed by the
+                                ///< cyclic period search
+  long long speculative_probes = 0;  ///< extra probes launched ahead of need
+  long long speculative_hits = 0;    ///< demanded probes served from a
+                                     ///< speculative batch
+  double phase1_wall_seconds = 0.0;
+  double phase2_wall_seconds = 0.0;
+
+  /// Sum every counter of `other` into this block (load factor takes the
+  /// max). Callers that own a field (e.g. plan_madpipe owns the phase wall
+  /// clocks) overwrite it after accumulating.
+  void absorb(const PlannerStats& other) noexcept;
+
+  /// Append this block as one JSON object value (the caller writes the key).
+  void write_json(json::Writer& writer) const;
+};
+
+}  // namespace madpipe

@@ -22,6 +22,15 @@ struct Phase1Options {
   /// Retain every iterate's allocation in the trace (used by the "schedule
   /// the best k iterates" extension; the paper keeps only the best).
   bool keep_iterate_allocations = false;
+  /// Speculation width W of the bisection fast path: up to W DP probes run
+  /// concurrently, the extras at the targets the search would request next
+  /// under each possible outcome of the pending probe. Results are
+  /// bit-identical to the sequential search for every W (mispredicted
+  /// probes are discarded). 0 = auto (min(4, hardware threads)); 1 =
+  /// sequential.
+  int speculation = 0;
+  /// Worker threads for speculative probes; 0 = one per in-flight probe.
+  std::size_t workers = 0;
 };
 
 struct Phase1Iteration {
@@ -38,6 +47,9 @@ struct Phase1Result {
   std::optional<Allocation> allocation;  ///< allocation of the best iterate
   bool uses_special = false;
   std::vector<Phase1Iteration> trace;
+  /// Counters summed over every DP probe launched (speculative ones
+  /// included); phase1_probes counts only the probes the search consumed.
+  PlannerStats stats;
 
   bool feasible() const noexcept { return allocation.has_value(); }
 };

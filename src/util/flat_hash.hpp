@@ -1,0 +1,131 @@
+// Open-addressing hash table for the planner hot paths.
+//
+// std::unordered_map pays a node allocation, a pointer chase and (in the DP
+// memo's old find/emplace/assign pattern) three hashings per state. This
+// table keeps entries inline in one flat power-of-two array with linear
+// probing, so a lookup is one mix of the key plus a short contiguous scan,
+// and insert-or-find is a single probe sequence. It is deliberately minimal:
+// 64-bit keys, trivially-copyable values, no deletion (the planner memo and
+// transition cache only ever grow), which keeps the table tombstone-free.
+//
+// One key value (~0, kEmptyKey) is reserved to mark empty slots; the DP's
+// packed states use at most 44 bits, so the sentinel is never a real key.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace madpipe::util {
+
+/// Finalizer of splitmix64: a cheap, well-mixing 64-bit hash.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <typename Value>
+class FlatHash64 {
+  static_assert(std::is_trivially_copyable_v<Value>,
+                "FlatHash64 stores values inline and memcpy-moves them on "
+                "growth");
+
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    Value value{};
+  };
+
+  /// `expected` is a size heuristic: capacity is the smallest power of two
+  /// that holds `expected` entries under the maximum load factor, so a
+  /// well-guessed reserve avoids every growth rehash on the hot path.
+  explicit FlatHash64(std::size_t expected = 0) { rehash_for(expected); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  double load_factor() const noexcept {
+    return slots_.empty()
+               ? 0.0
+               : static_cast<double>(size_) / static_cast<double>(capacity());
+  }
+
+  /// Grow (never shrink) so that `expected` entries fit without rehashing.
+  void reserve(std::size_t expected) {
+    if (needed_capacity(expected) > slots_.size()) rehash_for(expected);
+  }
+
+  void clear() noexcept {
+    for (Slot& slot : slots_) slot.key = kEmptyKey;
+    size_ = 0;
+  }
+
+  /// Pointer to the value stored under `key`, or nullptr. Never invalidated
+  /// by other finds; invalidated by any insert (the table may rehash).
+  const Value* find(std::uint64_t key) const noexcept {
+    const Slot* slot = probe(key);
+    return slot->key == key ? &slot->value : nullptr;
+  }
+  Value* find(std::uint64_t key) noexcept {
+    return const_cast<Value*>(std::as_const(*this).find(key));
+  }
+
+  /// Single-probe insert-or-find: returns the value slot for `key` and
+  /// whether it was newly inserted (in which case it holds a copy of
+  /// `value`). An existing entry is left untouched.
+  std::pair<Value*, bool> emplace(std::uint64_t key, const Value& value) {
+    MP_EXPECT(key != kEmptyKey, "the all-ones key is reserved");
+    if ((size_ + 1) * 8 > slots_.size() * 7) rehash_for(size_ + 1);
+    Slot* slot = probe_mutable(key);
+    if (slot->key == key) return {&slot->value, false};
+    slot->key = key;
+    slot->value = value;
+    ++size_;
+    return {&slot->value, true};
+  }
+
+ private:
+  static std::size_t needed_capacity(std::size_t expected) {
+    std::size_t capacity = 16;
+    // Keep the load factor at or below 7/8 after `expected` insertions.
+    while (capacity * 7 < expected * 8) capacity *= 2;
+    return capacity;
+  }
+
+  const Slot* probe(std::uint64_t key) const noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+    while (slots_[i].key != key && slots_[i].key != kEmptyKey) {
+      i = (i + 1) & mask;
+    }
+    return &slots_[i];
+  }
+  Slot* probe_mutable(std::uint64_t key) noexcept {
+    return const_cast<Slot*>(probe(key));
+  }
+
+  void rehash_for(std::size_t expected) {
+    const std::size_t capacity =
+        std::max(needed_capacity(expected), slots_.size() * 2);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    for (const Slot& slot : old) {
+      if (slot.key == kEmptyKey) continue;
+      *probe_mutable(slot.key) = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace madpipe::util

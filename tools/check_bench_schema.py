@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate a bench_planner JSON document (schema madpipe-bench-planner-v1).
+
+Checks the structural schema — required keys, types, sane values — and,
+with --reference, that every workload present in both files achieved the
+same period and allocation fingerprint as the committed reference (the
+fast path must be a pure speedup, never a result change).
+
+Stdlib only; exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "madpipe-bench-planner-v1"
+
+WORKLOAD_FIELDS = {
+    "name": str,
+    "repeats": int,
+    "wall_seconds": (int, float),
+    "per_solve_seconds": (int, float),
+    "feasible": bool,
+    "period": (int, float),
+    "phase1_period": (int, float),
+    "allocation": str,
+    "dp_states": int,
+}
+
+STATS_FIELDS = {
+    "dp_probes": int,
+    "dp_states": int,
+    "dp_state_visits": int,
+    "memo_probes": int,
+    "memo_child_lookups": int,
+    "memo_hits": int,
+    "memo_max_load_factor": (int, float),
+    "transition_lookups": int,
+    "transition_hits": int,
+    "state_budget_hits": int,
+    "phase1_probes": int,
+    "phase2_probes": int,
+    "speculative_probes": int,
+    "speculative_hits": int,
+    "phase1_wall_seconds": (int, float),
+    "phase2_wall_seconds": (int, float),
+}
+
+
+def fail(message):
+    print(f"check_bench_schema: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(obj, fields, where):
+    for key, expected in fields.items():
+        if key not in obj:
+            fail(f"{where}: missing key '{key}'")
+        value = obj[key]
+        # bool is an int subclass in Python; don't let it satisfy int fields.
+        if expected is int and isinstance(value, bool):
+            fail(f"{where}: key '{key}' is a bool, expected int")
+        if not isinstance(value, expected):
+            fail(f"{where}: key '{key}' has type {type(value).__name__}")
+
+
+def check_document(doc, path):
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if not isinstance(doc.get("planner_stats_instrumented"), bool):
+        fail(f"{path}: planner_stats_instrumented must be a bool")
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        fail(f"{path}: workloads must be a non-empty array")
+    for record in workloads:
+        where = f"{path}: workload {record.get('name', '?')!r}"
+        check_fields(record, WORKLOAD_FIELDS, where)
+        if record["repeats"] < 1:
+            fail(f"{where}: repeats must be >= 1")
+        if record["per_solve_seconds"] < 0 or record["wall_seconds"] < 0:
+            fail(f"{where}: negative timing")
+        if record["feasible"]:
+            if not (record["period"] > 0 and math.isfinite(record["period"])):
+                fail(f"{where}: feasible but period is {record['period']}")
+            if not record["allocation"]:
+                fail(f"{where}: feasible but allocation fingerprint is empty")
+        if doc["planner_stats_instrumented"]:
+            if "stats" not in record:
+                fail(f"{where}: instrumented build but no stats block")
+            check_fields(record["stats"], STATS_FIELDS, where + " stats")
+    names = [record["name"] for record in workloads]
+    if len(set(names)) != len(names):
+        fail(f"{path}: duplicate workload names")
+    return {record["name"]: record for record in workloads}
+
+
+def check_reference(current, reference):
+    shared = sorted(set(current) & set(reference))
+    if not shared:
+        fail("no workloads shared with the reference file")
+    for name in shared:
+        cur, ref = current[name], reference[name]
+        if cur["feasible"] != ref["feasible"]:
+            fail(f"{name}: feasibility {cur['feasible']} != reference "
+                 f"{ref['feasible']}")
+        if not cur["feasible"]:
+            continue
+        if cur["period"] != ref["period"]:
+            fail(f"{name}: period {cur['period']!r} != reference "
+                 f"{ref['period']!r} (results must be bit-identical)")
+        if cur["allocation"] != ref["allocation"]:
+            fail(f"{name}: allocation {cur['allocation']!r} != reference "
+                 f"{ref['allocation']!r}")
+    print(f"check_bench_schema: {len(shared)} workloads match the reference "
+          "(periods and allocations identical)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="bench_planner output to validate")
+    parser.add_argument("--reference",
+                        help="committed baseline to compare results against")
+    args = parser.parse_args()
+
+    with open(args.bench_json) as handle:
+        current = check_document(json.load(handle), args.bench_json)
+    print(f"check_bench_schema: {args.bench_json}: schema OK "
+          f"({len(current)} workloads)")
+
+    if args.reference:
+        with open(args.reference) as handle:
+            reference = check_document(json.load(handle), args.reference)
+        check_reference(current, reference)
+
+
+if __name__ == "__main__":
+    main()

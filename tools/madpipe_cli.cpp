@@ -23,6 +23,11 @@
 //       Run phase 1, then one ILP-scheduler probe at slack × the phase-1
 //       period, and print the branch-and-bound solver counters (nodes,
 //       pivots, warm starts, wall time).
+//
+//   madpipe planner <profile-file> [--speculation W] [plan options]
+//       Run the full MadPipe planner and print the hot-path counters: DP
+//       states and memo/transition-cache behaviour, bisection probes
+//       (speculative ones included), and per-phase wall time.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,6 +65,7 @@ struct Args {
   int batch = 8;
   int length = 24;
   double slack = 1.05;
+  int speculation = 0;
   std::string output;
   std::string json_path;
   std::string trace_path;
@@ -68,7 +74,8 @@ struct Args {
 [[noreturn]] void usage(const char* message = nullptr) {
   if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
   std::fprintf(stderr,
-               "usage: madpipe <profile|plan|simulate|hybrid|solver> ...\n"
+               "usage: madpipe <profile|plan|simulate|hybrid|solver|planner> "
+               "...\n"
                "  profile <network> [-o FILE] [--image N] [--batch N] "
                "[--length N]\n"
                "  plan <profile> [--planner NAME] [--gpus N] [--memory-gb X]\n"
@@ -76,7 +83,8 @@ struct Args {
                "  simulate <profile> [--batches N] [plan options]\n"
                "  hybrid <profile> [--gpus N] [--memory-gb X] "
                "[--bandwidth-gbs X]\n"
-               "  solver <profile> [--slack X] [plan options]\n");
+               "  solver <profile> [--slack X] [plan options]\n"
+               "  planner <profile> [--speculation W] [plan options]\n");
   std::exit(2);
 }
 
@@ -106,6 +114,8 @@ Args parse(int argc, char** argv) {
       args.length = std::atoi(next_value().c_str());
     } else if (arg == "--slack") {
       args.slack = std::atof(next_value().c_str());
+    } else if (arg == "--speculation") {
+      args.speculation = std::atoi(next_value().c_str());
     } else if (arg == "-o" || arg == "--output") {
       args.output = next_value();
     } else if (arg == "--json") {
@@ -272,6 +282,56 @@ int cmd_solver(const Args& args) {
   return 0;
 }
 
+int cmd_planner(const Args& args) {
+  if (args.positional.empty()) usage("planner needs a profile file");
+  const Chain chain = models::load_profile(args.positional[0]);
+  const Platform platform{args.gpus, args.memory_gb * GB,
+                          args.bandwidth_gbs * GB};
+  platform.validate();
+
+  MadPipeOptions options;
+  options.phase1.dp.grid = Discretization::paper();
+  options.phase1.speculation = args.speculation;
+  options.phase2.speculation = args.speculation;
+  const std::optional<Plan> plan = plan_madpipe(chain, platform, options);
+  if (!plan) {
+    std::printf("infeasible: no allocation fits %d GPUs with %s each\n",
+                args.gpus, fmt::bytes(platform.memory_per_processor).c_str());
+    return 1;
+  }
+  std::printf("%s", plan_to_string(*plan, chain, platform).c_str());
+
+  const PlannerStats& stats = plan->stats;
+  std::printf("planner counters:\n");
+  std::printf("  dp probes          %lld (%lld consumed by phase 1)\n",
+              stats.dp_probes, stats.phase1_probes);
+  std::printf("  dp states          %lld (%lld visits, %.0f states/s)\n",
+              stats.dp_states, stats.dp_state_visits,
+              stats.phase1_wall_seconds > 0.0
+                  ? static_cast<double>(stats.dp_states) /
+                        stats.phase1_wall_seconds
+                  : 0.0);
+  std::printf("  memo probes        %lld per-state, %lld child lookups "
+              "(%lld hits)\n",
+              stats.memo_probes, stats.memo_child_lookups, stats.memo_hits);
+  std::printf("  memo load factor   %.3f max\n", stats.memo_max_load_factor);
+  std::printf("  transition cache   %lld lookups, %lld hits (%.1f%%)\n",
+              stats.transition_lookups, stats.transition_hits,
+              stats.transition_lookups > 0
+                  ? 100.0 * static_cast<double>(stats.transition_hits) /
+                        static_cast<double>(stats.transition_lookups)
+                  : 0.0);
+  std::printf("  phase 2 probes     %lld\n", stats.phase2_probes);
+  std::printf("  speculation        %lld extra probes, %lld hits\n",
+              stats.speculative_probes, stats.speculative_hits);
+  std::printf("  state budget hits  %lld\n", stats.state_budget_hits);
+  std::printf("  phase 1 wall       %s\n",
+              fmt::seconds(stats.phase1_wall_seconds).c_str());
+  std::printf("  phase 2 wall       %s\n",
+              fmt::seconds(stats.phase2_wall_seconds).c_str());
+  return 0;
+}
+
 int cmd_hybrid(const Args& args) {
   if (args.positional.empty()) usage("hybrid needs a profile file");
   const Chain chain = models::load_profile(args.positional[0]);
@@ -298,6 +358,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_plan(args, /*simulate=*/true);
     if (command == "hybrid") return cmd_hybrid(args);
     if (command == "solver") return cmd_solver(args);
+    if (command == "planner") return cmd_planner(args);
     usage(("unknown command " + command).c_str());
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
