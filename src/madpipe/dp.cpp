@@ -19,6 +19,7 @@
 #include "madpipe/dp.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -51,6 +52,22 @@ std::uint64_t pack_transition(int k, int l, int delay_idx) {
   return (static_cast<std::uint64_t>(k) << 20) |
          (static_cast<std::uint64_t>(l) << 10) |
          static_cast<std::uint64_t>(delay_idx);
+}
+
+/// Per-engine atomic once-guards for the state-budget warning. Engines run
+/// concurrently (speculative bisection probes, serve workers), so a plain
+/// per-instance bool would emit one warning per probe; the exchange below
+/// elects exactly one emitter per engine kind. log::write assembles each
+/// line before a single locked write, so the elected line cannot interleave.
+std::atomic<bool> g_flat_budget_warned{false};
+std::atomic<bool> g_reference_budget_warned{false};
+std::atomic<long long> g_budget_warnings_emitted{0};
+
+void warn_state_budget_once(std::atomic<bool>& guard) {
+  if (guard.exchange(true, std::memory_order_relaxed)) return;
+  g_budget_warnings_emitted.fetch_add(1, std::memory_order_relaxed);
+  log::warn("MadPipe-DP state budget exhausted; treating unexplored states "
+            "as infeasible");
 }
 
 Seconds delay_upper_bound(const Chain& chain, const Platform& platform) {
@@ -202,8 +219,7 @@ class FlatDpSolver {
   void note_budget() {
     if (budget_hit_) return;
     budget_hit_ = true;
-    log::warn("MadPipe-DP state budget exhausted; treating unexplored states "
-              "as infeasible");
+    warn_state_budget_once(g_flat_budget_warned);
   }
 
   void push_frame(int l, int p, int load_idx, int mem_idx, int delay_idx) {
@@ -571,8 +587,7 @@ class ReferenceDpSolver {
     if (memo_.size() >= options_.max_states) {
       if (!budget_hit_) {
         budget_hit_ = true;
-        log::warn("MadPipe-DP state budget exhausted; treating unexplored "
-                  "states as infeasible");
+        warn_state_budget_once(g_reference_budget_warned);
       }
       return kInfinity;
     }
@@ -735,5 +750,19 @@ MadPipeDPResult madpipe_dp(const Chain& chain, const Platform& platform,
   FlatDpSolver solver(chain, platform, target_period, options);
   return solver.run();
 }
+
+namespace detail {
+
+void reset_state_budget_warnings() noexcept {
+  g_flat_budget_warned.store(false, std::memory_order_relaxed);
+  g_reference_budget_warned.store(false, std::memory_order_relaxed);
+  g_budget_warnings_emitted.store(0, std::memory_order_relaxed);
+}
+
+long long state_budget_warning_count() noexcept {
+  return g_budget_warnings_emitted.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 }  // namespace madpipe

@@ -85,4 +85,16 @@ MadPipeDPResult madpipe_dp(const Chain& chain, const Platform& platform,
                            Seconds target_period,
                            const MadPipeDPOptions& options = {});
 
+namespace detail {
+
+/// Test hooks for the state-budget "warn once" valve. The warning is
+/// emitted at most once per process *per engine* through an atomic guard,
+/// so concurrent speculative probes (and serve workers) sharing an engine
+/// kind produce exactly one log line; every probe still reports
+/// `state_budget_hit` in its own result.
+void reset_state_budget_warnings() noexcept;
+long long state_budget_warning_count() noexcept;
+
+}  // namespace detail
+
 }  // namespace madpipe

@@ -1,8 +1,10 @@
 #include "models/profile_io.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "util/expect.hpp"
 
@@ -10,11 +12,13 @@ namespace madpipe::models {
 
 namespace {
 constexpr const char* kMagic = "madpipe-profile-v1";
+/// Upper bound on accepted layer count: the packed DP state supports 1023
+/// layers, and a parser limit keeps hostile serve payloads from ballooning.
+constexpr int kMaxLayers = 65536;
 
-[[noreturn]] void parse_error(int line, const std::string& message) {
-  MP_EXPECT(false, "profile parse error at line " + std::to_string(line) +
-                       ": " + message);
-  __builtin_unreachable();
+std::string at_line(int line, const std::string& message) {
+  return "profile parse error at line " + std::to_string(line) + ": " +
+         message;
 }
 }  // namespace
 
@@ -40,60 +44,124 @@ std::string profile_to_string(const Chain& chain) {
   return os.str();
 }
 
-Chain profile_from_string(const std::string& text) {
-  std::istringstream is(text);
-  std::string line;
-  int line_number = 0;
-  bool magic_seen = false;
-  std::string name = "unnamed";
-  Bytes input_bytes = -1.0;
-  std::vector<Layer> layers;
+ProfileParseResult try_profile_from_string(const std::string& text) noexcept {
+  // The whole body is wrapped: parse failures come back as messages, and
+  // anything the Chain constructor (or an allocator) might throw is caught
+  // at this boundary too — serve payloads must never propagate exceptions.
+  try {
+    std::istringstream is(text);
+    std::string line;
+    int line_number = 0;
+    bool magic_seen = false;
+    std::string name = "unnamed";
+    Bytes input_bytes = -1.0;
+    std::vector<Layer> layers;
+    std::unordered_set<std::string> seen_names;
 
-  while (std::getline(is, line)) {
-    ++line_number;
-    // Strip comments and whitespace-only lines.
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    std::istringstream fields(line);
-    std::string keyword;
-    if (!(fields >> keyword)) continue;
+    const auto fail = [&](const std::string& message) {
+      ProfileParseResult result;
+      result.error = at_line(line_number, message);
+      return result;
+    };
 
-    if (!magic_seen) {
-      if (keyword != kMagic) {
-        parse_error(line_number, "expected '" + std::string(kMagic) + "'");
+    while (std::getline(is, line)) {
+      ++line_number;
+      // Strip comments and whitespace-only lines.
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::istringstream fields(line);
+      std::string keyword;
+      if (!(fields >> keyword)) continue;
+
+      if (!magic_seen) {
+        if (keyword != kMagic) {
+          return fail("expected '" + std::string(kMagic) + "'");
+        }
+        magic_seen = true;
+        continue;
       }
-      magic_seen = true;
-      continue;
+      if (keyword == "name") {
+        if (!(fields >> name)) return fail("missing network name");
+      } else if (keyword == "input_bytes") {
+        if (!(fields >> input_bytes) || input_bytes < 0.0 ||
+            !std::isfinite(input_bytes)) {
+          return fail("input_bytes needs a non-negative finite number");
+        }
+      } else if (keyword == "layer") {
+        Layer layer;
+        if (!(fields >> layer.name >> layer.forward_time >>
+              layer.backward_time >> layer.weight_bytes >>
+              layer.output_bytes)) {
+          return fail(
+              "layer needs: name forward_s backward_s weight_bytes "
+              "output_bytes");
+        }
+        std::string extra;
+        if (fields >> extra) {
+          return fail("trailing field '" + extra + "' after layer record");
+        }
+        for (const double v : {layer.forward_time, layer.backward_time,
+                               layer.weight_bytes, layer.output_bytes}) {
+          if (v < 0.0) return fail("layer fields must be non-negative");
+          if (!std::isfinite(v)) return fail("layer fields must be finite");
+        }
+        if (!seen_names.insert(layer.name).second) {
+          return fail("duplicate layer id '" + layer.name + "'");
+        }
+        if (static_cast<int>(layers.size()) >= kMaxLayers) {
+          return fail("profile exceeds " + std::to_string(kMaxLayers) +
+                      " layers");
+        }
+        layers.push_back(std::move(layer));
+      } else {
+        return fail("unknown keyword '" + keyword + "'");
+      }
     }
-    if (keyword == "name") {
-      if (!(fields >> name)) parse_error(line_number, "missing network name");
-    } else if (keyword == "input_bytes") {
-      if (!(fields >> input_bytes) || input_bytes < 0.0) {
-        parse_error(line_number, "input_bytes needs a non-negative number");
-      }
-    } else if (keyword == "layer") {
-      Layer layer;
-      if (!(fields >> layer.name >> layer.forward_time >>
-            layer.backward_time >> layer.weight_bytes >>
-            layer.output_bytes)) {
-        parse_error(line_number,
-                    "layer needs: name forward_s backward_s weight_bytes "
-                    "output_bytes");
-      }
-      if (layer.forward_time < 0.0 || layer.backward_time < 0.0 ||
-          layer.weight_bytes < 0.0 || layer.output_bytes < 0.0) {
-        parse_error(line_number, "layer fields must be non-negative");
-      }
-      layers.push_back(std::move(layer));
-    } else {
-      parse_error(line_number, "unknown keyword '" + keyword + "'");
-    }
+
+    if (!magic_seen) return fail("empty document");
+    if (input_bytes < 0.0) return fail("missing input_bytes");
+    if (layers.empty()) return fail("profile has no layers");
+    ProfileParseResult result;
+    result.chain.emplace(name, input_bytes, std::move(layers));
+    return result;
+  } catch (const std::exception& error) {
+    ProfileParseResult result;
+    result.error = std::string("profile parse error: ") + error.what();
+    return result;
+  } catch (...) {
+    ProfileParseResult result;
+    result.error = "profile parse error: unknown exception";
+    return result;
   }
+}
 
-  if (!magic_seen) parse_error(line_number, "empty document");
-  if (input_bytes < 0.0) parse_error(line_number, "missing input_bytes");
-  if (layers.empty()) parse_error(line_number, "profile has no layers");
-  return Chain(name, input_bytes, std::move(layers));
+ProfileParseResult try_load_profile(const std::string& path) noexcept {
+  try {
+    std::ifstream in(path);
+    if (!in.good()) {
+      ProfileParseResult result;
+      result.error = "cannot open profile file: " + path;
+      return result;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+      ProfileParseResult result;
+      result.error = "read failed for profile file: " + path;
+      return result;
+    }
+    return try_profile_from_string(buffer.str());
+  } catch (const std::exception& error) {
+    ProfileParseResult result;
+    result.error = std::string("cannot read ") + path + ": " + error.what();
+    return result;
+  }
+}
+
+Chain profile_from_string(const std::string& text) {
+  ProfileParseResult result = try_profile_from_string(text);
+  MP_EXPECT(result.ok(), result.error);
+  return std::move(*result.chain);
 }
 
 void save_profile(const Chain& chain, const std::string& path) {

@@ -1,0 +1,63 @@
+#include "serve/serve_stats.hpp"
+
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace madpipe::serve {
+
+void ServeStats::write_json(json::Writer& w) const {
+  w.begin_object();
+  w.key("requests"); w.value(requests);
+  w.key("hits"); w.value(hits);
+  w.key("scaled_hits"); w.value(scaled_hits);
+  w.key("misses"); w.value(misses);
+  w.key("coalesced"); w.value(coalesced);
+  w.key("rejected"); w.value(rejected);
+  w.key("degraded"); w.value(degraded);
+  w.key("errors"); w.value(errors);
+  w.key("planner_runs"); w.value(planner_runs);
+  w.key("evictions"); w.value(evictions);
+  w.key("expirations"); w.value(expirations);
+  w.key("key_collisions"); w.value(key_collisions);
+  w.key("cache_entries"); w.value(cache_entries);
+  w.key("cache_bytes"); w.value(cache_bytes);
+  w.key("hit_p50_seconds"); w.value(hit_p50_seconds);
+  w.key("hit_p99_seconds"); w.value(hit_p99_seconds);
+  w.key("miss_p50_seconds"); w.value(miss_p50_seconds);
+  w.key("miss_p99_seconds"); w.value(miss_p99_seconds);
+  w.end_object();
+}
+
+LatencyRecorder::LatencyRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void LatencyRecorder::record(double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (++pending_ < stride_) return;
+  pending_ = 0;
+  samples_.push_back(seconds);
+  if (samples_.size() >= capacity_) {
+    // Keep every other sample and double the stride: the retained set stays
+    // an unbiased systematic sample of the stream.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < samples_.size(); i += 2) {
+      samples_[kept++] = samples_[i];
+    }
+    samples_.resize(kept);
+    stride_ *= 2;
+  }
+}
+
+double LatencyRecorder::percentile(double q) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  return stats::percentile(samples_, q);
+}
+
+long long LatencyRecorder::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+}  // namespace madpipe::serve

@@ -1,0 +1,282 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/threading.hpp"
+
+namespace madpipe::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+const char* to_string(ResponseStatus status) noexcept {
+  switch (status) {
+    case ResponseStatus::Ok: return "ok";
+    case ResponseStatus::Infeasible: return "infeasible";
+    case ResponseStatus::Rejected: return "rejected";
+    case ResponseStatus::Error: return "error";
+  }
+  return "unknown";
+}
+
+const char* to_string(CacheOutcome outcome) noexcept {
+  switch (outcome) {
+    case CacheOutcome::Miss: return "miss";
+    case CacheOutcome::Hit: return "hit";
+    case CacheOutcome::Coalesced: return "coalesced";
+    case CacheOutcome::None: return "none";
+  }
+  return "unknown";
+}
+
+PlanService::PlanService(const ServiceOptions& options)
+    : options_(options), cache_(options.cache) {
+  std::size_t workers = options.workers;
+  if (workers == 0) workers = par::default_workers();
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PlanService::~PlanService() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<PlanResponse> PlanService::submit(PlanRequest request) {
+  const Clock::time_point submitted = Clock::now();
+  CanonicalRequest canonical = canonicalize(request);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_.requests;
+  }
+
+  // 1. Cache: a hit completes synchronously — no queue, no planner.
+  if (std::optional<CachedPlan> cached = cache_.find(canonical)) {
+    PlanResponse response;
+    response.id = request.id;
+    response.cache = CacheOutcome::Hit;
+    if (cached->feasible()) {
+      response.status = ResponseStatus::Ok;
+      response.plan = denormalize_plan(*cached->plan, canonical.time_unit);
+    } else {
+      response.status = ResponseStatus::Infeasible;
+    }
+    response.latency_seconds = seconds_since(submitted);
+    hit_latency_.record(response.latency_seconds);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.hits;
+      if (canonical.time_unit != cached->creator_time_unit ||
+          canonical.byte_unit != cached->creator_byte_unit) {
+        // The entry was created by a request in different (power-of-two
+        // related) units: the cache is being shared across a rescale.
+        ++counters_.scaled_hits;
+      }
+    }
+    std::promise<PlanResponse> promise;
+    std::future<PlanResponse> future = promise.get_future();
+    promise.set_value(std::move(response));
+    return future;
+  }
+
+  auto waiter = std::make_unique<Waiter>();
+  std::future<PlanResponse> future = waiter->promise.get_future();
+  waiter->id = request.id;
+  waiter->submitted = submitted;
+  waiter->time_unit = canonical.time_unit;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // 2. Coalesce onto an identical in-flight computation.
+    for (auto& [fingerprint, pending] : pending_) {
+      if (fingerprint == canonical.fingerprint) {
+        waiter->outcome = CacheOutcome::Coalesced;
+        pending->waiters.push_back(std::move(waiter));
+        lock.unlock();
+        const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++counters_.coalesced;
+        return future;
+      }
+    }
+    // 3. Enqueue, or reject under backpressure.
+    if (queue_.size() >= options_.queue_capacity) {
+      lock.unlock();
+      PlanResponse response;
+      response.id = request.id;
+      response.status = ResponseStatus::Rejected;
+      response.error = "queue full (" +
+                       std::to_string(options_.queue_capacity) +
+                       " pending requests)";
+      response.latency_seconds = seconds_since(submitted);
+      {
+        const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++counters_.rejected;
+      }
+      waiter->promise.set_value(std::move(response));
+      return future;
+    }
+    auto pending = std::make_shared<Pending>();
+    pending->fingerprint = canonical.fingerprint;
+    waiter->outcome = CacheOutcome::Miss;
+    pending->waiters.push_back(std::move(waiter));
+    pending_.emplace_back(canonical.fingerprint, pending);
+
+    const Seconds deadline = request.deadline_seconds > 0.0
+                                 ? request.deadline_seconds
+                                 : options_.default_deadline_seconds;
+    queue_.push_back(Job{std::move(pending), std::move(canonical),
+                         planner_options(request), deadline, submitted});
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+PlanResponse PlanService::plan(PlanRequest request) {
+  return submit(std::move(request)).get();
+}
+
+void PlanService::worker_loop() {
+  while (true) {
+    std::optional<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain before stopping: every accepted future must complete.
+      if (queue_.empty()) return;
+      job.emplace(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    run_job(*job);
+  }
+}
+
+void PlanService::run_job(Job& job) {
+  // Deadline → state-budget valve. The budget shrinks with the remaining
+  // wall clock; once it clamps below the configured max_states the run is a
+  // candidate for degradation (it becomes "degraded" only if the valve
+  // actually fires — an untruncated run is the full-fidelity result).
+  bool budget_reduced = false;
+  if (job.deadline_seconds > 0.0) {
+    const double remaining =
+        job.deadline_seconds - seconds_since(job.submitted);
+    const double probes = static_cast<double>(
+        std::max(1, options_.expected_probes));
+    const double allowance =
+        options_.states_per_second * std::max(remaining, 0.0) / probes;
+    const std::size_t budget = std::max(
+        options_.min_state_budget,
+        static_cast<std::size_t>(std::min<double>(
+            allowance, static_cast<double>(job.options.phase1.dp.max_states))));
+    if (budget < job.options.phase1.dp.max_states) {
+      job.options.phase1.dp.max_states = budget;
+      budget_reduced = true;
+    }
+  }
+
+  CachedPlan cached;
+  ResponseStatus status = ResponseStatus::Error;
+  bool degraded = false;
+  std::string error;
+  try {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.planner_runs;
+    }
+    std::optional<Plan> plan =
+        plan_madpipe(job.canonical.chain, job.canonical.platform, job.options);
+    cached.creator_time_unit = job.canonical.time_unit;
+    cached.creator_byte_unit = job.canonical.byte_unit;
+    if (plan.has_value()) {
+      degraded = budget_reduced && plan->stats.state_budget_hits > 0;
+      status = ResponseStatus::Ok;
+      cached.plan = std::move(plan);
+    } else {
+      status = ResponseStatus::Infeasible;
+      // A truncated search can report infeasible spuriously; that is also a
+      // degraded answer.
+      degraded = budget_reduced;
+    }
+    // Degraded results are never cached: the next request (with a healthier
+    // deadline) must get the chance to compute the real plan.
+    if (!degraded) cache_.insert(job.canonical, cached);
+  } catch (const std::exception& exception) {
+    status = ResponseStatus::Error;
+    error = exception.what();
+  }
+
+  // Retire the in-flight registration *before* fulfilling, so a caller woken
+  // by its future can immediately resubmit and reach the cache/queue.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].second.get() == job.pending.get()) {
+        pending_[i] = std::move(pending_.back());
+        pending_.pop_back();
+        break;
+      }
+    }
+  }
+
+  // Count the miss before fulfilling: a caller woken by its future must see
+  // a stats snapshot that already includes its own request.
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_.misses;
+    if (degraded) ++counters_.degraded;
+    if (status == ResponseStatus::Error) ++counters_.errors;
+  }
+
+  fulfill(*job.pending, cached, status, degraded, error);
+}
+
+void PlanService::fulfill(Pending& pending, const CachedPlan& cached,
+                          ResponseStatus status, bool degraded,
+                          const std::string& error) {
+  for (std::unique_ptr<Waiter>& waiter : pending.waiters) {
+    PlanResponse response;
+    response.id = waiter->id;
+    response.status = status;
+    response.cache = waiter->outcome;
+    response.degraded = degraded;
+    response.error = error;
+    if (status == ResponseStatus::Ok) {
+      response.plan = denormalize_plan(*cached.plan, waiter->time_unit);
+    }
+    response.latency_seconds = seconds_since(waiter->submitted);
+    miss_latency_.record(response.latency_seconds);
+    waiter->promise.set_value(std::move(response));
+  }
+}
+
+ServeStats PlanService::stats() const {
+  ServeStats snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = counters_;
+  }
+  const PlanCacheCounters cache = cache_.counters();
+  snapshot.evictions = cache.evictions;
+  snapshot.expirations = cache.expirations;
+  snapshot.key_collisions = cache.key_collisions;
+  snapshot.cache_entries = cache.entries;
+  snapshot.cache_bytes = cache.bytes;
+  snapshot.hit_p50_seconds = hit_latency_.percentile(0.50);
+  snapshot.hit_p99_seconds = hit_latency_.percentile(0.99);
+  snapshot.miss_p50_seconds = miss_latency_.percentile(0.50);
+  snapshot.miss_p99_seconds = miss_latency_.percentile(0.99);
+  return snapshot;
+}
+
+}  // namespace madpipe::serve

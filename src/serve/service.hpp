@@ -1,0 +1,145 @@
+// PlanService: the traffic-bearing front end to plan_madpipe.
+//
+// submit() canonicalizes the request, then takes the cheapest path that can
+// serve it:
+//
+//   1. cache hit   — the stored canonical plan is rescaled to the request's
+//                    units and the future completes immediately (no queue,
+//                    no planner, microseconds);
+//   2. coalesce    — an identical canonical request is already being
+//                    planned: attach to it, one planning run feeds K waiters
+//                    (each denormalized with its own units);
+//   3. enqueue     — hand the request to the bounded worker pool; when the
+//                    queue is full the request is REJECTED immediately
+//                    (backpressure — a full queue must shed load, not grow).
+//
+// Deadlines map onto the DP's max_states safety valve: when a request's
+// deadline is near (or past) at dequeue time, its per-probe state budget is
+// shrunk to roughly states_per_second × remaining / expected_probes, so an
+// over-deadline request degrades to a truncated best-effort plan (flagged
+// `degraded`, never cached) instead of stalling the queue at full cost.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/plan_cache.hpp"
+#include "serve/request.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace madpipe::serve {
+
+enum class ResponseStatus {
+  Ok,          ///< plan present
+  Infeasible,  ///< planner ran; no allocation fits memory
+  Rejected,    ///< queue full — retry later / elsewhere
+  Error,       ///< invalid request or planner failure
+};
+
+enum class CacheOutcome { Miss, Hit, Coalesced, None };
+
+const char* to_string(ResponseStatus status) noexcept;
+const char* to_string(CacheOutcome outcome) noexcept;
+
+struct PlanResponse {
+  std::string id;
+  ResponseStatus status = ResponseStatus::Error;
+  CacheOutcome cache = CacheOutcome::None;
+  /// The deadline forced a reduced DP state budget AND the valve actually
+  /// truncated the search: the result is best-effort, not the full plan.
+  bool degraded = false;
+  std::optional<Plan> plan;  ///< in request units; present iff status == Ok
+  std::string error;
+  double latency_seconds = 0.0;  ///< submit → completion
+};
+
+struct ServiceOptions {
+  std::size_t workers = 2;         ///< planning threads; 0 = hardware threads
+  std::size_t queue_capacity = 64; ///< pending (non-coalesced) requests
+  PlanCacheOptions cache;
+  /// Applied when a request carries no deadline of its own; 0 = none.
+  Seconds default_deadline_seconds = 0.0;
+  /// Deadline → state-budget conversion rate. The default is conservative
+  /// for paper-scale chains (see BENCH_planner.json: ~1e6 DP states/s on
+  /// the flat engine, unoptimized build).
+  double states_per_second = 1e6;
+  /// Floor for the reduced budget: even a hopelessly late request explores
+  /// this many states per probe so "degraded" still means "tried".
+  std::size_t min_state_budget = 20'000;
+  /// Probes a deadline is spread over (Algorithm 1 runs `iterations` DP
+  /// probes; speculative extras run concurrently and share the wall clock).
+  int expected_probes = 10;
+};
+
+class PlanService {
+ public:
+  explicit PlanService(const ServiceOptions& options = {});
+  /// Drains the queue (every accepted future completes), then joins.
+  ~PlanService();
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// Returns immediately; the future completes on hit/reject now, or when a
+  /// worker finishes planning.
+  std::future<PlanResponse> submit(PlanRequest request);
+
+  /// Synchronous convenience wrapper.
+  PlanResponse plan(PlanRequest request);
+
+  ServeStats stats() const;
+  PlanCacheCounters cache_counters() const { return cache_.counters(); }
+
+ private:
+  struct Waiter {
+    std::promise<PlanResponse> promise;
+    std::string id;
+    double time_unit = 1.0;  ///< for per-waiter denormalization
+    std::chrono::steady_clock::time_point submitted;
+    CacheOutcome outcome = CacheOutcome::Miss;
+  };
+  /// One in-flight canonical computation and everyone waiting on it.
+  struct Pending {
+    std::string fingerprint;
+    std::vector<std::unique_ptr<Waiter>> waiters;
+  };
+  struct Job {
+    std::shared_ptr<Pending> pending;
+    CanonicalRequest canonical;
+    MadPipeOptions options;
+    Seconds deadline_seconds = 0.0;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void worker_loop();
+  void run_job(Job& job);
+  void fulfill(Pending& pending, const CachedPlan& cached,
+               ResponseStatus status, bool degraded, const std::string& error);
+
+  ServiceOptions options_;
+  ShardedPlanCache cache_;
+
+  std::mutex mutex_;  ///< guards queue_, pending_, stop_
+  std::condition_variable work_available_;
+  std::deque<Job> queue_;
+  /// fingerprint → in-flight computation (coalescing registry).
+  std::vector<std::pair<std::string, std::shared_ptr<Pending>>> pending_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  // Counters (monotonic; mutex-free fast path would be overkill here — every
+  // bump is adjacent to a planning run or a cache probe).
+  mutable std::mutex stats_mutex_;
+  ServeStats counters_;
+  LatencyRecorder hit_latency_;
+  LatencyRecorder miss_latency_;
+};
+
+}  // namespace madpipe::serve

@@ -5,8 +5,9 @@
 // table keeps entries inline in one flat power-of-two array with linear
 // probing, so a lookup is one mix of the key plus a short contiguous scan,
 // and insert-or-find is a single probe sequence. It is deliberately minimal:
-// 64-bit keys, trivially-copyable values, no deletion (the planner memo and
-// transition cache only ever grow), which keeps the table tombstone-free.
+// 64-bit keys, trivially-copyable values. Deletion (added for the serve
+// plan cache's LRU) uses backward-shift compaction instead of tombstones,
+// so probe sequences stay short no matter how many entries churn.
 //
 // One key value (~0, kEmptyKey) is reserved to mark empty slots; the DP's
 // packed states use at most 44 bits, so the sentinel is never a real key.
@@ -91,6 +92,37 @@ class FlatHash64 {
     slot->value = value;
     ++size_;
     return {&slot->value, true};
+  }
+
+  /// Remove `key` if present; returns whether an entry was removed.
+  /// Backward-shift deletion: entries displaced past the hole are slid back
+  /// toward their home slot, so the table never accumulates tombstones and
+  /// `find` keeps its no-deleted-marker probe loop. Invalidates pointers
+  /// previously returned by find/emplace.
+  bool erase(std::uint64_t key) noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+    while (slots_[i].key != key) {
+      if (slots_[i].key == kEmptyKey) return false;
+      i = (i + 1) & mask;
+    }
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      if (slots_[j].key == kEmptyKey) break;
+      const std::size_t home =
+          static_cast<std::size_t>(mix64(slots_[j].key)) & mask;
+      // Move slots_[j] into the hole at i only when its home position lies
+      // cyclically at-or-before i (otherwise the move would break the
+      // contiguous probe run between home and j).
+      if (((j - home) & mask) >= ((j - i) & mask)) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    slots_[i] = Slot{};
+    --size_;
+    return true;
   }
 
  private:

@@ -1,0 +1,148 @@
+// End-to-end exit-code tests for the `madpipe` binary. MADPIPE_CLI_BIN is
+// injected by the build (tests/CMakeLists.txt) and points at the real
+// executable; each test drives it through a shell like a user would.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "models/profile_io.hpp"
+#include "models/zoo.hpp"
+#include "util/json.hpp"
+
+namespace madpipe {
+namespace {
+
+/// Run the CLI with `arguments`, capture combined stdout+stderr, and return
+/// the process exit code (-1 if it did not exit normally).
+int run_cli(const std::string& arguments, std::string* output) {
+  const std::string command =
+      std::string(MADPIPE_CLI_BIN) + " " + arguments + " 2>&1";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  output->clear();
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output->append(buffer, n);
+  }
+  const int status = ::pclose(pipe);
+  if (status < 0 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+std::string write_tiny_profile() {
+  const Chain chain = make_uniform_chain(4, ms(2), ms(4), MB, 8 * MB, MB);
+  const std::string path = ::testing::TempDir() + "/cli_tiny.profile";
+  models::save_profile(chain, path);
+  return path;
+}
+
+TEST(Cli, VersionExitsZeroAndPrintsVersion) {
+  std::string output;
+  EXPECT_EQ(run_cli("--version", &output), 0);
+  EXPECT_NE(output.find("madpipe 0.3.0"), std::string::npos) << output;
+}
+
+TEST(Cli, NoArgumentsPrintsUsageAndExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_cli("", &output), 2);
+  EXPECT_NE(output.find("usage: madpipe"), std::string::npos) << output;
+  EXPECT_NE(output.find("serve"), std::string::npos) << output;  // documented
+}
+
+TEST(Cli, UnknownCommandExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_cli("frobnicate", &output), 2);
+  EXPECT_NE(output.find("unknown command frobnicate"), std::string::npos)
+      << output;
+}
+
+TEST(Cli, UnknownFlagExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_cli("plan whatever --bogus", &output), 2);
+  EXPECT_NE(output.find("unknown option --bogus"), std::string::npos)
+      << output;
+}
+
+TEST(Cli, MissingFlagValueExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_cli("plan whatever --gpus", &output), 2);
+  EXPECT_NE(output.find("missing value for --gpus"), std::string::npos)
+      << output;
+}
+
+TEST(Cli, MissingProfileFileExitsOne) {
+  std::string output;
+  EXPECT_EQ(run_cli("plan /nonexistent/definitely/missing.profile", &output),
+            1);
+  EXPECT_NE(output.find("error:"), std::string::npos) << output;
+}
+
+TEST(Cli, PlanOnTinyProfileSucceeds) {
+  const std::string profile = write_tiny_profile();
+  std::string output;
+  EXPECT_EQ(run_cli("plan " + profile + " --gpus 2 --memory-gb 2", &output),
+            0);
+  EXPECT_NE(output.find("period"), std::string::npos) << output;
+  std::remove(profile.c_str());
+}
+
+TEST(Cli, ServeBatchRoundTrip) {
+  const std::string profile = write_tiny_profile();
+  const std::string requests = ::testing::TempDir() + "/cli_requests.json";
+  {
+    std::ofstream out(requests);
+    out << R"({"requests":[
+      {"id":"a","profile_file":")" << profile << R"(","gpus":2,"memory_gb":2},
+      {"id":"b","profile_file":")" << profile << R"(","gpus":2,"memory_gb":2},
+      {"id":"bad","gpus":2,"memory_gb":2}
+    ]})";
+  }
+  std::string output;
+  ASSERT_EQ(run_cli("serve --requests " + requests + " --workers 1", &output),
+            0)
+      << output;
+  const json::ParseResult parsed = json::parse(output);
+  ASSERT_TRUE(parsed.ok()) << parsed.error << "\n" << output;
+  EXPECT_EQ(parsed.value.string_or("schema", ""), "madpipe-serve-v1");
+  const json::Value* responses = parsed.value.find("responses");
+  ASSERT_NE(responses, nullptr);
+  ASSERT_EQ(responses->items().size(), 3u);
+  EXPECT_EQ(responses->items()[0].string_or("status", ""), "ok");
+  EXPECT_EQ(responses->items()[1].string_or("status", ""), "ok");
+  EXPECT_EQ(responses->items()[2].string_or("status", ""), "error");
+  EXPECT_EQ(responses->items()[2].string_or("id", ""), "bad");
+  std::remove(requests.c_str());
+  std::remove(profile.c_str());
+}
+
+TEST(Cli, ServeStdinLoopAnswersLineByLine) {
+  const std::string profile = write_tiny_profile();
+  const std::string request = "{\"id\":\"s\",\"profile_file\":\"" + profile +
+                              "\",\"gpus\":2,\"memory_gb\":2}";
+  std::string output;
+  const std::string command = "printf '%s\\n' '" + request + "' | " +
+                              std::string(MADPIPE_CLI_BIN) + " serve --stdin";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, n);
+  }
+  const int status = ::pclose(pipe);
+  ASSERT_TRUE(status >= 0 && WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << output;
+  const json::ParseResult parsed = json::parse(output);
+  ASSERT_TRUE(parsed.ok()) << parsed.error << "\n" << output;
+  EXPECT_EQ(parsed.value.string_or("id", ""), "s");
+  EXPECT_EQ(parsed.value.string_or("status", ""), "ok");
+  std::remove(profile.c_str());
+}
+
+}  // namespace
+}  // namespace madpipe

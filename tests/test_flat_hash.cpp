@@ -111,5 +111,63 @@ TEST(FlatHash, AgreesWithUnorderedMapOnPseudoRandomWorkload) {
   }
 }
 
+TEST(FlatHash, EraseBasics) {
+  FlatHash64<int> table;
+  table.emplace(1, 10);
+  table.emplace(2, 20);
+  EXPECT_TRUE(table.erase(1));
+  EXPECT_EQ(table.find(1), nullptr);
+  EXPECT_FALSE(table.erase(1));  // already gone
+  EXPECT_FALSE(table.erase(99));
+  ASSERT_NE(table.find(2), nullptr);
+  EXPECT_EQ(*table.find(2), 20);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlatHash, EraseBackwardShiftPreservesProbeChains) {
+  // Dense clusters stress the backward-shift deletion: after erasing any
+  // element, every survivor must stay findable (no tombstones to hide it).
+  FlatHash64<std::uint64_t> table;
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 1; k <= 200; ++k) keys.push_back(k);
+  for (const std::uint64_t key : keys) table.emplace(key, key * 3);
+  for (std::size_t i = 0; i < keys.size(); i += 2) {
+    EXPECT_TRUE(table.erase(keys[i]));
+    // Every not-yet-erased key is still reachable through its probe chain.
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      ASSERT_NE(table.find(keys[j]), nullptr) << "lost key " << keys[j]
+                                              << " after erasing " << keys[i];
+    }
+  }
+}
+
+TEST(FlatHash, EraseAgreesWithUnorderedMapOnMixedWorkload) {
+  FlatHash64<std::uint64_t> table;
+  std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+  std::uint64_t state = 0xdeadbeefull;
+  for (int i = 0; i < 30'000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t key = state >> 52;  // tiny key space: heavy churn
+    if (key == FlatHash64<std::uint64_t>::kEmptyKey) continue;
+    const std::uint64_t op = (state >> 8) % 3;
+    if (op == 0) {
+      EXPECT_EQ(table.erase(key), oracle.erase(key) > 0) << "op " << i;
+    } else {
+      const auto [slot, inserted] = table.emplace(key, state);
+      const auto [it, oracle_inserted] = oracle.emplace(key, state);
+      EXPECT_EQ(inserted, oracle_inserted);
+      EXPECT_EQ(*slot, it->second);
+    }
+    if (i % 1000 == 0) {
+      ASSERT_EQ(table.size(), oracle.size()) << "op " << i;
+    }
+  }
+  EXPECT_EQ(table.size(), oracle.size());
+  for (const auto& [key, value] : oracle) {
+    ASSERT_NE(table.find(key), nullptr);
+    EXPECT_EQ(*table.find(key), value);
+  }
+}
+
 }  // namespace
 }  // namespace madpipe::util

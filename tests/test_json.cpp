@@ -104,5 +104,108 @@ TEST(Json, KeyOutsideObjectThrows) {
   EXPECT_THROW(w.key("nope"), ContractViolation);
 }
 
+// --- parser (added for the serve protocol) ---
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").value.is_null());
+  EXPECT_EQ(parse("true").value.as_bool(), true);
+  EXPECT_EQ(parse("false").value.as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("-12.5e2").value.as_number(), -1250.0);
+  EXPECT_EQ(parse("\"hi\"").value.as_string(), "hi");
+}
+
+TEST(JsonParse, StructuresAndLookups) {
+  const ParseResult result =
+      parse(R"({"a": 1, "b": [true, null, "x"], "c": {"d": 2}})");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Value& root = result.value;
+  EXPECT_DOUBLE_EQ(root.number_or("a", 0.0), 1.0);
+  const Value* b = root.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->items().size(), 3u);
+  EXPECT_EQ(b->items()[2].as_string(), "x");
+  const Value* c = root.find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->number_or("d", 0.0), 2.0);
+  EXPECT_EQ(root.find("missing"), nullptr);
+  EXPECT_EQ(root.string_or("missing", "dflt"), "dflt");
+}
+
+TEST(JsonParse, ObjectsPreserveInsertionOrder) {
+  const ParseResult result = parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(result.ok());
+  const auto& members = result.value.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes) {
+  const ParseResult result = parse(R"("a\"b\\c\nd\u00e9")");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value.as_string(), "a\"b\\c\nd\xc3\xa9");
+}
+
+TEST(JsonParse, WriterParserRoundTrip) {
+  Writer w;
+  w.begin_object();
+  w.key("period");
+  w.value(0.16630977777777778);
+  w.key("name");
+  w.value("a \"quoted\" name");
+  w.key("flags");
+  w.begin_array();
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  const ParseResult result = parse(w.str());
+  ASSERT_TRUE(result.ok()) << result.error;
+  // Doubles survive exactly: the writer emits shortest-round-trip literals.
+  EXPECT_EQ(result.value.number_or("period", 0.0), 0.16630977777777778);
+  EXPECT_EQ(result.value.string_or("name", ""), "a \"quoted\" name");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  const char* kBad[] = {
+      "",            "{",           "[1,]",        "{\"a\":}",
+      "{\"a\" 1}",   "{'a': 1}",    "01",          "1.",
+      "1e",          "nul",         "\"unterminated", "\"bad\\q\"",
+      "{\"a\":1,}",  "[1 2]",       "{\"a\":1}{",  "\"\\ud800\"",
+  };
+  for (const char* text : kBad) {
+    EXPECT_FALSE(parse(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+  const ParseResult result = parse(R"({"a": 1, "a": 2})");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("duplicate key"), std::string::npos);
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  const ParseResult result = parse("{} x");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("trailing"), std::string::npos);
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  const ParseResult result = parse(deep);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("nesting"), std::string::npos);
+}
+
+TEST(JsonParse, WrongAccessorThrows) {
+  const ParseResult result = parse("42");
+  ASSERT_TRUE(result.ok());
+  EXPECT_THROW(result.value.as_string(), ContractViolation);
+  EXPECT_THROW(result.value.items(), ContractViolation);
+}
+
 }  // namespace
 }  // namespace madpipe::json

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "core/memory_model.hpp"
 #include "util/expect.hpp"
@@ -172,6 +175,51 @@ TEST(MadPipeDP, DelayVariantsBothProduceValidAllocations) {
     const auto result = madpipe_dp(c, p, c.total_compute() / 3, options);
     EXPECT_TRUE(result.allocation.has_value());
   }
+}
+
+TEST(MadPipeDpBudget, ExhaustedBudgetWarnsOncePerEngineAcrossThreads) {
+  // Regression: the state-budget warning used to be a plain per-call bool,
+  // so concurrent probes (speculative bisection, serve workers) spammed one
+  // log line each. It is now a per-engine atomic once-guard: every result
+  // still reports state_budget_hit, but the process logs exactly once per
+  // engine no matter how many threads trip the valve at the same time.
+  const Chain c = make_uniform_chain(12, ms(2), ms(4), MB, 20 * MB, MB);
+  const Platform p{4, 2 * GB, 12 * GB};
+
+  for (const auto engine : {DpEngine::FlatIterative, DpEngine::ReferenceRecursive}) {
+    detail::reset_state_budget_warnings();
+    constexpr int kThreads = 8;
+    std::atomic<int> budget_hits{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        MadPipeDPOptions options = fine_grid();
+        options.engine = engine;
+        options.max_states = 1;  // guaranteed to trip immediately
+        const auto result = madpipe_dp(c, p, c.total_compute() / 4, options);
+        if (result.state_budget_hit) {
+          budget_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    // Every probe saw (and reported) the truncation...
+    EXPECT_EQ(budget_hits.load(), kThreads) << static_cast<int>(engine);
+    // ...but only one warning was emitted for the whole stampede.
+    EXPECT_EQ(detail::state_budget_warning_count(), 1)
+        << static_cast<int>(engine);
+  }
+
+  // The guard latches: a later hit on the same engine stays silent. (The
+  // Reference engine is the one whose guard is still armed — the loop above
+  // reset both guards before its Reference round.)
+  MadPipeDPOptions options = fine_grid();
+  options.engine = DpEngine::ReferenceRecursive;
+  options.max_states = 1;
+  const auto again = madpipe_dp(c, p, c.total_compute() / 4, options);
+  EXPECT_TRUE(again.state_budget_hit);
+  EXPECT_EQ(detail::state_budget_warning_count(), 1);
+  detail::reset_state_budget_warnings();
 }
 
 }  // namespace

@@ -100,5 +100,114 @@ TEST(ProfileIO, LoadRejectsMissingFile) {
                ContractViolation);
 }
 
+// --- non-throwing boundary API (added for the serve protocol) ---
+
+TEST(ProfileIO, TryParseSucceedsAndMatchesThrowingParser) {
+  const Chain original = make_uniform_chain(4, ms(1), ms(2), MB, 2 * MB, MB);
+  const std::string text = profile_to_string(original);
+  const ProfileParseResult result = try_profile_from_string(text);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(*result.chain, original);
+  EXPECT_EQ(*result.chain, profile_from_string(text));
+}
+
+struct BadProfileCase {
+  const char* name;
+  const char* text;
+  const char* error_fragment;
+};
+
+TEST(ProfileIO, TryParseTableOfBadInputs) {
+  const BadProfileCase kCases[] = {
+      {"empty", "", "empty document"},
+      {"comments only", "# nothing here\n  \n", "empty document"},
+      {"wrong magic", "madpipe-profile-v2\ninput_bytes 1\nlayer a 1 1 1 1\n",
+       "expected 'madpipe-profile-v1'"},
+      {"missing input_bytes", "madpipe-profile-v1\nlayer a 1 1 1 1\n",
+       "missing input_bytes"},
+      {"no layers", "madpipe-profile-v1\ninput_bytes 5\n",
+       "profile has no layers"},
+      {"truncated layer",
+       "madpipe-profile-v1\ninput_bytes 5\nlayer a 1 1 1\n", "layer needs"},
+      {"layer fields not numbers",
+       "madpipe-profile-v1\ninput_bytes 5\nlayer a one 1 1 1\n",
+       "layer needs"},
+      {"trailing field",
+       "madpipe-profile-v1\ninput_bytes 5\nlayer a 1 1 1 1 999\n",
+       "trailing field '999'"},
+      {"negative time",
+       "madpipe-profile-v1\ninput_bytes 5\nlayer a -1 1 1 1\n",
+       "non-negative"},
+      // Stream extraction may reject "inf" outright (then the record reads
+      // as truncated) or produce an infinity (then the finite check fires);
+      // either way it must be a clean "layer ..." error, never a crash.
+      {"non-finite bytes",
+       "madpipe-profile-v1\ninput_bytes 5\nlayer a 1 1 inf 1\n", "layer"},
+      {"negative input_bytes", "madpipe-profile-v1\ninput_bytes -2\n",
+       "input_bytes needs"},
+      {"non-finite input_bytes", "madpipe-profile-v1\ninput_bytes nan\n",
+       "input_bytes needs"},
+      {"duplicate layer id",
+       "madpipe-profile-v1\ninput_bytes 5\nlayer a 1 1 1 1\nlayer a 2 2 2 2\n",
+       "duplicate layer id 'a'"},
+      {"unknown keyword", "madpipe-profile-v1\nbatch 32\n",
+       "unknown keyword 'batch'"},
+      {"missing name value", "madpipe-profile-v1\nname\ninput_bytes 1\n",
+       "missing network name"},
+  };
+  for (const BadProfileCase& test_case : kCases) {
+    const ProfileParseResult result = try_profile_from_string(test_case.text);
+    EXPECT_FALSE(result.ok()) << test_case.name;
+    EXPECT_FALSE(result.chain.has_value()) << test_case.name;
+    EXPECT_NE(result.error.find(test_case.error_fragment), std::string::npos)
+        << test_case.name << ": got '" << result.error << "'";
+    // The throwing parser agrees, and its message matches.
+    try {
+      profile_from_string(test_case.text);
+      ADD_FAILURE() << test_case.name << ": throwing parser accepted it";
+    } catch (const ContractViolation& error) {
+      EXPECT_NE(std::string(error.what()).find(test_case.error_fragment),
+                std::string::npos)
+          << test_case.name;
+    }
+  }
+}
+
+TEST(ProfileIO, TryParseErrorsCarryLineNumbers) {
+  const ProfileParseResult result = try_profile_from_string(
+      "madpipe-profile-v1\ninput_bytes 5\nlayer a 1 1\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("line 3"), std::string::npos) << result.error;
+}
+
+TEST(ProfileIO, TryParseRejectsExcessiveLayerCount) {
+  std::string text = "madpipe-profile-v1\ninput_bytes 5\n";
+  for (int l = 0; l <= 65536; ++l) {
+    text += "layer l" + std::to_string(l) + " 1 1 1 1\n";
+  }
+  const ProfileParseResult result = try_profile_from_string(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("exceeds"), std::string::npos) << result.error;
+}
+
+TEST(ProfileIO, TryLoadReportsMissingFileAsError) {
+  const ProfileParseResult result =
+      try_load_profile("/nonexistent/definitely/missing.profile");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("cannot open"), std::string::npos)
+      << result.error;
+}
+
+TEST(ProfileIO, TryLoadRoundTrip) {
+  const Chain original =
+      make_uniform_chain(3, ms(1), ms(2), MB, 2 * MB, 3 * MB, "try-file");
+  const std::string path = ::testing::TempDir() + "/madpipe_try_profile.txt";
+  save_profile(original, path);
+  const ProfileParseResult result = try_load_profile(path);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(*result.chain, original);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace madpipe::models

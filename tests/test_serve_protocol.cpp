@@ -1,0 +1,182 @@
+// Serve protocol tests: strict request parsing (table-driven bad inputs),
+// batch shapes, and response serialization.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/profile_io.hpp"
+
+namespace madpipe::serve {
+namespace {
+
+std::string tiny_profile() {
+  const Chain chain = make_uniform_chain(4, ms(2), ms(4), MB, 8 * MB, MB);
+  return models::profile_to_string(chain);
+}
+
+/// Inline a profile as a JSON string literal (the writer escapes it).
+std::string profile_json_field() {
+  json::Writer w;
+  w.begin_object();
+  w.key("p");
+  w.value(tiny_profile());
+  w.end_object();
+  const std::string wrapped = w.str();
+  // strip {"p": ... } down to the value literal
+  return wrapped.substr(5, wrapped.size() - 6);
+}
+
+TEST(ServeProtocol, ParsesMinimalValidRequest) {
+  const std::string text = std::string("{\"id\":\"r1\",\"profile_text\":") +
+                           profile_json_field() +
+                           ",\"gpus\":2,\"memory_gb\":4}";
+  const BatchParse batch = parse_requests(text);
+  ASSERT_TRUE(batch.ok()) << batch.error;
+  ASSERT_EQ(batch.requests.size(), 1u);
+  const RequestParse& parse = batch.requests[0];
+  ASSERT_TRUE(parse.ok()) << parse.error;
+  EXPECT_EQ(parse.id, "r1");
+  EXPECT_EQ(parse.request->platform.processors, 2);
+  EXPECT_EQ(parse.request->platform.memory_per_processor, 4 * GB);
+  EXPECT_EQ(parse.request->chain.length(), 4);
+  EXPECT_EQ(parse.request->planner, PlannerKind::MadPipe);
+}
+
+TEST(ServeProtocol, ParsesNetworkSourceAndOptions) {
+  const std::string text =
+      R"({"requests":[{"id":"n","network":{"name":"resnet50","length":8},
+           "gpus":4,"memory_gb":8,"bandwidth_gbs":25,
+           "planner":"madpipe-contig","deadline_ms":150,
+           "options":{"iterations":6,"schedule_best_of":2}}]})";
+  const BatchParse batch = parse_requests(text);
+  ASSERT_TRUE(batch.ok()) << batch.error;
+  ASSERT_EQ(batch.requests.size(), 1u);
+  const RequestParse& parse = batch.requests[0];
+  ASSERT_TRUE(parse.ok()) << parse.error;
+  EXPECT_EQ(parse.request->chain.length(), 8);
+  EXPECT_EQ(parse.request->planner, PlannerKind::MadPipeContiguous);
+  EXPECT_DOUBLE_EQ(parse.request->deadline_seconds, 0.150);
+  EXPECT_EQ(parse.request->options.phase1.iterations, 6);
+  EXPECT_EQ(parse.request->options.schedule_best_of, 2);
+  EXPECT_DOUBLE_EQ(parse.request->platform.bandwidth, 25 * GB);
+}
+
+TEST(ServeProtocol, BareArrayAndSingleObjectShapes) {
+  const std::string single = std::string("{\"profile_text\":") +
+                             profile_json_field() +
+                             ",\"gpus\":2,\"memory_gb\":4}";
+  EXPECT_EQ(parse_requests(single).requests.size(), 1u);
+  const std::string array = "[" + single + "," + single + "]";
+  EXPECT_EQ(parse_requests(array).requests.size(), 2u);
+}
+
+struct BadRequestCase {
+  const char* name;
+  const char* json;
+  const char* error_fragment;
+};
+
+TEST(ServeProtocol, TableOfBadRequests) {
+  const BadRequestCase kCases[] = {
+      {"not json", "nope", "expected"},
+      {"not object or array", "42", "must be an object or array"},
+      {"missing source", R"({"gpus":2,"memory_gb":4})", "exactly one of"},
+      {"two sources",
+       R"({"profile_text":"x","network":{"name":"resnet50"},"gpus":2,"memory_gb":4})",
+       "exactly one of"},
+      {"unknown field",
+       R"({"network":{"name":"resnet50"},"gpus":2,"memory_gb":4,"bogus":1})",
+       "unknown request field 'bogus'"},
+      {"unknown network field",
+       R"({"network":{"name":"resnet50","qqq":1},"gpus":2,"memory_gb":4})",
+       "unknown network field 'qqq'"},
+      {"unknown network name",
+       R"({"network":{"name":"vgg"},"gpus":2,"memory_gb":4})",
+       "network build failed"},
+      {"bad profile text",
+       R"({"profile_text":"madpipe-profile bad","gpus":2,"memory_gb":4})",
+       "profile_text"},
+      {"missing gpus",
+       R"({"network":{"name":"resnet50"},"memory_gb":4})", "gpus"},
+      {"fractional gpus",
+       R"({"network":{"name":"resnet50"},"gpus":2.5,"memory_gb":4})", "gpus"},
+      {"negative memory",
+       R"({"network":{"name":"resnet50"},"gpus":2,"memory_gb":-1})",
+       "memory_gb"},
+      {"zero bandwidth",
+       R"({"network":{"name":"resnet50"},"gpus":2,"memory_gb":4,"bandwidth_gbs":0})",
+       "bandwidth_gbs"},
+      {"unknown planner",
+       R"({"network":{"name":"resnet50"},"gpus":2,"memory_gb":4,"planner":"pipedream2"})",
+       "unknown planner"},
+      {"negative deadline",
+       R"({"network":{"name":"resnet50"},"gpus":2,"memory_gb":4,"deadline_ms":-5})",
+       "deadline_ms"},
+      {"bad option",
+       R"({"network":{"name":"resnet50"},"gpus":2,"memory_gb":4,"options":{"iterations":0}})",
+       "iterations"},
+      {"unknown option",
+       R"({"network":{"name":"resnet50"},"gpus":2,"memory_gb":4,"options":{"engine":1}})",
+       "unknown options field"},
+      {"id wrong type",
+       R"({"id":7,"network":{"name":"resnet50"},"gpus":2,"memory_gb":4})",
+       "id must be a string"},
+  };
+  for (const BadRequestCase& test_case : kCases) {
+    const BatchParse batch = parse_requests(test_case.json);
+    std::string error = batch.error;
+    if (batch.ok()) {
+      ASSERT_EQ(batch.requests.size(), 1u) << test_case.name;
+      EXPECT_FALSE(batch.requests[0].ok()) << test_case.name;
+      error = batch.requests[0].error;
+    }
+    EXPECT_NE(error.find(test_case.error_fragment), std::string::npos)
+        << test_case.name << ": got '" << error << "'";
+  }
+}
+
+TEST(ServeProtocol, BadRequestInBatchDoesNotPoisonNeighbours) {
+  const std::string text = std::string("{\"requests\":[") +
+                           R"({"id":"bad","gpus":2,"memory_gb":4},)" +
+                           "{\"id\":\"good\",\"profile_text\":" +
+                           profile_json_field() +
+                           ",\"gpus\":2,\"memory_gb\":4}]}";
+  const BatchParse batch = parse_requests(text);
+  ASSERT_TRUE(batch.ok()) << batch.error;
+  ASSERT_EQ(batch.requests.size(), 2u);
+  EXPECT_FALSE(batch.requests[0].ok());
+  EXPECT_EQ(batch.requests[0].id, "bad");  // id echoed even on failure
+  EXPECT_TRUE(batch.requests[1].ok()) << batch.requests[1].error;
+}
+
+TEST(ServeProtocol, ResponseSerializationRoundTrips) {
+  PlanResponse response = error_response("r9", "boom");
+  response.latency_seconds = 0.002;
+  const std::string text = response_to_json(response);
+  const json::ParseResult parsed = json::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value.string_or("id", ""), "r9");
+  EXPECT_EQ(parsed.value.string_or("status", ""), "error");
+  EXPECT_EQ(parsed.value.string_or("cache", ""), "none");
+  EXPECT_EQ(parsed.value.string_or("error", ""), "boom");
+  EXPECT_DOUBLE_EQ(parsed.value.number_or("latency_ms", 0.0), 2.0);
+}
+
+TEST(ServeProtocol, BatchDocumentCarriesSchemaAndStats) {
+  const std::vector<PlanResponse> responses = {error_response("a", "x")};
+  ServeStats stats;
+  stats.requests = 5;
+  const std::string text = batch_to_json(responses, stats);
+  const json::ParseResult parsed = json::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value.string_or("schema", ""), kServeSchema);
+  const json::Value* list = parsed.value.find("responses");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->items().size(), 1u);
+  const json::Value* stats_value = parsed.value.find("stats");
+  ASSERT_NE(stats_value, nullptr);
+  EXPECT_DOUBLE_EQ(stats_value->number_or("requests", 0.0), 5.0);
+}
+
+}  // namespace
+}  // namespace madpipe::serve

@@ -1,0 +1,235 @@
+// PlanService end-to-end tests: golden bit-identity with direct planning,
+// cache hits that provably skip the DP, request coalescing, backpressure
+// rejection, deadline degradation, and clean shutdown under load.
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "madpipe/planner.hpp"
+
+namespace madpipe::serve {
+namespace {
+
+Chain ragged_chain(double time_factor = 1.0, double byte_factor = 1.0) {
+  std::vector<Layer> layers;
+  for (int l = 1; l <= 8; ++l) {
+    Layer layer;
+    layer.name = "l" + std::to_string(l);
+    layer.forward_time = ms(1.0 + 0.37 * l) * time_factor;
+    layer.backward_time = ms(2.0 + 0.61 * l) * time_factor;
+    layer.weight_bytes = (3.0 + l) * MB * byte_factor;
+    layer.output_bytes = (40.0 + 7.0 * l) * MB * byte_factor;
+    layers.push_back(layer);
+  }
+  return Chain("ragged", 25 * MB * byte_factor, std::move(layers));
+}
+
+MadPipeOptions quick_options() {
+  MadPipeOptions options;
+  options.phase1.dp.grid = Discretization::coarse();
+  return options;
+}
+
+PlanRequest make_request(const std::string& id, double time_factor = 1.0,
+                         double byte_factor = 1.0) {
+  return PlanRequest{id,
+                     ragged_chain(time_factor, byte_factor),
+                     Platform{4, 2 * GB * byte_factor,
+                              12 * GB * byte_factor / time_factor},
+                     PlannerKind::MadPipe,
+                     quick_options(),
+                     0.0};
+}
+
+TEST(ServeService, MissThenHitAreBitIdenticalToDirectPlanning) {
+  const PlanRequest request = make_request("golden");
+  const std::optional<Plan> direct =
+      plan_madpipe(request.chain, request.platform, quick_options());
+  ASSERT_TRUE(direct.has_value());
+
+  PlanService service;
+  const PlanResponse miss = service.plan(request);
+  EXPECT_EQ(miss.status, ResponseStatus::Ok);
+  EXPECT_EQ(miss.cache, CacheOutcome::Miss);
+  ASSERT_TRUE(miss.plan.has_value());
+  EXPECT_TRUE(plans_bit_identical(*miss.plan, *direct));
+
+  const PlanResponse hit = service.plan(request);
+  EXPECT_EQ(hit.status, ResponseStatus::Ok);
+  EXPECT_EQ(hit.cache, CacheOutcome::Hit);
+  ASSERT_TRUE(hit.plan.has_value());
+  EXPECT_TRUE(plans_bit_identical(*hit.plan, *direct));
+}
+
+TEST(ServeService, HitsAreServedWithoutRerunningTheDp) {
+  PlanService service;
+  const PlanRequest request = make_request("nodp");
+  const PlanResponse miss = service.plan(request);
+  ASSERT_TRUE(miss.plan.has_value());
+  const long long runs_after_miss = service.stats().planner_runs;
+  EXPECT_EQ(runs_after_miss, 1);
+  for (int i = 0; i < 10; ++i) {
+    const PlanResponse hit = service.plan(request);
+    EXPECT_EQ(hit.cache, CacheOutcome::Hit);
+    // PlannerStats probe counters of the served plan stay those of the one
+    // original run: nothing re-planned, re-probed or re-memoized.
+    ASSERT_TRUE(hit.plan.has_value());
+    EXPECT_EQ(hit.plan->stats.dp_probes, miss.plan->stats.dp_probes);
+    EXPECT_EQ(hit.plan->stats.dp_states, miss.plan->stats.dp_states);
+  }
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.planner_runs, 1);
+  EXPECT_EQ(stats.hits, 10);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(ServeService, Pow2RescaledRequestHitsAndMatchesDirectPlanning) {
+  PlanService service;
+  service.plan(make_request("base"));
+
+  const PlanRequest scaled = make_request("scaled", 16.0, 2.0);
+  const PlanResponse hit = service.plan(scaled);
+  EXPECT_EQ(hit.cache, CacheOutcome::Hit);
+  ASSERT_TRUE(hit.plan.has_value());
+
+  const std::optional<Plan> direct =
+      plan_madpipe(scaled.chain, scaled.platform, quick_options());
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_TRUE(plans_bit_identical(*hit.plan, *direct));
+
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.planner_runs, 1);
+  EXPECT_EQ(stats.scaled_hits, 1);
+}
+
+TEST(ServeService, IdenticalConcurrentRequestsCoalesceIntoOneRun) {
+  ServiceOptions options;
+  options.workers = 4;
+  PlanService service(options);
+  constexpr int kClients = 12;
+  const PlanRequest request = make_request("coalesce");
+  std::vector<std::future<PlanResponse>> futures;
+  futures.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) futures.push_back(service.submit(request));
+  std::optional<Plan> first;
+  int coalesced = 0;
+  for (std::future<PlanResponse>& future : futures) {
+    PlanResponse response = future.get();
+    EXPECT_EQ(response.status, ResponseStatus::Ok);
+    ASSERT_TRUE(response.plan.has_value());
+    if (!first.has_value()) first = *response.plan;
+    EXPECT_TRUE(plans_bit_identical(*response.plan, *first));
+    if (response.cache == CacheOutcome::Coalesced) ++coalesced;
+  }
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.planner_runs, 1);
+  EXPECT_EQ(stats.coalesced, coalesced);
+  EXPECT_EQ(stats.coalesced + stats.misses + stats.hits, kClients);
+}
+
+TEST(ServeService, FullQueueRejectsImmediately) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  PlanService service(options);
+  // Distinct requests (different gpu counts) so nothing coalesces; a single
+  // worker grinds through them while the queue backs up.
+  std::vector<std::future<PlanResponse>> futures;
+  for (int i = 0; i < 12; ++i) {
+    PlanRequest request = make_request("load" + std::to_string(i));
+    request.platform.memory_per_processor = (2.0 + 0.125 * i) * GB;
+    futures.push_back(service.submit(std::move(request)));
+  }
+  int rejected = 0;
+  for (std::future<PlanResponse>& future : futures) {
+    const PlanResponse response = future.get();
+    if (response.status == ResponseStatus::Rejected) {
+      ++rejected;
+      EXPECT_FALSE(response.plan.has_value());
+      EXPECT_FALSE(response.error.empty());
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(service.stats().rejected, rejected);
+}
+
+TEST(ServeService, PastDeadlineDegradesInsteadOfStalling) {
+  ServiceOptions options;
+  options.workers = 1;
+  // An expired deadline clamps every probe to the floor budget; a floor of
+  // one state guarantees the valve fires.
+  options.min_state_budget = 1;
+  options.states_per_second = 1.0;
+  PlanService service(options);
+  PlanRequest request = make_request("late");
+  request.deadline_seconds = 1e-9;  // effectively already over
+  const PlanResponse response = service.plan(request);
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(service.stats().degraded, 1);
+
+  // Degraded results are not cached: a healthy follow-up re-plans fully and
+  // the full-fidelity result is bit-identical to direct planning.
+  PlanRequest healthy = make_request("ontime");
+  const PlanResponse full = service.plan(healthy);
+  EXPECT_EQ(full.cache, CacheOutcome::Miss);
+  EXPECT_FALSE(full.degraded);
+  ASSERT_TRUE(full.plan.has_value());
+  const std::optional<Plan> direct =
+      plan_madpipe(healthy.chain, healthy.platform, quick_options());
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_TRUE(plans_bit_identical(*full.plan, *direct));
+  EXPECT_EQ(service.stats().planner_runs, 2);
+}
+
+TEST(ServeService, InfeasibleRequestsAreNegativelyCached) {
+  PlanService service;
+  PlanRequest request = make_request("hopeless");
+  request.platform.memory_per_processor = MB;  // nothing fits
+  const PlanResponse miss = service.plan(request);
+  EXPECT_EQ(miss.status, ResponseStatus::Infeasible);
+  EXPECT_FALSE(miss.plan.has_value());
+  const PlanResponse hit = service.plan(request);
+  EXPECT_EQ(hit.status, ResponseStatus::Infeasible);
+  EXPECT_EQ(hit.cache, CacheOutcome::Hit);
+  EXPECT_EQ(service.stats().planner_runs, 1);
+}
+
+TEST(ServeService, DestructorDrainsAcceptedWork) {
+  std::vector<std::future<PlanResponse>> futures;
+  {
+    ServiceOptions options;
+    options.workers = 2;
+    PlanService service(options);
+    for (int i = 0; i < 6; ++i) {
+      PlanRequest request = make_request("drain" + std::to_string(i));
+      request.platform.memory_per_processor = (2.0 + 0.25 * i) * GB;
+      futures.push_back(service.submit(std::move(request)));
+    }
+    // Service destroyed here with work still queued.
+  }
+  for (std::future<PlanResponse>& future : futures) {
+    const PlanResponse response = future.get();  // must not hang or throw
+    EXPECT_NE(response.status, ResponseStatus::Error);
+  }
+}
+
+TEST(ServeService, StatsSnapshotIsCoherent) {
+  PlanService service;
+  const PlanRequest request = make_request("stats");
+  service.plan(request);
+  service.plan(request);
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.hits + stats.misses + stats.coalesced + stats.rejected, 2);
+  EXPECT_EQ(stats.cache_entries, 1);
+  EXPECT_GT(stats.cache_bytes, 0);
+  EXPECT_GT(stats.miss_p50_seconds, 0.0);
+  EXPECT_GT(stats.hit_p50_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace madpipe::serve

@@ -1,10 +1,16 @@
 #!/usr/bin/env python3
-"""Validate a bench_planner JSON document (schema madpipe-bench-planner-v1).
+"""Validate a bench JSON document, dispatching on its "schema" field.
 
-Checks the structural schema — required keys, types, sane values — and,
-with --reference, that every workload present in both files achieved the
-same period and allocation fingerprint as the committed reference (the
-fast path must be a pure speedup, never a result change).
+Supported schemas:
+  * madpipe-bench-planner-v1 (bench_planner): structural checks and, with
+    --reference, that every shared workload achieved the same period and
+    allocation fingerprint as the committed baseline (the fast path must
+    be a pure speedup, never a result change).
+  * madpipe-bench-serve-v1 (bench_serve): every equivalence record must be
+    bit-identical to direct planning, coalescing must collapse to a single
+    planner run, and the cache-hit speedup must stay above the 100x floor;
+    --reference additionally pins the equivalence periods/allocations to
+    the committed baseline.
 
 Stdlib only; exits non-zero with a message on the first violation.
 """
@@ -14,7 +20,12 @@ import json
 import math
 import sys
 
-SCHEMA = "madpipe-bench-planner-v1"
+PLANNER_SCHEMA = "madpipe-bench-planner-v1"
+SERVE_SCHEMA = "madpipe-bench-serve-v1"
+
+# ISSUE acceptance floor: a cache hit must be at least this much faster than
+# a cold plan of the same request.
+SERVE_MIN_HIT_SPEEDUP = 100.0
 
 WORKLOAD_FIELDS = {
     "name": str,
@@ -65,9 +76,10 @@ def check_fields(obj, fields, where):
             fail(f"{where}: key '{key}' has type {type(value).__name__}")
 
 
-def check_document(doc, path):
-    if doc.get("schema") != SCHEMA:
-        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+def check_planner_document(doc, path):
+    if doc.get("schema") != PLANNER_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             f"expected {PLANNER_SCHEMA!r}")
     if not isinstance(doc.get("planner_stats_instrumented"), bool):
         fail(f"{path}: planner_stats_instrumented must be a bool")
     workloads = doc.get("workloads")
@@ -95,7 +107,7 @@ def check_document(doc, path):
     return {record["name"]: record for record in workloads}
 
 
-def check_reference(current, reference):
+def check_planner_reference(current, reference):
     shared = sorted(set(current) & set(reference))
     if not shared:
         fail("no workloads shared with the reference file")
@@ -116,21 +128,143 @@ def check_reference(current, reference):
           "(periods and allocations identical)")
 
 
+SERVE_EQUIVALENCE_FIELDS = {
+    "name": str,
+    "cache": str,
+    "identical": bool,
+    "serve_period": (int, float),
+    "direct_period": (int, float),
+    "serve_allocation": str,
+    "direct_allocation": str,
+}
+
+SERVE_SUMMARY_FIELDS = {
+    "cold_plan_seconds": (int, float),
+    "serve_miss_seconds": (int, float),
+    "hit_p50_seconds": (int, float),
+    "hit_p99_seconds": (int, float),
+    "hit_speedup": (int, float),
+}
+
+SERVE_STATS_FIELDS = {
+    "requests": int,
+    "hits": int,
+    "scaled_hits": int,
+    "misses": int,
+    "coalesced": int,
+    "rejected": int,
+    "degraded": int,
+    "errors": int,
+    "planner_runs": int,
+    "evictions": int,
+    "expirations": int,
+    "key_collisions": int,
+    "cache_entries": int,
+    "cache_bytes": int,
+}
+
+
+def check_serve_document(doc, path):
+    if doc.get("schema") != SERVE_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             f"expected {SERVE_SCHEMA!r}")
+    equivalence = doc.get("equivalence")
+    if not isinstance(equivalence, list) or not equivalence:
+        fail(f"{path}: equivalence must be a non-empty array")
+    for record in equivalence:
+        where = f"{path}: equivalence {record.get('name', '?')!r}"
+        check_fields(record, SERVE_EQUIVALENCE_FIELDS, where)
+        if not record["identical"]:
+            fail(f"{where}: served plan differs from direct planning")
+        if record["serve_period"] != record["direct_period"]:
+            fail(f"{where}: periods differ despite identical=true")
+        if record["serve_allocation"] != record["direct_allocation"]:
+            fail(f"{where}: allocations differ despite identical=true")
+    names = [record["name"] for record in equivalence]
+    if len(set(names)) != len(names):
+        fail(f"{path}: duplicate equivalence record names")
+
+    coalesce = doc.get("coalesce")
+    if not isinstance(coalesce, dict):
+        fail(f"{path}: missing coalesce block")
+    check_fields(coalesce, {"clients": int, "planner_runs": int,
+                            "coalesced": int}, f"{path}: coalesce")
+    if coalesce["planner_runs"] != 1:
+        fail(f"{path}: coalesce ran the planner {coalesce['planner_runs']} "
+             "times; identical concurrent requests must collapse to 1")
+    if coalesce["coalesced"] != coalesce["clients"] - 1:
+        fail(f"{path}: {coalesce['clients']} clients should report "
+             f"{coalesce['clients'] - 1} coalesced, "
+             f"got {coalesce['coalesced']}")
+
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        fail(f"{path}: missing summary block")
+    check_fields(summary, SERVE_SUMMARY_FIELDS, f"{path}: summary")
+    for key in SERVE_SUMMARY_FIELDS:
+        if not (summary[key] > 0 and math.isfinite(summary[key])):
+            fail(f"{path}: summary {key} must be positive and finite")
+    # Smoke runs still must clear the floor: a hit is a lookup, not a plan.
+    if summary["hit_speedup"] < SERVE_MIN_HIT_SPEEDUP:
+        fail(f"{path}: hit_speedup {summary['hit_speedup']:.1f} is below "
+             f"the {SERVE_MIN_HIT_SPEEDUP:.0f}x floor")
+
+    stats = doc.get("stats")
+    if not isinstance(stats, dict):
+        fail(f"{path}: missing stats block")
+    check_fields(stats, SERVE_STATS_FIELDS, f"{path}: stats")
+    if stats["errors"] != 0:
+        fail(f"{path}: serve reported {stats['errors']} errors")
+    return {record["name"]: record for record in equivalence}
+
+
+def check_serve_reference(current, reference):
+    shared = sorted(set(current) & set(reference))
+    if not shared:
+        fail("no equivalence records shared with the reference file")
+    for name in shared:
+        cur, ref = current[name], reference[name]
+        if cur["serve_period"] != ref["serve_period"]:
+            fail(f"{name}: period {cur['serve_period']!r} != reference "
+                 f"{ref['serve_period']!r} (results must be bit-identical)")
+        if cur["serve_allocation"] != ref["serve_allocation"]:
+            fail(f"{name}: allocation {cur['serve_allocation']!r} != "
+                 f"reference {ref['serve_allocation']!r}")
+    print(f"check_bench_schema: {len(shared)} equivalence records match the "
+          "reference (periods and allocations identical)")
+
+
+CHECKERS = {
+    PLANNER_SCHEMA: (check_planner_document, check_planner_reference),
+    SERVE_SCHEMA: (check_serve_document, check_serve_reference),
+}
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("bench_json", help="bench_planner output to validate")
+    parser.add_argument("bench_json", help="bench output to validate")
     parser.add_argument("--reference",
                         help="committed baseline to compare results against")
     args = parser.parse_args()
 
     with open(args.bench_json) as handle:
-        current = check_document(json.load(handle), args.bench_json)
-    print(f"check_bench_schema: {args.bench_json}: schema OK "
-          f"({len(current)} workloads)")
+        doc = json.load(handle)
+    schema = doc.get("schema")
+    if schema not in CHECKERS:
+        fail(f"{args.bench_json}: unknown schema {schema!r} "
+             f"(known: {sorted(CHECKERS)})")
+    check_document, check_reference = CHECKERS[schema]
+    current = check_document(doc, args.bench_json)
+    print(f"check_bench_schema: {args.bench_json}: {schema} OK "
+          f"({len(current)} records)")
 
     if args.reference:
         with open(args.reference) as handle:
-            reference = check_document(json.load(handle), args.reference)
+            ref_doc = json.load(handle)
+        if ref_doc.get("schema") != schema:
+            fail(f"{args.reference}: reference schema "
+                 f"{ref_doc.get('schema')!r} does not match {schema!r}")
+        reference = check_document(ref_doc, args.reference)
         check_reference(current, reference)
 
 

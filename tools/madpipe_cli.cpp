@@ -28,10 +28,26 @@
 //       Run the full MadPipe planner and print the hot-path counters: DP
 //       states and memo/transition-cache behaviour, bisection probes
 //       (speculative ones included), and per-phase wall time.
+//
+//   madpipe serve [--requests FILE] [-o FILE] [--workers N] [--queue N]
+//                 [--shards N] [--cache-mb X] [--ttl-s X] [--deadline-ms X]
+//                 [--repeat N] [--stats] [--stdin]
+//       Serve planning requests through the cached, deadline-aware
+//       PlanService. Batch mode reads one JSON request document (see
+//       src/serve/protocol.hpp) from --requests (or stdin when the path is
+//       "-") and writes the batch response document; --repeat resubmits the
+//       batch N times so cache hits are observable in the stats block.
+//       --stdin switches to a line loop: each input line is one request
+//       document, each output line the matching response.
+//
+//   madpipe --version
+//       Print the version and exit.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,6 +62,8 @@
 #include "pipedream/pipedream.hpp"
 #include "schedule/gpipe.hpp"
 #include "schedule/recompute.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/trace.hpp"
 #include "util/format.hpp"
@@ -53,6 +71,8 @@
 using namespace madpipe;
 
 namespace {
+
+constexpr const char kVersion[] = "0.3.0";
 
 struct Args {
   std::vector<std::string> positional;
@@ -69,13 +89,24 @@ struct Args {
   std::string output;
   std::string json_path;
   std::string trace_path;
+  // serve
+  std::string requests_path;
+  int workers = 2;
+  int queue = 64;
+  int shards = 8;
+  double cache_mb = 64.0;
+  double ttl_s = 0.0;
+  double deadline_ms = 0.0;
+  int repeat = 1;
+  bool serve_stats = false;
+  bool stdin_loop = false;
 };
 
 [[noreturn]] void usage(const char* message = nullptr) {
   if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
   std::fprintf(stderr,
-               "usage: madpipe <profile|plan|simulate|hybrid|solver|planner> "
-               "...\n"
+               "usage: madpipe "
+               "<profile|plan|simulate|hybrid|solver|planner|serve> ...\n"
                "  profile <network> [-o FILE] [--image N] [--batch N] "
                "[--length N]\n"
                "  plan <profile> [--planner NAME] [--gpus N] [--memory-gb X]\n"
@@ -84,7 +115,13 @@ struct Args {
                "  hybrid <profile> [--gpus N] [--memory-gb X] "
                "[--bandwidth-gbs X]\n"
                "  solver <profile> [--slack X] [plan options]\n"
-               "  planner <profile> [--speculation W] [plan options]\n");
+               "  planner <profile> [--speculation W] [plan options]\n"
+               "  serve [--requests FILE] [-o FILE] [--workers N] [--queue N]"
+               "\n"
+               "        [--shards N] [--cache-mb X] [--ttl-s X] "
+               "[--deadline-ms X]\n"
+               "        [--repeat N] [--stats] [--stdin]\n"
+               "  --version\n");
   std::exit(2);
 }
 
@@ -116,6 +153,26 @@ Args parse(int argc, char** argv) {
       args.slack = std::atof(next_value().c_str());
     } else if (arg == "--speculation") {
       args.speculation = std::atoi(next_value().c_str());
+    } else if (arg == "--requests") {
+      args.requests_path = next_value();
+    } else if (arg == "--workers") {
+      args.workers = std::atoi(next_value().c_str());
+    } else if (arg == "--queue") {
+      args.queue = std::atoi(next_value().c_str());
+    } else if (arg == "--shards") {
+      args.shards = std::atoi(next_value().c_str());
+    } else if (arg == "--cache-mb") {
+      args.cache_mb = std::atof(next_value().c_str());
+    } else if (arg == "--ttl-s") {
+      args.ttl_s = std::atof(next_value().c_str());
+    } else if (arg == "--deadline-ms") {
+      args.deadline_ms = std::atof(next_value().c_str());
+    } else if (arg == "--repeat") {
+      args.repeat = std::atoi(next_value().c_str());
+    } else if (arg == "--stats") {
+      args.serve_stats = true;
+    } else if (arg == "--stdin") {
+      args.stdin_loop = true;
     } else if (arg == "-o" || arg == "--output") {
       args.output = next_value();
     } else if (arg == "--json") {
@@ -346,11 +403,131 @@ int cmd_hybrid(const Args& args) {
   return 0;
 }
 
+serve::ServiceOptions serve_options(const Args& args) {
+  serve::ServiceOptions options;
+  if (args.workers < 0) usage("--workers must be >= 0");
+  if (args.queue < 1) usage("--queue must be >= 1");
+  if (args.shards < 1) usage("--shards must be >= 1");
+  options.workers = static_cast<std::size_t>(args.workers);
+  options.queue_capacity = static_cast<std::size_t>(args.queue);
+  options.cache.shards = static_cast<std::size_t>(args.shards);
+  options.cache.byte_budget = static_cast<std::size_t>(args.cache_mb * MB);
+  options.cache.ttl_seconds = args.ttl_s;
+  options.default_deadline_seconds = args.deadline_ms * 1e-3;
+  return options;
+}
+
+/// Parse one request document, run it through the service, return the
+/// responses in request order (parse failures become error responses).
+std::vector<serve::PlanResponse> serve_document(serve::PlanService& service,
+                                                const std::string& text,
+                                                std::string* document_error) {
+  std::vector<serve::PlanResponse> responses;
+  serve::BatchParse batch = serve::parse_requests(text);
+  if (!batch.ok()) {
+    *document_error = batch.error;
+    return responses;
+  }
+  std::vector<std::optional<std::future<serve::PlanResponse>>> futures;
+  futures.reserve(batch.requests.size());
+  for (serve::RequestParse& request : batch.requests) {
+    if (request.ok()) {
+      futures.push_back(service.submit(std::move(*request.request)));
+    } else {
+      futures.push_back(std::nullopt);
+    }
+  }
+  responses.reserve(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    responses.push_back(futures[i].has_value()
+                            ? futures[i]->get()
+                            : serve::error_response(batch.requests[i].id,
+                                                    batch.requests[i].error));
+  }
+  return responses;
+}
+
+int cmd_serve(const Args& args) {
+  serve::PlanService service(serve_options(args));
+
+  if (args.stdin_loop) {
+    // Line loop: one request document in, one response document out.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      std::string document_error;
+      const std::vector<serve::PlanResponse> responses =
+          serve_document(service, line, &document_error);
+      if (!document_error.empty()) {
+        std::printf("%s\n",
+                    serve::response_to_json(
+                        serve::error_response("", document_error))
+                        .c_str());
+      } else if (responses.size() == 1) {
+        std::printf("%s\n",
+                    serve::response_to_json(responses[0], args.serve_stats)
+                        .c_str());
+      } else {
+        std::printf("%s\n",
+                    serve::batch_to_json(responses, service.stats(),
+                                         args.serve_stats)
+                        .c_str());
+      }
+      std::fflush(stdout);
+    }
+    return 0;
+  }
+
+  std::string requests_path = args.requests_path;
+  if (requests_path.empty() && !args.positional.empty())
+    requests_path = args.positional[0];
+  if (requests_path.empty())
+    usage("serve needs --requests FILE (or \"-\" for stdin), or --stdin");
+  std::string text;
+  if (requests_path == "-") {
+    text.assign(std::istreambuf_iterator<char>(std::cin),
+                std::istreambuf_iterator<char>());
+  } else {
+    std::ifstream in(requests_path);
+    if (!in.good()) {
+      std::fprintf(stderr, "error: cannot read %s\n", requests_path.c_str());
+      return 1;
+    }
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+
+  if (args.repeat < 1) usage("--repeat must be >= 1");
+  std::vector<serve::PlanResponse> responses;
+  for (int round = 0; round < args.repeat; ++round) {
+    std::string document_error;
+    responses = serve_document(service, text, &document_error);
+    if (!document_error.empty()) {
+      std::fprintf(stderr, "error: %s\n", document_error.c_str());
+      return 1;
+    }
+  }
+  const std::string output =
+      serve::batch_to_json(responses, service.stats(), args.serve_stats);
+  if (args.output.empty()) {
+    std::printf("%s\n", output.c_str());
+  } else {
+    write_file(args.output, output);
+    std::fprintf(stderr, "wrote %s (%zu responses)\n", args.output.c_str(),
+                 responses.size());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "version") {
+    std::printf("madpipe %s\n", kVersion);
+    return 0;
+  }
   try {
     const Args args = parse(argc, argv);
     if (command == "profile") return cmd_profile(args);
@@ -359,6 +536,7 @@ int main(int argc, char** argv) {
     if (command == "hybrid") return cmd_hybrid(args);
     if (command == "solver") return cmd_solver(args);
     if (command == "planner") return cmd_planner(args);
+    if (command == "serve") return cmd_serve(args);
     usage(("unknown command " + command).c_str());
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
