@@ -6,17 +6,31 @@
 // carry the achieved periods and an allocation fingerprint, so seed/fast-path
 // equivalence can be checked by diffing two JSON files.
 //
-//   bench_planner [-o FILE] [--smoke]   (default: BENCH_planner.json;
-//                                        --smoke = 1 repeat per workload)
+//   bench_planner [-o FILE] [--smoke] [--baseline FILE] [--min-seconds X]
+//                 [--best-of N] [--trace-out FILE] [--metrics-out FILE]
+//       (default output BENCH_planner.json; --smoke = 1 repeat per
+//       workload). --baseline compares per-solve timings against a prior
+//       BENCH_planner.json and records the ratios — the guard that keeping
+//       obs::Span instrumentation permanently in the hot paths costs < 2%
+//       when no sink is installed. --best-of N repeats each measurement
+//       window N times and keeps the fastest (min-of-N is robust to
+//       scheduler noise that swamps a single pass). The measured per-span
+//       costs land in the "observability" block either way.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <iterator>
+#include <map>
 #include <string>
 #include <vector>
+
+#include <algorithm>
 
 #include "common.hpp"
 #include "madpipe/planner.hpp"
 #include "models/zoo.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -60,10 +74,38 @@ struct WorkloadRecord {
   double phase1_period = 0.0;
   std::string allocation;
   long long dp_states = 0;
+  long long spans = -1;  ///< spans emitted by one solve (-1 = not counted)
 #if defined(MADPIPE_PLANNER_STATS)
   madpipe::PlannerStats stats;
 #endif
 };
+
+/// per_solve_seconds by workload name from a prior BENCH_planner.json, for
+/// the --baseline regression ratios. Missing file or fields → empty map.
+std::map<std::string, double> load_baseline(const std::string& path) {
+  std::map<std::string, double> baseline;
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "warning: cannot read baseline %s\n", path.c_str());
+    return baseline;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const json::ParseResult parsed = json::parse(text);
+  if (!parsed.ok() || !parsed.value.is_object()) return baseline;
+  const json::Value* workloads = parsed.value.find("workloads");
+  if (workloads == nullptr || !workloads->is_array()) return baseline;
+  for (const json::Value& record : workloads->items()) {
+    if (!record.is_object()) continue;
+    const json::Value* name = record.find("name");
+    const json::Value* seconds = record.find("per_solve_seconds");
+    if (name != nullptr && name->is_string() && seconds != nullptr &&
+        seconds->is_number()) {
+      baseline[name->as_string()] = seconds->as_number();
+    }
+  }
+  return baseline;
+}
 
 void print_record(const WorkloadRecord& record) {
   std::printf("%-28s %9.3f ms/solve  %s", record.name.c_str(),
@@ -78,19 +120,48 @@ void print_record(const WorkloadRecord& record) {
   std::printf("\n");
 }
 
-/// Run `body` repeatedly (at least once) until `min_seconds` elapse and fill
-/// the timing fields of `record`.
+/// Measurement passes per workload; the record keeps the *fastest* pass
+/// (min-of-N is robust to scheduler noise where a mean is not — see
+/// --best-of).
+int g_best_of = 1;
+
+/// Run `body` repeatedly (at least once) until `min_seconds` elapse; repeat
+/// that whole window `g_best_of` times and keep the fastest pass's timing
+/// fields in `record`.
 template <typename Body>
 void time_workload(WorkloadRecord& record, double min_seconds,
                    const Body& body) {
-  const Clock::time_point start = Clock::now();
-  do {
-    body();
-    ++record.repeats;
-  } while (seconds_since(start) < min_seconds);
-  record.wall_seconds = seconds_since(start);
-  record.per_solve_seconds =
-      record.wall_seconds / static_cast<double>(record.repeats);
+  for (int pass = 0; pass < g_best_of; ++pass) {
+    long long repeats = 0;
+    const Clock::time_point start = Clock::now();
+    do {
+      body();
+      ++repeats;
+    } while (seconds_since(start) < min_seconds);
+    const double wall = seconds_since(start);
+    const double per_solve = wall / static_cast<double>(repeats);
+    if (pass == 0 || per_solve < record.per_solve_seconds) {
+      record.per_solve_seconds = per_solve;
+      record.wall_seconds = wall;
+      record.repeats = repeats;
+    }
+  }
+}
+
+/// One traced run of `body`: arms a throwaway sink, counts the spans the
+/// solve emits, disarms. That count × the measured disabled-span cost is a
+/// noise-free bound on what the permanent instrumentation costs a no-sink
+/// solve (wall-clock A/B ratios swing ±10% on shared machines; this
+/// doesn't). Returns -1 (skip) when a real --trace-out sink is armed —
+/// draining would steal its events.
+template <typename Body>
+long long count_spans(const Body& body) {
+  if (obs::trace_enabled()) return -1;
+  obs::install_trace(1 << 16);
+  body();
+  const long long count = static_cast<long long>(obs::drain_trace().size());
+  obs::uninstall_trace();
+  return count;
 }
 
 WorkloadRecord bench_plan(const std::string& name, const Chain& chain,
@@ -101,6 +172,8 @@ WorkloadRecord bench_plan(const std::string& name, const Chain& chain,
   std::optional<Plan> last;
   time_workload(record, min_seconds,
                 [&] { last = plan_madpipe(chain, platform, options); });
+  record.spans =
+      count_spans([&] { last = plan_madpipe(chain, platform, options); });
   if (last.has_value()) {
     record.feasible = true;
     record.period = last->period();
@@ -123,6 +196,8 @@ WorkloadRecord bench_phase1(const std::string& name, const Chain& chain,
   Phase1Result last;
   time_workload(record, min_seconds,
                 [&] { last = madpipe_phase1(chain, platform, options); });
+  record.spans =
+      count_spans([&] { last = madpipe_phase1(chain, platform, options); });
   if (last.feasible()) {
     record.feasible = true;
     record.period = last.period;
@@ -146,6 +221,8 @@ WorkloadRecord bench_dp_probe(const std::string& name, const Chain& chain,
   MadPipeDPResult last;
   time_workload(record, min_seconds,
                 [&] { last = madpipe_dp(chain, platform, target, options); });
+  record.spans = count_spans(
+      [&] { last = madpipe_dp(chain, platform, target, options); });
   record.dp_states = static_cast<long long>(last.states_visited);
   if (last.allocation.has_value()) {
     record.feasible = true;
@@ -161,7 +238,9 @@ WorkloadRecord bench_dp_probe(const std::string& name, const Chain& chain,
 }
 
 void write_json(const std::string& path,
-                const std::vector<WorkloadRecord>& records) {
+                const std::vector<WorkloadRecord>& records,
+                const bench::SpanOverhead& overhead, bool trace_armed,
+                const std::map<std::string, double>& baseline) {
   json::Writer w;
   w.begin_object();
   w.key("schema");
@@ -172,6 +251,21 @@ void write_json(const std::string& path,
 #else
   w.value(false);
 #endif
+  w.key("observability");
+  w.begin_object();
+  w.key("span_overhead_disabled_ns"); w.value(overhead.disabled_ns);
+  w.key("span_overhead_enabled_ns"); w.value(overhead.enabled_ns);
+  w.key("trace_armed_during_timing"); w.value(trace_armed);
+  if (!baseline.empty()) {
+    double worst = 0.0;
+    for (const WorkloadRecord& record : records) {
+      const auto it = baseline.find(record.name);
+      if (it == baseline.end() || it->second <= 0.0) continue;
+      worst = std::max(worst, record.per_solve_seconds / it->second - 1.0);
+    }
+    w.key("max_regression_vs_baseline"); w.value(worst);
+  }
+  w.end_object();
   w.key("workloads");
   w.begin_array();
   for (const WorkloadRecord& record : records) {
@@ -185,6 +279,20 @@ void write_json(const std::string& path,
     w.key("phase1_period"); w.value(record.phase1_period);
     w.key("allocation"); w.value(record.allocation);
     w.key("dp_states"); w.value(record.dp_states);
+    if (record.spans >= 0 && record.per_solve_seconds > 0.0) {
+      w.key("spans_per_solve"); w.value(record.spans);
+      // The provable no-sink instrumentation cost of this workload: spans
+      // emitted x measured disabled-span cost, as a fraction of the solve.
+      w.key("span_cost_fraction");
+      w.value(static_cast<double>(record.spans) * overhead.disabled_ns *
+              1e-9 / record.per_solve_seconds);
+    }
+    if (const auto it = baseline.find(record.name);
+        it != baseline.end() && it->second > 0.0) {
+      w.key("baseline_per_solve_seconds"); w.value(it->second);
+      w.key("vs_baseline");
+      w.value(record.per_solve_seconds / it->second);
+    }
 #if defined(MADPIPE_PLANNER_STATS)
     w.key("stats");
     record.stats.write_json(w);
@@ -202,13 +310,29 @@ void write_json(const std::string& path,
 
 int main(int argc, char** argv) {
   std::string output = "BENCH_planner.json";
+  std::string baseline_path;
+  double min_seconds_arg = 1.0;
   bool smoke = false;
+  bench::ObsSinkArgs sinks;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (sinks.parse(argc, argv, &i)) continue;
     if (arg == "-o" && i + 1 < argc) output = argv[++i];
+    if (arg == "--baseline" && i + 1 < argc) baseline_path = argv[++i];
+    if (arg == "--min-seconds" && i + 1 < argc)
+      min_seconds_arg = std::atof(argv[++i]);
+    if (arg == "--best-of" && i + 1 < argc)
+      g_best_of = std::max(1, std::atoi(argv[++i]));
     if (arg == "--smoke") smoke = true;
   }
-  const double min_seconds = smoke ? 0.0 : 1.0;
+  const double min_seconds = smoke ? 0.0 : min_seconds_arg;
+
+  // Span overhead first: it cycles the trace sink, which would clear any
+  // events the workloads buffer.
+  const bench::SpanOverhead overhead = bench::measure_span_overhead();
+  std::printf("span overhead: %.2f ns disabled, %.1f ns enabled\n",
+              overhead.disabled_ns, overhead.enabled_ns);
+  sinks.install();
 
   // The CLI's planning configuration: paper grids, default phase-2 budgets.
   MadPipeOptions plan_options;
@@ -234,6 +358,10 @@ int main(int argc, char** argv) {
   records.push_back(bench_dp_probe("dp_resnet101_24_p4_m8", r101, p4,
                                    r101.total_compute() / 4,
                                    plan_options.phase1.dp, min_seconds));
-  write_json(output, records);
+  const std::map<std::string, double> baseline =
+      baseline_path.empty() ? std::map<std::string, double>{}
+                            : load_baseline(baseline_path);
+  write_json(output, records, overhead, obs::trace_enabled(), baseline);
+  sinks.flush();
   return 0;
 }

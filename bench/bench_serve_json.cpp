@@ -140,11 +140,14 @@ ThroughputRecord hit_throughput(serve::PlanService& service,
 int main(int argc, char** argv) {
   std::string output = "BENCH_serve.json";
   bool smoke = false;
+  bench::ObsSinkArgs sinks;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (sinks.parse(argc, argv, &i)) continue;
     if (arg == "-o" && i + 1 < argc) output = argv[++i];
     if (arg == "--smoke") smoke = true;
   }
+  sinks.install();
   const int hit_iterations = smoke ? 200 : 5000;
   const double throughput_seconds = smoke ? 0.05 : 0.5;
 
@@ -287,6 +290,7 @@ int main(int argc, char** argv) {
   std::ofstream out(output);
   out << w.str() << "\n";
   std::printf("serve benchmark JSON -> %s\n", output.c_str());
+  sinks.flush();
 
   // Equivalence is the contract: fail the bench loudly if it ever breaks.
   for (const EquivalenceRecord& record : equivalence) {

@@ -238,10 +238,13 @@ void write_json(const std::string& path,
 
 int main(int argc, char** argv) {
   std::string output = "BENCH_solver.json";
+  madpipe::bench::ObsSinkArgs sinks;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (sinks.parse(argc, argv, &i)) continue;
     if (arg == "-o" && i + 1 < argc) output = argv[++i];
   }
+  sinks.install();
 
   std::vector<WorkloadRecord> records;
   records.push_back(bench_lp("lp_dense_n30", dense_lp(30), 1.0));
@@ -249,5 +252,6 @@ int main(int argc, char** argv) {
   records.push_back(bench_milp("milp_knapsack16", knapsack_milp(16), 1.0));
   records.push_back(bench_ilp_scheduler(1.0));
   write_json(output, records);
+  sinks.flush();
   return 0;
 }

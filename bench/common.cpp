@@ -6,8 +6,13 @@
 #include <mutex>
 #include <stdexcept>
 
+#include <chrono>
+#include <fstream>
+
 #include "core/pattern.hpp"
 #include "models/zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipedream/pipedream.hpp"
 #include "util/format.hpp"
 #include "util/threading.hpp"
@@ -97,6 +102,74 @@ std::vector<double> paper_bandwidth_sweep() { return {12.0, 24.0}; }
 std::string period_cell(const PlannerOutcome& outcome, double scale) {
   if (!outcome.feasible) return "inf";
   return fmt::fixed(outcome.period * scale, 1);
+}
+
+bool ObsSinkArgs::parse(int argc, char** argv, int* i) {
+  const std::string arg = argv[*i];
+  const auto value = [&](const std::string& name) -> std::string {
+    if (arg.size() > name.size() && arg[name.size()] == '=') {
+      return arg.substr(name.size() + 1);  // --flag=FILE
+    }
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "error: missing value for %s\n", name.c_str());
+      std::exit(2);
+    }
+    return argv[++*i];
+  };
+  if (arg.rfind("--trace-out", 0) == 0) {
+    trace_out = value("--trace-out");
+    return true;
+  }
+  if (arg.rfind("--metrics-out", 0) == 0) {
+    metrics_out = value("--metrics-out");
+    return true;
+  }
+  return false;
+}
+
+void ObsSinkArgs::install() const {
+  if (!trace_out.empty()) obs::install_trace();
+}
+
+void ObsSinkArgs::flush() const {
+  const auto write = [](const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    out << content;
+    std::printf("obs sink -> %s\n", path.c_str());
+  };
+  if (!trace_out.empty()) {
+    obs::uninstall_trace();
+    write(trace_out, obs::trace_to_chrome_json());
+  }
+  if (!metrics_out.empty()) {
+    write(metrics_out, obs::Registry::global().json());
+  }
+}
+
+SpanOverhead measure_span_overhead() {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kSpans = 1'000'000;
+  const auto time_spans = [&] {
+    const Clock::time_point start = Clock::now();
+    for (int i = 0; i < kSpans; ++i) {
+      obs::Span span("overhead_probe", obs::kCatPlanner);
+    }
+    return std::chrono::duration<double, std::nano>(Clock::now() - start)
+               .count() /
+           kSpans;
+  };
+  SpanOverhead overhead;
+  obs::uninstall_trace();
+  overhead.disabled_ns = time_spans();
+  obs::install_trace();
+  overhead.enabled_ns = time_spans();
+  obs::install_trace();  // drop the probe events (install resets buffers)
+  obs::uninstall_trace();
+  return overhead;
 }
 
 }  // namespace madpipe::bench

@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 
 namespace madpipe {
@@ -276,8 +277,14 @@ BBResult bb_schedule(const CyclicProblem& problem, const Allocation& allocation,
                      const Chain& chain, const Platform& platform,
                      Seconds period, const BBOptions& options) {
   MP_EXPECT(period > 0.0, "period must be positive");
+  // Categorized "solver": this branch-and-bound is the phase-2 scheduling
+  // solver (the paper's ILP stand-in), the sibling of solver::solve_milp.
+  obs::Span span("bb_probe", obs::kCatSolver);
   Search search(problem, allocation, chain, platform, period, options);
-  return search.run();
+  BBResult result = search.run();
+  span.arg("nodes", static_cast<long long>(result.nodes_visited));
+  span.arg("feasible", result.feasible ? 1 : 0);
+  return result;
 }
 
 }  // namespace madpipe

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 #include "util/logging.hpp"
 
@@ -14,6 +15,7 @@ ILPScheduleResult ilp_schedule(const CyclicProblem& problem,
                                const Platform& platform, Seconds period,
                                const ILPScheduleOptions& options) {
   MP_EXPECT(period > 0.0, "period must be positive");
+  obs::Span span("ilp_probe", obs::kCatSolver);
   ILPScheduleResult result;
 
   const std::size_t num_ops = problem.ops.size();

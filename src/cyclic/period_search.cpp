@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 #include "util/logging.hpp"
 #include "util/threading.hpp"
@@ -164,6 +165,7 @@ PeriodSearchResult find_min_period(const Allocation& allocation,
                                    const Chain& chain, const Platform& platform,
                                    Seconds lower_hint,
                                    const PeriodSearchOptions& options) {
+  obs::Span span("phase2_period_search", obs::kCatPlanner);
   const auto t0 = std::chrono::steady_clock::now();
   const CyclicProblem problem =
       build_cyclic_problem(allocation, chain, platform);
@@ -188,6 +190,8 @@ PeriodSearchResult find_min_period(const Allocation& allocation,
     return bb.feasible;
   };
   const auto finish = [&] {
+    span.arg("probes", result.probes);
+    span.arg("feasible", result.feasible ? 1 : 0);
     result.speculative_probes = runner.speculative_probes();
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

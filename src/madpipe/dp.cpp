@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/memory_model.hpp"
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 #include "util/flat_hash.hpp"
 #include "util/logging.hpp"
@@ -743,12 +744,18 @@ MadPipeDPResult madpipe_dp(const Chain& chain, const Platform& platform,
                 options.grid.delay_points <= 1024,
             "grids must fit the packed state (≤ 1024 points each)");
 
+  obs::Span span("dp_probe", obs::kCatPlanner);
+  MadPipeDPResult result;
   if (options.engine == DpEngine::ReferenceRecursive) {
     ReferenceDpSolver solver(chain, platform, target_period, options);
-    return solver.run();
+    result = solver.run();
+  } else {
+    FlatDpSolver solver(chain, platform, target_period, options);
+    result = solver.run();
   }
-  FlatDpSolver solver(chain, platform, target_period, options);
-  return solver.run();
+  span.arg("states", static_cast<long long>(result.states_visited));
+  span.arg("budget_hit", result.state_budget_hit ? 1 : 0);
+  return result;
 }
 
 namespace detail {

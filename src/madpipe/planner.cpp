@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.hpp"
 #include "schedule/one_f_one_b.hpp"
 #include "util/expect.hpp"
 #include "util/logging.hpp"
@@ -40,6 +41,7 @@ std::optional<Plan> schedule_allocation(const Allocation& allocation,
 std::optional<Plan> plan_madpipe(const Chain& chain, const Platform& platform,
                                  const MadPipeOptions& options) {
   MP_EXPECT(options.schedule_best_of >= 1, "schedule_best_of must be >= 1");
+  obs::Span span("plan_madpipe", obs::kCatPlanner);
   const auto start_time = std::chrono::steady_clock::now();
 
   Phase1Options phase1_options = options.phase1;
@@ -52,6 +54,7 @@ std::optional<Plan> plan_madpipe(const Chain& chain, const Platform& platform,
   const Phase1Result phase1 = madpipe_phase1(chain, platform, phase1_options);
   if (!phase1.feasible()) {
     log::info("MadPipe phase 1 found no memory-feasible allocation");
+    phase1.stats.publish();
     return std::nullopt;
   }
 
@@ -105,6 +108,7 @@ std::optional<Plan> plan_madpipe(const Chain& chain, const Platform& platform,
   }
   if (!best) {
     log::info("MadPipe phase 2 could not schedule any phase-1 allocation");
+    stats.publish();
     return std::nullopt;
   }
 
@@ -116,6 +120,8 @@ std::optional<Plan> plan_madpipe(const Chain& chain, const Platform& platform,
                                     start_time)
           .count();
   best->stats = stats;
+  span.arg("dp_states", stats.dp_states);
+  stats.publish();
   return best;
 }
 

@@ -3,6 +3,12 @@
 // 1F1B* when the allocation happens to be contiguous, and with the cyclic
 // branch-and-bound scheduler (our stand-in for the ILP of the paper's
 // reference [1]) otherwise.
+//
+// Observability: plan_madpipe wraps itself and its phases in obs::Span
+// scopes (`plan_madpipe`, `phase1_bisection`, `phase2_period_search`,
+// `dp_probe`; category "planner") and publishes the run's PlannerStats
+// into the obs::Registry on exit — both are no-ops costing a few ns when
+// no sink is armed. See DESIGN.md §9.
 #pragma once
 
 #include <optional>

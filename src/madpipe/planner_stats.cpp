@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
 
 namespace madpipe {
@@ -61,6 +62,84 @@ void PlannerStats::write_json(json::Writer& writer) const {
   writer.key("phase2_wall_seconds");
   writer.value(phase2_wall_seconds);
   writer.end_object();
+}
+
+void PlannerStats::publish() const {
+  // Registry references resolved once and cached (entities are
+  // process-lifetime); publish() itself is only relaxed atomic adds.
+  struct Metrics {
+    obs::Counter& dp_probes;
+    obs::Counter& dp_states;
+    obs::Counter& dp_state_visits;
+    obs::Counter& memo_probes;
+    obs::Counter& memo_child_lookups;
+    obs::Counter& memo_hits;
+    obs::Gauge& memo_max_load_factor;
+    obs::Counter& transition_lookups;
+    obs::Counter& transition_hits;
+    obs::Counter& state_budget_hits;
+    obs::Counter& phase1_probes;
+    obs::Counter& phase2_probes;
+    obs::Counter& speculative_probes;
+    obs::Counter& speculative_hits;
+    obs::Histogram& phase1_wall;
+    obs::Histogram& phase2_wall;
+  };
+  static Metrics metrics = [] {
+    obs::Registry& r = obs::Registry::global();
+    return Metrics{
+        r.counter("madpipe_planner_dp_probes_total",
+                  "MadPipe-DP invocations"),
+        r.counter("madpipe_planner_dp_states_total",
+                  "DP states memoized across all probes"),
+        r.counter("madpipe_planner_dp_state_visits_total",
+                  "DP state evaluations started (frames run)"),
+        r.counter("madpipe_planner_memo_probes_total",
+                  "Per-state memo operations"),
+        r.counter("madpipe_planner_memo_child_lookups_total",
+                  "Child-value lookups in the k-loop"),
+        r.counter("madpipe_planner_memo_hits_total",
+                  "Memo lookups (either kind) that hit"),
+        r.gauge("madpipe_planner_memo_max_load_factor",
+                "Worst flat-table occupancy of the most recent plan"),
+        r.counter("madpipe_planner_transition_lookups_total",
+                  "(k, l, delay) transition-cache consultations"),
+        r.counter("madpipe_planner_transition_hits_total",
+                  "Transition-cache hits"),
+        r.counter("madpipe_planner_state_budget_hits_total",
+                  "DP probes that tripped max_states"),
+        r.counter("madpipe_planner_phase1_probes_total",
+                  "DP probes consumed by Algorithm 1"),
+        r.counter("madpipe_planner_phase2_probes_total",
+                  "bb_schedule probes consumed by the cyclic period search"),
+        r.counter("madpipe_planner_speculative_probes_total",
+                  "Extra probes launched ahead of need"),
+        r.counter("madpipe_planner_speculative_hits_total",
+                  "Demanded probes served from a speculative batch"),
+        r.histogram("madpipe_planner_phase1_seconds",
+                    obs::latency_bounds_seconds(),
+                    "Phase-1 (Algorithm 1) wall time per plan"),
+        r.histogram("madpipe_planner_phase2_seconds",
+                    obs::latency_bounds_seconds(),
+                    "Phase-2 (period search) wall time per plan"),
+    };
+  }();
+  metrics.dp_probes.add(dp_probes);
+  metrics.dp_states.add(dp_states);
+  metrics.dp_state_visits.add(dp_state_visits);
+  metrics.memo_probes.add(memo_probes);
+  metrics.memo_child_lookups.add(memo_child_lookups);
+  metrics.memo_hits.add(memo_hits);
+  metrics.memo_max_load_factor.set(memo_max_load_factor);
+  metrics.transition_lookups.add(transition_lookups);
+  metrics.transition_hits.add(transition_hits);
+  metrics.state_budget_hits.add(state_budget_hits);
+  metrics.phase1_probes.add(phase1_probes);
+  metrics.phase2_probes.add(phase2_probes);
+  metrics.speculative_probes.add(speculative_probes);
+  metrics.speculative_hits.add(speculative_hits);
+  metrics.phase1_wall.observe(phase1_wall_seconds);
+  metrics.phase2_wall.observe(phase2_wall_seconds);
 }
 
 }  // namespace madpipe

@@ -49,6 +49,13 @@ struct PlannerStats {
 
   /// Append this block as one JSON object value (the caller writes the key).
   void write_json(json::Writer& writer) const;
+
+  /// Add this block into the process-wide obs::Registry (the cumulative
+  /// madpipe_planner_* counters and the per-phase wall histograms). Called
+  /// once per plan_madpipe run so registry totals aggregate per plan; the
+  /// struct's own fields are unchanged (they remain the per-run view).
+  /// Thread-safe (relaxed atomic adds).
+  void publish() const;
 };
 
 }  // namespace madpipe

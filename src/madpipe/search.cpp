@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 #include "util/logging.hpp"
 #include "util/threading.hpp"
@@ -158,6 +159,7 @@ Phase1Result madpipe_phase1(const Chain& chain, const Platform& platform,
                             const Phase1Options& options) {
   platform.validate();
   MP_EXPECT(options.iterations >= 1, "need at least one search iteration");
+  obs::Span span("phase1_bisection", obs::kCatPlanner);
   const auto t0 = std::chrono::steady_clock::now();
 
   Seconds lb = chain.total_compute() / platform.processors;
@@ -192,6 +194,7 @@ Phase1Result madpipe_phase1(const Chain& chain, const Platform& platform,
     if (ub <= lb * (1.0 + 1e-9)) break;  // search interval collapsed
     target = 0.5 * (lb + ub);
   }
+  span.arg("probes", static_cast<long long>(result.trace.size()));
   result.stats = runner.stats();
   result.stats.phase1_probes = static_cast<long long>(result.trace.size());
   result.stats.phase1_wall_seconds =

@@ -1,0 +1,264 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "util/json.hpp"
+
+namespace madpipe::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_armed{false};
+}  // namespace detail
+
+namespace {
+
+/// One ring slot. Every field is a relaxed atomic and writes are bracketed
+/// by the odd/even `seq` (seqlock): a reader that sees the same even seq
+/// before and after its field reads got a consistent event; anything else is
+/// discarded. Single writer per ring, so the writer needs no CAS loops.
+struct Slot {
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<const char*> category{nullptr};
+  std::atomic<std::int64_t> start_ns{0};
+  std::atomic<std::int64_t> dur_ns{0};
+  std::atomic<const char*> arg1_key{nullptr};
+  std::atomic<long long> arg1_value{0};
+  std::atomic<const char*> arg2_key{nullptr};
+  std::atomic<long long> arg2_value{0};
+};
+
+struct Ring {
+  explicit Ring(std::size_t capacity, std::uint32_t ring_tid)
+      : slots(new Slot[capacity]), mask(capacity - 1), tid(ring_tid) {}
+
+  std::unique_ptr<Slot[]> slots;
+  const std::size_t mask;         ///< capacity - 1 (capacity is a power of 2)
+  const std::uint32_t tid;
+  std::atomic<std::uint64_t> head{0};  ///< total events ever written
+
+  void write(const char* name, const char* category, std::int64_t start_ns,
+             std::int64_t dur_ns, const char* k1, long long v1,
+             const char* k2, long long v2) noexcept {
+    const std::uint64_t index = head.load(std::memory_order_relaxed);
+    Slot& slot = slots[index & mask];
+    const std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+    slot.seq.store(seq + 1, std::memory_order_release);  // odd: in progress
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.category.store(category, std::memory_order_relaxed);
+    slot.start_ns.store(start_ns, std::memory_order_relaxed);
+    slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    slot.arg1_key.store(k1, std::memory_order_relaxed);
+    slot.arg1_value.store(v1, std::memory_order_relaxed);
+    slot.arg2_key.store(k2, std::memory_order_relaxed);
+    slot.arg2_value.store(v2, std::memory_order_relaxed);
+    slot.seq.store(seq + 2, std::memory_order_release);  // even: stable
+    head.store(index + 1, std::memory_order_release);
+  }
+
+  /// Append the (up to capacity) newest stable events to `out`.
+  void drain(std::vector<TraceEvent>& out) const {
+    const std::uint64_t end = head.load(std::memory_order_acquire);
+    const std::uint64_t capacity = mask + 1;
+    const std::uint64_t begin = end > capacity ? end - capacity : 0;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const Slot& slot = slots[i & mask];
+      const std::uint32_t before = slot.seq.load(std::memory_order_acquire);
+      if (before % 2 != 0) continue;  // write in progress
+      TraceEvent event;
+      event.name = slot.name.load(std::memory_order_relaxed);
+      event.category = slot.category.load(std::memory_order_relaxed);
+      event.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      event.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+      event.arg1_key = slot.arg1_key.load(std::memory_order_relaxed);
+      event.arg1_value = slot.arg1_value.load(std::memory_order_relaxed);
+      event.arg2_key = slot.arg2_key.load(std::memory_order_relaxed);
+      event.arg2_value = slot.arg2_value.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != before) continue;
+      if (event.name == nullptr) continue;  // slot never written
+      event.tid = tid;
+      out.push_back(event);
+    }
+  }
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;  ///< every ring of this epoch
+  std::uint64_t epoch = 0;
+  std::size_t capacity = 4096;
+  std::atomic<std::uint64_t> epoch_fast{0};  ///< epoch, lock-free mirror
+};
+
+Collector& collector() {
+  static Collector instance;
+  return instance;
+}
+
+std::uint32_t next_tid() noexcept {
+  static std::atomic<std::uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// The calling thread's ring for the current epoch, creating and
+/// registering one on first use (or after a re-install).
+Ring& local_ring() {
+  struct Local {
+    std::shared_ptr<Ring> ring;
+    std::uint64_t epoch = ~std::uint64_t{0};
+    std::uint32_t tid = next_tid();
+  };
+  thread_local Local local;
+  Collector& c = collector();
+  const std::uint64_t epoch = c.epoch_fast.load(std::memory_order_acquire);
+  if (local.epoch != epoch) {
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    local.ring = std::make_shared<Ring>(c.capacity, local.tid);
+    local.epoch = c.epoch;
+    c.rings.push_back(local.ring);
+  }
+  return *local.ring;
+}
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::int64_t now_ns() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
+
+void install_trace(std::size_t events_per_thread) {
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  c.rings.clear();
+  c.capacity = round_up_pow2(std::max<std::size_t>(events_per_thread, 2));
+  ++c.epoch;
+  c.epoch_fast.store(c.epoch, std::memory_order_release);
+  detail::g_trace_armed.store(true, std::memory_order_release);
+}
+
+void uninstall_trace() {
+  detail::g_trace_armed.store(false, std::memory_order_release);
+}
+
+std::vector<TraceEvent> drain_trace() {
+  Collector& c = collector();
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    rings = c.rings;
+  }
+  std::vector<TraceEvent> events;
+  for (const std::shared_ptr<Ring>& ring : rings) ring->drain(events);
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.dur_ns > b.dur_ns;  // parents before their children
+            });
+  return events;
+}
+
+void emit_complete(const char* name, const char* category,
+                   std::int64_t start_ns, std::int64_t dur_ns,
+                   const char* arg1_key, long long arg1_value) {
+  if (!trace_enabled()) return;
+  local_ring().write(name, category, start_ns, dur_ns, arg1_key, arg1_value,
+                     nullptr, 0);
+}
+
+void Span::finish() noexcept {
+  if (!armed_ || !trace_enabled()) return;
+  armed_ = false;
+  const std::int64_t end_ns = now_ns();
+  local_ring().write(name_, category_, start_ns_, end_ns - start_ns_,
+                     arg1_key_, arg1_value_, arg2_key_, arg2_value_);
+}
+
+void write_chrome_trace(json::Writer& writer,
+                        const std::vector<TraceEvent>& events) {
+  writer.begin_object();
+  writer.key("displayTimeUnit");
+  writer.value("ms");
+  writer.key("traceEvents");
+  writer.begin_array();
+  // Thread-name metadata first, one per distinct tid.
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& event : events) {
+    if (std::find(tids.begin(), tids.end(), event.tid) == tids.end()) {
+      tids.push_back(event.tid);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+  for (const std::uint32_t tid : tids) {
+    writer.begin_object();
+    writer.key("name");
+    writer.value("thread_name");
+    writer.key("ph");
+    writer.value("M");
+    writer.key("pid");
+    writer.value(1);
+    writer.key("tid");
+    writer.value(static_cast<long long>(tid));
+    writer.key("args");
+    writer.begin_object();
+    writer.key("name");
+    writer.value("madpipe-" + std::to_string(tid));
+    writer.end_object();
+    writer.end_object();
+  }
+  for (const TraceEvent& event : events) {
+    writer.begin_object();
+    writer.key("name");
+    writer.value(event.name);
+    writer.key("cat");
+    writer.value(event.category != nullptr ? event.category : "madpipe");
+    writer.key("ph");
+    writer.value("X");
+    writer.key("pid");
+    writer.value(1);
+    writer.key("tid");
+    writer.value(static_cast<long long>(event.tid));
+    // Chrome trace timestamps are microseconds (fractions allowed).
+    writer.key("ts");
+    writer.value(static_cast<double>(event.start_ns) * 1e-3);
+    writer.key("dur");
+    writer.value(static_cast<double>(event.dur_ns) * 1e-3);
+    if (event.arg1_key != nullptr || event.arg2_key != nullptr) {
+      writer.key("args");
+      writer.begin_object();
+      if (event.arg1_key != nullptr) {
+        writer.key(event.arg1_key);
+        writer.value(event.arg1_value);
+      }
+      if (event.arg2_key != nullptr) {
+        writer.key(event.arg2_key);
+        writer.value(event.arg2_value);
+      }
+      writer.end_object();
+    }
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+}
+
+std::string trace_to_chrome_json() {
+  json::Writer writer;
+  write_chrome_trace(writer, drain_trace());
+  return writer.str();
+}
+
+}  // namespace madpipe::obs

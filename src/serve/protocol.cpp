@@ -28,12 +28,16 @@ bool known_field(const std::string& key, const char* const* allowed,
   return false;
 }
 
-/// Per-request option knobs (a strict subset of MadPipeOptions — all fields
+/// Per-request option knobs: a strict subset of MadPipeOptions (all fields
 /// that are part of the cache key; engine/speculation/workers knobs are
-/// result-invariant and stay server-side).
-std::string parse_options(const json::Value& value, MadPipeOptions* options) {
+/// result-invariant and stay server-side), plus the serve-level `timings`
+/// flag (request a phase-timing block in the response — never part of the
+/// cache key, it cannot change the plan).
+std::string parse_options(const json::Value& value, MadPipeOptions* options,
+                          bool* report_timings) {
   static const char* const kAllowed[] = {
-      "iterations", "max_states", "schedule_best_of", "relative_precision"};
+      "iterations", "max_states", "schedule_best_of", "relative_precision",
+      "timings"};
   for (const auto& member : value.members()) {
     if (!known_field(member.first, kAllowed, std::size(kAllowed)))
       return "unknown options field '" + member.first + "'";
@@ -60,6 +64,10 @@ std::string parse_options(const json::Value& value, MadPipeOptions* options) {
     if (!v->is_number() || !(v->as_number() > 0.0))
       return "options.relative_precision must be > 0";
     options->phase2.relative_precision = v->as_number();
+  }
+  if (const json::Value* v = value.find("timings")) {
+    if (!v->is_bool()) return "options.timings must be a boolean";
+    *report_timings = v->as_bool();
   }
   return "";
 }
@@ -214,12 +222,13 @@ RequestParse request_from_json(const json::Value& value) {
   }
 
   MadPipeOptions options;
+  bool report_timings = false;
   if (const json::Value* v = value.find("options")) {
     if (!v->is_object()) {
       parse.error = "options must be an object";
       return parse;
     }
-    parse.error = parse_options(*v, &options);
+    parse.error = parse_options(*v, &options, &report_timings);
     if (!parse.error.empty()) return parse;
   }
 
@@ -229,7 +238,8 @@ RequestParse request_from_json(const json::Value& value) {
                                bandwidth_gbs * GB},
                       planner,
                       options,
-                      deadline_seconds};
+                      deadline_seconds,
+                      report_timings};
   try {
     request.platform.validate();
   } catch (const std::exception& exception) {
@@ -287,6 +297,17 @@ void write_response(json::Writer& writer, const PlanResponse& response,
   writer.value(response.degraded);
   writer.key("latency_ms");
   writer.value(response.latency_seconds * 1e3);
+  if (response.phases.has_value()) {
+    writer.key("phases");
+    writer.begin_object();
+    writer.key("cache_ms");
+    writer.value(response.phases->cache_seconds * 1e3);
+    writer.key("queue_ms");
+    writer.value(response.phases->queue_seconds * 1e3);
+    writer.key("plan_ms");
+    writer.value(response.phases->plan_seconds * 1e3);
+    writer.end_object();
+  }
   if (!response.error.empty()) {
     writer.key("error");
     writer.value(response.error);

@@ -11,12 +11,18 @@
 //   request  = {"id": "r1", "network": {"name": "resnet50"}, "gpus": 4,
 //               "memory_gb": 8, "bandwidth_gbs": 12,
 //               "planner": "madpipe", "deadline_ms": 250,
-//               "options": {"iterations": 10}}
+//               "options": {"iterations": 10, "timings": true}}
 //   batch    = {"requests": [request, ...]}   (or a bare array, or one object)
 //   response = {"id": "r1", "status": "ok", "cache": "miss",
-//               "degraded": false, "latency_ms": 312.4, "plan": {...}}
+//               "degraded": false, "latency_ms": 312.4,
+//               "phases": {"cache_ms": ..., "queue_ms": ..., "plan_ms": ...},
+//               "plan": {...}}
 //   batch response = {"schema": "madpipe-serve-v1", "responses": [...],
 //                     "stats": {...}}
+//
+// `options.timings` opts a request into the per-phase latency breakdown
+// ("phases" in its response); it is serve-level only and never part of the
+// plan-cache key.
 #pragma once
 
 #include <string>

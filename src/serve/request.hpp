@@ -59,6 +59,11 @@ struct PlanRequest {
   /// not killed — their DP state budget is shrunk so they degrade to a
   /// best-effort plan instead of stalling the queue (see service.hpp).
   Seconds deadline_seconds = 0.0;
+  /// Ask the service to attach a per-request phase-timing breakdown
+  /// (cache / queue / plan seconds) to the response. Protocol option
+  /// `options.timings`. Deliberately excluded from the cache key: timing
+  /// reporting never changes the plan.
+  bool report_timings = false;
 };
 
 /// A canonicalized request: the normalized profile/platform the planner

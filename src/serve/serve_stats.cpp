@@ -28,6 +28,46 @@ void ServeStats::write_json(json::Writer& w) const {
   w.end_object();
 }
 
+ServeMetrics& serve_metrics() {
+  static ServeMetrics* metrics = [] {
+    obs::Registry& r = obs::Registry::global();
+    return new ServeMetrics{
+        r.counter("madpipe_serve_requests_total",
+                  "Submissions accepted into the service"),
+        r.counter("madpipe_serve_hits_total", "Served from the plan cache"),
+        r.counter("madpipe_serve_scaled_hits_total",
+                  "Hits served by exact unit rescaling (subset of hits)"),
+        r.counter("madpipe_serve_misses_total",
+                  "Requests that ran the planner"),
+        r.counter("madpipe_serve_coalesced_total",
+                  "Attached to an identical in-flight request"),
+        r.counter("madpipe_serve_rejected_total",
+                  "Bounced by queue backpressure"),
+        r.counter("madpipe_serve_degraded_total",
+                  "Deadline-reduced state budget truncated a DP"),
+        r.counter("madpipe_serve_errors_total",
+                  "Planner threw / request invalid"),
+        r.counter("madpipe_serve_planner_runs_total",
+                  "plan_madpipe invocations (the expensive op)"),
+        r.gauge("madpipe_serve_cache_evictions",
+                "Cumulative LRU byte-budget evictions (snapshot mirror)"),
+        r.gauge("madpipe_serve_cache_expirations",
+                "Cumulative TTL evictions (snapshot mirror)"),
+        r.gauge("madpipe_serve_cache_key_collisions",
+                "64-bit key matched, fingerprint did not (snapshot mirror)"),
+        r.gauge("madpipe_serve_cache_entries", "Plan-cache entries"),
+        r.gauge("madpipe_serve_cache_bytes", "Plan-cache resident bytes"),
+        r.histogram("madpipe_serve_hit_latency_seconds",
+                    obs::latency_bounds_seconds(),
+                    "submit-to-complete latency of cache hits"),
+        r.histogram("madpipe_serve_miss_latency_seconds",
+                    obs::latency_bounds_seconds(),
+                    "submit-to-complete latency of planned requests"),
+    };
+  }();
+  return *metrics;
+}
+
 LatencyRecorder::LatencyRecorder(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace madpipe::json {
 class Writer;
 }
@@ -44,6 +46,35 @@ struct ServeStats {
   /// Append this block as one JSON object value (the caller writes the key).
   void write_json(json::Writer& writer) const;
 };
+
+/// Cached references to the serve entries of the process-wide
+/// obs::Registry (madpipe_serve_*). PlanService bumps these live as
+/// requests complete, so the registry's cumulative view matches the
+/// ServeStats counters of every service in the process summed together.
+/// The cache mirrors (evictions, entries, bytes, ...) are gauges refreshed
+/// by PlanService::stats(). All members are process-lifetime references;
+/// updates are relaxed atomics.
+struct ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& hits;
+  obs::Counter& scaled_hits;
+  obs::Counter& misses;
+  obs::Counter& coalesced;
+  obs::Counter& rejected;
+  obs::Counter& degraded;
+  obs::Counter& errors;
+  obs::Counter& planner_runs;
+  obs::Gauge& evictions;
+  obs::Gauge& expirations;
+  obs::Gauge& key_collisions;
+  obs::Gauge& cache_entries;
+  obs::Gauge& cache_bytes;
+  obs::Histogram& hit_latency;
+  obs::Histogram& miss_latency;
+};
+
+/// The singleton ServeMetrics bound to obs::Registry::global().
+ServeMetrics& serve_metrics();
 
 /// Thread-safe latency sample sink with bounded memory: past `capacity`
 /// samples, every other retained sample is dropped and the sampling stride

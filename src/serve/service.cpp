@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.hpp"
 #include "util/threading.hpp"
 
 namespace madpipe::serve {
@@ -56,14 +57,25 @@ PlanService::~PlanService() {
 
 std::future<PlanResponse> PlanService::submit(PlanRequest request) {
   const Clock::time_point submitted = Clock::now();
-  CanonicalRequest canonical = canonicalize(request);
+  obs::Span span("serve_submit", obs::kCatServe);
+  std::optional<CachedPlan> cached;
+  CanonicalRequest canonical = [&] {
+    obs::Span lookup("cache_lookup", obs::kCatServe);
+    CanonicalRequest result = canonicalize(request);
+    cached = cache_.find(result);
+    lookup.arg("hit", cached.has_value() ? 1 : 0);
+    return result;
+  }();
+  const double cache_seconds = seconds_since(submitted);
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++counters_.requests;
   }
+  serve_metrics().requests.increment();
 
   // 1. Cache: a hit completes synchronously — no queue, no planner.
-  if (std::optional<CachedPlan> cached = cache_.find(canonical)) {
+  if (cached.has_value()) {
+    span.arg("outcome", static_cast<long long>(CacheOutcome::Hit));
     PlanResponse response;
     response.id = request.id;
     response.cache = CacheOutcome::Hit;
@@ -74,7 +86,12 @@ std::future<PlanResponse> PlanService::submit(PlanRequest request) {
       response.status = ResponseStatus::Infeasible;
     }
     response.latency_seconds = seconds_since(submitted);
+    if (request.report_timings) {
+      response.phases = PhaseTimings{cache_seconds, 0.0, 0.0};
+    }
     hit_latency_.record(response.latency_seconds);
+    serve_metrics().hit_latency.observe(response.latency_seconds);
+    serve_metrics().hits.increment();
     {
       const std::lock_guard<std::mutex> lock(stats_mutex_);
       ++counters_.hits;
@@ -83,6 +100,7 @@ std::future<PlanResponse> PlanService::submit(PlanRequest request) {
         // The entry was created by a request in different (power-of-two
         // related) units: the cache is being shared across a rescale.
         ++counters_.scaled_hits;
+        serve_metrics().scaled_hits.increment();
       }
     }
     std::promise<PlanResponse> promise;
@@ -96,6 +114,8 @@ std::future<PlanResponse> PlanService::submit(PlanRequest request) {
   waiter->id = request.id;
   waiter->submitted = submitted;
   waiter->time_unit = canonical.time_unit;
+  waiter->report_timings = request.report_timings;
+  waiter->cache_seconds = cache_seconds;
 
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -105,6 +125,8 @@ std::future<PlanResponse> PlanService::submit(PlanRequest request) {
         waiter->outcome = CacheOutcome::Coalesced;
         pending->waiters.push_back(std::move(waiter));
         lock.unlock();
+        span.arg("outcome", static_cast<long long>(CacheOutcome::Coalesced));
+        serve_metrics().coalesced.increment();
         const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
         ++counters_.coalesced;
         return future;
@@ -113,6 +135,7 @@ std::future<PlanResponse> PlanService::submit(PlanRequest request) {
     // 3. Enqueue, or reject under backpressure.
     if (queue_.size() >= options_.queue_capacity) {
       lock.unlock();
+      span.arg("outcome", static_cast<long long>(CacheOutcome::None));
       PlanResponse response;
       response.id = request.id;
       response.status = ResponseStatus::Rejected;
@@ -120,6 +143,10 @@ std::future<PlanResponse> PlanService::submit(PlanRequest request) {
                        std::to_string(options_.queue_capacity) +
                        " pending requests)";
       response.latency_seconds = seconds_since(submitted);
+      if (request.report_timings) {
+        response.phases = PhaseTimings{cache_seconds, 0.0, 0.0};
+      }
+      serve_metrics().rejected.increment();
       {
         const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
         ++counters_.rejected;
@@ -136,8 +163,10 @@ std::future<PlanResponse> PlanService::submit(PlanRequest request) {
     const Seconds deadline = request.deadline_seconds > 0.0
                                  ? request.deadline_seconds
                                  : options_.default_deadline_seconds;
+    span.arg("outcome", static_cast<long long>(CacheOutcome::Miss));
     queue_.push_back(Job{std::move(pending), std::move(canonical),
-                         planner_options(request), deadline, submitted});
+                         planner_options(request), deadline, submitted,
+                         obs::now_ns()});
   }
   work_available_.notify_one();
   return future;
@@ -163,6 +192,18 @@ void PlanService::worker_loop() {
 }
 
 void PlanService::run_job(Job& job) {
+  // The queue phase just ended: the job waited from enqueue until this
+  // worker picked it up.
+  if (obs::trace_enabled() && job.enqueue_ns != 0) {
+    obs::emit_complete("queue_wait", obs::kCatServe, job.enqueue_ns,
+                       obs::now_ns() - job.enqueue_ns);
+  }
+  PhaseTimings timings;
+  timings.queue_seconds =
+      static_cast<double>(obs::now_ns() - job.enqueue_ns) * 1e-9;
+  const Clock::time_point plan_start = Clock::now();
+  obs::Span span("serve_plan", obs::kCatServe);
+
   // Deadline → state-budget valve. The budget shrinks with the remaining
   // wall clock; once it clamps below the configured max_states the run is a
   // candidate for degradation (it becomes "degraded" only if the valve
@@ -194,6 +235,7 @@ void PlanService::run_job(Job& job) {
       const std::lock_guard<std::mutex> lock(stats_mutex_);
       ++counters_.planner_runs;
     }
+    serve_metrics().planner_runs.increment();
     std::optional<Plan> plan =
         plan_madpipe(job.canonical.chain, job.canonical.platform, job.options);
     cached.creator_time_unit = job.canonical.time_unit;
@@ -215,6 +257,9 @@ void PlanService::run_job(Job& job) {
     status = ResponseStatus::Error;
     error = exception.what();
   }
+  timings.plan_seconds = seconds_since(plan_start);
+  span.arg("degraded", degraded ? 1 : 0);
+  span.arg("status", static_cast<long long>(status));
 
   // Retire the in-flight registration *before* fulfilling, so a caller woken
   // by its future can immediately resubmit and reach the cache/queue.
@@ -231,6 +276,9 @@ void PlanService::run_job(Job& job) {
 
   // Count the miss before fulfilling: a caller woken by its future must see
   // a stats snapshot that already includes its own request.
+  serve_metrics().misses.increment();
+  if (degraded) serve_metrics().degraded.increment();
+  if (status == ResponseStatus::Error) serve_metrics().errors.increment();
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++counters_.misses;
@@ -238,12 +286,13 @@ void PlanService::run_job(Job& job) {
     if (status == ResponseStatus::Error) ++counters_.errors;
   }
 
-  fulfill(*job.pending, cached, status, degraded, error);
+  fulfill(*job.pending, cached, status, degraded, error, timings);
 }
 
 void PlanService::fulfill(Pending& pending, const CachedPlan& cached,
                           ResponseStatus status, bool degraded,
-                          const std::string& error) {
+                          const std::string& error,
+                          const PhaseTimings& timings) {
   for (std::unique_ptr<Waiter>& waiter : pending.waiters) {
     PlanResponse response;
     response.id = waiter->id;
@@ -255,7 +304,12 @@ void PlanService::fulfill(Pending& pending, const CachedPlan& cached,
       response.plan = denormalize_plan(*cached.plan, waiter->time_unit);
     }
     response.latency_seconds = seconds_since(waiter->submitted);
+    if (waiter->report_timings) {
+      response.phases = timings;
+      response.phases->cache_seconds = waiter->cache_seconds;
+    }
     miss_latency_.record(response.latency_seconds);
+    serve_metrics().miss_latency.observe(response.latency_seconds);
     waiter->promise.set_value(std::move(response));
   }
 }
@@ -272,6 +326,15 @@ ServeStats PlanService::stats() const {
   snapshot.key_collisions = cache.key_collisions;
   snapshot.cache_entries = cache.entries;
   snapshot.cache_bytes = cache.bytes;
+  // Refresh the registry's cache gauges from this snapshot (gauges, not
+  // counters: cache state is point-in-time and owned by cache_, not summed
+  // across services).
+  ServeMetrics& metrics = serve_metrics();
+  metrics.evictions.set(static_cast<double>(cache.evictions));
+  metrics.expirations.set(static_cast<double>(cache.expirations));
+  metrics.key_collisions.set(static_cast<double>(cache.key_collisions));
+  metrics.cache_entries.set(static_cast<double>(cache.entries));
+  metrics.cache_bytes.set(static_cast<double>(cache.bytes));
   snapshot.hit_p50_seconds = hit_latency_.percentile(0.50);
   snapshot.hit_p99_seconds = hit_latency_.percentile(0.99);
   snapshot.miss_p50_seconds = miss_latency_.percentile(0.50);

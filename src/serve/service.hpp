@@ -21,6 +21,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -48,6 +49,17 @@ enum class CacheOutcome { Miss, Hit, Coalesced, None };
 const char* to_string(ResponseStatus status) noexcept;
 const char* to_string(CacheOutcome outcome) noexcept;
 
+/// Wall-clock breakdown of where one request spent its latency. Attached to
+/// a PlanResponse only when the request asked for it
+/// (PlanRequest::report_timings / protocol option `timings`). Phases the
+/// request never traversed (e.g. plan on a cache hit) stay 0.
+struct PhaseTimings {
+  double cache_seconds = 0.0;  ///< canonicalization + plan-cache probe
+  double queue_seconds = 0.0;  ///< enqueue → a worker dequeued the job
+  double plan_seconds = 0.0;   ///< planner wall time (shared by coalesced
+                               ///< waiters — one run fed them all)
+};
+
 struct PlanResponse {
   std::string id;
   ResponseStatus status = ResponseStatus::Error;
@@ -58,6 +70,8 @@ struct PlanResponse {
   std::optional<Plan> plan;  ///< in request units; present iff status == Ok
   std::string error;
   double latency_seconds = 0.0;  ///< submit → completion
+  /// Present iff the request set report_timings.
+  std::optional<PhaseTimings> phases;
 };
 
 struct ServiceOptions {
@@ -104,6 +118,8 @@ class PlanService {
     double time_unit = 1.0;  ///< for per-waiter denormalization
     std::chrono::steady_clock::time_point submitted;
     CacheOutcome outcome = CacheOutcome::Miss;
+    bool report_timings = false;
+    double cache_seconds = 0.0;  ///< this waiter's submit-side cache phase
   };
   /// One in-flight canonical computation and everyone waiting on it.
   struct Pending {
@@ -116,12 +132,16 @@ class PlanService {
     MadPipeOptions options;
     Seconds deadline_seconds = 0.0;
     std::chrono::steady_clock::time_point submitted;
+    std::int64_t enqueue_ns = 0;  ///< obs::now_ns() at enqueue (queue span)
   };
 
   void worker_loop();
   void run_job(Job& job);
+  /// `timings.cache_seconds` is per-waiter and filled in here; queue/plan
+  /// seconds are the job's and shared by every waiter.
   void fulfill(Pending& pending, const CachedPlan& cached,
-               ResponseStatus status, bool degraded, const std::string& error);
+               ResponseStatus status, bool degraded, const std::string& error,
+               const PhaseTimings& timings);
 
   ServiceOptions options_;
   ShardedPlanCache cache_;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 
 namespace madpipe::solver {
@@ -607,8 +608,11 @@ LPResult solve_lp_impl(const Model& model, const LPOptions& options) {
 }  // namespace
 
 LPResult solve_lp(const Model& model, const LPOptions& options) {
+  obs::Span span("lp_solve", obs::kCatSolver);
   const auto start = std::chrono::steady_clock::now();
   LPResult result = solve_lp_impl(model, options);
+  span.arg("pivots", result.stats.pivots);
+  span.arg("status", static_cast<long long>(result.status));
   result.stats.lp_solves = 1;
   result.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 
 namespace madpipe::solver {
@@ -32,6 +33,7 @@ double objective_of(const Model& model, const std::vector<double>& values) {
 }  // namespace
 
 MILPResult solve_milp(const Model& model, const MILPOptions& options) {
+  obs::Span span("milp_solve", obs::kCatSolver);
   const auto start = std::chrono::steady_clock::now();
   const auto deadline =
       start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -42,6 +44,9 @@ MILPResult solve_milp(const Model& model, const MILPOptions& options) {
     r.stats.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    span.arg("nodes", r.nodes_explored);
+    span.arg("pivots", r.stats.pivots);
+    r.stats.publish();
     return r;
   };
 

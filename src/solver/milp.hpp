@@ -6,6 +6,11 @@
 // reconstruction per node), child relaxations warm-start from the parent's
 // optimal basis via the dual simplex, and a rounding heuristic on the root
 // relaxation seeds the incumbent so pruning fires from node 1.
+//
+// Observability: solve_milp wraps the solve in an obs::Span
+// (`milp_solve`, category "solver") and publishes the run's SolverStats
+// into the obs::Registry on return (madpipe_solver_* counters); both are
+// ~free when no sink is armed. See DESIGN.md §9.
 #pragma once
 
 #include <vector>

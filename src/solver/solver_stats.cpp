@@ -1,5 +1,6 @@
 #include "solver/solver_stats.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
 
 namespace madpipe::solver {
@@ -43,6 +44,64 @@ void SolverStats::write_json(json::Writer& writer) const {
   writer.key("wall_seconds");
   writer.value(wall_seconds);
   writer.end_object();
+}
+
+void SolverStats::publish() const {
+  // References into the global registry are resolved once and cached: the
+  // registry never destroys entities, so the statics stay valid for the
+  // process lifetime and publish() costs only relaxed atomic adds.
+  struct Metrics {
+    obs::Counter& pivots;
+    obs::Counter& phase1_iterations;
+    obs::Counter& phase2_iterations;
+    obs::Counter& dual_iterations;
+    obs::Counter& bland_pivots;
+    obs::Counter& lp_solves;
+    obs::Counter& nodes_explored;
+    obs::Counter& warm_start_hits;
+    obs::Counter& warm_start_misses;
+    obs::Counter& heuristic_incumbents;
+    obs::Histogram& wall;
+  };
+  static Metrics metrics = [] {
+    obs::Registry& r = obs::Registry::global();
+    return Metrics{
+        r.counter("madpipe_solver_pivots_total",
+                  "Simplex pivots (primal + dual), all MILP solves"),
+        r.counter("madpipe_solver_phase1_iterations_total",
+                  "Pivots spent driving artificials out"),
+        r.counter("madpipe_solver_phase2_iterations_total",
+                  "Pivots on the real objective"),
+        r.counter("madpipe_solver_dual_iterations_total",
+                  "Dual-simplex pivots (warm restarts)"),
+        r.counter("madpipe_solver_bland_pivots_total",
+                  "Pivots under the anti-cycling fallback"),
+        r.counter("madpipe_solver_lp_solves_total",
+                  "Calls into the simplex"),
+        r.counter("madpipe_solver_bb_nodes_total",
+                  "Branch-and-bound nodes explored (MILP)"),
+        r.counter("madpipe_solver_warm_start_hits_total",
+                  "LP solves restarted from a prior basis"),
+        r.counter("madpipe_solver_warm_start_misses_total",
+                  "Warm bases offered but unusable"),
+        r.counter("madpipe_solver_heuristic_incumbents_total",
+                  "Incumbents found by LP rounding"),
+        r.histogram("madpipe_solver_wall_seconds",
+                    obs::latency_bounds_seconds(),
+                    "Wall time per top-level MILP solve"),
+    };
+  }();
+  metrics.pivots.add(pivots);
+  metrics.phase1_iterations.add(phase1_iterations);
+  metrics.phase2_iterations.add(phase2_iterations);
+  metrics.dual_iterations.add(dual_iterations);
+  metrics.bland_pivots.add(bland_pivots);
+  metrics.lp_solves.add(lp_solves);
+  metrics.nodes_explored.add(nodes_explored);
+  metrics.warm_start_hits.add(warm_start_hits);
+  metrics.warm_start_misses.add(warm_start_misses);
+  metrics.heuristic_incumbents.add(heuristic_incumbents);
+  metrics.wall.observe(wall_seconds);
 }
 
 }  // namespace madpipe::solver

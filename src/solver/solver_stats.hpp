@@ -33,6 +33,13 @@ struct SolverStats {
 
   /// Append this block as one JSON object value (the caller writes the key).
   void write_json(json::Writer& writer) const;
+
+  /// Add this block into the process-wide obs::Registry (the cumulative
+  /// madpipe_solver_* counters and the solve-wall histogram). Called once
+  /// per top-level solve_milp so registry totals aggregate per MILP solve;
+  /// the struct's own fields are unchanged (they remain the per-run view).
+  /// Thread-safe (relaxed atomic adds).
+  void publish() const;
 };
 
 }  // namespace madpipe::solver

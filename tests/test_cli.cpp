@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "models/profile_io.hpp"
@@ -142,6 +143,59 @@ TEST(Cli, ServeStdinLoopAnswersLineByLine) {
   EXPECT_EQ(parsed.value.string_or("id", ""), "s");
   EXPECT_EQ(parsed.value.string_or("status", ""), "ok");
   std::remove(profile.c_str());
+}
+
+// The observability acceptance path: a cold request served through
+// `madpipe serve --stdin --trace-out=...` must produce a valid Chrome
+// trace containing spans from all three categories — serve (request
+// lifecycle), planner (bisection + DP probes) and solver (phase-2
+// scheduler probes). Uses the committed examples/serve_request.json.
+// Excluded from the sanitizer CI jobs (CliTrace.*) — it plans the real
+// ResNet-50 workload, which is seconds in Release but minutes under ASan.
+TEST(CliTrace, ServeStdinTraceOutHasAllCategories) {
+  const std::string requests =
+      std::string(MADPIPE_SOURCE_DIR) + "/examples/serve_request.json";
+  const std::string trace_path = ::testing::TempDir() + "/cli_trace.json";
+  const std::string command = std::string(MADPIPE_CLI_BIN) +
+                              " serve --stdin --trace-out=" + trace_path +
+                              " < " + requests + " 2>/dev/null";
+  std::string output;
+  FILE* pipe = ::popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, n);
+  }
+  const int status = ::pclose(pipe);
+  ASSERT_TRUE(status >= 0 && WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0) << output;
+  // Both responses (cold + hit) answered ok, with the requested phase
+  // timings present.
+  EXPECT_NE(output.find("\"status\":\"ok\""), std::string::npos) << output;
+  EXPECT_NE(output.find("\"phases\""), std::string::npos) << output;
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << trace_path;
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const json::ParseResult parsed = json::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const json::Value* events = parsed.value.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_serve = false, saw_planner = false, saw_solver = false;
+  for (const json::Value& event : events->items()) {
+    if (event.string_or("ph", "") != "X") continue;
+    const std::string cat = event.string_or("cat", "");
+    saw_serve = saw_serve || cat == "serve";
+    saw_planner = saw_planner || cat == "planner";
+    saw_solver = saw_solver || cat == "solver";
+  }
+  EXPECT_TRUE(saw_serve) << text.substr(0, 2000);
+  EXPECT_TRUE(saw_planner) << text.substr(0, 2000);
+  EXPECT_TRUE(saw_solver) << text.substr(0, 2000);
+  std::remove(trace_path.c_str());
 }
 
 }  // namespace

@@ -11,8 +11,14 @@ Supported schemas:
     planner run, and the cache-hit speedup must stay above the 100x floor;
     --reference additionally pins the equivalence periods/allocations to
     the committed baseline.
+  * madpipe-bench-solver-v1 (bench_solver): structural checks on the LP /
+    MILP workload records; --reference pins each workload's solver status
+    (optimal/feasible) — timings and node counts are machine-dependent,
+    the verdicts are not.
 
-Stdlib only; exits non-zero with a message on the first violation.
+Field-by-field documentation of all three documents lives in
+docs/BENCH_SCHEMAS.md. Stdlib only; exits non-zero with a message on the
+first violation.
 """
 
 import argparse
@@ -22,6 +28,7 @@ import sys
 
 PLANNER_SCHEMA = "madpipe-bench-planner-v1"
 SERVE_SCHEMA = "madpipe-bench-serve-v1"
+SOLVER_SCHEMA = "madpipe-bench-solver-v1"
 
 # ISSUE acceptance floor: a cache hit must be at least this much faster than
 # a cold plan of the same request.
@@ -234,9 +241,64 @@ def check_serve_reference(current, reference):
           "reference (periods and allocations identical)")
 
 
+SOLVER_WORKLOAD_FIELDS = {
+    "name": str,
+    "repeats": int,
+    "wall_seconds": (int, float),
+    "per_solve_seconds": (int, float),
+    "nodes": int,
+    "nodes_per_sec": (int, float),
+    "pivots": int,
+    "pivots_per_sec": (int, float),
+    "warm_start_hits": int,
+    "status": str,
+}
+
+SOLVER_STATUSES = {"optimal", "feasible", "infeasible", "unbounded", "limit",
+                   "phase1-infeasible", "?"}
+
+
+def check_solver_document(doc, path):
+    if doc.get("schema") != SOLVER_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             f"expected {SOLVER_SCHEMA!r}")
+    if not isinstance(doc.get("solver_stats_instrumented"), bool):
+        fail(f"{path}: solver_stats_instrumented must be a bool")
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        fail(f"{path}: workloads must be a non-empty array")
+    for record in workloads:
+        where = f"{path}: workload {record.get('name', '?')!r}"
+        check_fields(record, SOLVER_WORKLOAD_FIELDS, where)
+        if record["repeats"] < 1:
+            fail(f"{where}: repeats must be >= 1")
+        if record["per_solve_seconds"] < 0 or record["wall_seconds"] < 0:
+            fail(f"{where}: negative timing")
+        if record["status"] not in SOLVER_STATUSES:
+            fail(f"{where}: unknown status {record['status']!r}")
+    names = [record["name"] for record in workloads]
+    if len(set(names)) != len(names):
+        fail(f"{path}: duplicate workload names")
+    return {record["name"]: record for record in workloads}
+
+
+def check_solver_reference(current, reference):
+    shared = sorted(set(current) & set(reference))
+    if not shared:
+        fail("no workloads shared with the reference file")
+    for name in shared:
+        cur, ref = current[name], reference[name]
+        if cur["status"] != ref["status"]:
+            fail(f"{name}: status {cur['status']!r} != reference "
+                 f"{ref['status']!r}")
+    print(f"check_bench_schema: {len(shared)} workloads match the reference "
+          "(solver statuses identical)")
+
+
 CHECKERS = {
     PLANNER_SCHEMA: (check_planner_document, check_planner_reference),
     SERVE_SCHEMA: (check_serve_document, check_serve_reference),
+    SOLVER_SCHEMA: (check_solver_document, check_solver_reference),
 }
 
 

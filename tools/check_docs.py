@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Keep the documentation from drifting away from the repo.
+
+Two checks, stdlib only, no build required:
+
+  1. Markdown links: every relative link/image target in the repo's
+     markdown files must resolve to an existing file or directory
+     (anchors are stripped; http(s)/mailto links are skipped). Catches
+     renamed or deleted files that docs still point to.
+
+  2. CLI subcommands: every `madpipe <subcommand>` invocation shown in the
+     markdown files must be a subcommand the CLI actually dispatches.
+     The authoritative list is parsed from the `usage: madpipe <...>`
+     line in tools/madpipe_cli.cpp, so the check works pre-build; pass
+     --madpipe PATH to verify against a built binary's --help output
+     instead.
+
+Exit status is non-zero with one line per violation. Run from anywhere:
+paths are resolved relative to the repository root (this script's
+parent's parent).
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Markdown files subject to both checks. Directories are scanned
+# non-recursively so build trees and third-party checkouts stay out.
+DOC_GLOBS = ["*.md", "docs/*.md"]
+
+# [text](target) and ![alt](target); inline code spans are removed first.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+# `madpipe <word>` where <word> looks like a subcommand (not an option or
+# a placeholder like <profile>).
+SUBCOMMAND_RE = re.compile(r"\bmadpipe\s+([a-z][a-z0-9_-]*)\b")
+
+# Words that follow "madpipe" in prose without being subcommands.
+PROSE_WHITELIST = {
+    "serve",  # always a real subcommand, listed for clarity
+}
+
+
+def doc_files():
+    files = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO.glob(pattern)))
+    return files
+
+
+def iter_prose_lines(text):
+    """Markdown lines outside fenced code blocks, plus fenced shell lines
+    (fenced blocks are where CLI invocations live; links live in prose)."""
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        yield line, in_fence
+
+
+def check_links(path, text, errors):
+    for line, in_fence in iter_prose_lines(text):
+        if in_fence:
+            continue
+        stripped = CODE_SPAN_RE.sub("", line)
+        for target in LINK_RE.findall(stripped):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            target = target.split("#", 1)[0]
+            if not target:  # pure in-page anchor
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO)}: broken link "
+                              f"-> {target}")
+
+
+def subcommands_from_source():
+    source = (REPO / "tools" / "madpipe_cli.cpp").read_text()
+    match = re.search(r'"usage: madpipe "\s*"<([a-z|]+)>', source)
+    if not match:
+        sys.exit("check_docs: cannot find the usage line in madpipe_cli.cpp")
+    return set(match.group(1).split("|"))
+
+
+def subcommands_from_binary(binary):
+    # usage() prints to stderr and exits 2; any run without args shows it.
+    proc = subprocess.run([binary], capture_output=True, text=True)
+    match = re.search(r"usage: madpipe <([a-z|]+)>", proc.stderr + proc.stdout)
+    if not match:
+        sys.exit(f"check_docs: {binary} printed no recognizable usage line")
+    return set(match.group(1).split("|"))
+
+
+def check_subcommands(path, text, known, errors):
+    for line, in_fence in iter_prose_lines(text):
+        for word in SUBCOMMAND_RE.findall(line):
+            if word in known or word in PROSE_WHITELIST:
+                continue
+            # Skip flag-like and clearly-prose continuations ("madpipe is",
+            # "madpipe serves", option mentions, paper name usage).
+            if not in_fence:
+                continue
+            errors.append(f"{path.relative_to(REPO)}: `madpipe {word}` is "
+                          f"not a CLI subcommand (known: {sorted(known)})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--madpipe", metavar="PATH",
+                        help="built madpipe binary to read subcommands from "
+                             "(default: parse tools/madpipe_cli.cpp)")
+    args = parser.parse_args()
+
+    known = (subcommands_from_binary(args.madpipe) if args.madpipe
+             else subcommands_from_source())
+
+    errors = []
+    files = doc_files()
+    for path in files:
+        text = path.read_text()
+        check_links(path, text, errors)
+        check_subcommands(path, text, known, errors)
+
+    for error in errors:
+        print(f"check_docs: FAIL: {error}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print(f"check_docs: OK ({len(files)} files, "
+          f"subcommands: {', '.join(sorted(known))})")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,8 +40,22 @@
 //       --stdin switches to a line loop: each input line is one request
 //       document, each output line the matching response.
 //
+//   madpipe stats [FILE]
+//       Render a --metrics-out JSON dump (madpipe-metrics-v1) as
+//       Prometheus-style text. Without FILE, dump this process's own
+//       registry (mostly useful from tests; a fresh CLI process has only
+//       empty metrics).
+//
+//   madpipe solver|planner|serve [--trace-out FILE] [--metrics-out FILE]
+//       Observability sinks, available on the three planning-pipeline
+//       commands: --trace-out records obs::Span events and writes a Chrome
+//       trace-event document on exit (open in chrome://tracing or
+//       https://ui.perfetto.dev); --metrics-out writes the cumulative
+//       metrics registry as JSON (render with `madpipe stats FILE`).
+//
 //   madpipe --version
 //       Print the version and exit.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +73,8 @@
 #include "madpipe/search.hpp"
 #include "models/profile_io.hpp"
 #include "models/zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipedream/pipedream.hpp"
 #include "schedule/gpipe.hpp"
 #include "schedule/recompute.hpp"
@@ -67,6 +83,7 @@
 #include "sim/event_sim.hpp"
 #include "sim/trace.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 
 using namespace madpipe;
 
@@ -89,6 +106,8 @@ struct Args {
   std::string output;
   std::string json_path;
   std::string trace_path;
+  std::string trace_out;    ///< obs span trace (Chrome trace-event JSON)
+  std::string metrics_out;  ///< obs registry dump (madpipe-metrics-v1 JSON)
   // serve
   std::string requests_path;
   int workers = 2;
@@ -106,7 +125,8 @@ struct Args {
   if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
   std::fprintf(stderr,
                "usage: madpipe "
-               "<profile|plan|simulate|hybrid|solver|planner|serve> ...\n"
+               "<profile|plan|simulate|hybrid|solver|planner|serve|stats> "
+               "...\n"
                "  profile <network> [-o FILE] [--image N] [--batch N] "
                "[--length N]\n"
                "  plan <profile> [--planner NAME] [--gpus N] [--memory-gb X]\n"
@@ -121,6 +141,10 @@ struct Args {
                "        [--shards N] [--cache-mb X] [--ttl-s X] "
                "[--deadline-ms X]\n"
                "        [--repeat N] [--stats] [--stdin]\n"
+               "  stats [FILE]        render a --metrics-out dump as "
+               "Prometheus text\n"
+               "  solver|planner|serve also accept [--trace-out FILE] "
+               "[--metrics-out FILE]\n"
                "  --version\n");
   std::exit(2);
 }
@@ -128,8 +152,17 @@ struct Args {
 Args parse(int argc, char** argv) {
   Args args;
   for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept both `--opt value` and `--opt=value`.
+    std::optional<std::string> inline_value;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+      }
+    }
     const auto next_value = [&]() -> std::string {
+      if (inline_value.has_value()) return *inline_value;
       if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
       return argv[++i];
     };
@@ -179,6 +212,10 @@ Args parse(int argc, char** argv) {
       args.json_path = next_value();
     } else if (arg == "--trace") {
       args.trace_path = next_value();
+    } else if (arg == "--trace-out") {
+      args.trace_out = next_value();
+    } else if (arg == "--metrics-out") {
+      args.metrics_out = next_value();
     } else if (!arg.empty() && arg[0] == '-') {
       usage(("unknown option " + arg).c_str());
     } else {
@@ -196,6 +233,38 @@ void write_file(const std::string& path, const std::string& content) {
   }
   out << content;
 }
+
+/// Observability sinks for the solver/planner/serve commands: arms span
+/// tracing when --trace-out was given, and on destruction writes the Chrome
+/// trace and/or the metrics-registry JSON dump.
+class ObsSinks {
+ public:
+  explicit ObsSinks(const Args& args)
+      : trace_path_(args.trace_out), metrics_path_(args.metrics_out) {
+    if (!trace_path_.empty()) obs::install_trace();
+  }
+  ~ObsSinks() {
+    if (!trace_path_.empty()) {
+      obs::uninstall_trace();
+      write_file(trace_path_, obs::trace_to_chrome_json());
+      std::fprintf(stderr,
+                   "trace -> %s (open in chrome://tracing or Perfetto)\n",
+                   trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      write_file(metrics_path_, obs::Registry::global().json());
+      std::fprintf(stderr, "metrics -> %s (render: madpipe stats %s)\n",
+                   metrics_path_.c_str(), metrics_path_.c_str());
+    }
+  }
+
+  ObsSinks(const ObsSinks&) = delete;
+  ObsSinks& operator=(const ObsSinks&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 int cmd_profile(const Args& args) {
   if (args.positional.empty()) usage("profile needs a network name");
@@ -299,6 +368,7 @@ int cmd_plan(const Args& args, bool simulate) {
 
 int cmd_solver(const Args& args) {
   if (args.positional.empty()) usage("solver needs a profile file");
+  const ObsSinks sinks(args);
   const Chain chain = models::load_profile(args.positional[0]);
   const Platform platform{args.gpus, args.memory_gb * GB,
                           args.bandwidth_gbs * GB};
@@ -341,6 +411,7 @@ int cmd_solver(const Args& args) {
 
 int cmd_planner(const Args& args) {
   if (args.positional.empty()) usage("planner needs a profile file");
+  const ObsSinks sinks(args);
   const Chain chain = models::load_profile(args.positional[0]);
   const Platform platform{args.gpus, args.memory_gb * GB,
                           args.bandwidth_gbs * GB};
@@ -448,6 +519,7 @@ std::vector<serve::PlanResponse> serve_document(serve::PlanService& service,
 }
 
 int cmd_serve(const Args& args) {
+  const ObsSinks sinks(args);
   serve::PlanService service(serve_options(args));
 
   if (args.stdin_loop) {
@@ -519,6 +591,123 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+std::string stats_format_double(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return buffer;
+}
+
+/// Render one madpipe-metrics-v1 dump (see obs::Registry::write_json) as
+/// the same Prometheus-style text Registry::text() produces.
+int render_metrics_dump(const json::Value& root) {
+  if (!root.is_object()) {
+    std::fprintf(stderr, "error: metrics dump must be a JSON object\n");
+    return 1;
+  }
+  const json::Value* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != obs::kMetricsSchema) {
+    std::fprintf(stderr, "error: expected schema \"%s\"\n",
+                 obs::kMetricsSchema);
+    return 1;
+  }
+  const auto help_of = [](const json::Value& entry) -> std::string {
+    const json::Value* help = entry.find("help");
+    return help != nullptr && help->is_string() ? help->as_string() : "";
+  };
+  const auto name_of = [](const json::Value& entry) -> std::string {
+    const json::Value* name = entry.find("name");
+    return name != nullptr && name->is_string() ? name->as_string() : "";
+  };
+  std::string out;
+  const auto entries_of = [&](const char* key) {
+    const json::Value* list = root.find(key);
+    return list != nullptr && list->is_array() ? &list->items() : nullptr;
+  };
+  if (const auto* counters = entries_of("counters")) {
+    for (const json::Value& entry : *counters) {
+      const std::string name = name_of(entry);
+      const json::Value* value = entry.find("value");
+      if (name.empty() || value == nullptr || !value->is_number()) continue;
+      if (!help_of(entry).empty())
+        out += "# HELP " + name + " " + help_of(entry) + "\n";
+      out += "# TYPE " + name + " counter\n";
+      out += name + " " + stats_format_double(value->as_number()) + "\n";
+    }
+  }
+  if (const auto* gauges = entries_of("gauges")) {
+    for (const json::Value& entry : *gauges) {
+      const std::string name = name_of(entry);
+      const json::Value* value = entry.find("value");
+      if (name.empty() || value == nullptr || !value->is_number()) continue;
+      if (!help_of(entry).empty())
+        out += "# HELP " + name + " " + help_of(entry) + "\n";
+      out += "# TYPE " + name + " gauge\n";
+      out += name + " " + stats_format_double(value->as_number()) + "\n";
+    }
+  }
+  if (const auto* histograms = entries_of("histograms")) {
+    for (const json::Value& entry : *histograms) {
+      const std::string name = name_of(entry);
+      const json::Value* bounds = entry.find("bounds");
+      const json::Value* buckets = entry.find("bucket_counts");
+      const json::Value* sum = entry.find("sum");
+      const json::Value* count = entry.find("count");
+      if (name.empty() || bounds == nullptr || !bounds->is_array() ||
+          buckets == nullptr || !buckets->is_array() || sum == nullptr ||
+          count == nullptr ||
+          buckets->items().size() != bounds->items().size() + 1) {
+        continue;
+      }
+      if (!help_of(entry).empty())
+        out += "# HELP " + name + " " + help_of(entry) + "\n";
+      out += "# TYPE " + name + " histogram\n";
+      double cumulative = 0;
+      for (std::size_t i = 0; i < bounds->items().size(); ++i) {
+        cumulative += buckets->items()[i].as_number();
+        out += name + "_bucket{le=\"" +
+               stats_format_double(bounds->items()[i].as_number()) + "\"} " +
+               stats_format_double(cumulative) + "\n";
+      }
+      cumulative += buckets->items().back().as_number();
+      out += name + "_bucket{le=\"+Inf\"} " + stats_format_double(cumulative) +
+             "\n";
+      out += name + "_sum " + stats_format_double(sum->as_number()) + "\n";
+      out += name + "_count " + stats_format_double(count->as_number()) + "\n";
+    }
+  }
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  if (args.positional.empty()) {
+    // No dump file: this process's own registry (empty metrics included, so
+    // the output shape is visible even in a fresh process).
+    std::fputs(obs::Registry::global().text().c_str(), stdout);
+    return 0;
+  }
+  std::ifstream in(args.positional[0]);
+  if (!in.good()) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 args.positional[0].c_str());
+    return 1;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const json::ParseResult parsed = json::parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", args.positional[0].c_str(),
+                 parsed.error.c_str());
+    return 1;
+  }
+  return render_metrics_dump(parsed.value);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -537,6 +726,7 @@ int main(int argc, char** argv) {
     if (command == "solver") return cmd_solver(args);
     if (command == "planner") return cmd_planner(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "stats") return cmd_stats(args);
     usage(("unknown command " + command).c_str());
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
