@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipedream/pipedream.hpp"
+#include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/threading.hpp"
 
@@ -105,26 +106,25 @@ std::string period_cell(const PlannerOutcome& outcome, double scale) {
 }
 
 bool ObsSinkArgs::parse(int argc, char** argv, int* i) {
-  const std::string arg = argv[*i];
-  const auto value = [&](const std::string& name) -> std::string {
-    if (arg.size() > name.size() && arg[name.size()] == '=') {
-      return arg.substr(name.size() + 1);  // --flag=FILE
-    }
-    if (*i + 1 >= argc) {
-      std::fprintf(stderr, "error: missing value for %s\n", name.c_str());
-      std::exit(2);
-    }
-    return argv[++*i];
-  };
-  if (arg.rfind("--trace-out", 0) == 0) {
-    trace_out = value("--trace-out");
-    return true;
+  // Shared `--opt value` / `--opt=value` splitting (util/cli.hpp): exact
+  // flag-name matching — the old hand-rolled prefix check here accepted
+  // mistyped flags like --trace-outX.
+  const cli::OptionArg option = cli::split_option(argv[*i]);
+  if (option.name != "--trace-out" && option.name != "--metrics-out") {
+    return false;
   }
-  if (arg.rfind("--metrics-out", 0) == 0) {
-    metrics_out = value("--metrics-out");
-    return true;
+  const std::optional<std::string> value =
+      cli::take_value(option, argc, argv, i);
+  if (!value.has_value()) {
+    std::fprintf(stderr, "error: missing value for %s\n", option.name.c_str());
+    std::exit(2);
   }
-  return false;
+  if (option.name == "--trace-out") {
+    trace_out = *value;
+  } else {
+    metrics_out = *value;
+  }
+  return true;
 }
 
 void ObsSinkArgs::install() const {

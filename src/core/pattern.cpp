@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 
 namespace madpipe {
@@ -85,6 +86,47 @@ struct Interval {
   const PatternOp* op;
 };
 
+/// The event sweep shared by validate_pattern and sweep_processor_memory:
+/// evaluate the in-flight activation bytes of `stages` at every F/B
+/// completion instant (mod T). `fwd`/`bwd` are indexed by stage.
+MemorySweep sweep_memory_events(const std::vector<const PatternOp*>& fwd,
+                                const std::vector<const PatternOp*>& bwd,
+                                const std::vector<int>& stages,
+                                const Partitioning& parts, const Chain& chain,
+                                Seconds T, double tol) {
+  MemorySweep sweep;
+  sweep.stages = stages;
+  sweep.stage_max_inflight.assign(stages.size(), 0);
+
+  // Event times: all F/B completion instants (mod T) on this processor.
+  std::vector<Seconds> events{0.0};
+  for (const int s : stages) {
+    events.push_back(std::fmod(fwd[s]->start + fwd[s]->duration, T));
+    events.push_back(std::fmod(bwd[s]->start + bwd[s]->duration, T));
+  }
+
+  for (const Seconds tau : events) {
+    Bytes inflight_bytes = 0.0;
+    for (std::size_t j = 0; j < stages.size(); ++j) {
+      const int s = stages[j];
+      const long long q = inflight_at(*fwd[s], *bwd[s], tau, T, tol);
+      if (q < 0) {
+        sweep.error = "negative in-flight count for stage " +
+                      std::to_string(s) + " (backward ahead of forward)";
+        return sweep;
+      }
+      sweep.stage_max_inflight[j] =
+          std::max(sweep.stage_max_inflight[j], static_cast<int>(q));
+      inflight_bytes += static_cast<double>(q) *
+                        parts.stage_stored_activations(chain, s);
+    }
+    sweep.points.push_back({tau, inflight_bytes});
+    sweep.peak_activation_bytes =
+        std::max(sweep.peak_activation_bytes, inflight_bytes);
+  }
+  return sweep;
+}
+
 std::string op_name(const PatternOp& op) {
   std::ostringstream os;
   os << to_string(op.kind) << "[stage " << op.stage << " on "
@@ -135,10 +177,43 @@ void check_resource_packing(const std::vector<Interval>& intervals,
 
 }  // namespace
 
+MemorySweep sweep_processor_memory(const PeriodicPattern& pattern,
+                                   const Allocation& allocation,
+                                   const Chain& chain, int processor,
+                                   double tolerance) {
+  const Partitioning& parts = allocation.partitioning();
+  const int num_stages = parts.num_stages();
+  std::vector<const PatternOp*> fwd(num_stages, nullptr);
+  std::vector<const PatternOp*> bwd(num_stages, nullptr);
+  for (const PatternOp& op : pattern.ops) {
+    if (op.stage < 0 || op.stage >= num_stages) continue;
+    if (op.kind == OpKind::Forward && fwd[op.stage] == nullptr) {
+      fwd[op.stage] = &op;
+    } else if (op.kind == OpKind::Backward && bwd[op.stage] == nullptr) {
+      bwd[op.stage] = &op;
+    }
+  }
+  const std::vector<int> stages = allocation.stages_on(processor);
+  for (const int s : stages) {
+    if (fwd[s] == nullptr || bwd[s] == nullptr) {
+      MemorySweep sweep;
+      sweep.error =
+          "stage " + std::to_string(s) + " misses its F or B op";
+      return sweep;
+    }
+  }
+  return sweep_memory_events(fwd, bwd, stages, parts, chain, pattern.period,
+                             tolerance);
+}
+
 ValidationResult validate_pattern(const PeriodicPattern& pattern,
                                   const Allocation& allocation,
                                   const Chain& chain, const Platform& platform,
                                   const ValidationOptions& options) {
+  obs::Span span("validate_pattern", obs::kCatVerify);
+  span.arg("ops", static_cast<long long>(pattern.ops.size()));
+  span.arg("stages",
+           static_cast<long long>(allocation.partitioning().num_stages()));
   ValidationResult result;
   const Seconds T = pattern.period;
   const double tol = options.tolerance;
@@ -265,31 +340,17 @@ ValidationResult validate_pattern(const PeriodicPattern& pattern,
     const std::vector<int> stages = allocation.stages_on(p);
     const Bytes static_mem = allocation.static_memory(chain, p);
 
-    // Event times: all F/B completion instants (mod T) on this processor.
-    std::vector<Seconds> events{0.0};
-    for (const int s : stages) {
-      events.push_back(std::fmod(fwd[s]->start + fwd[s]->duration, T));
-      events.push_back(std::fmod(bwd[s]->start + bwd[s]->duration, T));
+    const MemorySweep sweep =
+        sweep_memory_events(fwd, bwd, stages, parts, chain, T, tol);
+    if (!sweep.ok()) {
+      result.fail(sweep.error);
+      return result;
     }
-
-    Bytes peak_activations = 0.0;
-    for (const Seconds tau : events) {
-      Bytes inflight_bytes = 0.0;
-      for (const int s : stages) {
-        const long long q = inflight_at(*fwd[s], *bwd[s], tau, T, tol);
-        if (q < 0) {
-          result.fail("negative in-flight count for stage " +
-                      std::to_string(s) + " (backward ahead of forward)");
-          return result;
-        }
-        result.stage_active_batches[s] = std::max(
-            result.stage_active_batches[s], static_cast<int>(q));
-        inflight_bytes += static_cast<double>(q) *
-                          parts.stage_stored_activations(chain, s);
-      }
-      peak_activations = std::max(peak_activations, inflight_bytes);
+    for (std::size_t j = 0; j < stages.size(); ++j) {
+      result.stage_active_batches[stages[j]] = std::max(
+          result.stage_active_batches[stages[j]], sweep.stage_max_inflight[j]);
     }
-    result.processor_memory_peak[p] = static_mem + peak_activations;
+    result.processor_memory_peak[p] = static_mem + sweep.peak_activation_bytes;
 
     if (options.check_memory &&
         result.processor_memory_peak[p] >

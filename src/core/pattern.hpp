@@ -82,6 +82,35 @@ struct ValidationOptions {
   double tolerance = 1e-7;
 };
 
+/// One instant of a processor's steady-state activation occupancy.
+struct MemorySweepPoint {
+  Seconds time = 0.0;            ///< event instant in [0, T)
+  Bytes activation_bytes = 0.0;  ///< in-flight stored activations at `time`
+};
+
+/// Steady-state memory sweep of one processor: the in-flight activation
+/// bytes at every F/B completion instant (mod T) of the stages living on it.
+/// This is the exact event sweep `validate_pattern` checks memory with; the
+/// report subsystem builds its memory-over-time curves from the same data,
+/// so both sides agree bit for bit. The processor's total footprint at any
+/// point is Allocation::static_memory + activation_bytes.
+struct MemorySweep {
+  std::vector<MemorySweepPoint> points;  ///< sweep order, not time-sorted
+  Bytes peak_activation_bytes = 0.0;
+  std::vector<int> stages;             ///< stage indices on the processor
+  std::vector<int> stage_max_inflight; ///< parallel to `stages`
+  std::string error;  ///< non-empty when F/B ops are missing or inconsistent
+  bool ok() const { return error.empty(); }
+};
+
+/// Sweep the steady-state activation memory of `processor`. Fails (with a
+/// message in `error`) when the pattern misses a stage's F/B op or a stage's
+/// backward runs ahead of its forward.
+MemorySweep sweep_processor_memory(const PeriodicPattern& pattern,
+                                   const Allocation& allocation,
+                                   const Chain& chain, int processor,
+                                   double tolerance = 1e-7);
+
 struct ValidationResult {
   bool valid = true;
   std::vector<std::string> errors;

@@ -54,6 +54,40 @@ std::vector<double> latency_bounds_seconds() {
   return bounds;
 }
 
+double histogram_quantile(std::span<const double> bounds,
+                          std::span<const long long> bucket_counts, double q) {
+  long long total = 0;
+  for (const long long count : bucket_counts) total += count;
+  if (total <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(total);
+  long long cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const long long in_bucket = bucket_counts[i];
+    if (in_bucket <= 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double fraction =
+        (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+double histogram_quantile(const Histogram& histogram, double q) {
+  std::vector<long long> counts;
+  counts.reserve(histogram.bounds().size() + 1);
+  for (std::size_t i = 0; i <= histogram.bounds().size(); ++i) {
+    counts.push_back(histogram.bucket_count(i));
+  }
+  return histogram_quantile(histogram.bounds(), counts, q);
+}
+
 struct Registry::Entry {
   enum Kind { kCounter = 0, kGauge = 1, kHistogram = 2 };
   std::string name;

@@ -98,6 +98,18 @@ class Histogram {
 /// for the madpipe_*_seconds histograms.
 std::vector<double> latency_bounds_seconds();
 
+/// Prometheus-style quantile estimate from fixed buckets: find the bucket
+/// containing rank q·count and interpolate linearly inside it (the bucket's
+/// lower bound is the previous finite bound, or 0 for the first). Samples in
+/// the +Inf bucket clamp to the last finite bound — fixed buckets cannot say
+/// more. Returns 0 when the histogram is empty. `bucket_counts` are
+/// per-bucket (not cumulative) and must have bounds.size() + 1 entries.
+double histogram_quantile(std::span<const double> bounds,
+                          std::span<const long long> bucket_counts, double q);
+
+/// Convenience overload reading a live histogram.
+double histogram_quantile(const Histogram& histogram, double q);
+
 class Registry {
  public:
   /// The process-wide registry every built-in metric registers into.

@@ -187,13 +187,68 @@ void Span::finish() noexcept {
                      arg1_key_, arg1_value_, arg2_key_, arg2_value_);
 }
 
-void write_chrome_trace(json::Writer& writer,
-                        const std::vector<TraceEvent>& events) {
+void begin_chrome_trace(json::Writer& writer) {
   writer.begin_object();
   writer.key("displayTimeUnit");
   writer.value("ms");
   writer.key("traceEvents");
   writer.begin_array();
+}
+
+void end_chrome_trace(json::Writer& writer) {
+  writer.end_array();
+  writer.end_object();
+}
+
+void write_trace_metadata(json::Writer& writer, const char* what,
+                          long long pid, long long tid,
+                          const std::string& name) {
+  writer.begin_object();
+  writer.key("name");
+  writer.value(what);
+  writer.key("ph");
+  writer.value("M");
+  writer.key("pid");
+  writer.value(pid);
+  writer.key("tid");
+  writer.value(tid);
+  writer.key("args");
+  writer.begin_object();
+  writer.key("name");
+  writer.value(name);
+  writer.end_object();
+  writer.end_object();
+}
+
+void begin_complete_event(json::Writer& writer, const std::string& name,
+                          const std::string& category, long long pid,
+                          long long tid, double ts_us, double dur_us,
+                          const char* cname) {
+  writer.begin_object();
+  writer.key("name");
+  writer.value(name);
+  writer.key("cat");
+  writer.value(category);
+  writer.key("ph");
+  writer.value("X");
+  writer.key("pid");
+  writer.value(pid);
+  writer.key("tid");
+  writer.value(tid);
+  // Chrome trace timestamps are microseconds (fractions allowed).
+  writer.key("ts");
+  writer.value(ts_us);
+  writer.key("dur");
+  writer.value(dur_us);
+  if (cname != nullptr) {
+    writer.key("cname");
+    writer.value(cname);
+  }
+}
+
+void write_chrome_trace(json::Writer& writer,
+                        const std::vector<TraceEvent>& events) {
+  begin_chrome_trace(writer);
   // Thread-name metadata first, one per distinct tid.
   std::vector<std::uint32_t> tids;
   for (const TraceEvent& event : events) {
@@ -203,39 +258,16 @@ void write_chrome_trace(json::Writer& writer,
   }
   std::sort(tids.begin(), tids.end());
   for (const std::uint32_t tid : tids) {
-    writer.begin_object();
-    writer.key("name");
-    writer.value("thread_name");
-    writer.key("ph");
-    writer.value("M");
-    writer.key("pid");
-    writer.value(1);
-    writer.key("tid");
-    writer.value(static_cast<long long>(tid));
-    writer.key("args");
-    writer.begin_object();
-    writer.key("name");
-    writer.value("madpipe-" + std::to_string(tid));
-    writer.end_object();
-    writer.end_object();
+    write_trace_metadata(writer, "thread_name", 1, tid,
+                         "madpipe-" + std::to_string(tid));
   }
   for (const TraceEvent& event : events) {
-    writer.begin_object();
-    writer.key("name");
-    writer.value(event.name);
-    writer.key("cat");
-    writer.value(event.category != nullptr ? event.category : "madpipe");
-    writer.key("ph");
-    writer.value("X");
-    writer.key("pid");
-    writer.value(1);
-    writer.key("tid");
-    writer.value(static_cast<long long>(event.tid));
-    // Chrome trace timestamps are microseconds (fractions allowed).
-    writer.key("ts");
-    writer.value(static_cast<double>(event.start_ns) * 1e-3);
-    writer.key("dur");
-    writer.value(static_cast<double>(event.dur_ns) * 1e-3);
+    begin_complete_event(writer, event.name,
+                         event.category != nullptr ? event.category
+                                                   : "madpipe",
+                         1, static_cast<long long>(event.tid),
+                         static_cast<double>(event.start_ns) * 1e-3,
+                         static_cast<double>(event.dur_ns) * 1e-3);
     if (event.arg1_key != nullptr || event.arg2_key != nullptr) {
       writer.key("args");
       writer.begin_object();
@@ -251,8 +283,7 @@ void write_chrome_trace(json::Writer& writer,
     }
     writer.end_object();
   }
-  writer.end_array();
-  writer.end_object();
+  end_chrome_trace(writer);
 }
 
 std::string trace_to_chrome_json() {

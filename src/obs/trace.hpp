@@ -44,6 +44,10 @@ inline constexpr const char* kCatPlanner = "planner";
 /// Phase-2 scheduling solvers: the dense LP/MILP engines in src/solver/ and
 /// the cyclic branch-and-bound scheduler (the paper's ILP stand-in).
 inline constexpr const char* kCatSolver = "solver";
+/// Discrete-event execution of a pattern (sim/event_sim.cpp).
+inline constexpr const char* kCatSim = "sim";
+/// Exact pattern verification (core/pattern.cpp validate_pattern).
+inline constexpr const char* kCatVerify = "verify";
 
 namespace detail {
 /// Armed flag, read on the Span fast path. Do not touch directly.
@@ -100,6 +104,33 @@ void emit_complete(const char* name, const char* category,
 /// "traceEvents", one "X" event per TraceEvent, plus thread-name metadata).
 void write_chrome_trace(json::Writer& writer,
                         const std::vector<TraceEvent>& events);
+
+// --- Chrome trace-event building blocks ---------------------------------
+// The raw emission layer under write_chrome_trace, shared with every other
+// Chrome-trace producer in the tree (sim/trace.cpp, report/timeline_export).
+// A document is: begin_chrome_trace, any number of metadata/complete events,
+// end_chrome_trace.
+
+/// Open the document: {"displayTimeUnit":"ms","traceEvents":[. Pair with
+/// end_chrome_trace.
+void begin_chrome_trace(json::Writer& writer);
+
+/// Close the trace-events array and the document.
+void end_chrome_trace(json::Writer& writer);
+
+/// One "M" metadata record naming a viewer row: `what` is "process_name" or
+/// "thread_name", `name` the label shown for that pid/tid.
+void write_trace_metadata(json::Writer& writer, const char* what,
+                          long long pid, long long tid,
+                          const std::string& name);
+
+/// Open one "X" complete event (name/cat/ph/pid/tid/ts/dur, timestamps in
+/// microseconds; `cname` optionally picks a Chrome palette color). The
+/// caller may append an "args" object and MUST close with end_object().
+void begin_complete_event(json::Writer& writer, const std::string& name,
+                          const std::string& category, long long pid,
+                          long long tid, double ts_us, double dur_us,
+                          const char* cname = nullptr);
 
 /// drain_trace() + write_chrome_trace() as one string.
 std::string trace_to_chrome_json();

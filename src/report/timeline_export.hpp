@@ -1,0 +1,39 @@
+// Unrolled Chrome-trace export of a periodic pattern: one trace *process*
+// per platform resource (GPUs first, then links), `periods` repetitions of
+// the steady pattern, F/B/comm events colored by stage and annotated with
+// the mini-batch index. Load the output in chrome://tracing or Perfetto.
+//
+// This is the resource-centric companion of sim/trace.cpp's
+// pattern_to_chrome_trace (which puts all resources in one process as
+// threads); per-resource processes give each GPU and link its own group and
+// make per-GPU bubble gaps visually obvious. Both exporters share the JSON
+// emission helpers in obs/trace.hpp.
+#pragma once
+
+#include <string>
+
+#include "core/chain.hpp"
+#include "core/partition.hpp"
+#include "core/pattern.hpp"
+
+namespace madpipe::json {
+class Writer;
+}
+
+namespace madpipe::report {
+
+struct TimelineOptions {
+  int periods = 6;  ///< steady periods to unroll (fill phase included)
+};
+
+/// Append the unrolled timeline as one Chrome trace-event JSON document.
+void write_timeline(json::Writer& writer, const PeriodicPattern& pattern,
+                    const Allocation& allocation, const Chain& chain,
+                    const TimelineOptions& options = {});
+
+std::string timeline_to_chrome_json(const PeriodicPattern& pattern,
+                                    const Allocation& allocation,
+                                    const Chain& chain,
+                                    const TimelineOptions& options = {});
+
+}  // namespace madpipe::report

@@ -31,13 +31,13 @@ bool known_field(const std::string& key, const char* const* allowed,
 /// Per-request option knobs: a strict subset of MadPipeOptions (all fields
 /// that are part of the cache key; engine/speculation/workers knobs are
 /// result-invariant and stay server-side), plus the serve-level `timings`
-/// flag (request a phase-timing block in the response — never part of the
-/// cache key, it cannot change the plan).
+/// and `explain` flags (request a phase-timing block / an ExplainSummary in
+/// the response — never part of the cache key, they cannot change the plan).
 std::string parse_options(const json::Value& value, MadPipeOptions* options,
-                          bool* report_timings) {
+                          bool* report_timings, bool* report_explain) {
   static const char* const kAllowed[] = {
       "iterations", "max_states", "schedule_best_of", "relative_precision",
-      "timings"};
+      "timings", "explain"};
   for (const auto& member : value.members()) {
     if (!known_field(member.first, kAllowed, std::size(kAllowed)))
       return "unknown options field '" + member.first + "'";
@@ -68,6 +68,10 @@ std::string parse_options(const json::Value& value, MadPipeOptions* options,
   if (const json::Value* v = value.find("timings")) {
     if (!v->is_bool()) return "options.timings must be a boolean";
     *report_timings = v->as_bool();
+  }
+  if (const json::Value* v = value.find("explain")) {
+    if (!v->is_bool()) return "options.explain must be a boolean";
+    *report_explain = v->as_bool();
   }
   return "";
 }
@@ -223,12 +227,13 @@ RequestParse request_from_json(const json::Value& value) {
 
   MadPipeOptions options;
   bool report_timings = false;
+  bool report_explain = false;
   if (const json::Value* v = value.find("options")) {
     if (!v->is_object()) {
       parse.error = "options must be an object";
       return parse;
     }
-    parse.error = parse_options(*v, &options, &report_timings);
+    parse.error = parse_options(*v, &options, &report_timings, &report_explain);
     if (!parse.error.empty()) return parse;
   }
 
@@ -239,7 +244,8 @@ RequestParse request_from_json(const json::Value& value) {
                       planner,
                       options,
                       deadline_seconds,
-                      report_timings};
+                      report_timings,
+                      report_explain};
   try {
     request.platform.validate();
   } catch (const std::exception& exception) {
@@ -306,6 +312,30 @@ void write_response(json::Writer& writer, const PlanResponse& response,
     writer.value(response.phases->queue_seconds * 1e3);
     writer.key("plan_ms");
     writer.value(response.phases->plan_seconds * 1e3);
+    writer.end_object();
+  }
+  if (response.explain.has_value()) {
+    const report::ExplainSummary& s = *response.explain;
+    writer.key("explain");
+    writer.begin_object();
+    writer.key("period");
+    writer.value(s.period);
+    writer.key("critical_resource");
+    writer.value(s.critical_resource);
+    writer.key("critical_utilization");
+    writer.value(s.critical_utilization);
+    writer.key("bubble_fraction");
+    writer.value(s.bubble_fraction);
+    writer.key("mean_gpu_utilization");
+    writer.value(s.mean_gpu_utilization);
+    writer.key("memory_peak_bytes");
+    writer.value(s.memory_peak_bytes);
+    writer.key("memory_headroom_bytes");
+    writer.value(s.memory_headroom_bytes);
+    writer.key("binding_gpu");
+    writer.value(s.binding_gpu);
+    writer.key("binding_term");
+    writer.value(report::to_string(s.binding_term));
     writer.end_object();
   }
   if (!response.error.empty()) {

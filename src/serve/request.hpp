@@ -64,6 +64,11 @@ struct PlanRequest {
   /// `options.timings`. Deliberately excluded from the cache key: timing
   /// reporting never changes the plan.
   bool report_timings = false;
+  /// Attach an ExplainSummary (bottleneck + memory watermark, see
+  /// report/plan_report.hpp) to the response. Protocol option
+  /// `options.explain`. Like `timings`, excluded from the cache key:
+  /// explaining a plan never changes it.
+  bool report_explain = false;
 };
 
 /// A canonicalized request: the normalized profile/platform the planner

@@ -57,6 +57,10 @@ ServeMetrics& serve_metrics() {
                 "64-bit key matched, fingerprint did not (snapshot mirror)"),
         r.gauge("madpipe_serve_cache_entries", "Plan-cache entries"),
         r.gauge("madpipe_serve_cache_bytes", "Plan-cache resident bytes"),
+        r.gauge("madpipe_schedule_utilization",
+                "Mean GPU utilization of the last explained plan"),
+        r.gauge("madpipe_memory_headroom_bytes",
+                "Min per-GPU memory headroom of the last explained plan"),
         r.histogram("madpipe_serve_hit_latency_seconds",
                     obs::latency_bounds_seconds(),
                     "submit-to-complete latency of cache hits"),

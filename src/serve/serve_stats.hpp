@@ -69,6 +69,11 @@ struct ServeMetrics {
   obs::Gauge& key_collisions;
   obs::Gauge& cache_entries;
   obs::Gauge& cache_bytes;
+  /// Last served plan's mean GPU utilization / min memory headroom (request
+  /// units). Refreshed whenever a response carries an ExplainSummary
+  /// (options.explain), so dashboards can watch plan quality live.
+  obs::Gauge& schedule_utilization;
+  obs::Gauge& memory_headroom_bytes;
   obs::Histogram& hit_latency;
   obs::Histogram& miss_latency;
 };

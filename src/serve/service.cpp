@@ -82,6 +82,17 @@ std::future<PlanResponse> PlanService::submit(PlanRequest request) {
     if (cached->feasible()) {
       response.status = ResponseStatus::Ok;
       response.plan = denormalize_plan(*cached->plan, canonical.time_unit);
+      if (request.report_explain) {
+        // The request's own chain/platform are at hand here, so summarize the
+        // denormalized plan directly (bit-identical to summarizing the
+        // canonical plan and rescaling: the units are powers of two).
+        response.explain = report::build_explain_summary(
+            *response.plan, request.chain, request.platform);
+        serve_metrics().schedule_utilization.set(
+            response.explain->mean_gpu_utilization);
+        serve_metrics().memory_headroom_bytes.set(
+            response.explain->memory_headroom_bytes);
+      }
     } else {
       response.status = ResponseStatus::Infeasible;
     }
@@ -114,7 +125,9 @@ std::future<PlanResponse> PlanService::submit(PlanRequest request) {
   waiter->id = request.id;
   waiter->submitted = submitted;
   waiter->time_unit = canonical.time_unit;
+  waiter->byte_unit = canonical.byte_unit;
   waiter->report_timings = request.report_timings;
+  waiter->report_explain = request.report_explain;
   waiter->cache_seconds = cache_seconds;
 
   {
@@ -274,6 +287,19 @@ void PlanService::run_job(Job& job) {
     }
   }
 
+  // With the registration retired no new waiter can attach, so the waiter
+  // list is final: compute the canonical-unit summary once if anyone asked
+  // for it (fulfill rescales it per waiter).
+  std::optional<report::ExplainSummary> canonical_summary;
+  if (status == ResponseStatus::Ok) {
+    for (const std::unique_ptr<Waiter>& waiter : job.pending->waiters) {
+      if (!waiter->report_explain) continue;
+      canonical_summary = report::build_explain_summary(
+          *cached.plan, job.canonical.chain, job.canonical.platform);
+      break;
+    }
+  }
+
   // Count the miss before fulfilling: a caller woken by its future must see
   // a stats snapshot that already includes its own request.
   serve_metrics().misses.increment();
@@ -286,13 +312,14 @@ void PlanService::run_job(Job& job) {
     if (status == ResponseStatus::Error) ++counters_.errors;
   }
 
-  fulfill(*job.pending, cached, status, degraded, error, timings);
+  fulfill(*job.pending, cached, status, degraded, error, timings,
+          canonical_summary);
 }
 
-void PlanService::fulfill(Pending& pending, const CachedPlan& cached,
-                          ResponseStatus status, bool degraded,
-                          const std::string& error,
-                          const PhaseTimings& timings) {
+void PlanService::fulfill(
+    Pending& pending, const CachedPlan& cached, ResponseStatus status,
+    bool degraded, const std::string& error, const PhaseTimings& timings,
+    const std::optional<report::ExplainSummary>& canonical_summary) {
   for (std::unique_ptr<Waiter>& waiter : pending.waiters) {
     PlanResponse response;
     response.id = waiter->id;
@@ -302,6 +329,14 @@ void PlanService::fulfill(Pending& pending, const CachedPlan& cached,
     response.error = error;
     if (status == ResponseStatus::Ok) {
       response.plan = denormalize_plan(*cached.plan, waiter->time_unit);
+      if (waiter->report_explain && canonical_summary.has_value()) {
+        response.explain = report::scale_summary(
+            *canonical_summary, waiter->time_unit, waiter->byte_unit);
+        serve_metrics().schedule_utilization.set(
+            response.explain->mean_gpu_utilization);
+        serve_metrics().memory_headroom_bytes.set(
+            response.explain->memory_headroom_bytes);
+      }
     }
     response.latency_seconds = seconds_since(waiter->submitted);
     if (waiter->report_timings) {

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "report/plan_report.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/request.hpp"
 #include "serve/serve_stats.hpp"
@@ -72,6 +73,9 @@ struct PlanResponse {
   double latency_seconds = 0.0;  ///< submit → completion
   /// Present iff the request set report_timings.
   std::optional<PhaseTimings> phases;
+  /// Present iff the request set report_explain and a plan was produced.
+  /// Always in request units (canonical summaries are rescaled per waiter).
+  std::optional<report::ExplainSummary> explain;
 };
 
 struct ServiceOptions {
@@ -116,9 +120,11 @@ class PlanService {
     std::promise<PlanResponse> promise;
     std::string id;
     double time_unit = 1.0;  ///< for per-waiter denormalization
+    double byte_unit = 1.0;  ///< for per-waiter ExplainSummary rescaling
     std::chrono::steady_clock::time_point submitted;
     CacheOutcome outcome = CacheOutcome::Miss;
     bool report_timings = false;
+    bool report_explain = false;
     double cache_seconds = 0.0;  ///< this waiter's submit-side cache phase
   };
   /// One in-flight canonical computation and everyone waiting on it.
@@ -141,7 +147,8 @@ class PlanService {
   /// seconds are the job's and shared by every waiter.
   void fulfill(Pending& pending, const CachedPlan& cached,
                ResponseStatus status, bool degraded, const std::string& error,
-               const PhaseTimings& timings);
+               const PhaseTimings& timings,
+               const std::optional<report::ExplainSummary>& canonical_summary);
 
   ServiceOptions options_;
   ShardedPlanCache cache_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 
 namespace madpipe {
@@ -39,6 +40,9 @@ SimulationResult simulate_pattern(const PeriodicPattern& pattern,
                                   const SimulationOptions& options) {
   (void)platform;  // the pattern already embeds all platform-derived durations
   MP_EXPECT(options.batches >= 2, "simulate at least two batches");
+  obs::Span span("simulate_pattern", obs::kCatSim);
+  span.arg("batches", options.batches);
+  span.arg("ops", static_cast<long long>(pattern.ops.size()));
   const Partitioning& parts = allocation.partitioning();
   const int num_stages = parts.num_stages();
 

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 #include "util/format.hpp"
 #include "util/json.hpp"
@@ -97,29 +98,11 @@ std::string pattern_to_chrome_trace(const PeriodicPattern& pattern,
   for (auto& [resource, id] : row) id = next++;
 
   json::Writer w;
-  w.begin_object();
-  w.key("displayTimeUnit");
-  w.value("ms");
-  w.key("traceEvents");
-  w.begin_array();
+  obs::begin_chrome_trace(w);
 
   // Thread-name metadata so rows are labeled in the viewer.
   for (const auto& [resource, id] : row) {
-    w.begin_object();
-    w.key("name");
-    w.value("thread_name");
-    w.key("ph");
-    w.value("M");
-    w.key("pid");
-    w.value(0);
-    w.key("tid");
-    w.value(id);
-    w.key("args");
-    w.begin_object();
-    w.key("name");
-    w.value(resource.to_string());
-    w.end_object();
-    w.end_object();
+    obs::write_trace_metadata(w, "thread_name", 0, id, resource.to_string());
   }
 
   const double to_us = 1e6;
@@ -127,24 +110,15 @@ std::string pattern_to_chrome_trace(const PeriodicPattern& pattern,
     for (const PatternOp& op : pattern.ops) {
       const long long batch = period - op.shift;
       if (batch < 0) continue;  // before the pipeline filled
-      w.begin_object();
-      w.key("name");
-      w.value(std::string(to_string(op.kind)) + std::to_string(op.stage) +
-              " b" + std::to_string(batch));
-      w.key("cat");
-      w.value(op.kind == OpKind::Forward || op.kind == OpKind::Backward
-                  ? "compute"
-                  : "comm");
-      w.key("ph");
-      w.value("X");
-      w.key("pid");
-      w.value(0);
-      w.key("tid");
-      w.value(row.at(op.resource));
-      w.key("ts");
-      w.value((op.start + period * pattern.period) * to_us);
-      w.key("dur");
-      w.value(op.duration * to_us);
+      obs::begin_complete_event(
+          w,
+          std::string(to_string(op.kind)) + std::to_string(op.stage) + " b" +
+              std::to_string(batch),
+          op.kind == OpKind::Forward || op.kind == OpKind::Backward
+              ? "compute"
+              : "comm",
+          0, row.at(op.resource), (op.start + period * pattern.period) * to_us,
+          op.duration * to_us);
       w.key("args");
       w.begin_object();
       w.key("batch");
@@ -159,8 +133,7 @@ std::string pattern_to_chrome_trace(const PeriodicPattern& pattern,
       w.end_object();
     }
   }
-  w.end_array();
-  w.end_object();
+  obs::end_chrome_trace(w);
   return w.str();
 }
 

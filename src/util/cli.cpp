@@ -1,0 +1,27 @@
+#include "util/cli.hpp"
+
+namespace madpipe::cli {
+
+OptionArg split_option(std::string_view token) {
+  OptionArg arg;
+  if (token.size() > 2 && token.substr(0, 2) == "--") {
+    const std::size_t eq = token.find('=');
+    if (eq != std::string_view::npos) {
+      arg.name = std::string(token.substr(0, eq));
+      arg.inline_value = std::string(token.substr(eq + 1));
+      return arg;
+    }
+  }
+  arg.name = std::string(token);
+  return arg;
+}
+
+std::optional<std::string> take_value(const OptionArg& option, int argc,
+                                      char** argv, int* index) {
+  if (option.inline_value.has_value()) return option.inline_value;
+  if (*index + 1 >= argc) return std::nullopt;
+  ++*index;
+  return std::string(argv[*index]);
+}
+
+}  // namespace madpipe::cli

@@ -92,6 +92,86 @@ TEST(Cli, PlanOnTinyProfileSucceeds) {
   std::remove(profile.c_str());
 }
 
+// End-to-end `madpipe explain`: human report on stdout, strict explain-v1
+// JSON and an unrolled Chrome-trace timeline on disk. Deliberately mixes
+// the `--opt=value` and `--opt value` spellings — both go through the
+// shared util/cli.hpp parser.
+TEST(Cli, ExplainWritesReportJsonAndTimeline) {
+  const std::string profile = write_tiny_profile();
+  const std::string json_path = ::testing::TempDir() + "/cli_explain.json";
+  const std::string timeline_path =
+      ::testing::TempDir() + "/cli_timeline.json";
+  std::string output;
+  ASSERT_EQ(run_cli("explain " + profile + " --gpus=2 --memory-gb 2" +
+                        " --periods 3 --json=" + json_path +
+                        " --timeline-out " + timeline_path,
+                    &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("critical resource"), std::string::npos) << output;
+  EXPECT_NE(output.find("headroom"), std::string::npos) << output;
+
+  std::ifstream json_in(json_path);
+  ASSERT_TRUE(json_in.good());
+  const std::string json_text((std::istreambuf_iterator<char>(json_in)),
+                              std::istreambuf_iterator<char>());
+  const json::ParseResult report = json::parse(json_text);
+  ASSERT_TRUE(report.ok()) << report.error;
+  EXPECT_EQ(report.value.string_or("schema", ""), "madpipe-explain-v1");
+  const json::Value* memory = report.value.find("memory");
+  ASSERT_NE(memory, nullptr);
+  EXPECT_EQ(memory->items().size(), 2u);
+
+  std::ifstream timeline_in(timeline_path);
+  ASSERT_TRUE(timeline_in.good());
+  const std::string timeline_text(
+      (std::istreambuf_iterator<char>(timeline_in)),
+      std::istreambuf_iterator<char>());
+  const json::ParseResult timeline = json::parse(timeline_text);
+  ASSERT_TRUE(timeline.ok()) << timeline.error;
+  const json::Value* events = timeline.value.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int processes = 0, slices = 0;
+  for (const json::Value& event : events->items()) {
+    if (event.string_or("ph", "") == "M") ++processes;
+    if (event.string_or("ph", "") == "X") ++slices;
+  }
+  EXPECT_GE(processes, 3) << "2 GPUs + at least one link";  // one M each
+  EXPECT_GT(slices, 0);
+  std::remove(timeline_path.c_str());
+  std::remove(json_path.c_str());
+  std::remove(profile.c_str());
+}
+
+// `madpipe stats FILE` renders quantile estimates from the dumped buckets;
+// --buckets adds the raw cumulative bucket lines.
+TEST(Cli, StatsRendersQuantilesAndOptionalBuckets) {
+  const std::string profile = write_tiny_profile();
+  const std::string metrics_path =
+      ::testing::TempDir() + "/cli_metrics.json";
+  std::string output;
+  ASSERT_EQ(run_cli("explain " + profile + " --gpus 2 --memory-gb 2" +
+                        " --metrics-out=" + metrics_path,
+                    &output),
+            0)
+      << output;
+
+  ASSERT_EQ(run_cli("stats " + metrics_path, &output), 0) << output;
+  EXPECT_NE(output.find("madpipe_planner_phase1_seconds_p50"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("_p95"), std::string::npos) << output;
+  EXPECT_NE(output.find("_p99"), std::string::npos) << output;
+  EXPECT_EQ(output.find("_bucket"), std::string::npos) << output;
+
+  ASSERT_EQ(run_cli("stats " + metrics_path + " --buckets", &output), 0)
+      << output;
+  EXPECT_NE(output.find("_p50"), std::string::npos) << output;
+  EXPECT_NE(output.find("_bucket"), std::string::npos) << output;
+  std::remove(metrics_path.c_str());
+  std::remove(profile.c_str());
+}
+
 TEST(Cli, ServeBatchRoundTrip) {
   const std::string profile = write_tiny_profile();
   const std::string requests = ::testing::TempDir() + "/cli_requests.json";

@@ -7,6 +7,7 @@
 #include "util/expect.hpp"
 
 #include "pipedream/pipedream.hpp"
+#include "report/plan_report.hpp"
 #include "schedule/one_f_one_b.hpp"
 
 namespace madpipe {
@@ -71,6 +72,38 @@ TEST_P(SimAgreesWithPattern, ThroughputAndMemoryBounds) {
   for (int proc = 0; proc < procs; ++proc) {
     EXPECT_LE(sim.processor_memory_peak[proc],
               check.processor_memory_peak[proc] * (1.0 + 1e-9))
+        << "processor " << proc;
+  }
+}
+
+// The introspection report reuses the verifier's event sweep, so on any
+// valid pattern — not just the zoo networks test_plan_report.cpp covers —
+// its per-GPU watermark is the verifier's number bit for bit, and the ASAP
+// execution stays within it.
+TEST_P(SimAgreesWithPattern, PlanReportPeaksMatchVerifierBitForBit) {
+  const unsigned seed = GetParam();
+  const Chain c = random_chain(seed, 6 + seed % 5);
+  const int procs = 2 + seed % 3;
+  if (c.length() < procs) GTEST_SKIP();
+  const Platform p{procs, (1.5 + seed % 4) * GB, 12 * GB};
+  const Allocation a =
+      make_contiguous_allocation(c, even_split(c, procs), procs);
+  const auto plan = plan_one_f_one_b(a, c, p);
+  if (!plan) GTEST_SKIP() << "infeasible configuration";
+
+  const auto check = validate_pattern(plan->pattern, a, c, p);
+  ASSERT_TRUE(check.valid);
+
+  report::PlanReportOptions options;
+  options.run_simulation = false;
+  const report::PlanReport rep = report::build_plan_report(*plan, c, p, options);
+  const auto sim = simulate_pattern(plan->pattern, a, c, p, {64});
+  ASSERT_EQ(rep.memory.size(), static_cast<std::size_t>(procs));
+  for (int proc = 0; proc < procs; ++proc) {
+    EXPECT_EQ(rep.memory[proc].peak_bytes, check.processor_memory_peak[proc])
+        << "processor " << proc;
+    EXPECT_LE(sim.processor_memory_peak[proc],
+              rep.memory[proc].peak_bytes * (1.0 + 1e-9))
         << "processor " << proc;
   }
 }

@@ -177,6 +177,52 @@ TEST(ObsTrace, ConcurrentDrainWhileRecording) {
   writer.join();
 }
 
+TEST(ObsMetrics, HistogramQuantileInterpolatesWithinBuckets) {
+  // Buckets (0,1], (1,2], (2,4], +Inf with per-bucket counts 2, 2, 4, 0.
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  const std::vector<long long> counts{2, 2, 4, 0};
+  // rank(0.5) = 4 → exactly exhausts bucket 1 → its upper bound.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 0.5), 2.0);
+  // rank(0.25) = 2 → exhausts bucket 0 → 1.0.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 0.25), 1.0);
+  // rank(0.75) = 6 → halfway through bucket 2 → 2 + 0.5·(4−2) = 3.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 0.75), 3.0);
+  // q clamps to [0, 1].
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 2.0), 4.0);
+}
+
+TEST(ObsMetrics, HistogramQuantileClampsInfBucketAndHandlesEmpty) {
+  const std::vector<double> bounds{1.0, 2.0};
+  // All mass in +Inf: fixed buckets cannot say more than the last bound.
+  const std::vector<long long> overflow{0, 0, 5};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, overflow, 0.99), 2.0);
+  // Mass split across a finite bucket and +Inf: low quantiles interpolate,
+  // high quantiles clamp.
+  const std::vector<long long> mixed{4, 0, 4};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, mixed, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, mixed, 0.9), 2.0);
+  // Empty histogram → 0.
+  const std::vector<long long> empty{0, 0, 0};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, empty, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile({}, {}, 0.5), 0.0);
+}
+
+TEST(ObsMetrics, HistogramQuantileLiveOverloadMatchesRawBuckets) {
+  obs::Registry& registry = obs::Registry::global();
+  obs::Histogram& histogram =
+      registry.histogram("obs_test_quantile_hist", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 4; ++i) histogram.observe(0.5);
+  for (int i = 0; i < 4; ++i) histogram.observe(3.0);
+  std::vector<long long> counts;
+  for (std::size_t i = 0; i <= histogram.bounds().size(); ++i) {
+    counts.push_back(histogram.bucket_count(i));
+  }
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(histogram, 0.5),
+                   obs::histogram_quantile(histogram.bounds(), counts, 0.5));
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(histogram, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(histogram, 0.75), 3.0);
+}
+
 TEST(ObsMetrics, RegistryJsonDumpRoundTrips) {
   obs::Registry& registry = obs::Registry::global();
   registry.counter("obs_test_counter", "test counter").add(3);

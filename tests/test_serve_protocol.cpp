@@ -61,6 +61,26 @@ TEST(ServeProtocol, ParsesNetworkSourceAndOptions) {
   EXPECT_DOUBLE_EQ(parse.request->platform.bandwidth, 25 * GB);
 }
 
+TEST(ServeProtocol, ParsesExplainAndTimingsFlags) {
+  const std::string text =
+      R"({"network":{"name":"resnet50"},"gpus":2,"memory_gb":4,
+           "options":{"timings":true,"explain":true}})";
+  const BatchParse batch = parse_requests(text);
+  ASSERT_TRUE(batch.ok()) << batch.error;
+  const RequestParse& parse = batch.requests[0];
+  ASSERT_TRUE(parse.ok()) << parse.error;
+  EXPECT_TRUE(parse.request->report_timings);
+  EXPECT_TRUE(parse.request->report_explain);
+
+  // Both default to off.
+  const std::string minimal =
+      R"({"network":{"name":"resnet50"},"gpus":2,"memory_gb":4})";
+  const BatchParse defaults = parse_requests(minimal);
+  ASSERT_TRUE(defaults.requests[0].ok());
+  EXPECT_FALSE(defaults.requests[0].request->report_timings);
+  EXPECT_FALSE(defaults.requests[0].request->report_explain);
+}
+
 TEST(ServeProtocol, BareArrayAndSingleObjectShapes) {
   const std::string single = std::string("{\"profile_text\":") +
                              profile_json_field() +
@@ -118,6 +138,9 @@ TEST(ServeProtocol, TableOfBadRequests) {
       {"unknown option",
        R"({"network":{"name":"resnet50"},"gpus":2,"memory_gb":4,"options":{"engine":1}})",
        "unknown options field"},
+      {"explain wrong type",
+       R"({"network":{"name":"resnet50"},"gpus":2,"memory_gb":4,"options":{"explain":1}})",
+       "options.explain must be a boolean"},
       {"id wrong type",
        R"({"id":7,"network":{"name":"resnet50"},"gpus":2,"memory_gb":4})",
        "id must be a string"},
@@ -160,6 +183,39 @@ TEST(ServeProtocol, ResponseSerializationRoundTrips) {
   EXPECT_EQ(parsed.value.string_or("cache", ""), "none");
   EXPECT_EQ(parsed.value.string_or("error", ""), "boom");
   EXPECT_DOUBLE_EQ(parsed.value.number_or("latency_ms", 0.0), 2.0);
+}
+
+TEST(ServeProtocol, ResponseCarriesExplainBlockWhenPresent) {
+  PlanResponse response = error_response("rx", "boom");
+  report::ExplainSummary summary;
+  summary.period = 0.25;
+  summary.critical_resource = "gpu1";
+  summary.critical_utilization = 0.75;
+  summary.bubble_fraction = 0.25;
+  summary.mean_gpu_utilization = 0.5;
+  summary.memory_peak_bytes = 1024.0;
+  summary.memory_headroom_bytes = 512.0;
+  summary.binding_gpu = 1;
+  summary.binding_term = report::MemoryTerm::Activations;
+  response.explain = summary;
+  const json::ParseResult parsed = json::parse(response_to_json(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const json::Value* block = parsed.value.find("explain");
+  ASSERT_NE(block, nullptr);
+  EXPECT_DOUBLE_EQ(block->number_or("period", 0.0), 0.25);
+  EXPECT_EQ(block->string_or("critical_resource", ""), "gpu1");
+  EXPECT_DOUBLE_EQ(block->number_or("critical_utilization", 0.0), 0.75);
+  EXPECT_DOUBLE_EQ(block->number_or("bubble_fraction", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(block->number_or("memory_peak_bytes", 0.0), 1024.0);
+  EXPECT_DOUBLE_EQ(block->number_or("memory_headroom_bytes", 0.0), 512.0);
+  EXPECT_DOUBLE_EQ(block->number_or("binding_gpu", -1.0), 1.0);
+  EXPECT_EQ(block->string_or("binding_term", ""), "activations");
+
+  // No summary attached → no block in the document.
+  const json::ParseResult bare =
+      json::parse(response_to_json(error_response("ry", "boom")));
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare.value.find("explain"), nullptr);
 }
 
 TEST(ServeProtocol, BatchDocumentCarriesSchemaAndStats) {

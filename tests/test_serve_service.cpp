@@ -131,6 +131,89 @@ TEST(ServeService, IdenticalConcurrentRequestsCoalesceIntoOneRun) {
   EXPECT_EQ(stats.coalesced + stats.misses + stats.hits, kClients);
 }
 
+// options.explain is cache-key-inert: a request asking for the summary and
+// one that does not share the cache entry, the served plans are bit
+// identical, and the summary only travels when asked for. Exercises all
+// three paths: miss (canonical summary rescaled per waiter), plain hit,
+// and hit with explain (computed directly in request units).
+TEST(ServeService, ExplainIsCacheKeyInertAcrossMissAndHit) {
+  PlanRequest plain = make_request("plain");
+  PlanRequest explained = make_request("explained");
+  explained.report_explain = true;
+  EXPECT_EQ(canonicalize(plain).fingerprint,
+            canonicalize(explained).fingerprint);
+  EXPECT_EQ(canonicalize(plain).key, canonicalize(explained).key);
+
+  PlanService service;
+  const PlanResponse miss = service.plan(explained);
+  EXPECT_EQ(miss.status, ResponseStatus::Ok);
+  EXPECT_EQ(miss.cache, CacheOutcome::Miss);
+  ASSERT_TRUE(miss.plan.has_value());
+  ASSERT_TRUE(miss.explain.has_value());
+  EXPECT_GT(miss.explain->period, 0.0);
+  EXPECT_EQ(miss.explain->period, miss.plan->period());
+  EXPECT_FALSE(miss.explain->critical_resource.empty());
+  EXPECT_GE(miss.explain->critical_utilization, 0.0);
+  EXPECT_LE(miss.explain->critical_utilization, 1.0);
+  EXPECT_GT(miss.explain->memory_peak_bytes, 0.0);
+  EXPECT_LE(miss.explain->memory_peak_bytes,
+            plain.platform.memory_per_processor);
+
+  // The explain flag did not fork the cache: the plain request hits, gets
+  // the bit-identical plan, and carries no summary.
+  const PlanResponse hit = service.plan(plain);
+  EXPECT_EQ(hit.cache, CacheOutcome::Hit);
+  ASSERT_TRUE(hit.plan.has_value());
+  EXPECT_TRUE(plans_bit_identical(*hit.plan, *miss.plan));
+  EXPECT_FALSE(hit.explain.has_value());
+
+  // A hit that asks again gets the same summary bit for bit: the hit path
+  // computes it directly in request units, the miss path rescaled the
+  // canonical one — identical because the units are powers of two.
+  const PlanResponse hit_explained = service.plan(explained);
+  EXPECT_EQ(hit_explained.cache, CacheOutcome::Hit);
+  ASSERT_TRUE(hit_explained.explain.has_value());
+  EXPECT_EQ(hit_explained.explain->period, miss.explain->period);
+  EXPECT_EQ(hit_explained.explain->critical_resource,
+            miss.explain->critical_resource);
+  EXPECT_EQ(hit_explained.explain->critical_utilization,
+            miss.explain->critical_utilization);
+  EXPECT_EQ(hit_explained.explain->memory_peak_bytes,
+            miss.explain->memory_peak_bytes);
+  EXPECT_EQ(hit_explained.explain->memory_headroom_bytes,
+            miss.explain->memory_headroom_bytes);
+  EXPECT_EQ(hit_explained.explain->binding_gpu, miss.explain->binding_gpu);
+  EXPECT_EQ(hit_explained.explain->binding_term, miss.explain->binding_term);
+  EXPECT_EQ(service.stats().planner_runs, 1);
+}
+
+// A power-of-two rescaled request served from cache carries a summary in
+// *its* units: period and bytes scale exactly, ratios do not move.
+TEST(ServeService, ExplainSummaryIsServedInRequestUnits) {
+  PlanService service;
+  PlanRequest base = make_request("base");
+  base.report_explain = true;
+  const PlanResponse miss = service.plan(base);
+  ASSERT_TRUE(miss.explain.has_value());
+
+  PlanRequest scaled = make_request("scaled", 16.0, 2.0);
+  scaled.report_explain = true;
+  const PlanResponse hit = service.plan(scaled);
+  EXPECT_EQ(hit.cache, CacheOutcome::Hit);
+  ASSERT_TRUE(hit.explain.has_value());
+  EXPECT_EQ(hit.explain->period, miss.explain->period * 16.0);
+  EXPECT_EQ(hit.explain->memory_peak_bytes,
+            miss.explain->memory_peak_bytes * 2.0);
+  EXPECT_EQ(hit.explain->memory_headroom_bytes,
+            miss.explain->memory_headroom_bytes * 2.0);
+  EXPECT_EQ(hit.explain->critical_utilization,
+            miss.explain->critical_utilization);
+  EXPECT_EQ(hit.explain->mean_gpu_utilization,
+            miss.explain->mean_gpu_utilization);
+  EXPECT_EQ(hit.explain->binding_gpu, miss.explain->binding_gpu);
+  EXPECT_EQ(service.stats().planner_runs, 1);
+}
+
 TEST(ServeService, FullQueueRejectsImmediately) {
   ServiceOptions options;
   options.workers = 1;

@@ -15,8 +15,14 @@ Supported schemas:
     MILP workload records; --reference pins each workload's solver status
     (optimal/feasible) — timings and node counts are machine-dependent,
     the verdicts are not.
+  * madpipe-explain-v1 (madpipe explain --json): utilizations in [0, 1]
+    with bubble = 1 - utilization, headroom = limit - peak exactly, the
+    §3 decomposition terms summing to the peak within relative 1e-6,
+    curves time-sorted and topping out at the peak, and the critical
+    resource consistent with the utilization table; --reference pins the
+    period and the per-GPU peaks bit-identically.
 
-Field-by-field documentation of all three documents lives in
+Field-by-field documentation of all documents lives in
 docs/BENCH_SCHEMAS.md. Stdlib only; exits non-zero with a message on the
 first violation.
 """
@@ -29,6 +35,7 @@ import sys
 PLANNER_SCHEMA = "madpipe-bench-planner-v1"
 SERVE_SCHEMA = "madpipe-bench-serve-v1"
 SOLVER_SCHEMA = "madpipe-bench-solver-v1"
+EXPLAIN_SCHEMA = "madpipe-explain-v1"
 
 # ISSUE acceptance floor: a cache hit must be at least this much faster than
 # a cold plan of the same request.
@@ -295,10 +302,162 @@ def check_solver_reference(current, reference):
           "(solver statuses identical)")
 
 
+EXPLAIN_STAGE_FIELDS = {
+    "stage": int,
+    "first_layer": int,
+    "last_layer": int,
+    "processor": int,
+    "forward_seconds": (int, float),
+    "backward_seconds": (int, float),
+    "weight_bytes": (int, float),
+    "activation_bytes_per_batch": (int, float),
+    "max_in_flight": int,
+}
+
+EXPLAIN_RESOURCE_FIELDS = {
+    "resource": str,
+    "busy_seconds": (int, float),
+    "utilization": (int, float),
+    "bubble_fraction": (int, float),
+}
+
+EXPLAIN_MEMORY_FIELDS = {
+    "gpu": int,
+    "weights_bytes": (int, float),
+    "scratch_bytes": (int, float),
+    "comm_buffers_bytes": (int, float),
+    "activations_peak_bytes": (int, float),
+    "peak_bytes": (int, float),
+    "limit_bytes": (int, float),
+    "headroom_bytes": (int, float),
+    "binding_term": str,
+}
+
+EXPLAIN_BINDING_TERMS = {"weights", "activations", "comm_buffers"}
+
+
+def check_explain_document(doc, path):
+    if doc.get("schema") != EXPLAIN_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             f"expected {EXPLAIN_SCHEMA!r}")
+    check_fields(doc, {"planner": str, "period_seconds": (int, float),
+                       "phase1_period_seconds": (int, float),
+                       "num_stages": int, "gpus": int,
+                       "critical_resource": str,
+                       "critical_utilization": (int, float),
+                       "mean_gpu_utilization": (int, float),
+                       "simulated": bool}, path)
+    period = doc["period_seconds"]
+    if not (period > 0 and math.isfinite(period)):
+        fail(f"{path}: period_seconds must be positive and finite")
+
+    stages = doc.get("stages")
+    if not isinstance(stages, list) or len(stages) != doc["num_stages"]:
+        fail(f"{path}: stages must be an array of num_stages records")
+    for record in stages:
+        where = f"{path}: stage {record.get('stage', '?')}"
+        check_fields(record, EXPLAIN_STAGE_FIELDS, where)
+        if record["max_in_flight"] < 1:
+            fail(f"{where}: max_in_flight must be >= 1")
+        if not 0 <= record["processor"] < doc["gpus"]:
+            fail(f"{where}: processor out of range")
+
+    resources = doc.get("resources")
+    if not isinstance(resources, list) or len(resources) < doc["gpus"]:
+        fail(f"{path}: resources must list at least every GPU")
+    utilization_of = {}
+    for record in resources:
+        where = f"{path}: resource {record.get('resource', '?')!r}"
+        check_fields(record, EXPLAIN_RESOURCE_FIELDS, where)
+        if not 0.0 <= record["utilization"] <= 1.0:
+            fail(f"{where}: utilization outside [0, 1]")
+        if abs(record["utilization"] + record["bubble_fraction"] - 1.0) > 1e-9:
+            fail(f"{where}: utilization + bubble_fraction != 1")
+        utilization_of[record["resource"]] = record["utilization"]
+    critical = doc["critical_resource"]
+    if critical not in utilization_of:
+        fail(f"{path}: critical_resource {critical!r} not in resources")
+    if utilization_of[critical] != doc["critical_utilization"]:
+        fail(f"{path}: critical_utilization does not match the table")
+    if doc["critical_utilization"] < max(utilization_of.values()):
+        fail(f"{path}: critical_resource is not the argmax utilization")
+    if not 0.0 <= doc["mean_gpu_utilization"] <= 1.0:
+        fail(f"{path}: mean_gpu_utilization outside [0, 1]")
+
+    memory = doc.get("memory")
+    if not isinstance(memory, list) or len(memory) != doc["gpus"]:
+        fail(f"{path}: memory must have one record per GPU")
+    for record in memory:
+        where = f"{path}: memory gpu{record.get('gpu', '?')}"
+        check_fields(record, EXPLAIN_MEMORY_FIELDS, where)
+        peak, limit = record["peak_bytes"], record["limit_bytes"]
+        if record["headroom_bytes"] != limit - peak:
+            fail(f"{where}: headroom_bytes != limit_bytes - peak_bytes")
+        term_sum = (record["weights_bytes"] + record["scratch_bytes"] +
+                    record["comm_buffers_bytes"] +
+                    record["activations_peak_bytes"])
+        if abs(term_sum - peak) > 1e-6 * max(1.0, abs(peak)):
+            fail(f"{where}: decomposition sums to {term_sum!r}, "
+                 f"peak is {peak!r}")
+        if record["binding_term"] not in EXPLAIN_BINDING_TERMS:
+            fail(f"{where}: unknown binding_term "
+                 f"{record['binding_term']!r}")
+        curve = record.get("curve")
+        if not isinstance(curve, list) or not curve:
+            fail(f"{where}: curve must be a non-empty array")
+        previous = -1.0
+        curve_max = 0.0
+        for point in curve:
+            check_fields(point, {"time_seconds": (int, float),
+                                 "bytes": (int, float)}, where + " curve")
+            if not 0.0 <= point["time_seconds"] < period:
+                fail(f"{where}: curve time outside [0, period)")
+            if point["time_seconds"] <= previous:
+                fail(f"{where}: curve not strictly time-sorted")
+            previous = point["time_seconds"]
+            curve_max = max(curve_max, point["bytes"])
+        if curve_max != peak:
+            fail(f"{where}: curve max {curve_max!r} != peak {peak!r}")
+
+    if doc["simulated"]:
+        check_fields(doc, {"simulated_period_seconds": (int, float),
+                           "period_delta_fraction": (int, float)}, path)
+        # The ASAP execution of a valid pattern never runs slower than the
+        # pattern's own period (float noise aside).
+        if doc["period_delta_fraction"] > 1e-6:
+            fail(f"{path}: simulated period exceeds the analytic period "
+                 f"(delta {doc['period_delta_fraction']!r})")
+    return {f"gpu{record['gpu']}": record for record in memory} | {
+        "__period__": {"period_seconds": period,
+                       "num_stages": doc["num_stages"]}}
+
+
+def check_explain_reference(current, reference):
+    shared = sorted(set(current) & set(reference))
+    if not shared:
+        fail("nothing shared with the reference file")
+    for name in shared:
+        cur, ref = current[name], reference[name]
+        if name == "__period__":
+            if cur["period_seconds"] != ref["period_seconds"]:
+                fail(f"period {cur['period_seconds']!r} != reference "
+                     f"{ref['period_seconds']!r} (must be bit-identical)")
+            if cur["num_stages"] != ref["num_stages"]:
+                fail(f"num_stages {cur['num_stages']} != reference "
+                     f"{ref['num_stages']}")
+            continue
+        if cur["peak_bytes"] != ref["peak_bytes"]:
+            fail(f"{name}: peak_bytes {cur['peak_bytes']!r} != reference "
+                 f"{ref['peak_bytes']!r} (must be bit-identical)")
+    print(f"check_bench_schema: {len(shared)} explain records match the "
+          "reference (period and peaks identical)")
+
+
 CHECKERS = {
     PLANNER_SCHEMA: (check_planner_document, check_planner_reference),
     SERVE_SCHEMA: (check_serve_document, check_serve_reference),
     SOLVER_SCHEMA: (check_solver_document, check_solver_reference),
+    EXPLAIN_SCHEMA: (check_explain_document, check_explain_reference),
 }
 
 

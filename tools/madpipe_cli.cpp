@@ -29,6 +29,17 @@
 //       states and memo/transition-cache behaviour, bisection probes
 //       (speculative ones included), and per-phase wall time.
 //
+//   madpipe explain <profile-file> [--periods N] [--batches N]
+//                   [--json FILE] [--timeline-out FILE] [plan options]
+//       Plan the profile, then explain the resulting schedule: per-stage
+//       u_F/u_B/W/ā tables, per-resource busy/bubble fractions with the
+//       critical resource, the exact per-GPU memory watermark decomposed
+//       into the §3 terms (weights / activations / comm buffers) with
+//       headroom vs M, and the simulator cross-check. --json writes the
+//       madpipe-explain-v1 document; --timeline-out writes an unrolled
+//       Chrome trace with one process per GPU and per link (--periods
+//       repetitions, default 6).
+//
 //   madpipe serve [--requests FILE] [-o FILE] [--workers N] [--queue N]
 //                 [--shards N] [--cache-mb X] [--ttl-s X] [--deadline-ms X]
 //                 [--repeat N] [--stats] [--stdin]
@@ -40,14 +51,16 @@
 //       --stdin switches to a line loop: each input line is one request
 //       document, each output line the matching response.
 //
-//   madpipe stats [FILE]
+//   madpipe stats [FILE] [--buckets]
 //       Render a --metrics-out JSON dump (madpipe-metrics-v1) as
-//       Prometheus-style text. Without FILE, dump this process's own
-//       registry (mostly useful from tests; a fresh CLI process has only
-//       empty metrics).
+//       Prometheus-style text, histograms as interpolated p50/p95/p99
+//       estimates (pass --buckets for the raw cumulative buckets as well).
+//       Without FILE, dump this process's own registry (mostly useful from
+//       tests; a fresh CLI process has only empty metrics).
 //
-//   madpipe solver|planner|serve [--trace-out FILE] [--metrics-out FILE]
-//       Observability sinks, available on the three planning-pipeline
+//   madpipe solver|planner|explain|serve [--trace-out FILE]
+//                                        [--metrics-out FILE]
+//       Observability sinks, available on the planning-pipeline
 //       commands: --trace-out records obs::Span events and writes a Chrome
 //       trace-event document on exit (open in chrome://tracing or
 //       https://ui.perfetto.dev); --metrics-out writes the cumulative
@@ -76,12 +89,16 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipedream/pipedream.hpp"
+#include "report/plan_report.hpp"
+#include "report/timeline_export.hpp"
 #include "schedule/gpipe.hpp"
 #include "schedule/recompute.hpp"
 #include "serve/protocol.hpp"
+#include "serve/serve_stats.hpp"
 #include "serve/service.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/trace.hpp"
+#include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/json.hpp"
 
@@ -103,11 +120,14 @@ struct Args {
   int length = 24;
   double slack = 1.05;
   int speculation = 0;
+  int periods = 6;  ///< steady periods the explain timeline unrolls
   std::string output;
   std::string json_path;
   std::string trace_path;
+  std::string timeline_out;  ///< explain: unrolled schedule Chrome trace
   std::string trace_out;    ///< obs span trace (Chrome trace-event JSON)
   std::string metrics_out;  ///< obs registry dump (madpipe-metrics-v1 JSON)
+  bool buckets = false;     ///< stats: raw histogram buckets too
   // serve
   std::string requests_path;
   int workers = 2;
@@ -125,7 +145,7 @@ struct Args {
   if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
   std::fprintf(stderr,
                "usage: madpipe "
-               "<profile|plan|simulate|hybrid|solver|planner|serve|stats> "
+               "<profile|plan|simulate|hybrid|solver|planner|explain|serve|stats> "
                "...\n"
                "  profile <network> [-o FILE] [--image N] [--batch N] "
                "[--length N]\n"
@@ -136,15 +156,20 @@ struct Args {
                "[--bandwidth-gbs X]\n"
                "  solver <profile> [--slack X] [plan options]\n"
                "  planner <profile> [--speculation W] [plan options]\n"
+               "  explain <profile> [--periods N] [--batches N] [--json FILE]"
+               "\n"
+               "          [--timeline-out FILE] [plan options]\n"
                "  serve [--requests FILE] [-o FILE] [--workers N] [--queue N]"
                "\n"
                "        [--shards N] [--cache-mb X] [--ttl-s X] "
                "[--deadline-ms X]\n"
                "        [--repeat N] [--stats] [--stdin]\n"
-               "  stats [FILE]        render a --metrics-out dump as "
+               "  stats [FILE] [--buckets]   render a --metrics-out dump as "
                "Prometheus text\n"
-               "  solver|planner|serve also accept [--trace-out FILE] "
-               "[--metrics-out FILE]\n"
+               "                             (histograms as p50/p95/p99; "
+               "--buckets for raw)\n"
+               "  solver|planner|explain|serve also accept [--trace-out FILE]"
+               " [--metrics-out FILE]\n"
                "  --version\n");
   std::exit(2);
 }
@@ -152,19 +177,14 @@ struct Args {
 Args parse(int argc, char** argv) {
   Args args;
   for (int i = 2; i < argc; ++i) {
-    std::string arg = argv[i];
-    // Accept both `--opt value` and `--opt=value`.
-    std::optional<std::string> inline_value;
-    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
-      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
-        inline_value = arg.substr(eq + 1);
-        arg.resize(eq);
-      }
-    }
+    // Accept both `--opt value` and `--opt=value` (shared splitting rule,
+    // util/cli.hpp — the bench harness uses the same one).
+    const cli::OptionArg option = cli::split_option(argv[i]);
+    const std::string& arg = option.name;
     const auto next_value = [&]() -> std::string {
-      if (inline_value.has_value()) return *inline_value;
-      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
-      return argv[++i];
+      std::optional<std::string> value = cli::take_value(option, argc, argv, &i);
+      if (!value.has_value()) usage(("missing value for " + arg).c_str());
+      return *value;
     };
     if (arg == "--planner") {
       args.planner = next_value();
@@ -184,6 +204,8 @@ Args parse(int argc, char** argv) {
       args.length = std::atoi(next_value().c_str());
     } else if (arg == "--slack") {
       args.slack = std::atof(next_value().c_str());
+    } else if (arg == "--periods") {
+      args.periods = std::atoi(next_value().c_str());
     } else if (arg == "--speculation") {
       args.speculation = std::atoi(next_value().c_str());
     } else if (arg == "--requests") {
@@ -206,12 +228,16 @@ Args parse(int argc, char** argv) {
       args.serve_stats = true;
     } else if (arg == "--stdin") {
       args.stdin_loop = true;
+    } else if (arg == "--buckets") {
+      args.buckets = true;
     } else if (arg == "-o" || arg == "--output") {
       args.output = next_value();
     } else if (arg == "--json") {
       args.json_path = next_value();
     } else if (arg == "--trace") {
       args.trace_path = next_value();
+    } else if (arg == "--timeline-out") {
+      args.timeline_out = next_value();
     } else if (arg == "--trace-out") {
       args.trace_out = next_value();
     } else if (arg == "--metrics-out") {
@@ -460,6 +486,49 @@ int cmd_planner(const Args& args) {
   return 0;
 }
 
+int cmd_explain(const Args& args) {
+  if (args.positional.empty()) usage("explain needs a profile file");
+  if (args.periods < 1) usage("--periods must be >= 1");
+  const ObsSinks sinks(args);
+  const Chain chain = models::load_profile(args.positional[0]);
+  const Platform platform{args.gpus, args.memory_gb * GB,
+                          args.bandwidth_gbs * GB};
+  platform.validate();
+
+  Chain plan_chain = chain;
+  const std::optional<Plan> plan =
+      run_planner(args, chain, platform, plan_chain);
+  if (!plan) {
+    std::printf("infeasible: no allocation fits %d GPUs with %s each\n",
+                args.gpus, fmt::bytes(platform.memory_per_processor).c_str());
+    return 1;
+  }
+
+  report::PlanReportOptions options;
+  options.simulation_batches = args.batches;
+  const report::PlanReport rep =
+      report::build_plan_report(*plan, plan_chain, platform, options);
+  const report::ExplainSummary summary = report::summarize(rep);
+  serve::serve_metrics().schedule_utilization.set(
+      summary.mean_gpu_utilization);
+  serve::serve_metrics().memory_headroom_bytes.set(
+      summary.memory_headroom_bytes);
+  std::printf("%s", report::plan_report_to_string(rep).c_str());
+
+  if (!args.json_path.empty()) {
+    write_file(args.json_path, report::plan_report_to_json(rep));
+    std::printf("explain JSON -> %s\n", args.json_path.c_str());
+  }
+  if (!args.timeline_out.empty()) {
+    write_file(args.timeline_out,
+               report::timeline_to_chrome_json(plan->pattern, plan->allocation,
+                                               plan_chain, {args.periods}));
+    std::printf("timeline -> %s (%d periods; open in chrome://tracing)\n",
+                args.timeline_out.c_str(), args.periods);
+  }
+  return 0;
+}
+
 int cmd_hybrid(const Args& args) {
   if (args.positional.empty()) usage("hybrid needs a profile file");
   const Chain chain = models::load_profile(args.positional[0]);
@@ -602,8 +671,10 @@ std::string stats_format_double(double v) {
 }
 
 /// Render one madpipe-metrics-v1 dump (see obs::Registry::write_json) as
-/// the same Prometheus-style text Registry::text() produces.
-int render_metrics_dump(const json::Value& root) {
+/// Prometheus-style text. Histograms print interpolated p50/p95/p99
+/// estimates (obs::histogram_quantile); `buckets` adds the raw cumulative
+/// bucket lines Registry::text() produces.
+int render_metrics_dump(const json::Value& root, bool buckets_too) {
   if (!root.is_object()) {
     std::fprintf(stderr, "error: metrics dump must be a JSON object\n");
     return 1;
@@ -666,16 +737,37 @@ int render_metrics_dump(const json::Value& root) {
       if (!help_of(entry).empty())
         out += "# HELP " + name + " " + help_of(entry) + "\n";
       out += "# TYPE " + name + " histogram\n";
-      double cumulative = 0;
-      for (std::size_t i = 0; i < bounds->items().size(); ++i) {
-        cumulative += buckets->items()[i].as_number();
-        out += name + "_bucket{le=\"" +
-               stats_format_double(bounds->items()[i].as_number()) + "\"} " +
+      std::vector<double> bound_values;
+      std::vector<long long> bucket_counts;
+      bound_values.reserve(bounds->items().size());
+      bucket_counts.reserve(buckets->items().size());
+      for (const json::Value& b : bounds->items()) {
+        bound_values.push_back(b.as_number());
+      }
+      for (const json::Value& b : buckets->items()) {
+        bucket_counts.push_back(static_cast<long long>(b.as_number()));
+      }
+      for (const auto& [label, q] :
+           {std::pair<const char*, double>{"p50", 0.50},
+            {"p95", 0.95},
+            {"p99", 0.99}}) {
+        out += name + "_" + label + " " +
+               stats_format_double(
+                   obs::histogram_quantile(bound_values, bucket_counts, q)) +
+               "\n";
+      }
+      if (buckets_too) {
+        double cumulative = 0;
+        for (std::size_t i = 0; i < bounds->items().size(); ++i) {
+          cumulative += buckets->items()[i].as_number();
+          out += name + "_bucket{le=\"" +
+                 stats_format_double(bounds->items()[i].as_number()) + "\"} " +
+                 stats_format_double(cumulative) + "\n";
+        }
+        cumulative += buckets->items().back().as_number();
+        out += name + "_bucket{le=\"+Inf\"} " +
                stats_format_double(cumulative) + "\n";
       }
-      cumulative += buckets->items().back().as_number();
-      out += name + "_bucket{le=\"+Inf\"} " + stats_format_double(cumulative) +
-             "\n";
       out += name + "_sum " + stats_format_double(sum->as_number()) + "\n";
       out += name + "_count " + stats_format_double(count->as_number()) + "\n";
     }
@@ -687,9 +779,16 @@ int render_metrics_dump(const json::Value& root) {
 int cmd_stats(const Args& args) {
   if (args.positional.empty()) {
     // No dump file: this process's own registry (empty metrics included, so
-    // the output shape is visible even in a fresh process).
-    std::fputs(obs::Registry::global().text().c_str(), stdout);
-    return 0;
+    // the output shape is visible even in a fresh process), routed through
+    // the same renderer as dump files so quantiles/--buckets behave alike.
+    const json::ParseResult parsed =
+        json::parse(obs::Registry::global().json());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: registry dump: %s\n",
+                   parsed.error.c_str());
+      return 1;
+    }
+    return render_metrics_dump(parsed.value, args.buckets);
   }
   std::ifstream in(args.positional[0]);
   if (!in.good()) {
@@ -705,7 +804,7 @@ int cmd_stats(const Args& args) {
                  parsed.error.c_str());
     return 1;
   }
-  return render_metrics_dump(parsed.value);
+  return render_metrics_dump(parsed.value, args.buckets);
 }
 
 }  // namespace
@@ -725,6 +824,7 @@ int main(int argc, char** argv) {
     if (command == "hybrid") return cmd_hybrid(args);
     if (command == "solver") return cmd_solver(args);
     if (command == "planner") return cmd_planner(args);
+    if (command == "explain") return cmd_explain(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "stats") return cmd_stats(args);
     usage(("unknown command " + command).c_str());
