@@ -49,6 +49,15 @@ enum class DpEngine {
   /// The original recursive, std::unordered_map-memoized implementation;
   /// kept as the reference for equivalence testing.
   ReferenceRecursive,
+  /// Wavefront engine: states are grouped into per-layer structure-of-arrays
+  /// slabs (all transitions strictly decrease l, so layer L's slab is final
+  /// before layer L−1 is expanded); each wavefront is expanded by
+  /// `MadPipeDPOptions::threads` shards on the shared thread pool, with
+  /// per-shard emission buffers merged deterministically at the barrier.
+  /// Periods, allocations and states are bit-identical across thread counts
+  /// and identical in period/allocation to the other two engines
+  /// (DESIGN.md §11).
+  ParallelWavefront,
 };
 
 struct MadPipeDPOptions {
@@ -62,6 +71,11 @@ struct MadPipeDPOptions {
   /// Abort (treat as infeasible) past this many memoized states; a safety
   /// valve for extreme grids, never hit with the presets.
   std::size_t max_states = 80'000'000;
+  /// Shard count for the wavefront engine. Values > 1 route FlatIterative
+  /// probes to DpEngine::ParallelWavefront. Shards — not pool threads —
+  /// define the work decomposition, so results are bit-identical whatever
+  /// the pool actually runs them on (including serially).
+  int threads = 1;
 };
 
 struct MadPipeDPResult {

@@ -16,6 +16,8 @@ void PlannerStats::absorb(const PlannerStats& other) noexcept {
   memo_hits += other.memo_hits;
   memo_max_load_factor =
       std::max(memo_max_load_factor, other.memo_max_load_factor);
+  memo_rehashes += other.memo_rehashes;
+  memo_rehashes_avoided += other.memo_rehashes_avoided;
   transition_lookups += other.transition_lookups;
   transition_hits += other.transition_hits;
   state_budget_hits += other.state_budget_hits;
@@ -43,6 +45,10 @@ void PlannerStats::write_json(json::Writer& writer) const {
   writer.value(memo_hits);
   writer.key("memo_max_load_factor");
   writer.value(memo_max_load_factor);
+  writer.key("memo_rehashes");
+  writer.value(memo_rehashes);
+  writer.key("memo_rehashes_avoided");
+  writer.value(memo_rehashes_avoided);
   writer.key("transition_lookups");
   writer.value(transition_lookups);
   writer.key("transition_hits");
@@ -75,6 +81,8 @@ void PlannerStats::publish() const {
     obs::Counter& memo_child_lookups;
     obs::Counter& memo_hits;
     obs::Gauge& memo_max_load_factor;
+    obs::Counter& memo_rehashes;
+    obs::Counter& memo_rehashes_avoided;
     obs::Counter& transition_lookups;
     obs::Counter& transition_hits;
     obs::Counter& state_budget_hits;
@@ -102,6 +110,10 @@ void PlannerStats::publish() const {
                   "Memo lookups (either kind) that hit"),
         r.gauge("madpipe_planner_memo_max_load_factor",
                 "Worst flat-table occupancy of the most recent plan"),
+        r.counter("madpipe_planner_memo_rehashes_total",
+                  "Entry-moving memo growth rehashes (pre-reserve misses)"),
+        r.counter("madpipe_planner_memo_rehashes_avoided_total",
+                  "Memo growth rehashes skipped by the up-front reserve"),
         r.counter("madpipe_planner_transition_lookups_total",
                   "(k, l, delay) transition-cache consultations"),
         r.counter("madpipe_planner_transition_hits_total",
@@ -131,6 +143,8 @@ void PlannerStats::publish() const {
   metrics.memo_child_lookups.add(memo_child_lookups);
   metrics.memo_hits.add(memo_hits);
   metrics.memo_max_load_factor.set(memo_max_load_factor);
+  metrics.memo_rehashes.add(memo_rehashes);
+  metrics.memo_rehashes_avoided.add(memo_rehashes_avoided);
   metrics.transition_lookups.add(transition_lookups);
   metrics.transition_hits.add(transition_hits);
   metrics.state_budget_hits.add(state_budget_hits);

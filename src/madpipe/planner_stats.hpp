@@ -28,6 +28,10 @@ struct PlannerStats {
   long long memo_child_lookups = 0;  ///< child-value lookups in the k-loop
   long long memo_hits = 0;           ///< lookups (either kind) that hit
   double memo_max_load_factor = 0.0; ///< worst flat-table occupancy seen
+  /// Entry-moving growth rehashes the memo performed (growth churn a bad
+  /// pre-reserve causes) and the ones the up-front reserve skipped.
+  long long memo_rehashes = 0;
+  long long memo_rehashes_avoided = 0;
   long long transition_lookups = 0;  ///< (k, l, delay) cache consultations
   long long transition_hits = 0;
   long long state_budget_hits = 0;   ///< DP probes that tripped max_states

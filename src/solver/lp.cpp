@@ -121,6 +121,92 @@ class Tableau {
     basis(pivot_row) = pivot_col;
   }
 
+  /// Pricing scans run over fixed-width column panels: a branch-free masked
+  /// pass reduces each panel (minimum or any-flag) in a loop the compiler
+  /// can vectorize, and only a panel that changes the answer is rescanned
+  /// serially to resolve the exact column index. The resolution preserves
+  /// the serial scan's semantics bit for bit — Dantzig's "strictly less,
+  /// first occurrence wins" and Bland's "first index" both come out of the
+  /// same ascending panel order.
+  static constexpr int kPricePanel = 64;
+
+  /// Dantzig entering column: first index attaining the most negative
+  /// reduced cost below −tol among pricable columns, or −1 at optimality.
+  int price_most_negative(double tol) const {
+    double most_negative = -tol;
+    int entering = -1;
+    for (int base = 0; base < cols_; base += kPricePanel) {
+      const int end = std::min(cols_, base + kPricePanel);
+      // Masked panel minimum: non-pricable lanes contribute 0, which can
+      // never beat the running threshold (most_negative ≤ −tol < 0).
+      double panel_min = 0.0;
+      for (int c = base; c < end; ++c) {
+        const bool pricable = structural_[static_cast<std::size_t>(c)] != 0 &&
+                              blocked_[static_cast<std::size_t>(c)] == 0;
+        const double rc =
+            pricable ? reduced_[static_cast<std::size_t>(c)] : 0.0;
+        panel_min = std::min(panel_min, rc);
+      }
+      // A strict improvement lives in this panel; the first column holding
+      // panel_min is exactly the column the serial scan would have kept.
+      if (panel_min < most_negative) {
+        most_negative = panel_min;
+        for (int c = base; c < end; ++c) {
+          if (structural_[static_cast<std::size_t>(c)] != 0 &&
+              blocked_[static_cast<std::size_t>(c)] == 0 &&
+              reduced_[static_cast<std::size_t>(c)] == panel_min) {
+            entering = c;
+            break;
+          }
+        }
+      }
+    }
+    return entering;
+  }
+
+  /// Bland entering column: smallest pricable index with reduced cost below
+  /// −tol, or −1. Panels are flag-reduced; only the first flagged panel is
+  /// rescanned for the index.
+  int price_first_negative(double tol) const {
+    for (int base = 0; base < cols_; base += kPricePanel) {
+      const int end = std::min(cols_, base + kPricePanel);
+      int any = 0;
+      for (int c = base; c < end; ++c) {
+        const bool pricable = structural_[static_cast<std::size_t>(c)] != 0 &&
+                              blocked_[static_cast<std::size_t>(c)] == 0;
+        any |= static_cast<int>(
+            pricable && reduced_[static_cast<std::size_t>(c)] < -tol);
+      }
+      if (any) {
+        for (int c = base; c < end; ++c) {
+          if (structural_[static_cast<std::size_t>(c)] != 0 &&
+              blocked_[static_cast<std::size_t>(c)] == 0 &&
+              reduced_[static_cast<std::size_t>(c)] < -tol) {
+            return c;
+          }
+        }
+      }
+    }
+    return -1;
+  }
+
+  /// Whether any structurally-zero, unblocked column still prices negative:
+  /// such a column has no row to block it, so the LP is unbounded.
+  bool zero_column_prices_negative(double tol) const {
+    for (int base = 0; base < cols_; base += kPricePanel) {
+      const int end = std::min(cols_, base + kPricePanel);
+      int any = 0;
+      for (int c = base; c < end; ++c) {
+        const bool eligible = structural_[static_cast<std::size_t>(c)] == 0 &&
+                              blocked_[static_cast<std::size_t>(c)] == 0;
+        any |= static_cast<int>(
+            eligible && reduced_[static_cast<std::size_t>(c)] < -tol);
+      }
+      if (any) return true;
+    }
+    return false;
+  }
+
   /// Primal simplex on the current cost vector: Dantzig pricing, falling
   /// back to Bland's rule after `stall_threshold` consecutive degenerate
   /// pivots and staying there until the objective moves (termination: Bland
@@ -131,35 +217,12 @@ class Tableau {
     long long stall = 0;
     bool bland = stall_threshold <= 0;
     while (iterations_used < max_iterations) {
-      int entering = -1;
-      if (!bland) {
-        double most_negative = -tol;
-        for (int c = 0; c < cols_; ++c) {
-          if (!structural(c) || blocked(c)) continue;
-          const double rc = reduced_[static_cast<std::size_t>(c)];
-          if (rc < most_negative) {
-            most_negative = rc;
-            entering = c;
-          }
-        }
-      } else {
-        for (int c = 0; c < cols_; ++c) {  // Bland: smallest index
-          if (!structural(c) || blocked(c)) continue;
-          if (reduced_[static_cast<std::size_t>(c)] < -tol) {
-            entering = c;
-            break;
-          }
-        }
-      }
+      const int entering =
+          bland ? price_first_negative(tol) : price_most_negative(tol);
       if (entering < 0) {
         // Structurally-zero columns were skipped above; a negative reduced
         // cost there has no row to block it — unbounded ascent.
-        for (int c = 0; c < cols_; ++c) {
-          if (structural(c) || blocked(c)) continue;
-          if (reduced_[static_cast<std::size_t>(c)] < -tol) {
-            return LPStatus::Unbounded;
-          }
-        }
+        if (zero_column_prices_negative(tol)) return LPStatus::Unbounded;
         return LPStatus::Optimal;
       }
 

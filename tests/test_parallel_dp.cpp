@@ -1,0 +1,224 @@
+// Bit-identity and determinism tests for the wavefront DP engine
+// (DESIGN.md §11): plans, periods and allocations must match the serial
+// flat engine and the recursive reference exactly, at every shard count,
+// and every wavefront statistic must be invariant in the thread count —
+// the shard decomposition, not the pool, defines the results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/memory_model.hpp"
+#include "madpipe/dp.hpp"
+#include "models/zoo.hpp"
+#include "util/flat_hash.hpp"
+
+namespace madpipe {
+namespace {
+
+MadPipeDPOptions wavefront_options(int threads,
+                                   DelayCommVariant variant =
+                                       DelayCommVariant::BoundaryConsistent) {
+  MadPipeDPOptions options;
+  options.grid = Discretization::coarse();
+  options.engine = DpEngine::ParallelWavefront;
+  options.delay_comm_variant = variant;
+  options.threads = threads;
+  return options;
+}
+
+MadPipeDPOptions serial_options(DpEngine engine,
+                                DelayCommVariant variant =
+                                    DelayCommVariant::BoundaryConsistent) {
+  MadPipeDPOptions options;
+  options.grid = Discretization::coarse();
+  options.engine = engine;
+  options.delay_comm_variant = variant;
+  return options;
+}
+
+void expect_identical(const MadPipeDPResult& got,
+                      const MadPipeDPResult& want, const std::string& label) {
+  EXPECT_EQ(got.period, want.period) << label;  // bitwise, not approximate
+  ASSERT_EQ(got.allocation.has_value(), want.allocation.has_value()) << label;
+  if (got.allocation.has_value()) {
+    EXPECT_TRUE(*got.allocation == *want.allocation) << label;
+    EXPECT_EQ(got.uses_special, want.uses_special) << label;
+  }
+}
+
+TEST(ParallelDP, MatchesBothSerialEnginesOnZooAtEveryThreadCount) {
+  for (const std::string& name : models::list_networks()) {
+    const Chain chain = models::paper_network(name);
+    for (const int processors : {2, 4, 8}) {
+      const Platform platform{processors, 8 * GB, 12 * GB};
+      const Seconds target = chain.total_compute() / processors;
+      const auto reference = madpipe_dp(
+          chain, platform, target,
+          serial_options(DpEngine::ReferenceRecursive));
+      const auto flat = madpipe_dp(chain, platform, target,
+                                   serial_options(DpEngine::FlatIterative));
+      for (const int threads : {1, 2, 4, 8}) {
+        const std::string label =
+            name + " P=" + std::to_string(processors) +
+            " threads=" + std::to_string(threads);
+        const auto wave =
+            madpipe_dp(chain, platform, target, wavefront_options(threads));
+        expect_identical(wave, reference, label + " vs reference");
+        expect_identical(wave, flat, label + " vs flat");
+        // Discovery cannot value-prune, so the slabs hold the full
+        // memory-feasible reachable set — exactly the states the reference
+        // engine memoizes (it recurses into every feasible candidate).
+        EXPECT_EQ(wave.states_visited, reference.states_visited) << label;
+      }
+    }
+  }
+}
+
+TEST(ParallelDP, StatsInvariantAcrossThreadCounts) {
+  const Chain chain = models::paper_network("resnet50");
+  const Platform platform{4, 8 * GB, 12 * GB};
+  const Seconds target = chain.total_compute() / 4;
+  const auto baseline =
+      madpipe_dp(chain, platform, target, wavefront_options(1));
+  for (const int threads : {2, 4, 8}) {
+    const auto wave =
+        madpipe_dp(chain, platform, target, wavefront_options(threads));
+    const std::string label = "threads=" + std::to_string(threads);
+    EXPECT_EQ(wave.period, baseline.period) << label;
+    EXPECT_EQ(wave.states_visited, baseline.states_visited) << label;
+    EXPECT_EQ(wave.stats.dp_states, baseline.stats.dp_states) << label;
+    EXPECT_EQ(wave.stats.dp_state_visits, baseline.stats.dp_state_visits)
+        << label;
+    EXPECT_EQ(wave.stats.memo_probes, baseline.stats.memo_probes) << label;
+    EXPECT_EQ(wave.stats.memo_child_lookups,
+              baseline.stats.memo_child_lookups)
+        << label;
+    EXPECT_EQ(wave.stats.memo_hits, baseline.stats.memo_hits) << label;
+    EXPECT_EQ(wave.stats.transition_lookups,
+              baseline.stats.transition_lookups)
+        << label;
+  }
+}
+
+TEST(ParallelDP, ThreadsOptionRoutesTheDefaultEngine) {
+  // `engine = FlatIterative, threads = N > 1` must take the wavefront path
+  // and agree with both the explicit wavefront engine and the serial flat
+  // engine.
+  const Chain chain = models::paper_network("inception_v3");
+  const Platform platform{4, 6 * GB, 12 * GB};
+  const Seconds target = chain.total_compute() / 4;
+
+  auto routed_options = serial_options(DpEngine::FlatIterative);
+  routed_options.threads = 4;
+  const auto routed = madpipe_dp(chain, platform, target, routed_options);
+  const auto wave = madpipe_dp(chain, platform, target, wavefront_options(4));
+  const auto flat = madpipe_dp(chain, platform, target,
+                               serial_options(DpEngine::FlatIterative));
+  expect_identical(routed, wave, "routed vs explicit wavefront");
+  expect_identical(routed, flat, "routed vs serial flat");
+  EXPECT_EQ(routed.states_visited, wave.states_visited);
+}
+
+TEST(ParallelDP, MatchesSerialOnBothDelayVariants) {
+  const Chain chain = models::paper_network("resnet50");
+  const Platform platform{4, 6 * GB, 12 * GB};
+  for (const DelayCommVariant variant :
+       {DelayCommVariant::BoundaryConsistent, DelayCommVariant::PaperLiteral}) {
+    for (const double factor : {0.5, 1.0, 2.0}) {
+      const Seconds target = factor * chain.total_compute() / 4;
+      const auto reference = madpipe_dp(
+          chain, platform, target,
+          serial_options(DpEngine::ReferenceRecursive, variant));
+      const auto wave = madpipe_dp(chain, platform, target,
+                                   wavefront_options(4, variant));
+      expect_identical(wave, reference,
+                       "factor=" + std::to_string(factor));
+    }
+  }
+}
+
+TEST(ParallelDP, ContiguousAblationMatchesSerialEngines) {
+  const Chain chain = models::paper_network("densenet121");
+  const Platform platform{4, 4 * GB, 12 * GB};
+  const Seconds target = chain.total_compute() / 4;
+  auto reference_options = serial_options(DpEngine::ReferenceRecursive);
+  reference_options.allow_special = false;
+  const auto reference = madpipe_dp(chain, platform, target,
+                                    reference_options);
+  for (const int threads : {1, 2, 8}) {
+    auto options = wavefront_options(threads);
+    options.allow_special = false;
+    expect_identical(madpipe_dp(chain, platform, target, options), reference,
+                     "contiguous threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDP, StateBudgetFlagAndTruncationAreThreadCountInvariant) {
+  const Chain chain = models::paper_network("resnet50");
+  const Platform platform{4, 8 * GB, 12 * GB};
+  const Seconds target = chain.total_compute() / 4;
+  auto options1 = wavefront_options(1);
+  options1.max_states = 16;  // far below what this instance needs
+  const auto baseline = madpipe_dp(chain, platform, target, options1);
+  EXPECT_TRUE(baseline.state_budget_hit);
+  EXPECT_EQ(baseline.stats.state_budget_hits, 1);
+  EXPECT_LE(baseline.states_visited, options1.max_states + 1);
+  for (const int threads : {2, 4, 8}) {
+    auto options = wavefront_options(threads);
+    options.max_states = 16;
+    const auto wave = madpipe_dp(chain, platform, target, options);
+    const std::string label = "threads=" + std::to_string(threads);
+    EXPECT_TRUE(wave.state_budget_hit) << label;
+    // The ordered merge applies the truncation, so even the budget cut is
+    // bit-identical across thread counts.
+    EXPECT_EQ(wave.period, baseline.period) << label;
+    EXPECT_EQ(wave.states_visited, baseline.states_visited) << label;
+  }
+  // An untouched run reports a clean flag.
+  const auto clean = madpipe_dp(chain, platform, target, wavefront_options(8));
+  EXPECT_FALSE(clean.state_budget_hit);
+  EXPECT_EQ(clean.stats.state_budget_hits, 0);
+}
+
+TEST(ParallelDP, ShardMergeDeterminismProperty) {
+  // The determinism rule in isolation: appending per-shard emission buffers
+  // in shard order reproduces the serial insertion order for ANY contiguous
+  // sharding of the emission sequence, including under a truncation cap.
+  std::mt19937_64 rng(20260808u);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 400);
+    std::vector<std::uint64_t> emissions(n);
+    for (std::uint64_t& key : emissions) {
+      key = rng() % 64;  // small key space forces heavy duplication
+    }
+    const std::size_t cap =
+        (round % 3 == 0) ? 1 + static_cast<std::size_t>(rng() % 16)
+                         : static_cast<std::size_t>(-1);
+
+    util::IndexedKeySet64 serial;
+    bool serial_fit = serial.merge_shard(
+        emissions.data(), emissions.data() + emissions.size(), cap);
+
+    for (const std::size_t shards : {2u, 3u, 7u}) {
+      util::IndexedKeySet64 merged;
+      bool merged_fit = true;
+      const std::size_t chunk = (n + shards - 1) / shards;
+      for (std::size_t s = 0; s < shards && merged_fit; ++s) {
+        const std::size_t lo = std::min(n, s * chunk);
+        const std::size_t hi = std::min(n, lo + chunk);
+        merged_fit = merged.merge_shard(emissions.data() + lo,
+                                        emissions.data() + hi, cap);
+      }
+      ASSERT_EQ(merged_fit, serial_fit)
+          << "round=" << round << " shards=" << shards;
+      ASSERT_EQ(merged.keys(), serial.keys())
+          << "round=" << round << " shards=" << shards;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace madpipe

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace madpipe::par {
@@ -59,6 +60,112 @@ TEST(Threading, MoreWorkersThanItems) {
   std::vector<std::atomic<int>> hits(3);
   parallel_for(0, 3, [&](std::size_t i) { hits[i].fetch_add(1); }, 16);
   for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Threading, PoolRunsEveryBlockExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.threads(), 3u);
+  constexpr std::size_t blocks = 200;
+  std::vector<std::atomic<int>> hits(blocks);
+  struct Ctx {
+    std::vector<std::atomic<int>>* hits;
+  } ctx{&hits};
+  pool.run(
+      blocks,
+      [](void* raw, std::size_t block) {
+        (*static_cast<Ctx*>(raw)->hits)[block].fetch_add(1);
+      },
+      &ctx);
+  for (std::size_t i = 0; i < blocks; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Threading, ZeroWorkerPoolRunsOnSubmitter) {
+  ThreadPool pool(0);
+  std::atomic<int> calls{0};
+  struct Ctx {
+    std::atomic<int>* calls;
+  } ctx{&calls};
+  pool.run(
+      7,
+      [](void* raw, std::size_t) {
+        static_cast<Ctx*>(raw)->calls->fetch_add(1);
+      },
+      &ctx);
+  EXPECT_EQ(calls.load(), 7);
+}
+
+TEST(Threading, PoolIsReusableAcrossRuns) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  struct Ctx {
+    std::atomic<int>* total;
+  } ctx{&total};
+  for (int round = 0; round < 50; ++round) {
+    pool.run(
+        4,
+        [](void* raw, std::size_t) {
+          static_cast<Ctx*>(raw)->total->fetch_add(1);
+        },
+        &ctx);
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(Threading, NestedParallelForCompletes) {
+  // Inner regions submit to the same shared pool the outer region occupies;
+  // submitter participation guarantees progress regardless of pool size.
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(
+      0, 8,
+      [&](std::size_t outer) {
+        parallel_for(
+            0, 8,
+            [&](std::size_t inner) { hits[outer * 8 + inner].fetch_add(1); },
+            4);
+      },
+      4);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Threading, ConcurrentSubmittersShareThePool) {
+  // Two external threads submit regions to the shared pool at once; the
+  // FIFO job queue must serve both to completion.
+  std::vector<std::atomic<int>> hits(2 * 500);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 2; ++t) {
+    submitters.emplace_back([&hits, t] {
+      parallel_for(
+          0, 500,
+          [&hits, t](std::size_t i) { hits[t * 500 + i].fetch_add(1); }, 4);
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(Threading, PoolPropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run(
+                   100,
+                   [](void*, std::size_t block) {
+                     if (block % 3 == 0) throw std::runtime_error("boom");
+                   },
+                   nullptr),
+               std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<int> calls{0};
+  struct Ctx {
+    std::atomic<int>* calls;
+  } ctx{&calls};
+  pool.run(
+      5,
+      [](void* raw, std::size_t) {
+        static_cast<Ctx*>(raw)->calls->fetch_add(1);
+      },
+      &ctx);
+  EXPECT_EQ(calls.load(), 5);
 }
 
 }  // namespace
