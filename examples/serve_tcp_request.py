@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Minimal client for `madpipe serve --listen HOST:PORT`.
+
+Speaks the newline-delimited madpipe-serve-v1 wire protocol: sends one JSON
+request object per line, reads one JSON response object per line, in order.
+Stdlib only — the point is to show how little a client needs.
+
+    # terminal 1
+    madpipe serve --listen 127.0.0.1:7077
+
+    # terminal 2
+    python3 examples/serve_tcp_request.py 127.0.0.1:7077 --count 3
+
+The first response is a cache miss (a real planning run); every following
+identical request is a microsecond-class hit. Exits non-zero if any response
+is missing, unparseable, or has a status other than "ok" — which makes it
+usable as a protocol smoke check in CI (--count 1000).
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+REQUEST = {
+    "network": {"name": "resnet50"},
+    "gpus": 2,
+    "memory_gb": 8,
+    "bandwidth_gbs": 12,
+}
+
+# Pipelining depth: frames in flight per socket write. The server answers in
+# request order, so responses are matched by position.
+WINDOW = 32
+
+
+def connect(host, port, attempts=20, delay=0.25):
+    """Retry the connect briefly so CI can start the server concurrently."""
+    for attempt in range(attempts):
+        try:
+            return socket.create_connection((host, port), timeout=10)
+        except OSError:
+            if attempt == attempts - 1:
+                raise
+            time.sleep(delay)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("address", help="HOST:PORT of a running madpipe serve")
+    parser.add_argument("--count", type=int, default=3,
+                        help="number of requests to send (default 3)")
+    parser.add_argument("--expect-cache", choices=["hit", "miss"],
+                        help="require this cache outcome on the FIRST "
+                             "response (e.g. 'hit' after --cache-load)")
+    args = parser.parse_args()
+    host, _, port = args.address.rpartition(":")
+
+    frames = [
+        (json.dumps({"id": f"r{i}", **REQUEST}) + "\n").encode()
+        for i in range(args.count)
+    ]
+
+    sock = connect(host or "127.0.0.1", int(port))
+    reader = sock.makefile("rb")
+    statuses = {}
+    first_cache = None
+    start = time.monotonic()
+    sent = 0
+    for offset in range(0, args.count, WINDOW):
+        batch = frames[offset:offset + WINDOW]
+        sock.sendall(b"".join(batch))
+        sent += len(batch)
+        for i in range(offset, offset + len(batch)):
+            line = reader.readline()
+            if not line:
+                print(f"FAIL: connection closed after {i} responses",
+                      file=sys.stderr)
+                return 1
+            try:
+                response = json.loads(line)
+            except json.JSONDecodeError as error:
+                print(f"FAIL: response {i} is not JSON: {error}",
+                      file=sys.stderr)
+                return 1
+            if response.get("id") != f"r{i}":
+                print(f"FAIL: response {i} has id {response.get('id')!r}, "
+                      f"responses must arrive in request order",
+                      file=sys.stderr)
+                return 1
+            status = response.get("status")
+            statuses[status] = statuses.get(status, 0) + 1
+            if i == 0:
+                first_cache = response.get("cache")
+    elapsed = time.monotonic() - start
+
+    sock.close()
+    print(f"{args.count} requests in {elapsed:.3f}s "
+          f"({args.count / elapsed:.0f} req/s), statuses: {statuses}, "
+          f"first cache outcome: {first_cache}")
+    if set(statuses) != {"ok"}:
+        print(f"FAIL: expected every status to be 'ok', got {statuses}",
+              file=sys.stderr)
+        return 1
+    if args.expect_cache and first_cache != args.expect_cache:
+        print(f"FAIL: first response cache outcome {first_cache!r}, "
+              f"expected {args.expect_cache!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+// A small epoll wrapper: fd registration, one-shot waits, and a thread-safe
+// wake() (eventfd) so other threads can interrupt a blocking wait.
+//
+// Level-triggered by default. The server's read/write paths always drain
+// until EAGAIN, so edge-triggered mode (EventLoopOptions::edge_triggered)
+// is also correct — it is exposed for benchmarking the wakeup-rate
+// difference, not as a behavioral switch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/net.hpp"
+
+namespace madpipe::serve::net {
+
+struct EventLoopOptions {
+  bool edge_triggered = false;
+};
+
+struct Event {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool hangup = false;  ///< EPOLLHUP / EPOLLERR / EPOLLRDHUP
+};
+
+class EventLoop {
+ public:
+  explicit EventLoop(const EventLoopOptions& options = {});
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` for readability and (optionally) writability.
+  /// Throws std::runtime_error on epoll_ctl failure.
+  void add(int fd, bool want_write = false);
+  /// Change the interest set of an already-registered fd. Dropping read
+  /// interest is how the server applies write backpressure to a client that
+  /// keeps sending while its responses back up.
+  void modify(int fd, bool want_read, bool want_write);
+  /// Deregister; safe to call for fds that were never added.
+  void remove(int fd);
+
+  /// Block up to `timeout_ms` (-1 = forever) and collect ready events into
+  /// `events` (cleared first). A wake() shows up as a timely return with the
+  /// wake consumed and no event entry. Returns the number of fd events.
+  int wait(std::vector<Event>& events, int timeout_ms);
+
+  /// Interrupt a concurrent wait(). Callable from any thread, async-signal
+  /// safe (a single write on an eventfd).
+  void wake() noexcept;
+
+ private:
+  std::uint32_t flags_for(bool want_read, bool want_write) const noexcept;
+
+  madpipe::net::FdGuard epoll_;
+  madpipe::net::FdGuard wake_fd_;
+  bool edge_triggered_ = false;
+};
+
+}  // namespace madpipe::serve::net

@@ -148,11 +148,17 @@ std::optional<CachedPlan> ShardedPlanCache::find(
 
 void ShardedPlanCache::insert(const CanonicalRequest& request,
                               const CachedPlan& cached) {
-  Shard& shard = shard_for(request.key);
+  insert_raw(request.key, request.fingerprint, cached);
+}
+
+void ShardedPlanCache::insert_raw(std::uint64_t key,
+                                  const std::string& fingerprint,
+                                  const CachedPlan& cached) {
+  Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
 
   std::uint32_t slot;
-  if (const std::uint32_t* existing = shard.index.find(request.key)) {
+  if (const std::uint32_t* existing = shard.index.find(key)) {
     // Overwrite in place (same key: either a refresh or a digest collision —
     // latest writer wins either way).
     slot = *existing;
@@ -166,12 +172,12 @@ void ShardedPlanCache::insert(const CanonicalRequest& request,
       slot = static_cast<std::uint32_t>(shard.slab.size());
       shard.slab.emplace_back();
     }
-    shard.index.emplace(request.key, slot);
+    shard.index.emplace(key, slot);
   }
 
   Entry& entry = shard.slab[slot];
-  entry.key = request.key;
-  entry.fingerprint = request.fingerprint;
+  entry.key = key;
+  entry.fingerprint = fingerprint;
   entry.cached = cached;
   entry.bytes = approximate_bytes(entry.fingerprint, cached);
   if (options_.ttl_seconds > 0.0) {
@@ -183,6 +189,23 @@ void ShardedPlanCache::insert(const CanonicalRequest& request,
   shard.push_front(slot);
   ++shard.counters.insertions;
   shard.enforce_budget(slot);
+}
+
+std::vector<ShardedPlanCache::ExportedEntry> ShardedPlanCache::export_entries()
+    const {
+  std::vector<ExportedEntry> exported;
+  const Clock::time_point now = Clock::now();
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (std::uint32_t slot = shard->lru_head; slot != kNone;
+         slot = shard->slab[slot].next) {
+      const Entry& entry = shard->slab[slot];
+      if (options_.ttl_seconds > 0.0 && now >= entry.expires) continue;
+      exported.push_back(ExportedEntry{entry.key, entry.fingerprint,
+                                       entry.cached});
+    }
+  }
+  return exported;
 }
 
 PlanCacheCounters ShardedPlanCache::counters() const {

@@ -73,6 +73,25 @@ class ShardedPlanCache {
   /// survives, even when it alone exceeds the budget.
   void insert(const CanonicalRequest& request, const CachedPlan& cached);
 
+  /// Insert under an explicit key/fingerprint pair — the snapshot-restore
+  /// path, where entries arrive from disk instead of from a canonicalized
+  /// request. Identical semantics to insert() otherwise.
+  void insert_raw(std::uint64_t key, const std::string& fingerprint,
+                  const CachedPlan& cached);
+
+  /// A point-in-time copy of one resident entry, for snapshotting.
+  struct ExportedEntry {
+    std::uint64_t key = 0;
+    std::string fingerprint;
+    CachedPlan cached;
+  };
+
+  /// Copy out every resident (non-expired) entry, shard by shard under each
+  /// shard's lock — concurrent finds/inserts on other shards proceed. Within
+  /// a shard, entries come out most-recently-used first, so a budget-capped
+  /// reload keeps the hottest plans.
+  std::vector<ExportedEntry> export_entries() const;
+
   PlanCacheCounters counters() const;
   void clear();
 

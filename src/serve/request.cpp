@@ -65,7 +65,9 @@ void append_options(std::string& out, const PlanRequest& request) {
   append_int(out, o.phase2.bb.max_candidates_per_op);
 }
 
-std::uint64_t digest(const std::string& fingerprint) {
+}  // namespace
+
+std::uint64_t fingerprint_digest(const std::string& fingerprint) {
   std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a, then a final mix
   for (const unsigned char c : fingerprint) {
     h ^= c;
@@ -75,8 +77,6 @@ std::uint64_t digest(const std::string& fingerprint) {
   // The all-ones key is the flat table's empty sentinel.
   return h == ~0ull ? 0ull : h;
 }
-
-}  // namespace
 
 const char* to_string(PlannerKind kind) noexcept {
   switch (kind) {
@@ -203,7 +203,7 @@ CanonicalRequest canonicalize(const PlanRequest& request) {
     append_bits(fp, layer.scratch_bytes);
     fp += ';';
   }
-  canonical.key = digest(fp);
+  canonical.key = fingerprint_digest(fp);
   return canonical;
 }
 

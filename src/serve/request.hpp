@@ -87,6 +87,11 @@ struct CanonicalRequest {
 /// exact normalization get the exact-key fallback.
 CanonicalRequest canonicalize(const PlanRequest& request);
 
+/// The 64-bit cache key of a canonical fingerprint (FNV-1a + mix; the
+/// all-ones sentinel remapped). Exposed so the cache-snapshot loader can
+/// verify that a stored (key, fingerprint) pair is internally consistent.
+std::uint64_t fingerprint_digest(const std::string& fingerprint);
+
 /// Rescale a plan computed on the canonical profile back into request units
 /// (exact: the units are powers of two). Times scale by time_unit; the
 /// allocation, shifts and counters are unit-free.

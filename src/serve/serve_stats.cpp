@@ -15,6 +15,7 @@ void ServeStats::write_json(json::Writer& w) const {
   w.key("rejected"); w.value(rejected);
   w.key("degraded"); w.value(degraded);
   w.key("errors"); w.value(errors);
+  w.key("shutdowns"); w.value(shutdowns);
   w.key("planner_runs"); w.value(planner_runs);
   w.key("evictions"); w.value(evictions);
   w.key("expirations"); w.value(expirations);
@@ -47,6 +48,8 @@ ServeMetrics& serve_metrics() {
                   "Deadline-reduced state budget truncated a DP"),
         r.counter("madpipe_serve_errors_total",
                   "Planner threw / request invalid"),
+        r.counter("madpipe_serve_shutdowns_total",
+                  "Queued requests cancelled at service destruction"),
         r.counter("madpipe_serve_planner_runs_total",
                   "plan_madpipe invocations (the expensive op)"),
         r.gauge("madpipe_serve_cache_evictions",

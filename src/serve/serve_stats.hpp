@@ -28,6 +28,7 @@ struct ServeStats {
   long long rejected = 0;    ///< bounced by queue backpressure
   long long degraded = 0;    ///< deadline-reduced state budget truncated a DP
   long long errors = 0;      ///< planner threw / request invalid
+  long long shutdowns = 0;   ///< queued requests cancelled at destruction
   long long planner_runs = 0;  ///< plan_madpipe invocations (the expensive op)
 
   // Cache internals (mirrors PlanCacheCounters at snapshot time).
@@ -63,6 +64,7 @@ struct ServeMetrics {
   obs::Counter& rejected;
   obs::Counter& degraded;
   obs::Counter& errors;
+  obs::Counter& shutdowns;
   obs::Counter& planner_runs;
   obs::Gauge& evictions;
   obs::Gauge& expirations;

@@ -22,6 +22,7 @@ const char* to_string(ResponseStatus status) noexcept {
     case ResponseStatus::Infeasible: return "infeasible";
     case ResponseStatus::Rejected: return "rejected";
     case ResponseStatus::Error: return "error";
+    case ResponseStatus::Shutdown: return "shutdown";
   }
   return "unknown";
 }
@@ -47,15 +48,82 @@ PlanService::PlanService(const ServiceOptions& options)
 }
 
 PlanService::~PlanService() {
+  // Cancel everything no worker has started: destruction completes the
+  // backlog with Shutdown instead of planning it. In-flight jobs (already
+  // dequeued) finish normally and fulfill their waiters as usual.
+  std::vector<Job> cancelled;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
+    while (!queue_.empty()) {
+      cancelled.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    for (const Job& job : cancelled) {
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].second.get() == job.pending.get()) {
+          pending_[i] = std::move(pending_.back());
+          pending_.pop_back();
+          break;
+        }
+      }
+    }
   }
   work_available_.notify_all();
+  for (Job& job : cancelled) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      counters_.shutdowns +=
+          static_cast<long long>(job.pending->waiters.size());
+    }
+    for (std::unique_ptr<Waiter>& waiter : job.pending->waiters) {
+      serve_metrics().shutdowns.increment();
+      PlanResponse response;
+      response.id = waiter->id;
+      response.status = ResponseStatus::Shutdown;
+      response.cache = waiter->outcome;
+      response.error = "service shut down before planning started";
+      response.latency_seconds = seconds_since(waiter->submitted);
+      if (waiter->report_timings) {
+        PhaseTimings timings;
+        timings.cache_seconds = waiter->cache_seconds;
+        response.phases = timings;
+      }
+      deliver(*waiter, std::move(response));
+    }
+  }
   for (std::thread& worker : workers_) worker.join();
 }
 
 std::future<PlanResponse> PlanService::submit(PlanRequest request) {
+  auto waiter = std::make_unique<Waiter>();
+  std::future<PlanResponse> future = waiter->promise.get_future();
+  submit_impl(std::move(request), std::move(waiter));
+  return future;
+}
+
+void PlanService::submit_async(PlanRequest request,
+                               ResponseCallback callback) {
+  auto waiter = std::make_unique<Waiter>();
+  waiter->callback = std::move(callback);
+  submit_impl(std::move(request), std::move(waiter));
+}
+
+void PlanService::deliver(Waiter& waiter, PlanResponse&& response) {
+  if (waiter.callback) {
+    waiter.callback(std::move(response));
+  } else {
+    waiter.promise.set_value(std::move(response));
+  }
+}
+
+std::size_t PlanService::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void PlanService::submit_impl(PlanRequest request,
+                              std::unique_ptr<Waiter> waiter) {
   const Clock::time_point submitted = Clock::now();
   obs::Span span("serve_submit", obs::kCatServe);
   std::optional<CachedPlan> cached;
@@ -114,14 +182,10 @@ std::future<PlanResponse> PlanService::submit(PlanRequest request) {
         serve_metrics().scaled_hits.increment();
       }
     }
-    std::promise<PlanResponse> promise;
-    std::future<PlanResponse> future = promise.get_future();
-    promise.set_value(std::move(response));
-    return future;
+    deliver(*waiter, std::move(response));
+    return;
   }
 
-  auto waiter = std::make_unique<Waiter>();
-  std::future<PlanResponse> future = waiter->promise.get_future();
   waiter->id = request.id;
   waiter->submitted = submitted;
   waiter->time_unit = canonical.time_unit;
@@ -142,7 +206,7 @@ std::future<PlanResponse> PlanService::submit(PlanRequest request) {
         serve_metrics().coalesced.increment();
         const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
         ++counters_.coalesced;
-        return future;
+        return;
       }
     }
     // 3. Enqueue, or reject under backpressure.
@@ -164,8 +228,8 @@ std::future<PlanResponse> PlanService::submit(PlanRequest request) {
         const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
         ++counters_.rejected;
       }
-      waiter->promise.set_value(std::move(response));
-      return future;
+      deliver(*waiter, std::move(response));
+      return;
     }
     auto pending = std::make_shared<Pending>();
     pending->fingerprint = canonical.fingerprint;
@@ -182,7 +246,6 @@ std::future<PlanResponse> PlanService::submit(PlanRequest request) {
                          obs::now_ns()});
   }
   work_available_.notify_one();
-  return future;
 }
 
 PlanResponse PlanService::plan(PlanRequest request) {
@@ -345,7 +408,7 @@ void PlanService::fulfill(
     }
     miss_latency_.record(response.latency_seconds);
     serve_metrics().miss_latency.observe(response.latency_seconds);
-    waiter->promise.set_value(std::move(response));
+    deliver(*waiter, std::move(response));
   }
 }
 

@@ -23,6 +23,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -43,6 +44,7 @@ enum class ResponseStatus {
   Infeasible,  ///< planner ran; no allocation fits memory
   Rejected,    ///< queue full — retry later / elsewhere
   Error,       ///< invalid request or planner failure
+  Shutdown,    ///< service destroyed before the queued request started
 };
 
 enum class CacheOutcome { Miss, Hit, Coalesced, None };
@@ -96,10 +98,18 @@ struct ServiceOptions {
   int expected_probes = 10;
 };
 
+/// Delivery sink for submit_async: invoked exactly once per request, from
+/// whichever thread completes it (the submitter on hit/reject, a planner
+/// worker on miss, the destructor thread on shutdown-cancel). Must not
+/// block and must not call back into the service.
+using ResponseCallback = std::function<void(PlanResponse&&)>;
+
 class PlanService {
  public:
   explicit PlanService(const ServiceOptions& options = {});
-  /// Drains the queue (every accepted future completes), then joins.
+  /// Completes every accepted request, then joins: in-flight planning runs
+  /// finish normally; queued-but-unstarted jobs are cancelled with
+  /// ResponseStatus::Shutdown (destruction must not wait out the backlog).
   ~PlanService();
 
   PlanService(const PlanService&) = delete;
@@ -109,15 +119,32 @@ class PlanService {
   /// worker finishes planning.
   std::future<PlanResponse> submit(PlanRequest request);
 
+  /// Callback-style submission for event-driven callers (the TCP front-end):
+  /// no future/promise pair per request, the callback fires once with the
+  /// response. Cache hits and rejections invoke it before submit_async
+  /// returns, on the submitting thread.
+  void submit_async(PlanRequest request, ResponseCallback callback);
+
   /// Synchronous convenience wrapper.
   PlanResponse plan(PlanRequest request);
+
+  /// Jobs accepted but not yet picked up by a worker. Admission-control
+  /// signal for front-ends that want to shed load before the queue fills.
+  std::size_t queue_depth() const;
+
+  std::size_t worker_count() const { return workers_.size(); }
+  std::size_t queue_capacity() const { return options_.queue_capacity; }
 
   ServeStats stats() const;
   PlanCacheCounters cache_counters() const { return cache_.counters(); }
 
+  ShardedPlanCache& cache() { return cache_; }
+  const ShardedPlanCache& cache() const { return cache_; }
+
  private:
   struct Waiter {
     std::promise<PlanResponse> promise;
+    ResponseCallback callback;  ///< when set, delivery bypasses the promise
     std::string id;
     double time_unit = 1.0;  ///< for per-waiter denormalization
     double byte_unit = 1.0;  ///< for per-waiter ExplainSummary rescaling
@@ -141,6 +168,12 @@ class PlanService {
     std::int64_t enqueue_ns = 0;  ///< obs::now_ns() at enqueue (queue span)
   };
 
+  /// Shared body of submit/submit_async: the waiter already carries its
+  /// delivery channel (promise or callback).
+  void submit_impl(PlanRequest request, std::unique_ptr<Waiter> waiter);
+  /// Invoke the waiter's callback or fulfill its promise — exactly once.
+  static void deliver(Waiter& waiter, PlanResponse&& response);
+
   void worker_loop();
   void run_job(Job& job);
   /// `timings.cache_seconds` is per-waiter and filled in here; queue/plan
@@ -153,7 +186,7 @@ class PlanService {
   ServiceOptions options_;
   ShardedPlanCache cache_;
 
-  std::mutex mutex_;  ///< guards queue_, pending_, stop_
+  mutable std::mutex mutex_;  ///< guards queue_, pending_, stop_
   std::condition_variable work_available_;
   std::deque<Job> queue_;
   /// fingerprint → in-flight computation (coalescing registry).

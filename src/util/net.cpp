@@ -1,0 +1,160 @@
+#include "util/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace madpipe::net {
+
+void FdGuard::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+std::optional<std::pair<std::string, std::uint16_t>> parse_host_port(
+    const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) return std::nullopt;
+  std::string host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  if (port_text.empty()) return std::nullopt;
+  long port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + (c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  if (host.empty()) host = "0.0.0.0";
+  return std::make_pair(std::move(host), static_cast<std::uint16_t>(port));
+}
+
+bool set_nonblocking(int fd, bool enable) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+void set_tcp_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+namespace {
+
+sockaddr_in resolve_ipv4(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // Numeric addresses plus the two spellings every deployment actually
+  // uses; full getaddrinfo resolution is not worth a DNS dependency here.
+  std::string node = host;
+  if (node.empty() || node == "localhost") node = "127.0.0.1";
+  if (node == "*") node = "0.0.0.0";
+  if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("cannot parse IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port,
+                         int backlog) {
+  const sockaddr_in addr = resolve_ipv4(host, port);
+  fd_.reset(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) {
+    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw std::runtime_error(std::string("bind(): ") + std::strerror(errno));
+  }
+  if (::listen(fd_.get(), backlog) != 0) {
+    throw std::runtime_error(std::string("listen(): ") + std::strerror(errno));
+  }
+  if (!set_nonblocking(fd_.get())) {
+    throw std::runtime_error("cannot set listener non-blocking");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+}
+
+int TcpListener::accept_nonblocking() {
+  const int client = ::accept(fd_.get(), nullptr, nullptr);
+  if (client < 0) return -1;
+  if (!set_nonblocking(client)) {
+    ::close(client);
+    return -1;
+  }
+  set_tcp_nodelay(client);
+  return client;
+}
+
+FdGuard connect_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  try {
+    addr = resolve_ipv4(host, port);
+  } catch (const std::exception&) {
+    return FdGuard();
+  }
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return FdGuard();
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return FdGuard();
+  }
+  set_tcp_nodelay(fd.get());
+  return fd;
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_line(int fd, std::string& line, std::string& carry) {
+  line.clear();
+  while (true) {
+    const std::size_t newline = carry.find('\n');
+    if (newline != std::string::npos) {
+      line.append(carry, 0, newline);
+      carry.erase(0, newline + 1);
+      return true;
+    }
+    char buffer[4096];
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    carry.append(buffer, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace madpipe::net

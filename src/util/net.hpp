@@ -1,0 +1,91 @@
+// Thin POSIX socket helpers for the serve front-end and its tests.
+//
+// Everything here is deliberately minimal: RAII fd ownership, non-blocking
+// TCP listeners/connections, and a host:port parser. The event loop itself
+// lives in serve/net (it is serve policy, not generic utility).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace madpipe::net {
+
+/// Owns a file descriptor; closes it on destruction. Move-only.
+class FdGuard {
+ public:
+  FdGuard() = default;
+  explicit FdGuard(int fd) noexcept : fd_(fd) {}
+  ~FdGuard() { reset(); }
+
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  FdGuard(FdGuard&& other) noexcept : fd_(other.release()) {}
+  FdGuard& operator=(FdGuard&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// "HOST:PORT" → {host, port}. Host may be empty ("0.0.0.0" is substituted),
+/// port 0 asks the kernel for an ephemeral port. Returns nullopt on syntax
+/// errors (missing colon, non-numeric or out-of-range port).
+std::optional<std::pair<std::string, std::uint16_t>> parse_host_port(
+    const std::string& spec);
+
+/// O_NONBLOCK on/off; returns false on fcntl failure.
+bool set_nonblocking(int fd, bool enable = true);
+
+/// Disable Nagle (TCP_NODELAY) — request/response framing wants every
+/// newline-terminated frame on the wire immediately. Best-effort.
+void set_tcp_nodelay(int fd);
+
+/// A bound, listening TCP socket (SO_REUSEADDR, non-blocking). `port` 0
+/// binds an ephemeral port; local_port() reports the actual one.
+class TcpListener {
+ public:
+  /// Throws std::runtime_error on resolve/bind/listen failure.
+  TcpListener(const std::string& host, std::uint16_t port, int backlog = 128);
+
+  int fd() const noexcept { return fd_.get(); }
+  std::uint16_t local_port() const noexcept { return port_; }
+
+  /// Accept one pending connection (non-blocking, TCP_NODELAY set).
+  /// Returns -1 when none is pending (EAGAIN) or on transient errors.
+  int accept_nonblocking();
+
+ private:
+  FdGuard fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking loopback/remote connect for tests, benches, and simple clients.
+/// Returns an owned connected fd, or an invalid guard on failure.
+FdGuard connect_tcp(const std::string& host, std::uint16_t port);
+
+/// write() the whole buffer on a blocking fd; false on error/short write.
+bool write_all(int fd, const char* data, std::size_t size);
+
+/// Read from a blocking fd until `\n` is seen or the peer closes. Appends to
+/// `line` *excluding* the newline. Returns false on EOF-before-newline or
+/// error. Spare bytes after the newline are pushed into `carry` for the next
+/// call (pass the same string each time).
+bool read_line(int fd, std::string& line, std::string& carry);
+
+}  // namespace madpipe::net

@@ -185,6 +185,41 @@ TEST(JsonParse, RejectsDuplicateKeys) {
   EXPECT_NE(result.error.find("duplicate key"), std::string::npos);
 }
 
+TEST(JsonParse, RejectsDuplicateKeysInNestedScopes) {
+  EXPECT_FALSE(parse(R"({"outer": {"a": 1, "a": 2}})").ok());
+  EXPECT_FALSE(parse(R"([{"k": true, "k": true}])").ok());
+  EXPECT_FALSE(parse(R"({"a": [{"b": 1}, {"b": 1, "b": 2}]})").ok());
+  // The same key at different depths is not a duplicate.
+  EXPECT_TRUE(parse(R"({"a": {"a": 1}, "b": {"a": 2}})").ok());
+}
+
+TEST(JsonParse, ControlCharactersRoundTripThroughWriterEscapes) {
+  std::string raw;
+  for (int c = 0; c < 0x20; ++c) raw.push_back(static_cast<char>(c));
+  raw += "tail";
+  Writer w;
+  w.begin_object();
+  w.key("s");
+  w.value(raw);
+  w.end_object();
+  // The serialized form never contains a raw control byte (they all become
+  // \uXXXX or the short escapes), so the strict parser accepts it...
+  for (const char c : w.str()) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  const ParseResult result = parse(w.str());
+  ASSERT_TRUE(result.ok()) << result.error;
+  // ...and the decoded string is byte-identical, embedded NUL included.
+  EXPECT_EQ(result.value.string_or("s", ""), raw);
+}
+
+TEST(JsonParse, RejectsRawControlCharacterInString) {
+  const std::string text = std::string("\"a") + '\x01' + "b\"";
+  const ParseResult result = parse(text);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("control"), std::string::npos);
+}
+
 TEST(JsonParse, RejectsTrailingGarbage) {
   const ParseResult result = parse("{} x");
   EXPECT_FALSE(result.ok());

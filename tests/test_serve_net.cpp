@@ -1,0 +1,391 @@
+// NetServer loopback integration tests: the TCP front-end must speak
+// newline-delimited madpipe-serve-v1 faithfully (miss/hit round trips bit
+// identical to batch-mode serve, responses in request order), survive
+// malformed frames, slow writers and half-closed peers, shed load per its
+// admission-control knobs, and shut down gracefully with every in-flight
+// response delivered.
+#include "serve/net/server.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "util/json.hpp"
+#include "util/net.hpp"
+
+namespace madpipe::serve::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// One blocking loopback client speaking the newline framing.
+class Client {
+ public:
+  explicit Client(std::uint16_t port)
+      : fd_(madpipe::net::connect_tcp("127.0.0.1", port)) {}
+
+  bool ok() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+
+  bool send(const std::string& bytes) {
+    return madpipe::net::write_all(fd_.get(), bytes.data(), bytes.size());
+  }
+
+  bool recv(std::string& line) {
+    line.clear();
+    return madpipe::net::read_line(fd_.get(), line, carry_);
+  }
+
+  /// SHUT_WR: we promise to send nothing further; reads stay open.
+  void half_close() { ::shutdown(fd_.get(), SHUT_WR); }
+
+ private:
+  madpipe::net::FdGuard fd_;
+  std::string carry_;
+};
+
+/// A cheap request (resnet50/8 on 2 GPUs plans in well under a millisecond)
+/// with an id and a distinguishing memory size.
+std::string fast_frame(const std::string& id, double memory_gb = 8.0) {
+  json::Writer w;
+  w.begin_object();
+  w.key("id"); w.value(id);
+  w.key("network");
+  w.begin_object();
+  w.key("name"); w.value("resnet50");
+  w.key("length"); w.value(8);
+  w.end_object();
+  w.key("gpus"); w.value(2);
+  w.key("memory_gb"); w.value(memory_gb);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+/// A deliberately slow request (~150 ms of planning): long chain, 4 GPUs,
+/// full default grids. `length` varies the fingerprint.
+std::string slow_frame(const std::string& id, int length) {
+  json::Writer w;
+  w.begin_object();
+  w.key("id"); w.value(id);
+  w.key("network");
+  w.begin_object();
+  w.key("name"); w.value("resnet50");
+  w.key("length"); w.value(length);
+  w.end_object();
+  w.key("gpus"); w.value(4);
+  w.key("memory_gb"); w.value(8);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string field(const std::string& response, const char* name) {
+  const json::ParseResult parsed = json::parse(response);
+  if (!parsed.ok()) return "<unparseable>";
+  return parsed.value.string_or(name, "");
+}
+
+/// Everything from `"plan":` onward — the deterministic part of a response.
+std::string plan_tail(const std::string& response) {
+  const std::size_t pos = response.find("\"plan\":");
+  return pos == std::string::npos ? std::string() : response.substr(pos);
+}
+
+struct Harness {
+  explicit Harness(NetServerOptions options = {},
+                   ServiceOptions service_options = {})
+      : service(service_options), server(service, with_loopback(options)) {}
+
+  static NetServerOptions with_loopback(NetServerOptions options) {
+    options.host = "127.0.0.1";
+    options.port = 0;
+    options.dispatch_workers = 2;
+    return options;
+  }
+
+  PlanService service;
+  NetServer server;
+};
+
+TEST(ServeNet, MissThenHitMatchBatchModeServe) {
+  Harness h;
+  Client client(h.server.port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string frame = fast_frame("t1");
+  std::string miss_line, hit_line;
+  ASSERT_TRUE(client.send(frame));
+  ASSERT_TRUE(client.recv(miss_line));
+  ASSERT_TRUE(client.send(frame));
+  ASSERT_TRUE(client.recv(hit_line));
+
+  EXPECT_EQ(field(miss_line, "id"), "t1");
+  EXPECT_EQ(field(miss_line, "status"), "ok");
+  EXPECT_EQ(field(miss_line, "cache"), "miss");
+  EXPECT_EQ(field(hit_line, "status"), "ok");
+  EXPECT_EQ(field(hit_line, "cache"), "hit");
+
+  // The plan block must be bit-identical to batch-mode serve on a fresh
+  // service answering the same request.
+  const BatchParse parsed = parse_requests(frame.substr(0, frame.size() - 1));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.requests.size(), 1u);
+  ASSERT_TRUE(parsed.requests[0].ok());
+  PlanService direct;
+  const std::string direct_line =
+      response_to_json(direct.plan(*parsed.requests[0].request));
+  ASSERT_FALSE(plan_tail(direct_line).empty());
+  EXPECT_EQ(plan_tail(miss_line), plan_tail(direct_line));
+  EXPECT_EQ(plan_tail(hit_line), plan_tail(direct_line));
+
+  const NetServerStats stats = h.server.stats();
+  EXPECT_EQ(stats.accepted, 1);
+  EXPECT_EQ(stats.frames, 2);
+  EXPECT_EQ(stats.responses, 2);
+  EXPECT_EQ(stats.protocol_errors, 0);
+}
+
+TEST(ServeNet, PipelinedResponsesArriveInRequestOrder) {
+  Harness h;
+  Client client(h.server.port());
+  ASSERT_TRUE(client.ok());
+
+  std::string burst;
+  for (int i = 0; i < 6; ++i) {
+    burst += fast_frame("seq" + std::to_string(i), 4.0 + i);
+  }
+  ASSERT_TRUE(client.send(burst));
+  for (int i = 0; i < 6; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.recv(line)) << "response " << i << " missing";
+    EXPECT_EQ(field(line, "id"), "seq" + std::to_string(i));
+  }
+}
+
+TEST(ServeNet, MalformedFrameGetsErrorAndConnectionSurvives) {
+  Harness h;
+  Client client(h.server.port());
+  ASSERT_TRUE(client.ok());
+
+  std::string line;
+  ASSERT_TRUE(client.send("this is not json\n"));
+  ASSERT_TRUE(client.recv(line));
+  EXPECT_EQ(field(line, "status"), "error");
+
+  // Duplicate keys are a protocol error too (strict parser).
+  ASSERT_TRUE(client.send("{\"id\": \"d\", \"id\": \"d\"}\n"));
+  ASSERT_TRUE(client.recv(line));
+  EXPECT_EQ(field(line, "status"), "error");
+
+  // The connection is still usable for a well-formed request.
+  ASSERT_TRUE(client.send(fast_frame("after-error")));
+  ASSERT_TRUE(client.recv(line));
+  EXPECT_EQ(field(line, "id"), "after-error");
+  EXPECT_EQ(field(line, "status"), "ok");
+
+  EXPECT_EQ(h.server.stats().protocol_errors, 2);
+}
+
+TEST(ServeNet, OversizedFrameClosesConnection) {
+  NetServerOptions options;
+  options.max_frame_bytes = 1024;
+  Harness h(options);
+  Client client(h.server.port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE(client.send(std::string(2048, 'x')));
+  std::string line;
+  ASSERT_TRUE(client.recv(line));
+  EXPECT_EQ(field(line, "status"), "error");
+  // After the error line the server closes: the next read sees EOF.
+  EXPECT_FALSE(client.recv(line));
+  EXPECT_EQ(h.server.stats().oversized, 1);
+}
+
+TEST(ServeNet, SlowClientByteByByteStillGetsServed) {
+  Harness h;
+  Client client(h.server.port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string frame = fast_frame("drip");
+  for (const char c : frame) {
+    ASSERT_TRUE(client.send(std::string(1, c)));
+    if (static_cast<unsigned char>(c) % 16 == 0) {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+  std::string line;
+  ASSERT_TRUE(client.recv(line));
+  EXPECT_EQ(field(line, "id"), "drip");
+  EXPECT_EQ(field(line, "status"), "ok");
+}
+
+TEST(ServeNet, HalfCloseStillDeliversPendingResponse) {
+  Harness h;
+  Client client(h.server.port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE(client.send(fast_frame("half")));
+  client.half_close();
+  std::string line;
+  ASSERT_TRUE(client.recv(line));
+  EXPECT_EQ(field(line, "id"), "half");
+  EXPECT_EQ(field(line, "status"), "ok");
+  // Nothing more to serve: the server closes its side too.
+  EXPECT_FALSE(client.recv(line));
+}
+
+TEST(ServeNet, TokenBucketShedsExcessRate) {
+  NetServerOptions options;
+  options.tokens_per_second = 1.0;  // refill is negligible within the test
+  options.token_burst = 3.0;
+  Harness h(options);
+  Client client(h.server.port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string frame = fast_frame("rate");
+  std::string burst;
+  for (int i = 0; i < 10; ++i) burst += frame;
+  ASSERT_TRUE(client.send(burst));
+
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.recv(line));
+    const std::string status = field(line, "status");
+    if (status == "ok") ++ok;
+    if (status == "rejected") ++rejected;
+  }
+  EXPECT_EQ(ok + rejected, 10);
+  EXPECT_GE(ok, 1);        // the initial burst allowance
+  EXPECT_GE(rejected, 6);  // everything past it, minus refill slack
+  EXPECT_EQ(h.server.stats().shed_rate, rejected);
+}
+
+TEST(ServeNet, ServiceBacklogShedsByQueueDepth) {
+  NetServerOptions options;
+  options.shed_queue_depth = 1;
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  Harness h(options, service_options);
+  Client client(h.server.port());
+  ASSERT_TRUE(client.ok());
+
+  // A occupies the single worker (~150 ms), B queues behind it.
+  ASSERT_TRUE(client.send(slow_frame("slow-a", 16)));
+  ASSERT_TRUE(client.send(slow_frame("slow-b", 17)));
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (h.service.queue_depth() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_GE(h.service.queue_depth(), 1u) << "backlog never formed";
+
+  // C arrives while the backlog stands: admission control sheds it.
+  ASSERT_TRUE(client.send(fast_frame("shed-c")));
+
+  std::string a, b, c;
+  ASSERT_TRUE(client.recv(a));
+  ASSERT_TRUE(client.recv(b));
+  ASSERT_TRUE(client.recv(c));
+  EXPECT_EQ(field(a, "id"), "slow-a");
+  EXPECT_EQ(field(a, "status"), "ok");
+  EXPECT_EQ(field(b, "id"), "slow-b");
+  EXPECT_EQ(field(b, "status"), "ok");
+  // Shed responses carry an empty id: admission control fires before the
+  // frame is ever parsed, so position in the in-order stream correlates it.
+  EXPECT_EQ(field(c, "id"), "");
+  EXPECT_EQ(field(c, "status"), "rejected");
+  EXPECT_EQ(h.server.stats().shed_depth, 1);
+}
+
+TEST(ServeNet, MultiClientHammerServesEveryRequest) {
+  Harness h;
+  const std::uint16_t port = h.server.port();
+
+  // Warm the cache so the hammer is pure hit traffic.
+  {
+    Client warm(port);
+    ASSERT_TRUE(warm.ok());
+    std::string line;
+    ASSERT_TRUE(warm.send(fast_frame("warm")));
+    ASSERT_TRUE(warm.recv(line));
+    ASSERT_EQ(field(line, "status"), "ok");
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 50;
+  std::vector<std::thread> threads;
+  std::vector<int> ok_counts(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(port);
+      if (!client.ok()) return;
+      std::string line;
+      for (int i = 0; i < kPerClient; ++i) {
+        if (!client.send(fast_frame("h" + std::to_string(c)))) return;
+        if (!client.recv(line)) return;
+        if (field(line, "status") == "ok") {
+          ++ok_counts[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(ok_counts[static_cast<std::size_t>(c)], kPerClient);
+  }
+  const NetServerStats stats = h.server.stats();
+  EXPECT_EQ(stats.frames, 1 + kClients * kPerClient);
+  EXPECT_EQ(stats.responses, 1 + kClients * kPerClient);
+  EXPECT_EQ(stats.protocol_errors, 0);
+}
+
+TEST(ServeNet, GracefulStopDeliversInFlightResponses) {
+  Harness h;
+  Client client(h.server.port());
+  ASSERT_TRUE(client.ok());
+
+  // A real planning run is in flight when stop() lands.
+  ASSERT_TRUE(client.send(slow_frame("inflight", 16)));
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (h.server.stats().frames < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  h.server.stop();
+
+  std::string line;
+  ASSERT_TRUE(client.recv(line)) << "in-flight response lost at shutdown";
+  EXPECT_EQ(field(line, "id"), "inflight");
+  EXPECT_EQ(field(line, "status"), "ok");
+  EXPECT_FALSE(client.recv(line));  // drained, flushed, closed
+}
+
+TEST(ServeNet, EdgeTriggeredModeServesPipelinedTraffic) {
+  NetServerOptions options;
+  options.edge_triggered = true;
+  Harness h(options);
+  Client client(h.server.port());
+  ASSERT_TRUE(client.ok());
+
+  std::string burst;
+  for (int i = 0; i < 8; ++i) {
+    burst += fast_frame("et" + std::to_string(i));
+  }
+  ASSERT_TRUE(client.send(burst));
+  for (int i = 0; i < 8; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.recv(line)) << "ET response " << i << " missing";
+    EXPECT_EQ(field(line, "id"), "et" + std::to_string(i));
+    EXPECT_EQ(field(line, "status"), "ok");
+  }
+}
+
+}  // namespace
+}  // namespace madpipe::serve::net

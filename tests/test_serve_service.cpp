@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "madpipe/planner.hpp"
+#include "models/zoo.hpp"
 
 namespace madpipe::serve {
 namespace {
@@ -297,6 +298,52 @@ TEST(ServeService, DestructorDrainsAcceptedWork) {
   for (std::future<PlanResponse>& future : futures) {
     const PlanResponse response = future.get();  // must not hang or throw
     EXPECT_NE(response.status, ResponseStatus::Error);
+  }
+}
+
+TEST(ServeService, DestructionCancelsQueuedJobsWithShutdownStatus) {
+  std::future<PlanResponse> running;
+  std::vector<std::future<PlanResponse>> queued;
+  {
+    ServiceOptions options;
+    options.workers = 1;
+    PlanService service(options);
+    // A paper-scale chain on full default grids keeps the single worker
+    // busy for >100 ms — long enough to observe the backlog deterministically.
+    models::NetworkConfig config;
+    config.network = "resnet50";
+    config.chain_length = 16;
+    PlanRequest slow{"running",
+                     models::build_network(config),
+                     Platform{4, 8 * GB, 12 * GB},
+                     PlannerKind::MadPipe,
+                     MadPipeOptions{},
+                     0.0};
+    running = service.submit(std::move(slow));
+    for (int i = 0; i < 3; ++i) {
+      PlanRequest request = make_request("queued" + std::to_string(i));
+      request.platform.memory_per_processor = (2.0 + 0.25 * (i + 1)) * GB;
+      queued.push_back(service.submit(std::move(request)));
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    // Exactly 3 queued means the worker has dequeued the slow job and the
+    // three cheap ones all wait behind it.
+    while (service.queue_depth() != 3 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(service.queue_depth(), 3u);
+    // Service destroyed here: the running job finishes, the queued three
+    // must be cancelled with the distinct Shutdown status — not Error, not
+    // a silent hang waiting out the backlog.
+  }
+  EXPECT_EQ(running.get().status, ResponseStatus::Ok);
+  for (std::future<PlanResponse>& future : queued) {
+    const PlanResponse response = future.get();
+    EXPECT_EQ(response.status, ResponseStatus::Shutdown);
+    EXPECT_FALSE(response.error.empty());
+    EXPECT_FALSE(response.plan.has_value());
   }
 }
 

@@ -11,6 +11,12 @@ Supported schemas:
     planner run, and the cache-hit speedup must stay above the 100x floor;
     --reference additionally pins the equivalence periods/allocations to
     the committed baseline.
+  * madpipe-bench-net-v1 (bench_net): the TCP front-end document — wire
+    equivalence must be bit-identical to batch-mode serve, latency
+    percentiles ordered and sane, overload accounting exact (served +
+    rejected = frames, shed under an over-budget burst), and the hit
+    throughput floor enforced on hosts with >= 8 hardware threads (the
+    document records hardware_threads, like parallel_scaling).
   * madpipe-bench-solver-v1 (bench_solver): structural checks on the LP /
     MILP workload records; --reference pins each workload's solver status
     (optimal/feasible) — timings and node counts are machine-dependent,
@@ -34,6 +40,7 @@ import sys
 
 PLANNER_SCHEMA = "madpipe-bench-planner-v1"
 SERVE_SCHEMA = "madpipe-bench-serve-v1"
+NET_SCHEMA = "madpipe-bench-net-v1"
 SOLVER_SCHEMA = "madpipe-bench-solver-v1"
 EXPLAIN_SCHEMA = "madpipe-explain-v1"
 
@@ -353,6 +360,161 @@ def check_serve_reference(current, reference):
           "reference (periods and allocations identical)")
 
 
+# ISSUE acceptance floor: pipelined hit traffic over loopback TCP must
+# sustain at least this many requests/second — enforceable only on hosts
+# with real parallelism (the event loop, dispatch pool, and client all
+# share the machine), so it is gated on recorded hardware_threads like
+# SCALING_MIN_SPEEDUP_8T.
+NET_MIN_HIT_RPS_8T = 100_000.0
+# A cache hit over loopback is a lookup plus two socket hops, never a
+# planning run: p99 past this bound means the wire path is broken.
+NET_MAX_HIT_P99_SECONDS = 0.1
+
+NET_THROUGHPUT_FIELDS = {
+    "clients": int,
+    "window": int,
+    "requests": int,
+    "wall_seconds": (int, float),
+    "requests_per_second": (int, float),
+}
+
+NET_SERVER_STATS_FIELDS = {
+    "accepted": int,
+    "closed": int,
+    "frames": int,
+    "responses": int,
+    "shed_rate": int,
+    "shed_depth": int,
+    "protocol_errors": int,
+    "oversized": int,
+    "bytes_in": int,
+    "bytes_out": int,
+}
+
+
+def check_net_document(doc, path):
+    if doc.get("schema") != NET_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             f"expected {NET_SCHEMA!r}")
+    hardware = doc.get("hardware_threads")
+    if not isinstance(hardware, int) or isinstance(hardware, bool) \
+            or hardware < 1:
+        fail(f"{path}: hardware_threads must be an int >= 1")
+    smoke = doc.get("smoke")
+    if not isinstance(smoke, bool):
+        fail(f"{path}: smoke must be a bool")
+
+    equivalence = doc.get("equivalence")
+    if not isinstance(equivalence, list) or not equivalence:
+        fail(f"{path}: equivalence must be a non-empty array")
+    for record in equivalence:
+        where = f"{path}: equivalence {record.get('name', '?')!r}"
+        check_fields(record, {"name": str, "cache": str, "identical": bool},
+                     where)
+        if not record["identical"]:
+            fail(f"{where}: wire response differs from batch-mode serve")
+    by_name = {record["name"]: record for record in equivalence}
+    if len(by_name) != len(equivalence):
+        fail(f"{path}: duplicate equivalence record names")
+    if by_name.get("net_miss", {}).get("cache") != "miss":
+        fail(f"{path}: net_miss must report cache 'miss'")
+    if by_name.get("net_hit", {}).get("cache") != "hit":
+        fail(f"{path}: net_hit must report cache 'hit'")
+
+    latency = doc.get("latency")
+    if not isinstance(latency, dict):
+        fail(f"{path}: missing latency block")
+    check_fields(latency, {"p50_seconds": (int, float),
+                           "p95_seconds": (int, float),
+                           "p99_seconds": (int, float)}, f"{path}: latency")
+    p50, p95, p99 = (latency["p50_seconds"], latency["p95_seconds"],
+                     latency["p99_seconds"])
+    if not (0 < p50 <= p95 <= p99) or not math.isfinite(p99):
+        fail(f"{path}: latency percentiles must satisfy 0 < p50 <= p95 <= "
+             f"p99 (got {p50!r}, {p95!r}, {p99!r})")
+    if p99 > NET_MAX_HIT_P99_SECONDS:
+        fail(f"{path}: hit p99 {p99:.4f}s exceeds the "
+             f"{NET_MAX_HIT_P99_SECONDS}s sanity bound")
+
+    throughput = doc.get("throughput")
+    if not isinstance(throughput, list) or not throughput:
+        fail(f"{path}: throughput must be a non-empty array")
+    previous_clients = 0
+    peak = 0.0
+    for record in throughput:
+        where = f"{path}: throughput {record.get('clients', '?')} clients"
+        check_fields(record, NET_THROUGHPUT_FIELDS, where)
+        if record["clients"] <= previous_clients:
+            fail(f"{where}: client counts must be strictly increasing")
+        previous_clients = record["clients"]
+        if record["window"] < 1 or record["requests"] < 1:
+            fail(f"{where}: window and requests must be >= 1")
+        if record["requests_per_second"] <= 0:
+            fail(f"{where}: non-positive requests_per_second")
+        peak = max(peak, record["requests_per_second"])
+    # The throughput floor binds only where the host can deliver it: the
+    # loop thread, dispatch pool, and load generator share the machine.
+    if not smoke and hardware >= 8 and peak < NET_MIN_HIT_RPS_8T:
+        fail(f"{path}: peak hit throughput {peak:.0f} req/s below the "
+             f"{NET_MIN_HIT_RPS_8T:.0f} req/s floor "
+             f"(hardware_threads={hardware})")
+
+    mixed = doc.get("mixed")
+    if not isinstance(mixed, dict):
+        fail(f"{path}: missing mixed block")
+    check_fields(mixed, {"requests": int, "hits": int, "misses": int,
+                         "wall_seconds": (int, float),
+                         "requests_per_second": (int, float)},
+                 f"{path}: mixed")
+    if mixed["hits"] + mixed["misses"] > mixed["requests"]:
+        fail(f"{path}: mixed hits + misses exceed total requests")
+    if mixed["hits"] < 1 or mixed["misses"] < 1:
+        fail(f"{path}: the mixed phase must contain both hits and misses")
+
+    overload = doc.get("overload")
+    if not isinstance(overload, dict):
+        fail(f"{path}: missing overload block")
+    check_fields(overload, {"frames": int, "tokens_per_second": (int, float),
+                            "token_burst": (int, float), "served": int,
+                            "rejected": int, "shed_fraction": (int, float)},
+                 f"{path}: overload")
+    if overload["served"] + overload["rejected"] != overload["frames"]:
+        fail(f"{path}: overload served + rejected != frames "
+             f"(every frame must be answered, shed or not)")
+    if not 0.0 <= overload["shed_fraction"] <= 1.0:
+        fail(f"{path}: overload shed_fraction outside [0, 1]")
+    if overload["rejected"] < 1:
+        fail(f"{path}: an over-budget burst must shed at least one frame")
+    expected = overload["rejected"] / overload["frames"]
+    if abs(overload["shed_fraction"] - expected) > 1e-9:
+        fail(f"{path}: shed_fraction {overload['shed_fraction']!r} != "
+             f"rejected/frames {expected!r}")
+
+    stats = doc.get("server_stats")
+    if not isinstance(stats, dict):
+        fail(f"{path}: missing server_stats block")
+    check_fields(stats, NET_SERVER_STATS_FIELDS, f"{path}: server_stats")
+    if stats["protocol_errors"] != 0:
+        fail(f"{path}: the bench sent only well-formed frames but the "
+             f"server counted {stats['protocol_errors']} protocol errors")
+    if stats["frames"] != stats["responses"]:
+        fail(f"{path}: server frames {stats['frames']} != responses "
+             f"{stats['responses']} (every frame earns exactly one line)")
+    return by_name
+
+
+def check_net_reference(current, reference):
+    shared = sorted(set(current) & set(reference))
+    if not shared:
+        fail("no equivalence records shared with the reference file")
+    for name in shared:
+        if current[name]["cache"] != reference[name]["cache"]:
+            fail(f"{name}: cache outcome {current[name]['cache']!r} != "
+                 f"reference {reference[name]['cache']!r}")
+    print(f"check_bench_schema: {len(shared)} net equivalence records match "
+          "the reference")
+
+
 SOLVER_WORKLOAD_FIELDS = {
     "name": str,
     "repeats": int,
@@ -561,6 +723,7 @@ def check_explain_reference(current, reference):
 CHECKERS = {
     PLANNER_SCHEMA: (check_planner_document, check_planner_reference),
     SERVE_SCHEMA: (check_serve_document, check_serve_reference),
+    NET_SCHEMA: (check_net_document, check_net_reference),
     SOLVER_SCHEMA: (check_solver_document, check_solver_reference),
     EXPLAIN_SCHEMA: (check_explain_document, check_explain_reference),
 }

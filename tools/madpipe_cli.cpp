@@ -54,6 +54,23 @@
 //       --stdin switches to a line loop: each input line is one request
 //       document, each output line the matching response.
 //
+//   madpipe serve --listen HOST:PORT [--net-workers N] [--rate R]
+//                 [--burst N] [--shed-depth N] [--edge-triggered]
+//       TCP mode: newline-delimited madpipe-serve-v1 requests over an epoll
+//       event loop (one response line per request line, in order per
+//       connection). Admission control sheds with `rejected` responses: a
+//       per-connection token bucket (--rate tokens/s, --burst) and a
+//       service-backlog depth limit (--shed-depth, default the queue
+//       capacity). PORT 0 binds an ephemeral port (printed on stderr).
+//       SIGINT/SIGTERM shut down gracefully: in-flight requests finish,
+//       buffers flush, then the process exits.
+//
+//   madpipe serve ... [--cache-save FILE] [--cache-load FILE]
+//       Plan-cache persistence (any serve mode): --cache-load warms the
+//       cache from a madpipe-cachesnap-v1 snapshot before serving;
+//       --cache-save writes one on exit, so restarts serve their first
+//       requests as verified cache hits instead of re-planning.
+//
 //   madpipe stats [FILE] [--buckets]
 //       Render a --metrics-out JSON dump (madpipe-metrics-v1) as
 //       Prometheus-style text, histograms as interpolated p50/p95/p99
@@ -71,7 +88,10 @@
 //
 //   madpipe --version
 //       Print the version and exit.
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -80,6 +100,7 @@
 #include <iterator>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cyclic/ilp_scheduler.hpp"
@@ -96,9 +117,11 @@
 #include "report/timeline_export.hpp"
 #include "schedule/gpipe.hpp"
 #include "schedule/recompute.hpp"
+#include "serve/net/server.hpp"
 #include "serve/protocol.hpp"
 #include "serve/serve_stats.hpp"
 #include "serve/service.hpp"
+#include "serve/snapshot.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/trace.hpp"
 #include "util/cli.hpp"
@@ -143,6 +166,15 @@ struct Args {
   int repeat = 1;
   bool serve_stats = false;
   bool stdin_loop = false;
+  // serve --listen (TCP front-end) + cache persistence
+  std::string listen;        ///< HOST:PORT; empty = no TCP front-end
+  std::string cache_save;    ///< snapshot written on exit
+  std::string cache_load;    ///< snapshot loaded (warm-up) at start
+  int net_workers = 0;       ///< dispatch threads; 0 = hardware
+  double rate = 0.0;         ///< per-connection tokens/s; 0 = unlimited
+  double burst = 64.0;       ///< per-connection token bucket burst
+  int shed_depth = 0;        ///< queue depth that sheds; 0 = queue capacity
+  bool edge_triggered = false;  ///< epoll ET instead of LT
 };
 
 [[noreturn]] void usage(const char* message = nullptr) {
@@ -169,6 +201,10 @@ struct Args {
                "        [--shards N] [--cache-mb X] [--ttl-s X] "
                "[--deadline-ms X]\n"
                "        [--repeat N] [--stats] [--stdin]\n"
+               "        [--listen HOST:PORT] [--net-workers N] [--rate R] "
+               "[--burst N]\n"
+               "        [--shed-depth N] [--edge-triggered]\n"
+               "        [--cache-save FILE] [--cache-load FILE]\n"
                "  stats [FILE] [--buckets]   render a --metrics-out dump as "
                "Prometheus text\n"
                "                             (histograms as p50/p95/p99; "
@@ -235,6 +271,22 @@ Args parse(int argc, char** argv) {
       args.serve_stats = true;
     } else if (arg == "--stdin") {
       args.stdin_loop = true;
+    } else if (arg == "--listen") {
+      args.listen = next_value();
+    } else if (arg == "--cache-save") {
+      args.cache_save = next_value();
+    } else if (arg == "--cache-load") {
+      args.cache_load = next_value();
+    } else if (arg == "--net-workers") {
+      args.net_workers = std::atoi(next_value().c_str());
+    } else if (arg == "--rate") {
+      args.rate = std::atof(next_value().c_str());
+    } else if (arg == "--burst") {
+      args.burst = std::atof(next_value().c_str());
+    } else if (arg == "--shed-depth") {
+      args.shed_depth = std::atoi(next_value().c_str());
+    } else if (arg == "--edge-triggered") {
+      args.edge_triggered = true;
     } else if (arg == "--buckets") {
       args.buckets = true;
     } else if (arg == "-o" || arg == "--output") {
@@ -599,9 +651,100 @@ std::vector<serve::PlanResponse> serve_document(serve::PlanService& service,
   return responses;
 }
 
+/// SIGINT/SIGTERM → graceful-shutdown flag for `serve --listen`.
+std::atomic<bool> g_serve_interrupted{false};
+
+void serve_signal_handler(int) { g_serve_interrupted.store(true); }
+
+/// Load a --cache-load snapshot; a bad or missing file means a cold start,
+/// not a dead server (warm-up is an optimization, never a requirement).
+void serve_cache_load(serve::PlanService& service, const std::string& path) {
+  if (path.empty()) return;
+  const serve::SnapshotLoadResult result =
+      serve::load_cache_snapshot(service.cache(), path);
+  if (!result.ok) {
+    std::fprintf(stderr, "warning: cache snapshot %s not loaded: %s\n",
+                 path.c_str(), result.error.c_str());
+    return;
+  }
+  std::fprintf(stderr, "cache warm-up: %zu entries loaded from %s",
+               result.loaded, path.c_str());
+  if (result.rejected > 0) {
+    std::fprintf(stderr, " (%zu rejected by fingerprint verification)",
+                 result.rejected);
+  }
+  std::fprintf(stderr, "\n");
+}
+
+/// Write the --cache-save snapshot on the way out (any serve mode).
+int serve_cache_save(serve::PlanService& service, const std::string& path) {
+  if (path.empty()) return 0;
+  const serve::SnapshotSaveResult result =
+      serve::save_cache_snapshot(service.cache(), path);
+  if (!result.ok) {
+    std::fprintf(stderr, "error: cache snapshot not saved: %s\n",
+                 result.error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "cache snapshot: %zu entries (%zu bytes) -> %s\n",
+               result.entries, result.bytes, path.c_str());
+  return 0;
+}
+
+int cmd_serve_listen(const Args& args, serve::PlanService& service) {
+  const auto host_port = net::parse_host_port(args.listen);
+  if (!host_port.has_value()) usage("--listen expects HOST:PORT");
+  serve::net::NetServerOptions options;
+  options.host = host_port->first;
+  options.port = host_port->second;
+  if (args.net_workers < 0) usage("--net-workers must be >= 0");
+  options.dispatch_workers = static_cast<std::size_t>(args.net_workers);
+  if (args.rate < 0.0) usage("--rate must be >= 0");
+  options.tokens_per_second = args.rate;
+  if (args.burst < 1.0) usage("--burst must be >= 1");
+  options.token_burst = args.burst;
+  if (args.shed_depth < 0) usage("--shed-depth must be >= 0");
+  options.shed_queue_depth = static_cast<std::size_t>(args.shed_depth);
+  options.edge_triggered = args.edge_triggered;
+
+  serve::net::NetServer server(service, options);
+  std::fprintf(stderr, "madpipe serve: listening on %s:%u\n",
+               options.host.c_str(), server.port());
+
+  g_serve_interrupted.store(false);
+  struct sigaction action {};
+  action.sa_handler = serve_signal_handler;
+  struct sigaction old_int {}, old_term {};
+  sigaction(SIGINT, &action, &old_int);
+  sigaction(SIGTERM, &action, &old_term);
+  while (!g_serve_interrupted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  sigaction(SIGINT, &old_int, nullptr);
+  sigaction(SIGTERM, &old_term, nullptr);
+
+  std::fprintf(stderr, "madpipe serve: shutting down\n");
+  server.stop();
+  const serve::net::NetServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "madpipe serve: %lld connections, %lld frames, %lld responses,"
+               " %lld shed (rate %lld, depth %lld), %lld protocol errors\n",
+               stats.accepted, stats.frames, stats.responses,
+               stats.shed_rate + stats.shed_depth, stats.shed_rate,
+               stats.shed_depth, stats.protocol_errors);
+  return 0;
+}
+
 int cmd_serve(const Args& args) {
   const ObsSinks sinks(args);
   serve::PlanService service(serve_options(args));
+  serve_cache_load(service, args.cache_load);
+
+  if (!args.listen.empty()) {
+    const int status = cmd_serve_listen(args, service);
+    const int save_status = serve_cache_save(service, args.cache_save);
+    return status != 0 ? status : save_status;
+  }
 
   if (args.stdin_loop) {
     // Line loop: one request document in, one response document out.
@@ -628,7 +771,7 @@ int cmd_serve(const Args& args) {
       }
       std::fflush(stdout);
     }
-    return 0;
+    return serve_cache_save(service, args.cache_save);
   }
 
   std::string requests_path = args.requests_path;
@@ -669,7 +812,7 @@ int cmd_serve(const Args& args) {
     std::fprintf(stderr, "wrote %s (%zu responses)\n", args.output.c_str(),
                  responses.size());
   }
-  return 0;
+  return serve_cache_save(service, args.cache_save);
 }
 
 std::string stats_format_double(double v) {
