@@ -1,0 +1,273 @@
+// Machine-readable fleet-simulator benchmark: runs the same seeded
+// synthetic trace under all three placement policies and writes
+// BENCH_fleet.json (schema madpipe-bench-fleet-v1) so the fleet layer's
+// behavior can be tracked across PRs next to BENCH_serve/BENCH_net.
+//
+// Sections:
+//   * policies    — per-policy utilization / queueing-delay (mean, p50,
+//                   p99, max) / plan-cache traffic, with exact
+//                   jobs-in == jobs-out accounting. Each policy gets a
+//                   fresh PlanService so hit-rates are comparable; the
+//                   affinity policy must beat FIFO's hit-rate (checked by
+//                   tools/check_bench_schema.py — it is the policy's whole
+//                   point, not a perf accident).
+//   * determinism — the FIFO cell re-run: both runs must produce the same
+//                   event-log hash (the CLI-level bit-identity criterion).
+//   * engine      — calendar-queue churn microbench: push/pop a shuffled
+//                   (util::Rng) stream of mostly-near, some-far events and
+//                   verify the total (time, seq) pop order; events/s is the
+//                   hardware-gated floor.
+//
+//   bench_fleet [-o FILE] [--smoke]   (default: BENCH_fleet.json;
+//                                      --smoke = small trace + short churn)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "fleet/calendar_queue.hpp"
+#include "fleet/simulator.hpp"
+#include "fleet/trace.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace madpipe;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+struct PolicyCell {
+  fleet::FleetResult result;
+  double wall_seconds = 0.0;
+};
+
+/// Calendar-queue churn: `events` pushes + pops in blocks, insertion order
+/// shuffled by the seeded Rng, times mostly inside the fine/coarse windows
+/// with a far-future tail. Returns events/s (a push+pop pair counts as one
+/// event) and validates the pop order on the fly.
+struct ChurnResult {
+  long long events = 0;
+  double wall_seconds = 0.0;
+  double events_per_second = 0.0;
+  std::uint64_t far_inserts = 0;
+  std::uint64_t refills = 0;
+  bool ordered = true;
+};
+
+ChurnResult run_churn(long long events, std::uint64_t seed) {
+  util::Rng rng(seed);
+  fleet::CalendarQueue queue;
+  ChurnResult churn;
+  churn.events = events;
+  const long long block = 4096;
+  std::vector<double> times(static_cast<std::size_t>(block));
+  double horizon = 0.0;
+  const Clock::time_point start = Clock::now();
+  for (long long done = 0; done < events; done += block) {
+    const long long n = std::min(block, events - done);
+    for (long long i = 0; i < n; ++i) {
+      // 1-in-64 far-future event; the rest land within ~2 fine windows.
+      const double offset = rng.chance(1.0 / 64.0)
+                                ? rng.uniform(5000.0, 50000.0)
+                                : rng.exponential(4.0);
+      times[static_cast<std::size_t>(i)] = horizon + offset;
+    }
+    times.resize(static_cast<std::size_t>(n));
+    rng.shuffle(times);  // insertion order != time order, on purpose
+    for (double t : times) {
+      fleet::Event event;
+      event.time = t;
+      queue.push(event);
+    }
+    double last = -1.0;
+    for (long long i = 0; i < n; ++i) {
+      const fleet::Event event = queue.pop();
+      if (event.time < last) churn.ordered = false;
+      last = event.time;
+    }
+    horizon = last;
+    times.resize(static_cast<std::size_t>(block));
+  }
+  churn.wall_seconds = seconds_since(start);
+  churn.events_per_second =
+      churn.wall_seconds > 0.0
+          ? static_cast<double>(events) / churn.wall_seconds
+          : 0.0;
+  churn.far_inserts = queue.far_inserts();
+  churn.refills = queue.refills();
+  return churn;
+}
+
+void write_policy(json::Writer& w, const PolicyCell& cell) {
+  const fleet::FleetResult& r = cell.result;
+  w.begin_object();
+  w.key("policy"); w.value(r.policy);
+  w.key("jobs_in"); w.value(r.jobs_in);
+  w.key("completed"); w.value(r.completed);
+  w.key("failed"); w.value(r.failed);
+  w.key("stranded"); w.value(r.stranded);
+  w.key("accounting_exact"); w.value(r.accounting_exact());
+  w.key("makespan_s"); w.value(r.makespan_s);
+  w.key("utilization"); w.value(r.utilization);
+  w.key("wait_mean_s"); w.value(r.wait_mean_s);
+  w.key("wait_p50_s"); w.value(r.wait_p50_s);
+  w.key("wait_p99_s"); w.value(r.wait_p99_s);
+  w.key("wait_max_s"); w.value(r.wait_max_s);
+  w.key("plans"); w.value(r.plans_requested);
+  w.key("cache_hits"); w.value(r.cache_hits);
+  w.key("cache_misses"); w.value(r.cache_misses);
+  w.key("cache_hit_rate"); w.value(r.cache_hit_rate);
+  w.key("replans"); w.value(r.replans);
+  w.key("preemptions"); w.value(r.preemptions);
+  w.key("deadlines_met"); w.value(r.deadlines_met);
+  w.key("deadlines_missed"); w.value(r.deadlines_missed);
+  w.key("events_dispatched"); w.value(r.events_dispatched);
+  w.key("event_log_hash"); w.value(hash_hex(r.event_log_hash));
+  w.key("wall_seconds"); w.value(cell.wall_seconds);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output = "BENCH_fleet.json";
+  bool smoke = false;
+  bench::ObsSinkArgs sinks;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (sinks.parse(argc, argv, &i)) continue;
+    if (arg == "-o" && i + 1 < argc) output = argv[++i];
+    if (arg == "--smoke") smoke = true;
+  }
+  sinks.install();
+
+  const std::uint64_t seed = 42;
+  fleet::SyntheticTraceConfig trace_config;
+  trace_config.seed = seed;
+  trace_config.jobs = smoke ? 10 : 32;
+  trace_config.pool_gpus = 8;
+  const fleet::FleetTrace trace = fleet::synthesize_fleet_trace(trace_config);
+  const long long churn_events = smoke ? 50'000 : 1'000'000;
+  const int hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+
+  std::vector<PolicyCell> cells;
+  for (const std::string& policy : fleet::list_policies()) {
+    fleet::FleetOptions options;
+    options.policy = policy;
+    const Clock::time_point start = Clock::now();
+    PolicyCell cell;
+    cell.result = fleet::run_fleet(trace, options);
+    cell.wall_seconds = seconds_since(start);
+    if (!cell.result.ok()) {
+      std::fprintf(stderr, "fleet run failed (%s): %s\n", policy.c_str(),
+                   cell.result.error.c_str());
+      return 1;
+    }
+    std::printf(
+        "%-9s util %5.1f%%  wait p99 %8.2f s  hit-rate %5.1f%%  "
+        "(%d in / %d out)\n",
+        policy.c_str(), 100.0 * cell.result.utilization,
+        cell.result.wait_p99_s, 100.0 * cell.result.cache_hit_rate,
+        cell.result.jobs_in, cell.result.completed);
+    cells.push_back(std::move(cell));
+  }
+
+  // Determinism: the fifo cell again, fresh service — hashes must match.
+  fleet::FleetOptions fifo_options;
+  fifo_options.policy = "fifo";
+  const fleet::FleetResult rerun = fleet::run_fleet(trace, fifo_options);
+  const bool identical_logs =
+      rerun.ok() && rerun.event_log_hash == cells[0].result.event_log_hash &&
+      rerun.event_log == cells[0].result.event_log;
+  std::printf("determinism: fifo rerun %s\n",
+              identical_logs ? "bit-identical" : "DIVERGED");
+
+  const ChurnResult churn = run_churn(churn_events, seed);
+  std::printf("engine: %lld events in %.3f s -> %.2fM events/s%s\n",
+              churn.events, churn.wall_seconds,
+              churn.events_per_second / 1e6,
+              churn.ordered ? "" : " (ORDER VIOLATION)");
+
+  json::Writer w;
+  w.begin_object();
+  w.key("schema");
+  w.value("madpipe-bench-fleet-v1");
+  w.key("smoke");
+  w.value(smoke);
+  w.key("hardware_threads");
+  w.value(hardware_threads);
+  w.key("workload");
+  w.begin_object();
+  w.key("seed"); w.value(static_cast<long long>(seed));
+  w.key("jobs"); w.value(trace_config.jobs);
+  w.key("pool_gpus"); w.value(trace_config.pool_gpus);
+  w.key("resize_events"); w.value(trace.pool_events.size());
+  w.key("networks");
+  w.begin_array();
+  for (const std::string& network : trace_config.networks) w.value(network);
+  w.end_array();
+  w.end_object();
+  w.key("policies");
+  w.begin_array();
+  for (const PolicyCell& cell : cells) write_policy(w, cell);
+  w.end_array();
+  w.key("determinism");
+  w.begin_object();
+  w.key("policy"); w.value("fifo");
+  w.key("runs"); w.value(2);
+  w.key("identical_logs"); w.value(identical_logs);
+  w.key("event_log_hash"); w.value(hash_hex(cells[0].result.event_log_hash));
+  w.end_object();
+  w.key("engine");
+  w.begin_object();
+  w.key("events"); w.value(churn.events);
+  w.key("wall_seconds"); w.value(churn.wall_seconds);
+  w.key("events_per_second"); w.value(churn.events_per_second);
+  w.key("far_inserts"); w.value(static_cast<long long>(churn.far_inserts));
+  w.key("refills"); w.value(static_cast<long long>(churn.refills));
+  w.key("ordered"); w.value(churn.ordered);
+  w.end_object();
+  w.key("summary");
+  w.begin_object();
+  w.key("fifo_hit_rate"); w.value(cells[0].result.cache_hit_rate);
+  w.key("affinity_hit_rate"); w.value(cells[2].result.cache_hit_rate);
+  w.key("events_per_second"); w.value(churn.events_per_second);
+  w.end_object();
+  w.end_object();
+
+  std::ofstream out(output);
+  out << w.str() << "\n";
+  std::printf("fleet benchmark JSON -> %s\n", output.c_str());
+  sinks.flush();
+
+  // Hard invariants: the bench itself fails before the schema checker does.
+  for (const PolicyCell& cell : cells) {
+    if (!cell.result.accounting_exact() || cell.result.stranded > 0) {
+      std::fprintf(stderr, "accounting violation under %s\n",
+                   cell.result.policy.c_str());
+      return 1;
+    }
+  }
+  if (!identical_logs || !churn.ordered) return 1;
+  if (cells[2].result.cache_hit_rate <= cells[0].result.cache_hit_rate) {
+    std::fprintf(stderr, "affinity hit-rate did not beat fifo\n");
+    return 1;
+  }
+  return 0;
+}

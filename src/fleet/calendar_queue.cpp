@@ -1,0 +1,148 @@
+#include "fleet/calendar_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace madpipe::fleet {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::JobArrival: return "arrival";
+    case EventKind::JobCompletion: return "completion";
+    case EventKind::PoolResize: return "resize";
+  }
+  return "unknown";
+}
+
+CalendarQueue::CalendarQueue(const CalendarQueueOptions& options)
+    : options_(options) {
+  MP_EXPECT(options_.dt > 0.0, "fine bucket width must be positive");
+  MP_EXPECT(options_.fine_buckets >= 2, "need at least two fine buckets");
+  MP_EXPECT(options_.coarse_buckets >= 2, "need at least two coarse buckets");
+  coarse_dt_ = options_.dt * static_cast<double>(options_.fine_buckets);
+  fine_.resize(options_.fine_buckets);
+  coarse_.resize(options_.coarse_buckets);
+}
+
+double CalendarQueue::fine_end() const noexcept {
+  return fine_start_ + coarse_dt_;  // coarse_dt_ == fine window span
+}
+
+double CalendarQueue::coarse_end() const noexcept {
+  return fine_end() +
+         coarse_dt_ * static_cast<double>(options_.coarse_buckets);
+}
+
+void CalendarQueue::insert_positioned(const Event& event) {
+  if (event.time < fine_end()) {
+    const double offset = (event.time - fine_start_) / options_.dt;
+    std::size_t index =
+        offset <= 0.0 ? 0 : static_cast<std::size_t>(offset);
+    index = std::min(index, options_.fine_buckets - 1);
+    // Never behind the cursor: a clamped-to-now event must still be seen.
+    index = std::max(index, std::min(fine_index_, options_.fine_buckets - 1));
+    fine_[index].push_back(event);
+    ++fine_size_;
+    return;
+  }
+  if (event.time < coarse_end()) {
+    const double offset = (event.time - fine_end()) / coarse_dt_;
+    std::size_t logical =
+        offset <= 0.0 ? 0 : static_cast<std::size_t>(offset);
+    logical = std::min(logical, options_.coarse_buckets - 1);
+    const std::size_t physical =
+        (coarse_index_ + logical) % options_.coarse_buckets;
+    coarse_[physical].push_back(event);
+    ++coarse_size_;
+    return;
+  }
+  far_.push_back(event);
+}
+
+void CalendarQueue::push(Event event) {
+  event.seq = next_seq_++;
+  if (event.time < now_) event.time = now_;  // the past is dispatched "now"
+  if (event.time >= coarse_end()) ++far_inserts_;
+  insert_positioned(event);
+  ++size_;
+}
+
+void CalendarQueue::advance() {
+  MP_ASSERT(fine_size_ == 0, "advance() with fine events pending");
+  ++refills_;
+  if (coarse_size_ == 0) {
+    // Nothing on the calendar for whole coarse laps: jump the window
+    // straight to the earliest far event instead of idling through empty
+    // buckets one lap at a time.
+    MP_ENSURE(!far_.empty(), "advance() with no events anywhere");
+    double min_time = far_.front().time;
+    for (const Event& event : far_) min_time = std::min(min_time, event.time);
+    fine_start_ = min_time;
+    fine_index_ = 0;
+    coarse_index_ = 0;
+    std::vector<Event> rest;
+    rest.reserve(far_.size());
+    for (Event& event : far_) {
+      if (event.time < coarse_end()) {
+        insert_positioned(event);
+      } else {
+        rest.push_back(event);
+      }
+    }
+    far_.swap(rest);
+    return;
+  }
+  // Slide the fine window up one coarse bucket and pour that bucket down.
+  fine_start_ = fine_end();
+  fine_index_ = 0;
+  std::vector<Event> pour = std::move(coarse_[coarse_index_]);
+  coarse_[coarse_index_].clear();
+  coarse_size_ -= pour.size();
+  coarse_index_ = (coarse_index_ + 1) % options_.coarse_buckets;
+  for (const Event& event : pour) insert_positioned(event);
+  // The coarse horizon moved up one bucket; adopt far events it now covers.
+  if (!far_.empty()) {
+    const double horizon = coarse_end();
+    std::vector<Event> rest;
+    rest.reserve(far_.size());
+    for (Event& event : far_) {
+      if (event.time < horizon) {
+        insert_positioned(event);
+      } else {
+        rest.push_back(event);
+      }
+    }
+    far_.swap(rest);
+  }
+}
+
+Event CalendarQueue::pop() {
+  MP_EXPECT(size_ > 0, "pop() on an empty calendar queue");
+  while (true) {
+    while (fine_index_ < options_.fine_buckets &&
+           fine_[fine_index_].empty()) {
+      ++fine_index_;
+    }
+    if (fine_index_ < options_.fine_buckets) break;
+    advance();
+  }
+  std::vector<Event>& bucket = fine_[fine_index_];
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < bucket.size(); ++i) {
+    const Event& a = bucket[i];
+    const Event& b = bucket[best];
+    if (a.time < b.time || (a.time == b.time && a.seq < b.seq)) best = i;
+  }
+  const Event event = bucket[best];
+  bucket[best] = bucket.back();
+  bucket.pop_back();
+  --fine_size_;
+  --size_;
+  now_ = std::max(now_, event.time);
+  return event;
+}
+
+}  // namespace madpipe::fleet

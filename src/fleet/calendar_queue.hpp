@@ -1,0 +1,116 @@
+// Multi-scale calendar queue: the fleet simulator's event engine.
+//
+// A binary heap costs O(log n) per operation and, worse for a
+// discrete-event simulator, gives no locality: a year-long fleet trace with
+// millions of events keeps paying for the far future on every pop. The
+// calendar-queue idiom (SNIPPETS.md §2, mcell's sched_util) exploits what
+// simulators know about their own event population — most pending events
+// are *near* — by bucketing time like a desk calendar:
+//
+//   * a FINE ring of `fine_buckets` circular buckets of width `dt` covers
+//     the imminent window [fine_start, fine_start + fine_buckets*dt);
+//     insert and pop inside the window are O(1) amortized;
+//   * a COARSE ring one scale up (bucket width fine_buckets*dt) covers the
+//     next `coarse_buckets` fine windows; when the fine ring is exhausted
+//     the next coarse bucket is poured down into fine buckets (each event
+//     is touched O(#scales) = O(2) times total);
+//   * everything beyond the coarse horizon sits in an unsorted FAR list,
+//     re-bucketed when the coarse ring advances past it. A far event is a
+//     trace's "retire the pool in an hour" — rare by construction.
+//
+// Ordering contract (what the golden tests pin): events pop in strictly
+// increasing (time, seq) order, where `seq` is the global insertion number
+// — ties in time resolve FIFO, and an insert during dispatch at the
+// current time is popped before the engine moves past it. Events inserted
+// in the past (time < the last popped time) are clamped to "now" and
+// dispatched next: the simulator never travels backwards.
+//
+// The queue is deliberately single-threaded: determinism of the fleet
+// event log is the acceptance criterion, and one event loop feeding the
+// (thread-safe) PlanService is the proven serve-front-end shape.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace madpipe::fleet {
+
+/// What a scheduled event does when it fires. The engine itself only
+/// orders events; the simulator interprets the kind.
+enum class EventKind : std::uint8_t {
+  JobArrival,    ///< a job enters the wait queue (payload: job index)
+  JobCompletion, ///< a placed job finished its batches (payload: job, epoch)
+  PoolResize,    ///< the elastic pool capacity changes (payload: new size)
+};
+
+const char* to_string(EventKind kind) noexcept;
+
+/// One scheduled event. `seq` is assigned by the queue at insert time and
+/// makes the pop order a total order.
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::JobArrival;
+  std::int32_t job = -1;    ///< job index; -1 for pool events
+  std::int64_t arg = 0;     ///< kind-specific: epoch / new capacity
+};
+
+struct CalendarQueueOptions {
+  double dt = 1.0 / 64.0;          ///< fine bucket width, seconds
+  std::size_t fine_buckets = 512;  ///< fine window = dt * fine_buckets
+  std::size_t coarse_buckets = 512;
+};
+
+class CalendarQueue {
+ public:
+  explicit CalendarQueue(const CalendarQueueOptions& options = {});
+
+  /// Schedule `event` at event.time (seq is overwritten). Times before the
+  /// last popped time are clamped to it.
+  void push(Event event);
+
+  /// True iff no events remain.
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Remove and return the earliest event by (time, seq). Precondition:
+  /// !empty().
+  Event pop();
+
+  /// Time of the last popped event (0 before the first pop).
+  double now() const noexcept { return now_; }
+
+  /// Events that sat beyond the coarse horizon at insert time — the
+  /// far-list traffic the multi-scale layout exists to keep rare.
+  std::uint64_t far_inserts() const noexcept { return far_inserts_; }
+  /// Coarse-bucket pours into the fine ring so far.
+  std::uint64_t refills() const noexcept { return refills_; }
+
+ private:
+  double fine_end() const noexcept;
+  double coarse_end() const noexcept;
+  void insert_positioned(const Event& event);
+  /// Advance the fine window onto the next coarse bucket (pouring it down),
+  /// cascading the far list into the coarse ring when it wraps. Requires
+  /// size_ > 0; leaves at least one fine bucket non-empty.
+  void advance();
+
+  CalendarQueueOptions options_;
+  double coarse_dt_ = 0.0;
+  std::vector<std::vector<Event>> fine_;
+  std::vector<std::vector<Event>> coarse_;
+  std::vector<Event> far_;
+  double fine_start_ = 0.0;    ///< time at fine_[0]'s left edge
+  std::size_t fine_index_ = 0; ///< current fine bucket
+  std::size_t coarse_index_ = 0; ///< physical bucket of the logical front
+  std::size_t size_ = 0;
+  std::size_t fine_size_ = 0;
+  std::size_t coarse_size_ = 0;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t far_inserts_ = 0;
+  std::uint64_t refills_ = 0;
+};
+
+}  // namespace madpipe::fleet

@@ -1,0 +1,133 @@
+#include "fleet/policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace madpipe::fleet {
+
+int fit_width(const JobSpec& job, int free) noexcept {
+  if (free < job.min_gpus) return 0;
+  return std::min(job.gpus, free);
+}
+
+namespace {
+
+/// The queue position holding the smallest admission order — the queue is
+/// appended in order and erased from the middle, so position 0 is not
+/// guaranteed to be the oldest.
+std::optional<std::size_t> oldest(const std::vector<WaitingJob>& queue) {
+  if (queue.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue.size(); ++i) {
+    if (queue[i].order < queue[best].order) best = i;
+  }
+  return best;
+}
+
+class FifoPolicy final : public PlacementPolicy {
+ public:
+  const char* name() const noexcept override { return "fifo"; }
+
+  std::optional<PlacementDecision> select(
+      const PlacementView& view) const override {
+    MP_EXPECT(view.queue != nullptr, "placement view missing queue");
+    const std::optional<std::size_t> head = oldest(*view.queue);
+    if (!head) return std::nullopt;
+    const WaitingJob& job = (*view.queue)[*head];
+    const int width = fit_width(*job.spec, view.free_gpus);
+    if (width == 0) return std::nullopt;  // head of line blocks
+    return PlacementDecision{*head, width};
+  }
+};
+
+class DeadlinePolicy final : public PlacementPolicy {
+ public:
+  const char* name() const noexcept override { return "deadline"; }
+
+  std::optional<PlacementDecision> select(
+      const PlacementView& view) const override {
+    MP_EXPECT(view.queue != nullptr, "placement view missing queue");
+    const std::vector<WaitingJob>& queue = *view.queue;
+    std::optional<std::size_t> best;
+    double best_deadline = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      const WaitingJob& job = queue[i];
+      if (fit_width(*job.spec, view.free_gpus) == 0) continue;
+      const double deadline =
+          job.spec->deadline_s > 0.0
+              ? job.spec->deadline_s
+              : std::numeric_limits<double>::infinity();
+      const bool earlier =
+          !best || deadline < best_deadline ||
+          (deadline == best_deadline && job.order < queue[*best].order);
+      if (earlier) {
+        best = i;
+        best_deadline = deadline;
+      }
+    }
+    if (!best) return std::nullopt;
+    const WaitingJob& job = queue[*best];
+    return PlacementDecision{*best, fit_width(*job.spec, view.free_gpus)};
+  }
+};
+
+class AffinityPolicy final : public PlacementPolicy {
+ public:
+  const char* name() const noexcept override { return "affinity"; }
+
+  std::optional<PlacementDecision> select(
+      const PlacementView& view) const override {
+    MP_EXPECT(view.queue != nullptr, "placement view missing queue");
+    MP_EXPECT(view.warm != nullptr, "affinity policy needs a warm set");
+    const std::vector<WaitingJob>& queue = *view.queue;
+    // Pass 1: a job placeable at an already-planned (network, width).
+    // Widths scan downward from shrink-to-fit so a warm narrower plan is
+    // still found; ties between jobs resolve by admission order.
+    std::optional<std::size_t> warm_job;
+    int warm_width = 0;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      const WaitingJob& job = queue[i];
+      const int max_width = fit_width(*job.spec, view.free_gpus);
+      if (max_width == 0) continue;
+      for (int width = max_width; width >= job.spec->min_gpus; --width) {
+        if (view.warm->count({job.spec->network, width}) == 0) continue;
+        const bool better =
+            !warm_job || width > warm_width ||
+            (width == warm_width && job.order < queue[*warm_job].order);
+        if (better) {
+          warm_job = i;
+          warm_width = width;
+        }
+        break;  // widths below this one reuse less of the pool
+      }
+    }
+    if (warm_job) return PlacementDecision{*warm_job, warm_width};
+    // Pass 2: nothing warm fits — first fit by admission order, full
+    // shrink-to-fit width (the plan it creates warms the set for later).
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (fit_width(*queue[i].spec, view.free_gpus) == 0) continue;
+      if (!best || queue[i].order < queue[*best].order) best = i;
+    }
+    if (!best) return std::nullopt;
+    return PlacementDecision{*best,
+                             fit_width(*queue[*best].spec, view.free_gpus)};
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> list_policies() {
+  return {"fifo", "deadline", "affinity"};
+}
+
+std::unique_ptr<PlacementPolicy> make_policy(const std::string& name) {
+  if (name == "fifo") return std::make_unique<FifoPolicy>();
+  if (name == "deadline") return std::make_unique<DeadlinePolicy>();
+  if (name == "affinity") return std::make_unique<AffinityPolicy>();
+  return nullptr;
+}
+
+}  // namespace madpipe::fleet

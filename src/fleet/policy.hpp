@@ -1,0 +1,90 @@
+// Placement policies: who gets GPUs next, and how many.
+//
+// The simulator keeps a wait queue of admitted-but-unplaced jobs and asks
+// the policy, every time capacity might have opened up (arrival, completion,
+// pool grow), to pick ONE job and a width. The policy is called in a loop
+// until it declines, so "place everything that fits" emerges from repeated
+// single picks — which keeps every policy a pure function of the view and
+// makes the event log a pure function of (trace, policy, seed).
+//
+// Width selection is elastic: a job asks for `gpus` but accepts anything
+// down to `min_gpus`, so the default width is shrink-to-fit
+// (min(requested, free)). This is what differentiates the policies in the
+// plan cache: the same job placed at a different width is a different
+// canonical cache key (the platform's processor count is part of the key),
+// so a width-aware policy can steer the fleet onto already-planned
+// (network, width) pairs.
+//
+//   * fifo      — strict head of line. The oldest waiting job either fits
+//                 (shrunk if needed) or blocks everyone behind it. The
+//                 honest baseline: no bypass, convoy effects and all.
+//   * deadline  — EDF with backfill: among jobs that fit RIGHT NOW, pick
+//                 the earliest simulated deadline (no deadline = +inf,
+//                 ties by arrival order). Urgent-but-too-wide jobs do not
+//                 block narrower ones.
+//   * affinity  — cache-affinity: among fitting jobs, prefer one that can
+//                 be placed at a width whose (network, width) plan is
+//                 already warm — maximizing PlanService cache hits — and
+//                 fall back to first-fit by arrival order. The bench
+//                 acceptance criterion (affinity hit-rate > fifo) is this
+//                 policy working as designed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fleet/trace.hpp"
+
+namespace madpipe::fleet {
+
+/// One waiting job as the policy sees it.
+struct WaitingJob {
+  std::int32_t job = -1;          ///< index into the trace's job list
+  const JobSpec* spec = nullptr;  ///< the trace entry (never null)
+  double enqueued_s = 0.0;        ///< when it entered the wait queue
+  std::uint64_t order = 0;        ///< global admission order (FIFO ties)
+};
+
+/// Plans the simulator has already obtained, keyed by (network, width).
+/// Tracked simulator-side rather than probed from the PlanService cache so
+/// that policy deliberation never perturbs the cache counters the bench
+/// reports.
+using WarmSet = std::set<std::pair<std::string, int>>;
+
+struct PlacementView {
+  const std::vector<WaitingJob>* queue = nullptr;
+  int free_gpus = 0;
+  const WarmSet* warm = nullptr;
+};
+
+struct PlacementDecision {
+  std::size_t queue_index = 0;  ///< position in view.queue
+  int gpus = 0;                 ///< placement width (min_gpus..gpus)
+};
+
+/// Shrink-to-fit width for `job` given `free` GPUs; 0 when it cannot fit.
+int fit_width(const JobSpec& job, int free) noexcept;
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual const char* name() const noexcept = 0;
+  /// Pick the next job to place, or nullopt to wait for more capacity.
+  /// Must only return decisions with fit_width(...) > 0 semantics:
+  /// min_gpus <= gpus <= min(requested, free).
+  virtual std::optional<PlacementDecision> select(
+      const PlacementView& view) const = 0;
+};
+
+/// Policy names accepted by make_policy, in documented order.
+std::vector<std::string> list_policies();
+
+/// Factory for "fifo" / "deadline" / "affinity"; nullptr on unknown names.
+std::unique_ptr<PlacementPolicy> make_policy(const std::string& name);
+
+}  // namespace madpipe::fleet

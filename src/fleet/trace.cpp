@@ -1,0 +1,424 @@
+#include "fleet/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string_view>
+
+#include "models/zoo.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace madpipe::fleet {
+
+namespace {
+
+bool known_network(const std::string& name) {
+  const std::vector<std::string> names = models::list_networks();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
+
+/// Strict-object helper: every member must be consumed by `allowed`.
+std::string reject_unknown_keys(const json::Value& object,
+                                std::initializer_list<std::string_view> allowed,
+                                const std::string& where) {
+  for (const auto& [key, value] : object.members()) {
+    (void)value;
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      return "unknown key \"" + key + "\" in " + where;
+    }
+  }
+  return {};
+}
+
+/// Optional-field reads that are strict about TYPE: an absent key keeps
+/// the default, a present-but-mistyped value is an error (the lax
+/// number_or/string_or accessors would silently swallow it — exactly the
+/// kind of typo a strict trace parser exists to catch).
+std::string read_number(const json::Value& object, const char* key,
+                        const std::string& where, double* out) {
+  const json::Value* v = object.find(key);
+  if (v == nullptr) return {};
+  if (!v->is_number()) {
+    return where + ": \"" + key + "\" must be a number";
+  }
+  *out = v->as_number();
+  return {};
+}
+
+std::string read_string(const json::Value& object, const char* key,
+                        const std::string& where, std::string* out) {
+  const json::Value* v = object.find(key);
+  if (v == nullptr) return {};
+  if (!v->is_string()) {
+    return where + ": \"" + key + "\" must be a string";
+  }
+  *out = v->as_string();
+  return {};
+}
+
+std::string parse_profile(const json::Value& value, ProfileConfig* out) {
+  if (!value.is_object()) return "\"profile\" must be an object";
+  if (std::string err = reject_unknown_keys(
+          value, {"image_size", "batch", "chain_length"}, "profile");
+      !err.empty()) {
+    return err;
+  }
+  double image_size = out->image_size;
+  double batch = out->batch;
+  double chain_length = out->chain_length;
+  for (std::string err :
+       {read_number(value, "image_size", "profile", &image_size),
+        read_number(value, "batch", "profile", &batch),
+        read_number(value, "chain_length", "profile", &chain_length)}) {
+    if (!err.empty()) return err;
+  }
+  out->image_size = static_cast<int>(image_size);
+  out->batch = static_cast<int>(batch);
+  out->chain_length = static_cast<int>(chain_length);
+  return {};
+}
+
+std::string parse_job(const json::Value& value, std::size_t index,
+                      JobSpec* out) {
+  const std::string where = "jobs[" + std::to_string(index) + "]";
+  if (!value.is_object()) return where + " must be an object";
+  if (std::string err = reject_unknown_keys(
+          value,
+          {"id", "arrival_s", "network", "gpus", "min_gpus", "batches",
+           "deadline_s", "plan_deadline_ms"},
+          where);
+      !err.empty()) {
+    return err;
+  }
+  const json::Value* id = value.find("id");
+  if (id == nullptr || !id->is_string()) {
+    return where + " needs a string \"id\"";
+  }
+  out->id = id->as_string();
+  double arrival_s = 0.0;
+  double gpus = out->gpus;
+  double batches = static_cast<double>(out->batches);
+  double deadline_s = 0.0;
+  double plan_deadline_ms = 0.0;
+  for (std::string err :
+       {read_number(value, "arrival_s", where, &arrival_s),
+        read_string(value, "network", where, &out->network),
+        read_number(value, "gpus", where, &gpus),
+        read_number(value, "batches", where, &batches),
+        read_number(value, "deadline_s", where, &deadline_s),
+        read_number(value, "plan_deadline_ms", where, &plan_deadline_ms)}) {
+    if (!err.empty()) return err;
+  }
+  out->gpus = static_cast<int>(gpus);
+  double min_gpus = out->gpus;  // default: not elastic below the request
+  if (std::string err = read_number(value, "min_gpus", where, &min_gpus);
+      !err.empty()) {
+    return err;
+  }
+  out->arrival_s = arrival_s;
+  out->min_gpus = static_cast<int>(min_gpus);
+  out->batches = static_cast<long long>(batches);
+  out->deadline_s = deadline_s;
+  out->plan_deadline_ms = plan_deadline_ms;
+  return {};
+}
+
+std::string parse_pool_event(const json::Value& value, std::size_t index,
+                             PoolEvent* out) {
+  const std::string where =
+      "pool_events[" + std::to_string(index) + "]";
+  if (!value.is_object()) return where + " must be an object";
+  if (std::string err =
+          reject_unknown_keys(value, {"time_s", "gpus"}, where);
+      !err.empty()) {
+    return err;
+  }
+  const json::Value* time = value.find("time_s");
+  const json::Value* gpus = value.find("gpus");
+  if (time == nullptr || !time->is_number() || gpus == nullptr ||
+      !gpus->is_number()) {
+    return where + " needs numbers \"time_s\" and \"gpus\"";
+  }
+  out->time_s = time->as_number();
+  out->gpus = static_cast<int>(gpus->as_number());
+  return {};
+}
+
+}  // namespace
+
+std::string fleet_trace_validate(const FleetTrace& trace) {
+  if (trace.pool_gpus < 1) return "pool_gpus must be >= 1";
+  if (!(trace.memory_gb > 0.0) || !std::isfinite(trace.memory_gb)) {
+    return "memory_gb must be positive";
+  }
+  if (!(trace.bandwidth_gbs > 0.0) || !std::isfinite(trace.bandwidth_gbs)) {
+    return "bandwidth_gbs must be positive";
+  }
+  if (trace.profile.image_size < 1 || trace.profile.batch < 1 ||
+      trace.profile.chain_length < 0) {
+    return "profile settings out of range";
+  }
+  if (trace.jobs.empty()) return "trace has no jobs";
+  std::set<std::string> ids;
+  double previous_arrival = 0.0;
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    const JobSpec& job = trace.jobs[i];
+    const std::string where = "jobs[" + std::to_string(i) + "]";
+    if (job.id.empty()) return where + ": empty id";
+    if (!ids.insert(job.id).second) {
+      return where + ": duplicate id \"" + job.id + "\"";
+    }
+    if (!known_network(job.network)) {
+      return where + ": unknown network \"" + job.network + "\"";
+    }
+    if (!finite_nonneg(job.arrival_s)) {
+      return where + ": arrival_s must be finite and >= 0";
+    }
+    if (job.arrival_s < previous_arrival) {
+      return where + ": jobs must be sorted by arrival_s";
+    }
+    previous_arrival = job.arrival_s;
+    if (job.min_gpus < 1 || job.gpus < job.min_gpus) {
+      return where + ": need 1 <= min_gpus <= gpus";
+    }
+    if (job.batches < 1) return where + ": batches must be >= 1";
+    if (!finite_nonneg(job.deadline_s)) {
+      return where + ": deadline_s must be finite and >= 0";
+    }
+    if (!finite_nonneg(job.plan_deadline_ms)) {
+      return where + ": plan_deadline_ms must be finite and >= 0";
+    }
+  }
+  double previous_time = 0.0;
+  for (std::size_t i = 0; i < trace.pool_events.size(); ++i) {
+    const PoolEvent& event = trace.pool_events[i];
+    const std::string where = "pool_events[" + std::to_string(i) + "]";
+    if (!finite_nonneg(event.time_s)) {
+      return where + ": time_s must be finite and >= 0";
+    }
+    if (event.time_s < previous_time) {
+      return where + ": pool_events must be sorted by time_s";
+    }
+    previous_time = event.time_s;
+    if (event.gpus < 1) return where + ": gpus must be >= 1";
+  }
+  // Every job must be placeable at the FINAL capacity, or the simulation
+  // strands it forever — reject the trace up front rather than deadlock.
+  int final_gpus = trace.pool_gpus;
+  if (!trace.pool_events.empty()) final_gpus = trace.pool_events.back().gpus;
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    if (trace.jobs[i].min_gpus > final_gpus) {
+      return "jobs[" + std::to_string(i) + "]: min_gpus " +
+             std::to_string(trace.jobs[i].min_gpus) +
+             " exceeds final pool capacity " + std::to_string(final_gpus);
+    }
+  }
+  return {};
+}
+
+bool fleet_trace_has_plan_deadlines(const FleetTrace& trace) {
+  for (const JobSpec& job : trace.jobs) {
+    if (job.plan_deadline_ms > 0.0) return true;
+  }
+  return false;
+}
+
+FleetTraceParse fleet_trace_from_json(const std::string& text) {
+  FleetTraceParse result;
+  const json::ParseResult parsed = json::parse(text);
+  if (!parsed.ok()) {
+    result.error = "invalid JSON: " + parsed.error;
+    return result;
+  }
+  const json::Value& root = parsed.value;
+  if (!root.is_object()) {
+    result.error = "trace document must be a JSON object";
+    return result;
+  }
+  if (std::string err = reject_unknown_keys(
+          root,
+          {"schema", "pool_gpus", "memory_gb", "bandwidth_gbs", "profile",
+           "jobs", "pool_events"},
+          "trace");
+      !err.empty()) {
+    result.error = err;
+    return result;
+  }
+  const std::string schema = root.string_or("schema", "");
+  if (schema != kFleetTraceSchema) {
+    result.error = std::string("schema must be \"") + kFleetTraceSchema +
+                   "\" (got \"" + schema + "\")";
+    return result;
+  }
+  FleetTrace& trace = result.trace;
+  double pool_gpus = trace.pool_gpus;
+  for (std::string err :
+       {read_number(root, "pool_gpus", "trace", &pool_gpus),
+        read_number(root, "memory_gb", "trace", &trace.memory_gb),
+        read_number(root, "bandwidth_gbs", "trace", &trace.bandwidth_gbs)}) {
+    if (!err.empty()) {
+      result.error = err;
+      return result;
+    }
+  }
+  trace.pool_gpus = static_cast<int>(pool_gpus);
+  if (const json::Value* profile = root.find("profile")) {
+    if (std::string err = parse_profile(*profile, &trace.profile);
+        !err.empty()) {
+      result.error = err;
+      return result;
+    }
+  }
+  const json::Value* jobs = root.find("jobs");
+  if (jobs == nullptr || !jobs->is_array()) {
+    result.error = "trace needs a \"jobs\" array";
+    return result;
+  }
+  for (std::size_t i = 0; i < jobs->items().size(); ++i) {
+    JobSpec job;
+    if (std::string err = parse_job(jobs->items()[i], i, &job); !err.empty()) {
+      result.error = err;
+      return result;
+    }
+    trace.jobs.push_back(std::move(job));
+  }
+  if (const json::Value* events = root.find("pool_events")) {
+    if (!events->is_array()) {
+      result.error = "\"pool_events\" must be an array";
+      return result;
+    }
+    for (std::size_t i = 0; i < events->items().size(); ++i) {
+      PoolEvent event;
+      if (std::string err = parse_pool_event(events->items()[i], i, &event);
+          !err.empty()) {
+        result.error = err;
+        return result;
+      }
+      trace.pool_events.push_back(event);
+    }
+  }
+  result.error = fleet_trace_validate(trace);
+  return result;
+}
+
+std::string fleet_trace_to_json(const FleetTrace& trace) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kFleetTraceSchema);
+  w.key("pool_gpus");
+  w.value(trace.pool_gpus);
+  w.key("memory_gb");
+  w.value(trace.memory_gb);
+  w.key("bandwidth_gbs");
+  w.value(trace.bandwidth_gbs);
+  w.key("profile");
+  w.begin_object();
+  w.key("image_size");
+  w.value(trace.profile.image_size);
+  w.key("batch");
+  w.value(trace.profile.batch);
+  w.key("chain_length");
+  w.value(trace.profile.chain_length);
+  w.end_object();
+  w.key("jobs");
+  w.begin_array();
+  for (const JobSpec& job : trace.jobs) {
+    w.begin_object();
+    w.key("id");
+    w.value(job.id);
+    w.key("arrival_s");
+    w.value(job.arrival_s);
+    w.key("network");
+    w.value(job.network);
+    w.key("gpus");
+    w.value(job.gpus);
+    w.key("min_gpus");
+    w.value(job.min_gpus);
+    w.key("batches");
+    w.value(job.batches);
+    if (job.deadline_s > 0.0) {
+      w.key("deadline_s");
+      w.value(job.deadline_s);
+    }
+    if (job.plan_deadline_ms > 0.0) {
+      w.key("plan_deadline_ms");
+      w.value(job.plan_deadline_ms);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("pool_events");
+  w.begin_array();
+  for (const PoolEvent& event : trace.pool_events) {
+    w.begin_object();
+    w.key("time_s");
+    w.value(event.time_s);
+    w.key("gpus");
+    w.value(event.gpus);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+FleetTrace synthesize_fleet_trace(const SyntheticTraceConfig& config) {
+  util::Rng rng(config.seed);
+  FleetTrace trace;
+  trace.pool_gpus = std::max(1, config.pool_gpus);
+  trace.memory_gb = config.memory_gb;
+  trace.bandwidth_gbs = config.bandwidth_gbs;
+  trace.profile = config.profile;
+
+  const std::vector<std::string>& networks =
+      config.networks.empty() ? std::vector<std::string>{"resnet50"}
+                              : config.networks;
+  double arrival = 0.0;
+  double last_arrival = 0.0;
+  for (int i = 0; i < std::max(1, config.jobs); ++i) {
+    JobSpec job;
+    char id_buf[24];
+    std::snprintf(id_buf, sizeof id_buf, "job-%03d", i);
+    job.id = id_buf;
+    if (i > 0) arrival += rng.exponential(config.arrival_mean_gap_s);
+    job.arrival_s = arrival;
+    last_arrival = arrival;
+    job.network = networks[rng.below(networks.size())];
+    // Widths biased toward small-and-elastic: the pool can pack several
+    // jobs, policies get real choices, and shrink-to-fit actually happens.
+    job.gpus = static_cast<int>(
+        rng.range(2, std::max(2, trace.pool_gpus / 2 + 1)));
+    job.min_gpus = static_cast<int>(rng.range(1, job.gpus));
+    job.batches = rng.range(config.min_batches,
+                            std::max(config.min_batches, config.max_batches));
+    if (rng.chance(config.deadline_fraction)) {
+      // Job runtimes land in tens-to-hundreds of simulated seconds (batches
+      // x period plus queueing), so this range makes some deadlines
+      // satisfiable and some not — EDF gets real choices either way.
+      job.deadline_s = job.arrival_s + rng.uniform(60.0, 400.0);
+    }
+    trace.jobs.push_back(std::move(job));
+  }
+
+  // Shrink/restore cycles spread over the arrival span force preemption
+  // and replanning; the final event always restores full capacity so the
+  // trace validates (every min_gpus fits at the end).
+  const int shrink_to = std::max(1, trace.pool_gpus / 2);
+  const double span = std::max(last_arrival, 1.0);
+  double t = 0.0;
+  for (int cycle = 0; cycle < config.resize_cycles; ++cycle) {
+    t += rng.uniform(0.2 * span, 0.6 * span);
+    trace.pool_events.push_back({t, shrink_to});
+    t += rng.uniform(0.1 * span, 0.4 * span);
+    trace.pool_events.push_back({t, trace.pool_gpus});
+  }
+
+  return trace;
+}
+
+}  // namespace madpipe::fleet

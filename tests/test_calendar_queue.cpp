@@ -1,0 +1,197 @@
+// CalendarQueue golden tests: the multi-scale engine must pop in exactly
+// the order a naive std::priority_queue over (time, seq) would — on
+// randomized streams that hit every structural path (same-timestamp ties,
+// far-future overflow past the coarse horizon, inserts during dispatch) —
+// and the whole dispatch sequence must be a pure function of the seed.
+#include "fleet/calendar_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace madpipe::fleet {
+namespace {
+
+/// The reference: strictly-ordered (time, seq) min-heap. seq is assigned
+/// here in push order, mirroring what CalendarQueue::push does.
+class NaiveQueue {
+ public:
+  void push(double time, std::uint64_t seq) { heap_.push({time, seq}); }
+  bool empty() const { return heap_.empty(); }
+  std::pair<double, std::uint64_t> pop() {
+    auto top = heap_.top();
+    heap_.pop();
+    return top;
+  }
+
+ private:
+  using Key = std::pair<double, std::uint64_t>;
+  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> heap_;
+};
+
+Event at(double time) {
+  Event event;
+  event.time = time;
+  return event;
+}
+
+/// Drain both queues together and require identical (time, seq) at every
+/// step. Assumes both already hold the same events.
+void expect_identical_drain(CalendarQueue& queue, NaiveQueue& naive) {
+  while (!naive.empty()) {
+    ASSERT_FALSE(queue.empty());
+    const Event event = queue.pop();
+    const auto [time, seq] = naive.pop();
+    ASSERT_EQ(event.time, time);
+    ASSERT_EQ(event.seq, seq);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CalendarQueue, GoldenEquivalenceOnRandomizedStreams) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed);
+    CalendarQueue queue;
+    NaiveQueue naive;
+    std::uint64_t seq = 0;
+    // Mixed spread: mostly near (within the fine window), some in the
+    // coarse window, a tail far beyond the coarse horizon (512*512/64 s
+    // = 4096 s), plus exact duplicates for the tie path.
+    double last_time = 0.0;
+    for (int i = 0; i < 4000; ++i) {
+      double time;
+      const double pick = rng.uniform();
+      if (pick < 0.70) {
+        time = rng.uniform(0.0, 8.0);            // fine window
+      } else if (pick < 0.90) {
+        time = rng.uniform(8.0, 4000.0);         // coarse window
+      } else if (pick < 0.97) {
+        time = rng.uniform(5000.0, 100'000.0);   // far list
+      } else {
+        time = last_time;                        // exact tie
+      }
+      last_time = time;
+      queue.push(at(time));
+      naive.push(time, seq++);
+    }
+    EXPECT_GT(queue.far_inserts(), 0u) << "stream must exercise the far list";
+    expect_identical_drain(queue, naive);
+  }
+}
+
+TEST(CalendarQueue, SameTimestampTiesPopInInsertionOrder) {
+  CalendarQueue queue;
+  for (int i = 0; i < 100; ++i) queue.push(at(1.5));
+  for (std::uint64_t expected = 0; expected < 100; ++expected) {
+    const Event event = queue.pop();
+    EXPECT_EQ(event.time, 1.5);
+    EXPECT_EQ(event.seq, expected);
+  }
+}
+
+TEST(CalendarQueue, InsertDuringDispatchInterleavesCorrectly) {
+  // The simulator's shape: pop an event, schedule new ones (completions,
+  // re-placements) relative to `now`, keep popping. The reference heap
+  // sees the same interleaved pushes.
+  util::Rng rng(4242);
+  CalendarQueue queue;
+  NaiveQueue naive;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 64; ++i) {
+    const double time = rng.uniform(0.0, 4.0);
+    queue.push(at(time));
+    naive.push(time, seq++);
+  }
+  int dispatched = 0;
+  while (!naive.empty()) {
+    ASSERT_FALSE(queue.empty());
+    const Event event = queue.pop();
+    const auto [time, gold_seq] = naive.pop();
+    ASSERT_EQ(event.time, time);
+    ASSERT_EQ(event.seq, gold_seq);
+    ++dispatched;
+    if (dispatched < 2000 && rng.chance(0.6)) {
+      // Sometimes at the current instant exactly (must pop before the
+      // engine moves on), sometimes near-future, sometimes far.
+      const double pick = rng.uniform();
+      const double next_time = pick < 0.2   ? event.time
+                               : pick < 0.9 ? event.time + rng.exponential(2.0)
+                                            : event.time + 10'000.0;
+      queue.push(at(next_time));
+      naive.push(next_time, seq++);
+    }
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_GT(dispatched, 64);
+}
+
+TEST(CalendarQueue, PastInsertsAreClampedToNowNotLost) {
+  CalendarQueue queue;
+  queue.push(at(5.0));
+  queue.push(at(10.0));
+  EXPECT_EQ(queue.pop().time, 5.0);
+  // 2.0 is in the past now; the engine never travels backwards, so it is
+  // clamped to now()=5.0 and dispatched before the 10.0 event.
+  queue.push(at(2.0));
+  const Event clamped = queue.pop();
+  EXPECT_EQ(clamped.time, 5.0);
+  EXPECT_EQ(queue.pop().time, 10.0);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CalendarQueue, FarFutureOnlyStreamStillOrders) {
+  // Everything beyond the coarse horizon: the far list must re-bucket as
+  // the rings advance, not just dump in insertion order.
+  util::Rng rng(77);
+  CalendarQueue queue;
+  NaiveQueue naive;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 500; ++i) {
+    const double time = rng.uniform(50'000.0, 1'000'000.0);
+    queue.push(at(time));
+    naive.push(time, seq++);
+  }
+  EXPECT_EQ(queue.far_inserts(), 500u);
+  expect_identical_drain(queue, naive);
+}
+
+TEST(CalendarQueue, DispatchSequenceIsAPureFunctionOfTheSeed) {
+  // Determinism property at the engine level: same seed -> bit-identical
+  // (time, seq) dispatch sequence, including interleaved inserts.
+  auto run = [](std::uint64_t seed) {
+    util::Rng rng(seed);
+    CalendarQueue queue;
+    std::vector<std::pair<double, std::uint64_t>> dispatched;
+    for (int i = 0; i < 256; ++i) queue.push(at(rng.exponential(3.0)));
+    while (!queue.empty()) {
+      const Event event = queue.pop();
+      dispatched.push_back({event.time, event.seq});
+      if (dispatched.size() < 2048 && rng.chance(0.5)) {
+        queue.push(at(event.time + rng.exponential(5.0)));
+      }
+    }
+    return dispatched;
+  };
+  const auto a = run(2024), b = run(2024), c = run(2025);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(CalendarQueue, SizeAndCountersTrackTraffic) {
+  CalendarQueue queue;
+  EXPECT_TRUE(queue.empty());
+  for (int i = 0; i < 10; ++i) queue.push(at(0.5 * i));
+  EXPECT_EQ(queue.size(), 10u);
+  queue.pop();
+  EXPECT_EQ(queue.size(), 9u);
+  while (!queue.empty()) queue.pop();
+  EXPECT_EQ(queue.now(), 4.5);
+  EXPECT_EQ(queue.far_inserts(), 0u);  // all within the fine window
+}
+
+}  // namespace
+}  // namespace madpipe::fleet

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -37,7 +38,11 @@ int run_cli(const std::string& arguments, std::string* output) {
 
 std::string write_tiny_profile() {
   const Chain chain = make_uniform_chain(4, ms(2), ms(4), MB, 8 * MB, MB);
-  const std::string path = ::testing::TempDir() + "/cli_tiny.profile";
+  // Per-process path: ctest runs each Cli test as its own process, and a
+  // shared fixed name lets one test's cleanup delete the profile while
+  // another's spawned CLI is still reading it.
+  const std::string path = ::testing::TempDir() + "/cli_tiny." +
+                           std::to_string(::getpid()) + ".profile";
   models::save_profile(chain, path);
   return path;
 }
@@ -276,6 +281,63 @@ TEST(CliTrace, ServeStdinTraceOutHasAllCategories) {
   EXPECT_TRUE(saw_planner) << text.substr(0, 2000);
   EXPECT_TRUE(saw_solver) << text.substr(0, 2000);
   std::remove(trace_path.c_str());
+}
+
+TEST(Cli, FleetRunsCommittedExampleTraceDeterministically) {
+  const std::string trace =
+      std::string(MADPIPE_SOURCE_DIR) + "/examples/fleet_trace.json";
+  const std::string log_a = ::testing::TempDir() + "/cli_fleet_a.log";
+  const std::string log_b = ::testing::TempDir() + "/cli_fleet_b.log";
+  std::string output;
+  ASSERT_EQ(run_cli("fleet " + trace + " --policy fifo --log-out " + log_a,
+                    &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("completed"), std::string::npos);
+  EXPECT_NE(output.find("event-log hash"), std::string::npos);
+  ASSERT_EQ(run_cli("fleet " + trace + " --policy fifo --log-out " + log_b,
+                    &output),
+            0)
+      << output;
+  // The CLI-level acceptance criterion: two runs, bit-identical logs.
+  std::ifstream a_in(log_a), b_in(log_b);
+  const std::string a((std::istreambuf_iterator<char>(a_in)),
+                      std::istreambuf_iterator<char>());
+  const std::string b((std::istreambuf_iterator<char>(b_in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  std::remove(log_a.c_str());
+  std::remove(log_b.c_str());
+}
+
+TEST(Cli, FleetWritesReportJsonFromSeededTrace) {
+  const std::string json_path = ::testing::TempDir() + "/cli_fleet.json";
+  std::string output;
+  ASSERT_EQ(run_cli("fleet --seed 7 --jobs 6 --policy deadline --json " +
+                        json_path,
+                    &output),
+            0)
+      << output;
+  std::ifstream in(json_path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const json::ParseResult parsed = json::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value.string_or("schema", ""), "madpipe-fleet-report-v1");
+  EXPECT_EQ(parsed.value.string_or("policy", ""), "deadline");
+  const json::Value* accounting = parsed.value.find("accounting");
+  ASSERT_NE(accounting, nullptr);
+  EXPECT_DOUBLE_EQ(accounting->number_or("jobs_in", 0.0), 6.0);
+  EXPECT_TRUE(accounting->bool_or("exact", false));
+  std::remove(json_path.c_str());
+}
+
+TEST(Cli, FleetRejectsUnknownPolicyAndMissingTrace) {
+  std::string output;
+  EXPECT_EQ(run_cli("fleet --policy frobnicate", &output), 1);
+  EXPECT_NE(output.find("frobnicate"), std::string::npos);
+  EXPECT_EQ(run_cli("fleet /nonexistent/missing_trace.json", &output), 1);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "models/profile_io.hpp"
 
 namespace madpipe::serve {
@@ -232,6 +234,43 @@ TEST(ServeProtocol, BatchDocumentCarriesSchemaAndStats) {
   const json::Value* stats_value = parsed.value.find("stats");
   ASSERT_NE(stats_value, nullptr);
   EXPECT_DOUBLE_EQ(stats_value->number_or("requests", 0.0), 5.0);
+}
+
+TEST(ServeProtocol, EveryResponseStatusRoundTripsThroughTheSerializer) {
+  // Table-driven over the WHOLE enum (incl. Shutdown, added with the TCP
+  // front-end): each status must serialize to its distinct wire name and
+  // survive a JSON round-trip. A new enumerator without a row here — or
+  // two enumerators sharing a wire name — fails loudly.
+  struct Row {
+    ResponseStatus status;
+    const char* wire;
+  };
+  const std::vector<Row> table = {
+      {ResponseStatus::Ok, "ok"},
+      {ResponseStatus::Infeasible, "infeasible"},
+      {ResponseStatus::Rejected, "rejected"},
+      {ResponseStatus::Error, "error"},
+      {ResponseStatus::Shutdown, "shutdown"},
+  };
+  std::set<std::string> seen;
+  for (const Row& row : table) {
+    EXPECT_STREQ(to_string(row.status), row.wire);
+    EXPECT_TRUE(seen.insert(row.wire).second)
+        << "duplicate wire name " << row.wire;
+    PlanResponse response;
+    response.id = "status-probe";
+    response.status = row.status;
+    response.error = "e";
+    const json::ParseResult parsed = json::parse(response_to_json(response));
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.value.string_or("status", ""), row.wire);
+  }
+  // If the enum grows, the table must grow with it: probe one past the
+  // last known enumerator — to_string must still return a printable
+  // sentinel rather than walking off the switch.
+  EXPECT_EQ(table.size(), 5u);
+  EXPECT_STREQ(to_string(static_cast<ResponseStatus>(table.size())),
+               "unknown");
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <map>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -345,6 +347,59 @@ TEST(ServeService, DestructionCancelsQueuedJobsWithShutdownStatus) {
     EXPECT_FALSE(response.error.empty());
     EXPECT_FALSE(response.plan.has_value());
   }
+}
+
+TEST(ServeService, SubmitAsyncCallbacksCarryShutdownStatusMidDrain) {
+  // The callback path must honor the same drain contract as the future
+  // path: destroying the service with a backlog fires every pending
+  // callback exactly once, queued-but-unstarted jobs with Shutdown (the
+  // fleet/TCP front-ends key retry logic off that distinction).
+  std::mutex mutex;
+  std::map<std::string, ResponseStatus> delivered;
+  std::map<std::string, int> deliveries;
+  {
+    ServiceOptions options;
+    options.workers = 1;
+    PlanService service(options);
+    auto capture = [&](PlanResponse&& response) {
+      std::lock_guard<std::mutex> lock(mutex);
+      delivered[response.id] = response.status;
+      ++deliveries[response.id];
+    };
+    models::NetworkConfig config;
+    config.network = "resnet50";
+    config.chain_length = 16;
+    PlanRequest slow{"running",
+                     models::build_network(config),
+                     Platform{4, 8 * GB, 12 * GB},
+                     PlannerKind::MadPipe,
+                     MadPipeOptions{},
+                     0.0};
+    service.submit_async(std::move(slow), capture);
+    for (int i = 0; i < 3; ++i) {
+      PlanRequest request = make_request("cancelled" + std::to_string(i));
+      request.platform.memory_per_processor = (2.0 + 0.25 * (i + 1)) * GB;
+      service.submit_async(std::move(request), capture);
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (service.queue_depth() != 3 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(service.queue_depth(), 3u);
+    // Destruction drains: the running job completes, the queued three are
+    // cancelled — all through the callbacks, no futures anywhere.
+  }
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(delivered.size(), 4u);
+  EXPECT_EQ(delivered["running"], ResponseStatus::Ok);
+  for (int i = 0; i < 3; ++i) {
+    const std::string id = "cancelled" + std::to_string(i);
+    EXPECT_EQ(delivered[id], ResponseStatus::Shutdown) << id;
+    EXPECT_EQ(deliveries[id], 1) << id << " must be delivered exactly once";
+  }
+  EXPECT_EQ(deliveries["running"], 1);
 }
 
 TEST(ServeService, StatsSnapshotIsCoherent) {

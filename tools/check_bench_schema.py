@@ -21,6 +21,12 @@ Supported schemas:
     MILP workload records; --reference pins each workload's solver status
     (optimal/feasible) — timings and node counts are machine-dependent,
     the verdicts are not.
+  * madpipe-bench-fleet-v1 (bench_fleet): the fleet-simulator document —
+    exact jobs-in == jobs-out accounting per policy, utilization and
+    queueing percentiles sane, the affinity policy's cache hit-rate
+    strictly above FIFO's, bit-identical determinism across reruns, and
+    the calendar-queue events/s floor enforced on hosts with >= 8
+    hardware threads.
   * madpipe-explain-v1 (madpipe explain --json): utilizations in [0, 1]
     with bubble = 1 - utilization, headroom = limit - peak exactly, the
     §3 decomposition terms summing to the peak within relative 1e-6,
@@ -39,6 +45,7 @@ import math
 import sys
 
 PLANNER_SCHEMA = "madpipe-bench-planner-v1"
+FLEET_SCHEMA = "madpipe-bench-fleet-v1"
 SERVE_SCHEMA = "madpipe-bench-serve-v1"
 NET_SCHEMA = "madpipe-bench-net-v1"
 SOLVER_SCHEMA = "madpipe-bench-solver-v1"
@@ -103,6 +110,26 @@ def check_fields(obj, fields, where):
             fail(f"{where}: key '{key}' is a bool, expected int")
         if not isinstance(value, expected):
             fail(f"{where}: key '{key}' has type {type(value).__name__}")
+
+
+# Perf floors only bind on hosts with at least this many hardware threads:
+# a 1-core CI runner cannot demonstrate scaling or sustained throughput, but
+# it also must not fail for that. Every gated floor in this file goes
+# through enforce_hardware_gated_floor so the gating rule is written once.
+FLOOR_MIN_HARDWARE_THREADS = 8
+
+
+def enforce_hardware_gated_floor(value, floor, hardware, where, what,
+                                 smoke=False, unit=""):
+    """Fail when `value` is below `floor` — but only when the host can be
+    held to it: smoke runs and hosts with fewer than
+    FLOOR_MIN_HARDWARE_THREADS hardware threads are exempt. Shared by the
+    planner parallel_scaling, net throughput, and fleet engine checkers."""
+    if smoke or hardware < FLOOR_MIN_HARDWARE_THREADS:
+        return
+    if value < floor:
+        fail(f"{where}: {what} {value:g}{unit} below the {floor:g}{unit} "
+             f"floor (hardware_threads={hardware})")
 
 
 SCALING_POINT_FIELDS = {
@@ -186,10 +213,10 @@ def check_parallel_scaling(doc, path):
                          f"({point['speedup']:.2f} after "
                          f"{previous_speedup:.2f})")
                 previous_speedup = point["speedup"]
-                if threads >= 8 and point["speedup"] < SCALING_MIN_SPEEDUP_8T:
-                    fail(f"{where}: t{threads} speedup "
-                         f"{point['speedup']:.2f} below the "
-                         f"{SCALING_MIN_SPEEDUP_8T}x floor")
+                if threads >= FLOOR_MIN_HARDWARE_THREADS:
+                    enforce_hardware_gated_floor(
+                        point["speedup"], SCALING_MIN_SPEEDUP_8T, hardware,
+                        where, f"t{threads} speedup", unit="x")
     names = [record["name"] for record in workloads]
     if len(set(names)) != len(names):
         fail(f"{path}: duplicate parallel_scaling workload names")
@@ -454,10 +481,9 @@ def check_net_document(doc, path):
         peak = max(peak, record["requests_per_second"])
     # The throughput floor binds only where the host can deliver it: the
     # loop thread, dispatch pool, and load generator share the machine.
-    if not smoke and hardware >= 8 and peak < NET_MIN_HIT_RPS_8T:
-        fail(f"{path}: peak hit throughput {peak:.0f} req/s below the "
-             f"{NET_MIN_HIT_RPS_8T:.0f} req/s floor "
-             f"(hardware_threads={hardware})")
+    enforce_hardware_gated_floor(peak, NET_MIN_HIT_RPS_8T, hardware, path,
+                                 "peak hit throughput", smoke=smoke,
+                                 unit=" req/s")
 
     mixed = doc.get("mixed")
     if not isinstance(mixed, dict):
@@ -720,12 +746,194 @@ def check_explain_reference(current, reference):
           "reference (period and peaks identical)")
 
 
+# ISSUE acceptance floor: the calendar-queue engine must sustain at least
+# this many push+pop pairs per second in the churn microbench — gated on
+# recorded hardware_threads like the other perf floors (the engine is
+# single-threaded, but slow shared CI cores are exempted the same way).
+FLEET_MIN_ENGINE_EPS_8T = 500_000.0
+
+FLEET_POLICY_FIELDS = {
+    "policy": str,
+    "jobs_in": int,
+    "completed": int,
+    "failed": int,
+    "stranded": int,
+    "accounting_exact": bool,
+    "makespan_s": (int, float),
+    "utilization": (int, float),
+    "wait_mean_s": (int, float),
+    "wait_p50_s": (int, float),
+    "wait_p99_s": (int, float),
+    "wait_max_s": (int, float),
+    "plans": int,
+    "cache_hits": int,
+    "cache_misses": int,
+    "cache_hit_rate": (int, float),
+    "replans": int,
+    "preemptions": int,
+    "deadlines_met": int,
+    "deadlines_missed": int,
+    "events_dispatched": int,
+    "event_log_hash": str,
+    "wall_seconds": (int, float),
+}
+
+FLEET_POLICIES = ["fifo", "deadline", "affinity"]
+
+
+def check_fleet_document(doc, path):
+    if doc.get("schema") != FLEET_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             f"expected {FLEET_SCHEMA!r}")
+    hardware = doc.get("hardware_threads")
+    if not isinstance(hardware, int) or isinstance(hardware, bool) \
+            or hardware < 1:
+        fail(f"{path}: hardware_threads must be an int >= 1")
+    smoke = doc.get("smoke")
+    if not isinstance(smoke, bool):
+        fail(f"{path}: smoke must be a bool")
+
+    workload = doc.get("workload")
+    if not isinstance(workload, dict):
+        fail(f"{path}: missing workload block")
+    check_fields(workload, {"seed": int, "jobs": int, "pool_gpus": int,
+                            "resize_events": int}, f"{path}: workload")
+
+    policies = doc.get("policies")
+    if not isinstance(policies, list) or not policies:
+        fail(f"{path}: policies must be a non-empty array")
+    by_policy = {}
+    for record in policies:
+        name = record.get("policy", "?")
+        where = f"{path}: policy {name!r}"
+        check_fields(record, FLEET_POLICY_FIELDS, where)
+        if name in by_policy:
+            fail(f"{path}: duplicate policy record {name!r}")
+        by_policy[name] = record
+        # The headline acceptance criterion: accounting must close exactly,
+        # and no job may be left stranded (a stranded job means the
+        # simulator deadlocked a placement).
+        if record["jobs_in"] != record["completed"] + record["failed"] + \
+                record["stranded"]:
+            fail(f"{where}: jobs_in {record['jobs_in']} != completed "
+                 f"{record['completed']} + failed {record['failed']} + "
+                 f"stranded {record['stranded']}")
+        if not record["accounting_exact"]:
+            fail(f"{where}: accounting_exact is false")
+        if record["stranded"] != 0:
+            fail(f"{where}: {record['stranded']} jobs left stranded")
+        if not 0.0 <= record["utilization"] <= 1.0:
+            fail(f"{where}: utilization {record['utilization']!r} outside "
+                 f"[0, 1]")
+        waits = (record["wait_mean_s"], record["wait_p50_s"],
+                 record["wait_p99_s"], record["wait_max_s"])
+        if any(not math.isfinite(w) or w < 0 for w in waits):
+            fail(f"{where}: wait statistics must be finite and >= 0")
+        if not record["wait_p50_s"] <= record["wait_p99_s"] \
+                <= record["wait_max_s"]:
+            fail(f"{where}: wait percentiles must satisfy p50 <= p99 <= max")
+        if record["cache_hits"] + record["cache_misses"] != record["plans"]:
+            fail(f"{where}: cache_hits + cache_misses != plans")
+        # Exact, not approximate: the bench computes hits/plans in IEEE
+        # doubles and the JSON round-trips them, so == is the right test.
+        expected_rate = (record["cache_hits"] / record["plans"]
+                         if record["plans"] else 0.0)
+        if record["cache_hit_rate"] != expected_rate:
+            fail(f"{where}: cache_hit_rate {record['cache_hit_rate']!r} != "
+                 f"hits/plans {expected_rate!r}")
+        if len(record["event_log_hash"]) != 16 or \
+                any(c not in "0123456789abcdef"
+                    for c in record["event_log_hash"]):
+            fail(f"{where}: event_log_hash must be 16 lowercase hex chars")
+    for name in FLEET_POLICIES:
+        if name not in by_policy:
+            fail(f"{path}: missing policy record {name!r}")
+
+    determinism = doc.get("determinism")
+    if not isinstance(determinism, dict):
+        fail(f"{path}: missing determinism block")
+    check_fields(determinism, {"policy": str, "runs": int,
+                               "identical_logs": bool,
+                               "event_log_hash": str},
+                 f"{path}: determinism")
+    if determinism["runs"] < 2:
+        fail(f"{path}: determinism needs at least 2 runs")
+    if not determinism["identical_logs"]:
+        fail(f"{path}: determinism reruns diverged")
+    pinned = by_policy.get(determinism["policy"], {}).get("event_log_hash")
+    if pinned != determinism["event_log_hash"]:
+        fail(f"{path}: determinism hash does not match the "
+             f"{determinism['policy']!r} policy record")
+
+    engine = doc.get("engine")
+    if not isinstance(engine, dict):
+        fail(f"{path}: missing engine block")
+    check_fields(engine, {"events": int, "wall_seconds": (int, float),
+                          "events_per_second": (int, float),
+                          "far_inserts": int, "refills": int,
+                          "ordered": bool}, f"{path}: engine")
+    if not engine["ordered"]:
+        fail(f"{path}: engine churn popped events out of (time, seq) order")
+    if engine["events"] < 1 or engine["events_per_second"] <= 0:
+        fail(f"{path}: engine events and events_per_second must be positive")
+    enforce_hardware_gated_floor(engine["events_per_second"],
+                                 FLEET_MIN_ENGINE_EPS_8T, hardware, path,
+                                 "engine throughput", smoke=smoke,
+                                 unit=" events/s")
+
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        fail(f"{path}: missing summary block")
+    check_fields(summary, {"fifo_hit_rate": (int, float),
+                           "affinity_hit_rate": (int, float),
+                           "events_per_second": (int, float)},
+                 f"{path}: summary")
+    if summary["fifo_hit_rate"] != by_policy["fifo"]["cache_hit_rate"] or \
+            summary["affinity_hit_rate"] != \
+            by_policy["affinity"]["cache_hit_rate"]:
+        fail(f"{path}: summary hit-rates do not match the policy records")
+    # Structural, not a perf floor, so never gated: steering placements
+    # onto warm (network, width) pairs is the affinity policy's entire
+    # reason to exist.
+    if summary["affinity_hit_rate"] <= summary["fifo_hit_rate"]:
+        fail(f"{path}: affinity hit-rate "
+             f"{summary['affinity_hit_rate']:.3f} does not beat fifo "
+             f"{summary['fifo_hit_rate']:.3f}")
+
+    print(f"check_bench_schema: fleet OK ({len(policies)} policies, "
+          f"affinity {summary['affinity_hit_rate']:.1%} vs fifo "
+          f"{summary['fifo_hit_rate']:.1%}, engine "
+          f"{engine['events_per_second']:.0f} events/s)")
+    return by_policy
+
+
+def check_fleet_reference(current, reference):
+    """Event-log hashes are deterministic per host but depend on libm (the
+    planner's periods feed the log), so the reference pins accounting shape,
+    not bits: same policies, and identical jobs_in/completed/failed when the
+    workloads match."""
+    shared = sorted(set(current) & set(reference))
+    if not shared:
+        fail("reference comparison: no shared policy records")
+    for name in shared:
+        cur, ref = current[name], reference[name]
+        if cur["jobs_in"] != ref["jobs_in"]:
+            continue  # different workload size; nothing comparable
+        for key in ("completed", "failed", "stranded"):
+            if cur[key] != ref[key]:
+                fail(f"policy {name!r}: {key} {cur[key]!r} != reference "
+                     f"{ref[key]!r}")
+    print(f"check_bench_schema: {len(shared)} fleet policy records match "
+          "the reference accounting")
+
+
 CHECKERS = {
     PLANNER_SCHEMA: (check_planner_document, check_planner_reference),
     SERVE_SCHEMA: (check_serve_document, check_serve_reference),
     NET_SCHEMA: (check_net_document, check_net_reference),
     SOLVER_SCHEMA: (check_solver_document, check_solver_reference),
     EXPLAIN_SCHEMA: (check_explain_document, check_explain_reference),
+    FLEET_SCHEMA: (check_fleet_document, check_fleet_reference),
 }
 
 
