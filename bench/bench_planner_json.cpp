@@ -31,6 +31,7 @@
 #include "madpipe/planner.hpp"
 #include "models/zoo.hpp"
 #include "obs/trace.hpp"
+#include "serve/service.hpp"
 #include "util/json.hpp"
 #include "util/threading.hpp"
 
@@ -296,9 +297,136 @@ ScalingRecord bench_parallel_scaling(const std::string& name,
   return record;
 }
 
+/// The LLM-scale record (ISSUE 9): the DP must complete a ≥2000-layer
+/// transformer preset at P = 64 within the state budget. One full-depth DP
+/// probe demonstrates that; a coarsened end-to-end plan (one stage per GPU)
+/// demonstrates the practical planning recipe at that depth; a serve
+/// cold/hit pair on a transformer preset demonstrates the cache on LLM
+/// profiles. Everything runs once — these are scale demonstrations, not
+/// microbenchmarks (the full-depth probe alone is tens of seconds).
+struct LlmScaleRecord {
+  std::string network;
+  int layers = 0;
+  int gpus = 0;
+  double memory_gb = 0.0;
+  // Full-depth DP probe at the balanced target U(1,L)/P.
+  double full_dp_probe_seconds = 0.0;
+  long long full_dp_states = 0;
+  bool full_feasible = false;
+  double full_period = 0.0;
+  bool state_budget_hit = false;
+  // Coarsened end-to-end plan_madpipe (chain_length = gpus).
+  int coarsened_layers = 0;
+  double plan_seconds = 0.0;
+  bool plan_feasible = false;
+  double plan_period = 0.0;
+  double speedup_vs_sequential = 0.0;  ///< period ratio, not wall clock
+  // Serve cold/hit on a smaller transformer preset (paper-scale platform).
+  std::string serve_network;
+  double serve_cold_seconds = 0.0;
+  double serve_hit_seconds = 0.0;
+  double serve_hit_speedup = 0.0;
+};
+
+Chain transformer_chain(const std::string& preset, int chain_length) {
+  models::NetworkConfig config;
+  config.network = preset;
+  config.batch = 8;
+  config.chain_length = chain_length;
+  return models::build_network(config);
+}
+
+LlmScaleRecord bench_llm_scale(const MadPipeOptions& plan_options) {
+  LlmScaleRecord record;
+  record.network = "llm-2k";
+  record.gpus = 64;
+  record.memory_gb = 300.0;
+  const Platform platform{record.gpus,
+                          record.memory_gb * GB, 12 * GB};
+
+  // Full depth: 2050 linearized layers, one DP probe at the balanced
+  // period. This is the packed-state scale test — it must finish feasible
+  // with zero state-budget hits.
+  {
+    const Chain full = transformer_chain(record.network, 0);
+    record.layers = full.length();
+    const Seconds target =
+        full.total_compute() / static_cast<double>(record.gpus);
+    const Clock::time_point start = Clock::now();
+    const MadPipeDPResult probe =
+        madpipe_dp(full, platform, target, plan_options.phase1.dp);
+    record.full_dp_probe_seconds = seconds_since(start);
+    record.full_dp_states = static_cast<long long>(probe.states_visited);
+    record.state_budget_hit = probe.state_budget_hit;
+    if (probe.allocation.has_value()) {
+      record.full_feasible = true;
+      record.full_period = probe.period;
+    }
+    std::printf("llm_scale full depth: %d layers, P=%d: %s in %.2f s "
+                "(%lld states%s)\n",
+                record.layers, record.gpus,
+                record.full_feasible ? "feasible" : "infeasible",
+                record.full_dp_probe_seconds, record.full_dp_states,
+                record.state_budget_hit ? ", BUDGET HIT" : "");
+  }
+
+  // Coarsened: the practical LLM recipe — coarsen to one stage per GPU,
+  // then run the full planner end to end. The speedup is the sequential
+  // period over the planned period (deterministic, not wall clock).
+  {
+    const Chain coarse = transformer_chain(record.network, record.gpus);
+    record.coarsened_layers = coarse.length();
+    const Clock::time_point start = Clock::now();
+    const std::optional<Plan> plan =
+        plan_madpipe(coarse, platform, plan_options);
+    record.plan_seconds = seconds_since(start);
+    if (plan.has_value()) {
+      record.plan_feasible = true;
+      record.plan_period = plan->period();
+      record.speedup_vs_sequential =
+          coarse.total_compute() / plan->period();
+    }
+    std::printf("llm_scale coarsened:  %d layers, P=%d: %s, speedup "
+                "%.2fx, %.3f s wall\n",
+                record.coarsened_layers, record.gpus,
+                record.plan_feasible ? "feasible" : "infeasible",
+                record.speedup_vs_sequential, record.plan_seconds);
+  }
+
+  // Serve a transformer preset: cold plan through the cache, then the same
+  // request again as a hit.
+  {
+    record.serve_network = "gpt2-xl";
+    const Chain chain = transformer_chain(record.serve_network, 0);
+    const Platform p4{4, 16 * GB, 12 * GB};
+    serve::PlanService service{serve::ServiceOptions{}};
+    const serve::PlanRequest request{
+        "llm_scale", chain, p4, serve::PlannerKind::MadPipe, MadPipeOptions{},
+        0.0};
+    const Clock::time_point cold_start = Clock::now();
+    const serve::PlanResponse cold = service.plan(request);
+    record.serve_cold_seconds = seconds_since(cold_start);
+    const Clock::time_point hit_start = Clock::now();
+    const serve::PlanResponse hit = service.plan(request);
+    record.serve_hit_seconds = seconds_since(hit_start);
+    if (cold.status == serve::ResponseStatus::Ok &&
+        hit.status == serve::ResponseStatus::Ok &&
+        record.serve_hit_seconds > 0.0) {
+      record.serve_hit_speedup =
+          record.serve_cold_seconds / record.serve_hit_seconds;
+    }
+    std::printf("llm_scale serve:      %s cold %.3f s, hit %.1f us "
+                "(%.0fx)\n",
+                record.serve_network.c_str(), record.serve_cold_seconds,
+                record.serve_hit_seconds * 1e6, record.serve_hit_speedup);
+  }
+  return record;
+}
+
 void write_json(const std::string& path,
                 const std::vector<WorkloadRecord>& records,
                 const std::vector<ScalingRecord>& scaling,
+                const LlmScaleRecord& llm,
                 const bench::SpanOverhead& overhead, bool trace_armed,
                 const std::map<std::string, double>& baseline) {
   json::Writer w;
@@ -389,6 +517,30 @@ void write_json(const std::string& path,
   }
   w.end_array();
   w.end_object();
+  w.key("llm_scale");
+  w.begin_object();
+  w.key("hardware_threads");
+  w.value(static_cast<long long>(par::default_workers()));
+  w.key("network"); w.value(llm.network);
+  w.key("layers"); w.value(static_cast<long long>(llm.layers));
+  w.key("gpus"); w.value(static_cast<long long>(llm.gpus));
+  w.key("memory_gb"); w.value(llm.memory_gb);
+  w.key("full_dp_probe_seconds"); w.value(llm.full_dp_probe_seconds);
+  w.key("full_dp_states"); w.value(llm.full_dp_states);
+  w.key("full_feasible"); w.value(llm.full_feasible);
+  w.key("full_period"); w.value(llm.full_period);
+  w.key("state_budget_hit"); w.value(llm.state_budget_hit);
+  w.key("coarsened_layers");
+  w.value(static_cast<long long>(llm.coarsened_layers));
+  w.key("plan_seconds"); w.value(llm.plan_seconds);
+  w.key("plan_feasible"); w.value(llm.plan_feasible);
+  w.key("plan_period"); w.value(llm.plan_period);
+  w.key("speedup_vs_sequential"); w.value(llm.speedup_vs_sequential);
+  w.key("serve_network"); w.value(llm.serve_network);
+  w.key("serve_cold_seconds"); w.value(llm.serve_cold_seconds);
+  w.key("serve_hit_seconds"); w.value(llm.serve_hit_seconds);
+  w.key("serve_hit_speedup"); w.value(llm.serve_hit_speedup);
+  w.end_object();
   w.end_object();
   std::ofstream out(path);
   out << w.str() << "\n";
@@ -454,10 +606,11 @@ int main(int argc, char** argv) {
   scaling.push_back(bench_parallel_scaling(
       "scale_resnet101_24_p8_m16", r101, Platform{8, 16 * GB, 12 * GB},
       r101.total_compute() / 8, plan_options.phase1.dp, min_seconds));
+  const LlmScaleRecord llm = bench_llm_scale(plan_options);
   const std::map<std::string, double> baseline =
       baseline_path.empty() ? std::map<std::string, double>{}
                             : load_baseline(baseline_path);
-  write_json(output, records, scaling, overhead, obs::trace_enabled(),
+  write_json(output, records, scaling, llm, overhead, obs::trace_enabled(),
              baseline);
   sinks.flush();
   return 0;

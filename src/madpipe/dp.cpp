@@ -2,7 +2,7 @@
 // dispatch contract):
 //
 //  * FlatDpSolver — the fast path. An explicit work-stack replaces the deep
-//    recursion (L can be 1023), the memo is a flat open-addressing table
+//    recursion (L can be 4095), the memo is a flat open-addressing table
 //    with 16-byte entries probed at most twice per state (placeholder
 //    insert + final update), and everything a transition determines that
 //    depends only on (k, l, delay_idx) — stage/link loads, the advanced
@@ -48,21 +48,38 @@ namespace {
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
-/// Packed DP state. Budgets: l ≤ 1023, p ≤ 15, grid indices ≤ 1023 each.
+/// Packed DP state: l at 12 bits, p at 7, grid indices at 10 each (49 bits
+/// total). Budgets: l ≤ 4095, p ≤ 64, grid indices ≤ 1023 each — sized for
+/// LLM-scale chains (thousands of linearized transformer layers, P up to 64).
+/// p needs the full 7 bits: with the special stage disabled the root state
+/// carries p = P itself, not P - 1.
 std::uint64_t pack_state(int l, int p, int load_idx, int mem_idx,
                          int delay_idx) {
-  return (static_cast<std::uint64_t>(l) << 34) |
+  return (static_cast<std::uint64_t>(l) << 37) |
          (static_cast<std::uint64_t>(p) << 30) |
          (static_cast<std::uint64_t>(load_idx) << 20) |
          (static_cast<std::uint64_t>(mem_idx) << 10) |
          static_cast<std::uint64_t>(delay_idx);
 }
 
-/// Packed transition-cache key: k, l and delay_idx at 10 bits each.
+/// Packed transition-cache key: k and l at 12 bits, delay_idx at 10.
 std::uint64_t pack_transition(int k, int l, int delay_idx) {
-  return (static_cast<std::uint64_t>(k) << 20) |
+  return (static_cast<std::uint64_t>(k) << 22) |
          (static_cast<std::uint64_t>(l) << 10) |
          static_cast<std::uint64_t>(delay_idx);
+}
+
+/// Lower bound of 𝓜(k,l,g) over every g ≥ 0 and both placement options: the
+/// always-resident weights + scratch term (activation and comm-buffer terms
+/// are non-negative, and the special option only adds m_P ≥ 0 on top). The
+/// bound grows monotonically as k falls, so once it exceeds M no smaller k
+/// can be feasible and the candidate scans break there. Every skipped
+/// candidate fails both options' memory checks in every engine, so the break
+/// changes no memoized state, value, or reconstruction choice — it only
+/// keeps the scans O(stage window) instead of O(L) on multi-GiB chains.
+bool stage_static_memory_exceeds(const Chain& chain, int k, int l,
+                                 Bytes limit) {
+  return weights_memory(chain, k, l) + chain.scratch_sum(k, l) > limit;
 }
 
 /// Per-engine atomic once-guards for the state-budget warning. Engines run
@@ -316,6 +333,7 @@ class FlatDpSolver {
     }
     const Bytes limit = platform_.memory_per_processor;
     while (f.k >= 1) {
+      if (stage_static_memory_exceeds(chain_, f.k, f.l, limit)) break;
       const TransitionEntry e = transition(f.k, f.l, f.delay_idx);
 
       if (f.opt == 0) {
@@ -423,6 +441,7 @@ class FlatDpSolver {
       int best_next_mem = mem_idx;
       int best_next_delay = delay_idx;
       for (int k = l; k >= 1; --k) {
+        if (stage_static_memory_exceeds(chain_, k, l, limit)) break;
         const TransitionEntry e = transition(k, l, delay_idx);
         if (e.normal_memory <= limit) {
           const double floor = std::max(e.stage_load, e.link_load);
@@ -601,8 +620,12 @@ class WavefrontDpSolver {
   };
 
   /// SoA candidate panel for one (wavefront l, delay_idx): arrays indexed
-  /// by k−1 for k = 1..l, i.e. one compute_transition output per candidate
-  /// split point, plus the panel-level floor/feasibility precomputations.
+  /// by k−1 for k = k_floor..l, i.e. one compute_transition output per
+  /// candidate split point, plus the panel-level floor/feasibility
+  /// precomputations. Entries below k_floor — the static-memory break point
+  /// every candidate scan stops at — are never read and never computed, so
+  /// panel construction stays O(stage window), not O(L), on multi-GiB
+  /// chains.
   struct Panel {
     std::vector<Seconds> stage_load;
     std::vector<Seconds> link_load;
@@ -611,10 +634,11 @@ class WavefrontDpSolver {
     std::vector<int> next_delay_idx;
     std::vector<double> normal_floor;          ///< max(stage, link) per k
     std::vector<unsigned char> normal_feasible;  ///< 𝓜(k,l,g) ≤ M per k
+    int k_floor = 1;  ///< smallest k whose static memory fits M (l+1 if none)
   };
 
   static int unpack_p(std::uint64_t key) {
-    return static_cast<int>((key >> 30) & 0xf);
+    return static_cast<int>((key >> 30) & 0x7f);
   }
   static int unpack_load(std::uint64_t key) {
     return static_cast<int>((key >> 20) & 0x3ff);
@@ -707,11 +731,25 @@ class WavefrontDpSolver {
         0, panel_delays_.size(),
         [&](std::size_t pi) { build_panel(panels_[pi], l, panel_delays_[pi]); },
         static_cast<std::size_t>(shards()));
-    stats_.transition_lookups +=
-        static_cast<long long>(panel_delays_.size()) * l;
+    if (!panel_delays_.empty()) {
+      const Panel& first = panels_[0];
+      stats_.transition_lookups +=
+          static_cast<long long>(panel_delays_.size()) *
+          static_cast<long long>(l - first.k_floor + 1);
+    }
   }
 
   void build_panel(Panel& panel, int l, int delay_idx) const {
+    const Bytes limit = platform_.memory_per_processor;
+    // The static-memory break point: every candidate scan stops at the
+    // smallest k whose weights+scratch term still fits M, so nothing below
+    // it is ever read.
+    int k_floor = l + 1;
+    while (k_floor > 1 &&
+           !stage_static_memory_exceeds(chain_, k_floor - 1, l, limit)) {
+      --k_floor;
+    }
+    panel.k_floor = k_floor;
     const std::size_t n = static_cast<std::size_t>(l);
     panel.stage_load.resize(n);
     panel.link_load.resize(n);
@@ -720,7 +758,7 @@ class WavefrontDpSolver {
     panel.next_delay_idx.resize(n);
     panel.normal_floor.resize(n);
     panel.normal_feasible.resize(n);
-    for (int k = 1; k <= l; ++k) {
+    for (int k = k_floor; k <= l; ++k) {
       const TransitionEntry e = compute_transition(
           chain_, platform_, delay_grid_, target_, options_, k, l, delay_idx);
       const std::size_t i = static_cast<std::size_t>(k - 1);
@@ -732,11 +770,10 @@ class WavefrontDpSolver {
     }
     // Panel-level candidate precomputations, hoisted out of every per-state
     // scan: width-agnostic loops the compiler can vectorize.
-    const Bytes limit = platform_.memory_per_processor;
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = static_cast<std::size_t>(k_floor - 1); i < n; ++i) {
       panel.normal_floor[i] = std::max(panel.stage_load[i], panel.link_load[i]);
     }
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = static_cast<std::size_t>(k_floor - 1); i < n; ++i) {
       panel.normal_feasible[i] = panel.normal_memory[i] <= limit ? 1 : 0;
     }
   }
@@ -805,7 +842,9 @@ class WavefrontDpSolver {
     const Bytes limit = platform_.memory_per_processor;
     const Bytes mem_value = memory_grid_.value(mem_idx);
     const Seconds load_value = load_grid_.value(load_idx);
-    for (int k = l; k >= 2; --k) {  // k == 1 children land on base cases
+    // k == 1 children land on base cases; k < k_floor fails both options'
+    // memory checks (the static-memory break shared with the other engines).
+    for (int k = l; k >= std::max(panel.k_floor, 2); --k) {
       const std::size_t i = static_cast<std::size_t>(k - 1);
       if (panel.normal_feasible[i] && p > 1) {
         out[i].push_back(pack_state(k - 1, p - 1, load_idx, mem_idx,
@@ -869,7 +908,7 @@ class WavefrontDpSolver {
     const Panel& panel = panels_[panel_of_delay_[delay_idx]];
     const Bytes limit = platform_.memory_per_processor;
     double best = kInfinity;
-    for (int k = l; k >= 1; --k) {
+    for (int k = l; k >= panel.k_floor; --k) {
       const std::size_t i = static_cast<std::size_t>(k - 1);
       if (panel.normal_feasible[i]) {
         const double floor = panel.normal_floor[i];
@@ -949,6 +988,7 @@ class WavefrontDpSolver {
       int best_next_mem = mem_idx;
       int best_next_delay = delay_idx;
       for (int k = l; k >= 1; --k) {
+        if (stage_static_memory_exceeds(chain_, k, l, limit)) break;
         const TransitionEntry e = compute_transition(
             chain_, platform_, delay_grid_, target_, options_, k, l,
             delay_idx);
@@ -1156,6 +1196,7 @@ class ReferenceDpSolver {
     MemoEntry best;
     const Bytes limit = platform_.memory_per_processor;
     for (int k = l; k >= 1; --k) {
+      if (stage_static_memory_exceeds(chain_, k, l, limit)) break;
       const TransitionInfo info = transition(k, l, delay_idx);
 
       // Option 1: stage k..l on a fresh normal processor.
@@ -1292,9 +1333,9 @@ MadPipeDPResult madpipe_dp(const Chain& chain, const Platform& platform,
                            const MadPipeDPOptions& options) {
   platform.validate();
   MP_EXPECT(target_period > 0.0, "target period must be positive");
-  MP_EXPECT(chain.length() <= 1023, "chain too long for the packed DP state");
-  MP_EXPECT(platform.processors <= 16,
-            "packed DP state supports at most 16 processors");
+  MP_EXPECT(chain.length() <= 4095, "chain too long for the packed DP state");
+  MP_EXPECT(platform.processors <= 64,
+            "packed DP state supports at most 64 processors");
   MP_EXPECT(options.grid.load_points <= 1024 &&
                 options.grid.memory_points <= 1024 &&
                 options.grid.delay_points <= 1024,

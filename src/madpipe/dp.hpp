@@ -43,7 +43,7 @@ enum class DelayCommVariant {
 /// periods and allocations; the golden-equivalence tests enforce it.
 enum class DpEngine {
   /// Fast path (default): explicit work-stack iteration (no recursion-depth
-  /// hazard at L = 1023), a flat open-addressing memo with 16-byte entries,
+  /// hazard at L = 4095), a flat open-addressing memo with 16-byte entries,
   /// a (k, l, delay) transition cache, and dominated-candidate pruning.
   FlatIterative,
   /// The original recursive, std::unordered_map-memoized implementation;

@@ -12,13 +12,20 @@ namespace madpipe::models {
 
 namespace {
 constexpr const char* kMagic = "madpipe-profile-v1";
-/// Upper bound on accepted layer count: the packed DP state supports 1023
-/// layers, and a parser limit keeps hostile serve payloads from ballooning.
-constexpr int kMaxLayers = 65536;
 
 std::string at_line(int line, const std::string& message) {
   return "profile parse error at line " + std::to_string(line) + ": " +
          message;
+}
+
+/// Version sniff: a document whose first non-whitespace byte is '{' is a v2
+/// JSON profile; anything else (including the v1 magic) is v1 text.
+bool looks_like_json(const std::string& text) noexcept {
+  for (const char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') continue;
+    return c == '{';
+  }
+  return false;
 }
 }  // namespace
 
@@ -45,6 +52,7 @@ std::string profile_to_string(const Chain& chain) {
 }
 
 ProfileParseResult try_profile_from_string(const std::string& text) noexcept {
+  if (looks_like_json(text)) return try_profile_from_json_string(text);
   // The whole body is wrapped: parse failures come back as messages, and
   // anything the Chain constructor (or an allocator) might throw is caught
   // at this boundary too — serve payloads must never propagate exceptions.
@@ -108,8 +116,8 @@ ProfileParseResult try_profile_from_string(const std::string& text) noexcept {
         if (!seen_names.insert(layer.name).second) {
           return fail("duplicate layer id '" + layer.name + "'");
         }
-        if (static_cast<int>(layers.size()) >= kMaxLayers) {
-          return fail("profile exceeds " + std::to_string(kMaxLayers) +
+        if (static_cast<int>(layers.size()) >= kMaxProfileLayers) {
+          return fail("profile exceeds " + std::to_string(kMaxProfileLayers) +
                       " layers");
         }
         layers.push_back(std::move(layer));
@@ -168,6 +176,13 @@ void save_profile(const Chain& chain, const std::string& path) {
   std::ofstream out(path);
   MP_EXPECT(out.good(), "cannot open profile file for writing: " + path);
   out << profile_to_string(chain);
+  MP_EXPECT(out.good(), "write failed for profile file: " + path);
+}
+
+void save_profile_json(const Chain& chain, const std::string& path) {
+  std::ofstream out(path);
+  MP_EXPECT(out.good(), "cannot open profile file for writing: " + path);
+  out << profile_to_json_string(chain);
   MP_EXPECT(out.good(), "write failed for profile file: " + path);
 }
 

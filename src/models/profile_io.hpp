@@ -1,17 +1,27 @@
-// Import/export of profile chains in a plain-text format, so that real
-// measured profiles (what the paper's authors used) can be dropped in for
-// the synthetic ones generated by the model zoo.
+// Import/export of profile chains, so that real measured profiles (what the
+// paper's authors used) can be dropped in for the synthetic ones generated
+// by the model zoo. Two formats, both specified normatively in
+// docs/PROFILE_FORMAT.md:
 //
-// Format ("madpipe profile v1"): '#'-comments, then a header and one line
-// per layer:
+//  * v1 ("madpipe-profile-v1") — plain text: '#'-comments, then a header and
+//    one line per layer:
 //
-//     madpipe-profile-v1
-//     name resnet50
-//     input_bytes 96000000
-//     # layer  forward_s  backward_s  weight_bytes  output_bytes
-//     layer conv1 0.0057 0.0114 38100 128000000
-//     layer conv2_1 0.0111 0.0222 300000 512000000
-//     ...
+//        madpipe-profile-v1
+//        name resnet50
+//        input_bytes 96000000
+//        # layer  forward_s  backward_s  weight_bytes  output_bytes
+//        layer conv1 0.0057 0.0114 38100 128000000
+//        ...
+//
+//  * v2 ("madpipe-profile-v2") — JSON, parsed on util/json: a schema field,
+//    name, input_bytes, and a layers array of objects; the only format that
+//    carries scratch_bytes. Numbers round-trip bit-exactly in both formats
+//    (%.17g in v1, shortest-round-trip doubles in v2).
+//
+// Every parse entry point auto-detects the version: a document whose first
+// non-whitespace byte is '{' is v2 JSON, anything else is v1 text — so v2
+// profiles are accepted everywhere v1 is (CLI, serve, TCP) with no protocol
+// changes.
 #pragma once
 
 #include <iosfwd>
@@ -22,8 +32,19 @@
 
 namespace madpipe::models {
 
-/// Serialize `chain` to the profile text format.
+/// Upper bound on accepted layer count in either format: well above the
+/// packed DP state's 4095-layer budget, and a parser limit that keeps
+/// hostile serve payloads from ballooning.
+inline constexpr int kMaxProfileLayers = 65536;
+
+/// Serialize `chain` to the v1 profile text format (round-trip exact:
+/// %.17g). v1 cannot carry scratch_bytes — use the v2 writer for chains
+/// that set it.
 std::string profile_to_string(const Chain& chain);
+
+/// Serialize `chain` to the v2 JSON profile format (round-trip exact:
+/// shortest-round-trip doubles; scratch_bytes included when nonzero).
+std::string profile_to_json_string(const Chain& chain);
 
 /// Outcome of the non-throwing parse entry points: either a chain or a
 /// line-numbered error message. This is the serve boundary's API — untrusted
@@ -36,21 +57,30 @@ struct ProfileParseResult {
   bool ok() const noexcept { return chain.has_value(); }
 };
 
-/// Parse a profile document without throwing. Rejects, with a line-numbered
-/// message: a missing/wrong magic header, truncated layer records, trailing
-/// fields, negative or non-finite numbers, duplicate layer names, missing
-/// input_bytes and empty profiles.
+/// Parse a profile document without throwing, auto-detecting the version
+/// ('{' → v2 JSON, otherwise v1 text). Rejects, with a line-numbered (v1)
+/// or path-numbered (v2) message: a missing/wrong magic header or schema,
+/// truncated layer records, trailing/unknown fields, negative or non-finite
+/// numbers, duplicate layer names, missing input_bytes and empty profiles.
 ProfileParseResult try_profile_from_string(const std::string& text) noexcept;
 
-/// Non-throwing file wrapper: I/O failures become errors too.
+/// Parse a v2 JSON profile document without throwing. Errors carry the JSON
+/// path of the offending field (e.g. "layers[3].weight_bytes").
+ProfileParseResult try_profile_from_json_string(
+    const std::string& text) noexcept;
+
+/// Non-throwing file wrapper (version auto-detected): I/O failures become
+/// errors too.
 ProfileParseResult try_load_profile(const std::string& path) noexcept;
 
-/// Parse a profile document. Throws ContractViolation with a line-numbered
-/// message on malformed input.
+/// Parse a profile document (version auto-detected). Throws
+/// ContractViolation with a line/path-numbered message on malformed input.
 Chain profile_from_string(const std::string& text);
 
-/// File convenience wrappers (throw on I/O failure).
+/// File convenience wrappers (throw on I/O failure). save_profile writes
+/// v1 text, save_profile_json writes v2 JSON; load_profile auto-detects.
 void save_profile(const Chain& chain, const std::string& path);
+void save_profile_json(const Chain& chain, const std::string& path);
 Chain load_profile(const std::string& path);
 
 }  // namespace madpipe::models

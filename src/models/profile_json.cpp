@@ -1,0 +1,211 @@
+// The madpipe-profile-v2 JSON format (docs/PROFILE_FORMAT.md): the same
+// chain model as the v1 text format, carried as a JSON document on the
+// strict util/json parser — plus scratch_bytes, which v1 cannot express.
+//
+// Error model: parse failures come back as non-throwing messages carrying
+// the JSON path of the offending field ("layers[3].weight_bytes"), the v2
+// counterpart of v1's line numbers. Strict like the serve protocol: unknown
+// keys, mistyped values, duplicate layer names and out-of-range numbers are
+// all errors, never warnings.
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "models/profile_io.hpp"
+#include "util/json.hpp"
+
+namespace madpipe::models {
+
+namespace {
+constexpr const char* kSchema = "madpipe-profile-v2";
+
+std::string at_path(const std::string& path, const std::string& message) {
+  return "profile parse error at " + path + ": " + message;
+}
+
+ProfileParseResult fail(const std::string& path, const std::string& message) {
+  ProfileParseResult result;
+  result.error = at_path(path, message);
+  return result;
+}
+
+/// Required non-negative finite number at `path`; writes into `out` and
+/// returns an empty string, or the error message.
+std::string read_number_field(const json::Value& object, const char* key,
+                             const std::string& path, double* out) {
+  const json::Value* field = object.find(key);
+  if (field == nullptr) return at_path(path, "missing required field");
+  if (!field->is_number()) return at_path(path, "must be a number");
+  const double v = field->as_number();
+  if (v < 0.0 || !std::isfinite(v)) {
+    return at_path(path, "must be a non-negative finite number");
+  }
+  *out = v;
+  return {};
+}
+}  // namespace
+
+std::string profile_to_json_string(const Chain& chain) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kSchema);
+  w.key("name");
+  w.value(chain.name());
+  w.key("input_bytes");
+  w.value(chain.activation(0));
+  w.key("layers");
+  w.begin_array();
+  for (int l = 1; l <= chain.length(); ++l) {
+    const Layer& layer = chain.layer(l);
+    w.begin_object();
+    w.key("name");
+    w.value(layer.name);
+    w.key("forward_seconds");
+    w.value(layer.forward_time);
+    w.key("backward_seconds");
+    w.value(layer.backward_time);
+    w.key("weight_bytes");
+    w.value(layer.weight_bytes);
+    w.key("output_bytes");
+    w.value(layer.output_bytes);
+    if (layer.scratch_bytes != 0.0) {
+      w.key("scratch_bytes");
+      w.value(layer.scratch_bytes);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+ProfileParseResult try_profile_from_json_string(
+    const std::string& text) noexcept {
+  // Wrapped like the v1 parser: malformed serve payloads must produce a
+  // clean message, never an exception escaping the service.
+  try {
+    const json::ParseResult parsed = json::parse(text);
+    if (!parsed.ok()) {
+      ProfileParseResult result;
+      result.error = "profile parse error: invalid JSON: " + parsed.error;
+      return result;
+    }
+    const json::Value& root = parsed.value;
+    if (!root.is_object()) return fail("$", "document must be a JSON object");
+
+    for (const auto& [key, value] : root.members()) {
+      if (key != "schema" && key != "name" && key != "input_bytes" &&
+          key != "layers") {
+        return fail(key, "unknown field");
+      }
+    }
+
+    const json::Value* schema = root.find("schema");
+    if (schema == nullptr || !schema->is_string()) {
+      return fail("schema", "missing schema field");
+    }
+    if (schema->as_string() != kSchema) {
+      return fail("schema", "expected '" + std::string(kSchema) + "', got '" +
+                                schema->as_string() + "'");
+    }
+
+    std::string name = "unnamed";
+    if (const json::Value* n = root.find("name"); n != nullptr) {
+      if (!n->is_string()) return fail("name", "must be a string");
+      name = n->as_string();
+    }
+
+    Bytes input_bytes = 0.0;
+    if (std::string err =
+            read_number_field(root, "input_bytes", "input_bytes", &input_bytes);
+        !err.empty()) {
+      ProfileParseResult result;
+      result.error = std::move(err);
+      return result;
+    }
+
+    const json::Value* layers_field = root.find("layers");
+    if (layers_field == nullptr || !layers_field->is_array()) {
+      return fail("layers", "missing layers array");
+    }
+    const std::vector<json::Value>& items = layers_field->items();
+    if (items.empty()) return fail("layers", "profile has no layers");
+    if (items.size() > static_cast<std::size_t>(kMaxProfileLayers)) {
+      return fail("layers", "profile exceeds " +
+                                std::to_string(kMaxProfileLayers) + " layers");
+    }
+
+    std::vector<Layer> layers;
+    layers.reserve(items.size());
+    std::unordered_set<std::string> seen_names;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const std::string path = "layers[" + std::to_string(i) + "]";
+      const json::Value& item = items[i];
+      if (!item.is_object()) return fail(path, "must be an object");
+      for (const auto& [key, value] : item.members()) {
+        if (key != "name" && key != "forward_seconds" &&
+            key != "backward_seconds" && key != "weight_bytes" &&
+            key != "output_bytes" && key != "scratch_bytes") {
+          return fail(path + "." + key, "unknown field");
+        }
+      }
+      Layer layer;
+      const json::Value* layer_name = item.find("name");
+      if (layer_name == nullptr || !layer_name->is_string() ||
+          layer_name->as_string().empty()) {
+        return fail(path + ".name", "must be a non-empty string");
+      }
+      layer.name = layer_name->as_string();
+      if (!seen_names.insert(layer.name).second) {
+        return fail(path + ".name",
+                    "duplicate layer id '" + layer.name + "'");
+      }
+      struct Field {
+        const char* key;
+        double* slot;
+      };
+      for (const Field& f :
+           {Field{"forward_seconds", &layer.forward_time},
+            Field{"backward_seconds", &layer.backward_time},
+            Field{"weight_bytes", &layer.weight_bytes},
+            Field{"output_bytes", &layer.output_bytes}}) {
+        if (std::string err =
+                read_number_field(item, f.key, path + "." + f.key, f.slot);
+            !err.empty()) {
+          ProfileParseResult result;
+          result.error = std::move(err);
+          return result;
+        }
+      }
+      if (const json::Value* scratch = item.find("scratch_bytes");
+          scratch != nullptr) {
+        if (std::string err =
+                read_number_field(item, "scratch_bytes",
+                                 path + ".scratch_bytes",
+                                 &layer.scratch_bytes);
+            !err.empty()) {
+          ProfileParseResult result;
+          result.error = std::move(err);
+          return result;
+        }
+      }
+      layers.push_back(std::move(layer));
+    }
+
+    ProfileParseResult result;
+    result.chain.emplace(name, input_bytes, std::move(layers));
+    return result;
+  } catch (const std::exception& error) {
+    ProfileParseResult result;
+    result.error = std::string("profile parse error: ") + error.what();
+    return result;
+  } catch (...) {
+    ProfileParseResult result;
+    result.error = "profile parse error: unknown exception";
+    return result;
+  }
+}
+
+}  // namespace madpipe::models

@@ -1,0 +1,144 @@
+#include "models/transformer.hpp"
+
+#include "models/profile_io.hpp"
+#include "util/expect.hpp"
+
+namespace madpipe::models {
+
+namespace {
+
+/// Parameters of one decoder block: 4·h² attention (QKV + output
+/// projection) + 8·h² MLP (up + down at the standard 4·h inner width),
+/// plus ~13·h of biases and layer norms.
+double block_parameters(const TransformerConfig& c) {
+  const double h = static_cast<double>(c.hidden);
+  return 12.0 * h * h + 13.0 * h;
+}
+
+/// Forward FLOPs of one decoder block per sample: 2 FLOPs per parameter
+/// per token for the matmuls (24·s·h²) plus the attention score/context
+/// products (4·s²·h).
+double block_forward_flops(const TransformerConfig& c) {
+  const double h = static_cast<double>(c.hidden);
+  const double s = static_cast<double>(c.seq_len);
+  return 24.0 * s * h * h + 4.0 * s * s * h;
+}
+
+/// FLOPs → seconds on the config's device, for `batch` samples, one kernel
+/// launch worth of overhead per linearized layer.
+Seconds forward_seconds(const TransformerConfig& c, double flops_per_sample) {
+  return static_cast<double>(c.batch) * flops_per_sample /
+             c.device.effective_flops() +
+         c.device.op_overhead;
+}
+
+Seconds backward_seconds(const TransformerConfig& c, Seconds forward) {
+  return c.device.backward_flops_factor * (forward - c.device.op_overhead) +
+         c.device.op_overhead;
+}
+
+Layer make_layer(const TransformerConfig& c, std::string name,
+                 double flops_per_sample, double parameters,
+                 Bytes output_bytes) {
+  Layer layer;
+  layer.name = std::move(name);
+  layer.forward_time = forward_seconds(c, flops_per_sample);
+  layer.backward_time = backward_seconds(c, layer.forward_time);
+  layer.weight_bytes = parameters * c.bytes_per_param;
+  layer.output_bytes = output_bytes;
+  return layer;
+}
+
+}  // namespace
+
+double TransformerConfig::parameters() const {
+  return static_cast<double>(blocks) * block_parameters(*this) +
+         2.0 * static_cast<double>(vocab) * static_cast<double>(hidden);
+}
+
+Chain build_transformer(const TransformerConfig& config) {
+  MP_EXPECT(config.blocks >= 1, "transformer needs at least one block");
+  MP_EXPECT(config.hidden >= 1 && config.seq_len >= 1 && config.vocab >= 1,
+            "transformer dimensions must be positive");
+  MP_EXPECT(config.batch >= 1, "batch must be positive");
+  MP_EXPECT(config.split >= 1, "split must be positive");
+  MP_EXPECT(config.blocks <= (kMaxProfileLayers - 2) / config.split,
+            "transformer linearizes past the profile layer limit");
+
+  const double b = static_cast<double>(config.batch);
+  const double s = static_cast<double>(config.seq_len);
+  const double h = static_cast<double>(config.hidden);
+  const double v = static_cast<double>(config.vocab);
+  /// The residual-stream activation crossing every linearized boundary.
+  const Bytes hidden_bytes = b * s * h * config.bytes_per_activation;
+  const double embedding_parameters = v * h;
+
+  std::vector<Layer> layers;
+  layers.reserve(static_cast<std::size_t>(config.blocks) *
+                     static_cast<std::size_t>(config.split) +
+                 2);
+  // Embedding: a table gather plus positional add — bandwidth, not FLOPs,
+  // so its compute term is negligible next to any block.
+  layers.push_back(make_layer(config, "embed", 2.0 * s * h,
+                              embedding_parameters, hidden_bytes));
+  const double sublayer_flops =
+      block_forward_flops(config) / static_cast<double>(config.split);
+  const double sublayer_parameters =
+      block_parameters(config) / static_cast<double>(config.split);
+  for (int block = 0; block < config.blocks; ++block) {
+    for (int part = 0; part < config.split; ++part) {
+      std::string name = "blk" + std::to_string(block);
+      if (config.split > 1) name += "." + std::to_string(part);
+      layers.push_back(make_layer(config, std::move(name), sublayer_flops,
+                                  sublayer_parameters, hidden_bytes));
+    }
+  }
+  // LM head: the h → V projection; its logits output ends the chain (no
+  // boundary communication happens there).
+  layers.push_back(make_layer(config, "head", 2.0 * s * h * v,
+                              embedding_parameters,
+                              b * s * v * config.bytes_per_activation));
+
+  // a_0: the token ids entering the embedding (int32 per token).
+  const Bytes input_bytes = b * s * 4.0;
+  return Chain(config.name, input_bytes, std::move(layers));
+}
+
+std::vector<std::string> list_transformer_presets() {
+  return {"gpt2-xl", "gpt3-13b-shape", "llm-2k"};
+}
+
+bool is_transformer_preset(const std::string& name) {
+  for (const std::string& preset : list_transformer_presets()) {
+    if (name == preset) return true;
+  }
+  return false;
+}
+
+TransformerConfig transformer_preset(const std::string& name) {
+  TransformerConfig config;
+  config.name = name;
+  if (name == "gpt2-xl") {
+    // GPT-2 XL: 48 blocks, h = 1600 — ~1.6B params, ~3.2 GB at fp16.
+    config.blocks = 48;
+    config.hidden = 1600;
+    config.seq_len = 1024;
+  } else if (name == "gpt3-13b-shape") {
+    // GPT-3 13B shape (DawnPiper/2BP-class evaluation size): 40 blocks,
+    // h = 5120 — ~13B params, ~26 GB at fp16.
+    config.blocks = 40;
+    config.hidden = 5120;
+    config.seq_len = 2048;
+  } else if (name == "llm-2k") {
+    // The DP stress shape: 512 blocks linearized to 2050 layers, ~26B
+    // params, ~52 GB of fp16 weights — past anything the paper ran.
+    config.blocks = 512;
+    config.hidden = 2048;
+    config.seq_len = 2048;
+  } else {
+    MP_EXPECT(false, "unknown transformer preset: " + name);
+  }
+  return config;
+}
+
+}  // namespace madpipe::models

@@ -1,0 +1,60 @@
+// Parameterized LLM-scale transformer profile generator (DESIGN.md §14).
+//
+// The paper's four evaluation networks top out at ~100 layers; transformer
+// decoder stacks are where pipeline parallelism actually runs today
+// (DawnPiper and 2BP both evaluate on transformer-family models, PAPERS.md).
+// A decoder-only transformer is, from the planner's point of view, the
+// *easiest* network to describe and the *hardest* to plan: a uniform chain
+// of identical blocks — embedding, N decoder blocks, LM head — whose length
+// after linearization reaches thousands of layers and whose weights reach
+// multi-GiB per stage. This generator produces exactly that shape from
+// first-principles FLOP/byte arithmetic (standard 12·h² params and
+// 24·b·s·h² + 4·b·s²·h forward FLOPs per block), reusing the zoo's
+// DeviceModel for the FLOP → seconds conversion.
+//
+// Each decoder block is linearized into `split` uniform sublayers (the
+// qkv / attention+projection / mlp-up / mlp-down boundaries at split = 4),
+// which is what stresses the DP at LLM scale: cut candidates every few
+// dozen MB of weights instead of every block.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/chain.hpp"
+#include "models/cost_model.hpp"
+
+namespace madpipe::models {
+
+struct TransformerConfig {
+  std::string name = "transformer";
+  int blocks = 12;        ///< decoder blocks N
+  int hidden = 768;       ///< model width h
+  int seq_len = 1024;     ///< tokens per sample s
+  int vocab = 50257;      ///< vocabulary V (embedding + head weights)
+  int batch = 1;          ///< microbatch size b (scales time + activations)
+  int split = 4;          ///< linearized sublayers per decoder block (≥ 1)
+  double bytes_per_param = 2.0;       ///< fp16 weights
+  double bytes_per_activation = 2.0;  ///< fp16 activations
+  DeviceModel device;
+
+  /// Total parameter count of the generated model (blocks + embedding +
+  /// head), before byte scaling.
+  double parameters() const;
+};
+
+/// Build the linearized chain: 1 embedding layer + blocks·split decoder
+/// sublayers + 1 head layer, i.e. blocks·split + 2 chain layers.
+Chain build_transformer(const TransformerConfig& config);
+
+/// Named preset shapes accepted by the zoo's build_network (and therefore
+/// by `madpipe profile` and serve requests): "gpt2-xl", "gpt3-13b-shape",
+/// "llm-2k".
+std::vector<std::string> list_transformer_presets();
+
+bool is_transformer_preset(const std::string& name);
+
+/// Preset lookup; throws on unknown names.
+TransformerConfig transformer_preset(const std::string& name);
+
+}  // namespace madpipe::models

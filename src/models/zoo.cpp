@@ -3,6 +3,7 @@
 #include "models/densenet.hpp"
 #include "models/inception.hpp"
 #include "models/resnet.hpp"
+#include "models/transformer.hpp"
 #include "util/expect.hpp"
 
 namespace madpipe::models {
@@ -12,6 +13,19 @@ std::vector<std::string> list_networks() {
 }
 
 Chain build_network(const NetworkConfig& config) {
+  if (is_transformer_preset(config.network)) {
+    // Transformer presets are sequence models: image_size does not apply
+    // (it keeps its default in canonical request keys), batch scales the
+    // microbatch, and chain_length coarsens like any other network.
+    TransformerConfig transformer = transformer_preset(config.network);
+    transformer.batch = config.batch;
+    transformer.device = config.device;
+    Chain chain = build_transformer(transformer);
+    if (config.chain_length > 0) {
+      chain = coarsen(chain, config.chain_length, config.coarsen_strategy);
+    }
+    return chain;
+  }
   MP_EXPECT(config.image_size >= 64, "image size too small");
   const Tensor input{3, config.image_size, config.image_size};
 

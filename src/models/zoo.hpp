@@ -1,7 +1,10 @@
 // Registry of the paper's evaluation networks (§5.1): ResNet-50,
 // ResNet-101, Inception-v3, DenseNet-121, profiled at a given square image
 // size and mini-batch size on a device model, then linearized to a target
-// chain length.
+// chain length. build_network additionally accepts the LLM-scale
+// transformer presets of models/transformer.hpp (list_transformer_presets),
+// for which image_size is ignored; list_networks() stays the paper's four —
+// benches and fleet traces iterate it at paper scale.
 #pragma once
 
 #include <string>
@@ -22,7 +25,8 @@ struct NetworkConfig {
   CoarsenStrategy coarsen_strategy = CoarsenStrategy::MinCompute;
 };
 
-/// Names accepted by build_network.
+/// The paper's four network names. build_network also accepts
+/// models::list_transformer_presets() names.
 std::vector<std::string> list_networks();
 
 /// Build the linearized profile chain for `config`. Throws on unknown names.

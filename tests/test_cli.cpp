@@ -283,6 +283,91 @@ TEST(CliTrace, ServeStdinTraceOutHasAllCategories) {
   std::remove(trace_path.c_str());
 }
 
+TEST(Cli, ProfileFormatJsonMatchesTextBitForBit) {
+  // `profile --format json` and `--format text` must serialize the same
+  // chain, and both must load back bit-identically — the contract that lets
+  // either file feed plan/explain/serve interchangeably.
+  const std::string base = ::testing::TempDir() + "/cli_fmt." +
+                           std::to_string(::getpid());
+  std::string output;
+  ASSERT_EQ(run_cli("profile gpt2-xl --length 8 --batch 1 --format json" +
+                        std::string(" --output ") + base + ".json",
+                    &output),
+            0)
+      << output;
+  ASSERT_EQ(run_cli("profile gpt2-xl --length 8 --batch 1 --format text" +
+                        std::string(" --output ") + base + ".txt",
+                    &output),
+            0)
+      << output;
+  const models::ProfileParseResult from_json =
+      models::try_load_profile(base + ".json");
+  const models::ProfileParseResult from_text =
+      models::try_load_profile(base + ".txt");
+  ASSERT_TRUE(from_json.ok()) << from_json.error;
+  ASSERT_TRUE(from_text.ok()) << from_text.error;
+  EXPECT_EQ(*from_json.chain, *from_text.chain);
+  EXPECT_EQ(from_json.chain->length(), 8);
+
+  // The JSON file plans just like the text one.
+  EXPECT_EQ(run_cli("plan " + base + ".json --gpus 2 --memory-gb 8", &output),
+            0)
+      << output;
+  std::remove((base + ".json").c_str());
+  std::remove((base + ".txt").c_str());
+}
+
+TEST(Cli, ProfileRejectsUnknownFormat) {
+  std::string output;
+  EXPECT_EQ(run_cli("profile resnet50 --format yaml", &output), 2);
+  EXPECT_NE(output.find("--format must be text or json"), std::string::npos)
+      << output;
+}
+
+TEST(Cli, ValidateAcceptsEveryCommittedExample) {
+  // The committed examples/ documents are the quickstart surface; all of
+  // them must stay parseable (tools/check_docs.py --validate runs this same
+  // command in CI).
+  const std::string dir = std::string(MADPIPE_SOURCE_DIR) + "/examples/";
+  std::string output;
+  ASSERT_EQ(run_cli("validate " + dir + "explain_resnet50_p2.json " + dir +
+                        "fleet_trace.json " + dir +
+                        "profile_transformer_small.json " + dir +
+                        "profile_transformer_small.profile " + dir +
+                        "serve_llm_request.json " + dir +
+                        "serve_request.json " + dir +
+                        "timeline_resnet50_p2.json",
+                    &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("madpipe-profile-v2, 12 layers"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("madpipe-profile-v1, 12 layers"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("madpipe-fleet-trace-v1"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("serve request lines"), std::string::npos) << output;
+}
+
+TEST(Cli, ValidateFailsOnBrokenDocumentsAndMissingFiles) {
+  const std::string bad = ::testing::TempDir() + "/cli_bad." +
+                          std::to_string(::getpid()) + ".json";
+  std::ofstream(bad) << "{\"schema\":\"madpipe-profile-v2\",\"layers\":[]}";
+  std::string output;
+  EXPECT_EQ(run_cli("validate " + bad, &output), 1);
+  EXPECT_NE(output.find("error:"), std::string::npos) << output;
+  EXPECT_NE(output.find("input_bytes"), std::string::npos) << output;
+  EXPECT_EQ(run_cli("validate /nonexistent/missing.json", &output), 1);
+  EXPECT_NE(output.find("cannot read file"), std::string::npos) << output;
+  // A good file does not mask a bad one in the same invocation.
+  const std::string good = write_tiny_profile();
+  EXPECT_EQ(run_cli("validate " + good + " " + bad, &output), 1);
+  EXPECT_NE(output.find("ok (madpipe-profile-v1"), std::string::npos)
+      << output;
+  std::remove(bad.c_str());
+  std::remove(good.c_str());
+}
+
 TEST(Cli, FleetRunsCommittedExampleTraceDeterministically) {
   const std::string trace =
       std::string(MADPIPE_SOURCE_DIR) + "/examples/fleet_trace.json";

@@ -183,6 +183,59 @@ TEST(ParallelDP, StateBudgetFlagAndTruncationAreThreadCountInvariant) {
   EXPECT_EQ(clean.stats.state_budget_hits, 0);
 }
 
+TEST(ParallelDP, LlmScaleChainAtSixtyFourGpusStaysBitIdentical) {
+  // The packed-state budget extends to L ≥ 2000, P = 64 (transformer
+  // presets linearize to 2050 layers). A uniform 2048-layer chain with
+  // weights tight against the per-GPU limit keeps the candidate scan short
+  // (stage_static_memory_exceeds prunes at ~128 layers/stage) so this runs
+  // in seconds, while exercising the full 12-bit layer / 7-bit processor
+  // packing.
+  const Chain chain =
+      make_uniform_chain(2048, ms(2), ms(4), 16 * MB, 4 * MB, MB, "llm");
+  const Platform platform{64, 2 * GB, 12 * GB};
+  const Seconds target = chain.total_compute() / 64;
+
+  const auto flat = madpipe_dp(chain, platform, target,
+                               serial_options(DpEngine::FlatIterative));
+  EXPECT_TRUE(flat.allocation.has_value());
+  EXPECT_FALSE(flat.state_budget_hit);
+  EXPECT_GT(flat.states_visited, 0);
+
+  const auto wave = madpipe_dp(chain, platform, target, wavefront_options(4));
+  // The flat engine value-prunes, so only the results — not the visit
+  // counts — are comparable across engines.
+  expect_identical(wave, flat, "L=2048 P=64 wavefront vs flat");
+  EXPECT_FALSE(wave.state_budget_hit);
+}
+
+TEST(ParallelDP, SixtyFourGpusWithoutSpecialStageUsesAllSevenProcessorBits) {
+  // With the special stage disabled the root state carries p = P itself, so
+  // P = 64 needs the seventh bit of the packed processor field (planner
+  // phase 1 always runs with allow_special = false). A 6-bit field would
+  // alias the root onto (l + 1, p = 0) and the wavefront expansion would
+  // read p = 0 back out of the slab key.
+  const Chain chain =
+      make_uniform_chain(96, ms(2), ms(4), 32 * MB, 8 * MB, MB, "wide");
+  const Platform platform{64, 4 * GB, 12 * GB};
+  const Seconds target = chain.total_compute() / 64;
+
+  auto reference_options = serial_options(DpEngine::ReferenceRecursive);
+  reference_options.allow_special = false;
+  const auto reference =
+      madpipe_dp(chain, platform, target, reference_options);
+  EXPECT_TRUE(reference.allocation.has_value());
+
+  auto flat_options = serial_options(DpEngine::FlatIterative);
+  flat_options.allow_special = false;
+  expect_identical(madpipe_dp(chain, platform, target, flat_options),
+                   reference, "P=64 contiguous flat vs reference");
+
+  auto wave_options = wavefront_options(4);
+  wave_options.allow_special = false;
+  expect_identical(madpipe_dp(chain, platform, target, wave_options),
+                   reference, "P=64 contiguous wavefront vs reference");
+}
+
 TEST(ParallelDP, ShardMergeDeterminismProperty) {
   // The determinism rule in isolation: appending per-shard emission buffers
   // in shard order reproduces the serial insertion order for ANY contiguous

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "models/profile_io.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
 #include "util/json.hpp"
@@ -148,6 +149,52 @@ TEST(ServeNet, MissThenHitMatchBatchModeServe) {
   EXPECT_EQ(stats.frames, 2);
   EXPECT_EQ(stats.responses, 2);
   EXPECT_EQ(stats.protocol_errors, 0);
+}
+
+TEST(ServeNet, V2JsonProfileFrameMatchesV1TextBitForBit) {
+  // The same profile as v1 text and as v2 JSON (both inline in
+  // profile_text) through the TCP front-end: the plan blocks must be
+  // bit-identical to each other and to batch-mode serve — the v2 format is
+  // accepted everywhere v1 is, with identical results.
+  const Chain chain = make_uniform_chain(6, ms(2), ms(4), MB, 8 * MB, MB);
+  const auto frame = [&](const std::string& id, const std::string& profile) {
+    json::Writer w;
+    w.begin_object();
+    w.key("id"); w.value(id);
+    w.key("profile_text"); w.value(profile);
+    w.key("gpus"); w.value(2);
+    w.key("memory_gb"); w.value(8);
+    w.end_object();
+    return w.str() + "\n";
+  };
+  const std::string v1 = frame("v1", models::profile_to_string(chain));
+  const std::string v2 = frame("v2", models::profile_to_json_string(chain));
+
+  Harness h;
+  Client client(h.server.port());
+  ASSERT_TRUE(client.ok());
+  std::string v1_line, v2_line;
+  ASSERT_TRUE(client.send(v1));
+  ASSERT_TRUE(client.recv(v1_line));
+  ASSERT_TRUE(client.send(v2));
+  ASSERT_TRUE(client.recv(v2_line));
+
+  EXPECT_EQ(field(v1_line, "status"), "ok");
+  EXPECT_EQ(field(v2_line, "status"), "ok");
+  ASSERT_FALSE(plan_tail(v1_line).empty());
+  EXPECT_EQ(plan_tail(v2_line), plan_tail(v1_line));
+  // The v2 request is a cache hit: identical canonical chain, identical
+  // fingerprint.
+  EXPECT_EQ(field(v2_line, "cache"), "hit");
+
+  // Batch-mode serve on a fresh service agrees bit for bit.
+  const BatchParse parsed = parse_requests(v1.substr(0, v1.size() - 1));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.requests[0].ok());
+  PlanService direct;
+  const std::string direct_line =
+      response_to_json(direct.plan(*parsed.requests[0].request));
+  EXPECT_EQ(plan_tail(v1_line), plan_tail(direct_line));
 }
 
 TEST(ServeNet, PipelinedResponsesArriveInRequestOrder) {

@@ -83,6 +83,40 @@ TEST(ServeProtocol, ParsesExplainAndTimingsFlags) {
   EXPECT_FALSE(defaults.requests[0].request->report_explain);
 }
 
+TEST(ServeProtocol, V2JsonProfileTextParsesBitIdenticalToV1) {
+  // The same chain serialized as v1 text and as v2 JSON, both carried in
+  // profile_text: version auto-detection must hand the planner bit-identical
+  // chains, so every serve entry point accepts either format.
+  const Chain chain = make_uniform_chain(4, ms(2), ms(4), MB, 8 * MB, MB);
+  for (const std::string& profile :
+       {models::profile_to_string(chain),
+        models::profile_to_json_string(chain)}) {
+    json::Writer w;
+    w.begin_object();
+    w.key("profile_text");
+    w.value(profile);
+    w.key("gpus");
+    w.value(2);
+    w.key("memory_gb");
+    w.value(4);
+    w.end_object();
+    const BatchParse batch = parse_requests(w.str());
+    ASSERT_TRUE(batch.ok()) << batch.error;
+    ASSERT_EQ(batch.requests.size(), 1u);
+    ASSERT_TRUE(batch.requests[0].ok()) << batch.requests[0].error;
+    // Canonicalization may drop names but must keep numbers bit-exact.
+    const Chain& parsed = batch.requests[0].request->chain;
+    ASSERT_EQ(parsed.length(), chain.length());
+    EXPECT_EQ(parsed.activation(0), chain.activation(0));
+    for (int l = 1; l <= chain.length(); ++l) {
+      EXPECT_EQ(parsed.forward_time(l), chain.forward_time(l)) << l;
+      EXPECT_EQ(parsed.backward_time(l), chain.backward_time(l)) << l;
+      EXPECT_EQ(parsed.weight(l), chain.weight(l)) << l;
+      EXPECT_EQ(parsed.activation(l), chain.activation(l)) << l;
+    }
+  }
+}
+
 TEST(ServeProtocol, BareArrayAndSingleObjectShapes) {
   const std::string single = std::string("{\"profile_text\":") +
                              profile_json_field() +

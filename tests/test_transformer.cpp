@@ -1,0 +1,194 @@
+// The LLM-scale transformer profile generator (DESIGN.md §14): preset
+// registry, first-principles parameter/FLOP arithmetic, linearized chain
+// shape, zoo dispatch (batch/device/coarsening applied like any network),
+// and an end-to-end plan on a small transformer whose report memory peaks
+// are bit-identical to the verifier's event sweep.
+#include "models/transformer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "madpipe/planner.hpp"
+#include "models/zoo.hpp"
+#include "report/plan_report.hpp"
+#include "util/expect.hpp"
+
+namespace madpipe::models {
+namespace {
+
+/// A deliberately small shape: big enough to have distinct embed / block /
+/// head layers, small enough that planner tests run in milliseconds.
+TransformerConfig tiny_config() {
+  TransformerConfig config;
+  config.name = "tiny";
+  config.blocks = 8;
+  config.hidden = 256;
+  config.seq_len = 128;
+  config.vocab = 1000;
+  config.batch = 2;
+  config.split = 2;
+  return config;
+}
+
+TEST(Transformer, PresetRegistryMatchesZooContract) {
+  const std::vector<std::string> presets = list_transformer_presets();
+  ASSERT_EQ(presets.size(), 3u);
+  EXPECT_EQ(presets[0], "gpt2-xl");
+  EXPECT_EQ(presets[1], "gpt3-13b-shape");
+  EXPECT_EQ(presets[2], "llm-2k");
+  for (const std::string& preset : presets) {
+    EXPECT_TRUE(is_transformer_preset(preset)) << preset;
+  }
+  EXPECT_FALSE(is_transformer_preset("resnet50"));
+  EXPECT_FALSE(is_transformer_preset("gpt2"));
+  // The paper's four stay the paper's four — benches iterate list_networks()
+  // at paper scale and must not silently pick up multi-GB transformers.
+  EXPECT_EQ(list_networks().size(), 4u);
+  EXPECT_THROW(transformer_preset("gpt5"), ContractViolation);
+}
+
+TEST(Transformer, ParameterCountsMatchTheStandardFormulas) {
+  // 12·h² + 13·h per block, plus tied-shape embedding and head (V·h each).
+  const TransformerConfig gpt2 = transformer_preset("gpt2-xl");
+  const double h = 1600.0;
+  const double expected =
+      48.0 * (12.0 * h * h + 13.0 * h) + 2.0 * 50257.0 * h;
+  EXPECT_DOUBLE_EQ(gpt2.parameters(), expected);
+  // ~1.64B parameters: the published GPT-2 XL size to within a few percent.
+  EXPECT_NEAR(gpt2.parameters(), 1.6e9, 0.05e9);
+  // llm-2k is the DP stress shape: ~26B parameters.
+  EXPECT_NEAR(transformer_preset("llm-2k").parameters(), 26e9, 1e9);
+}
+
+TEST(Transformer, ChainShapeIsEmbedBlocksHead) {
+  const TransformerConfig config = tiny_config();
+  const Chain chain = build_transformer(config);
+  // 1 embedding + blocks·split sublayers + 1 head.
+  ASSERT_EQ(chain.length(), config.blocks * config.split + 2);
+  EXPECT_EQ(chain.layer(1).name, "embed");
+  EXPECT_EQ(chain.layer(2).name, "blk0.0");
+  EXPECT_EQ(chain.layer(3).name, "blk0.1");
+  EXPECT_EQ(chain.layer(chain.length() - 1).name, "blk7.1");
+  EXPECT_EQ(chain.layer(chain.length()).name, "head");
+
+  // Input is int32 token ids; every interior boundary carries the
+  // b·s·h·bytes_per_activation residual stream.
+  EXPECT_DOUBLE_EQ(chain.activation(0), 2.0 * 128.0 * 4.0);
+  const Bytes hidden_bytes = 2.0 * 128.0 * 256.0 * 2.0;
+  for (int l = 1; l < chain.length(); ++l) {
+    EXPECT_DOUBLE_EQ(chain.activation(l), hidden_bytes) << "layer " << l;
+  }
+  // The head's logits output is b·s·V·bytes_per_activation.
+  EXPECT_DOUBLE_EQ(chain.activation(chain.length()),
+                   2.0 * 128.0 * 1000.0 * 2.0);
+
+  // All decoder sublayers are identical (uniform chain), and total weight
+  // bytes equal parameters() · bytes_per_param.
+  for (int l = 3; l < chain.length(); ++l) {
+    EXPECT_EQ(chain.layer(l).forward_time, chain.layer(2).forward_time);
+    EXPECT_EQ(chain.layer(l).weight_bytes, chain.layer(2).weight_bytes);
+  }
+  double weight_sum = 0.0;
+  for (int l = 1; l <= chain.length(); ++l) {
+    weight_sum += chain.layer(l).weight_bytes;
+  }
+  EXPECT_NEAR(weight_sum, config.parameters() * config.bytes_per_param,
+              1e-6 * weight_sum);
+}
+
+TEST(Transformer, BatchScalesTimesAndActivationsLinearly) {
+  TransformerConfig config = tiny_config();
+  config.batch = 1;
+  const Chain b1 = build_transformer(config);
+  config.batch = 4;
+  const Chain b4 = build_transformer(config);
+  // Activations scale exactly; compute scales modulo the per-layer launch
+  // overhead, which is batch-invariant.
+  EXPECT_DOUBLE_EQ(b4.activation(1), 4.0 * b1.activation(1));
+  EXPECT_DOUBLE_EQ(b4.activation(0), 4.0 * b1.activation(0));
+  const double overhead = config.device.op_overhead;
+  EXPECT_NEAR(b4.layer(2).forward_time - overhead,
+              4.0 * (b1.layer(2).forward_time - overhead),
+              1e-12);
+  EXPECT_EQ(b4.layer(2).weight_bytes, b1.layer(2).weight_bytes);
+}
+
+TEST(Transformer, PresetLayerCountsReachLlmScale) {
+  EXPECT_EQ(build_transformer(transformer_preset("gpt2-xl")).length(), 194);
+  EXPECT_EQ(build_transformer(transformer_preset("gpt3-13b-shape")).length(),
+            162);
+  EXPECT_EQ(build_transformer(transformer_preset("llm-2k")).length(), 2050);
+}
+
+TEST(Transformer, RejectsDegenerateConfigs) {
+  TransformerConfig config = tiny_config();
+  config.blocks = 0;
+  EXPECT_THROW(build_transformer(config), ContractViolation);
+  config = tiny_config();
+  config.split = 0;
+  EXPECT_THROW(build_transformer(config), ContractViolation);
+  // blocks·split + 2 past the profile layer limit.
+  config = tiny_config();
+  config.blocks = 40000;
+  config.split = 2;
+  EXPECT_THROW(build_transformer(config), ContractViolation);
+}
+
+TEST(Transformer, ZooDispatchAppliesBatchDeviceAndCoarsening) {
+  NetworkConfig config;
+  config.network = "gpt2-xl";
+  config.batch = 4;
+  config.image_size = 123;  // ignored for transformer presets
+
+  TransformerConfig expected = transformer_preset("gpt2-xl");
+  expected.batch = 4;
+  expected.device = config.device;
+  EXPECT_EQ(build_network(config), build_transformer(expected));
+
+  // chain_length coarsens like any other network.
+  config.chain_length = 24;
+  const Chain coarse = build_network(config);
+  EXPECT_EQ(coarse.length(), 24);
+  // Coarsening preserves totals.
+  const Chain full = build_transformer(expected);
+  EXPECT_NEAR(coarse.total_compute(), full.total_compute(),
+              1e-9 * full.total_compute());
+}
+
+TEST(Transformer, PlannedTinyTransformerPeaksBitMatchTheVerifier) {
+  NetworkConfig network;
+  network.network = "gpt2-xl";
+  network.batch = 1;
+  network.chain_length = 16;
+  const Chain chain = build_network(network);
+  // gpt2-xl carries ~3.3 GB of fp16 weights; the §3 model charges 3W per
+  // stage, so 2 GPUs need ~5 GB each plus activations.
+  const Platform platform{2, 8 * GB, 12 * GB};
+
+  MadPipeOptions options;
+  options.phase1.dp.grid = Discretization::coarse();
+  const std::optional<Plan> plan = plan_madpipe(chain, platform, options);
+  ASSERT_TRUE(plan.has_value());
+
+  const ValidationResult check =
+      validate_pattern(plan->pattern, plan->allocation, chain, platform);
+  ASSERT_TRUE(check.valid) << (check.errors.empty() ? "" : check.errors[0]);
+
+  report::PlanReportOptions report_options;
+  report_options.simulation_batches = 32;
+  const report::PlanReport rep =
+      report::build_plan_report(*plan, chain, platform, report_options);
+  ASSERT_EQ(rep.memory.size(), 2u);
+  for (int p = 0; p < platform.processors; ++p) {
+    EXPECT_EQ(rep.memory[p].peak_bytes, check.processor_memory_peak[p])
+        << "gpu" << p;
+    EXPECT_LE(rep.memory[p].peak_bytes,
+              platform.memory_per_processor * (1.0 + 1e-9));
+  }
+  EXPECT_GT(plan->period(), 0.0);
+}
+
+}  // namespace
+}  // namespace madpipe::models

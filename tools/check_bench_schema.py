@@ -224,6 +224,88 @@ def check_parallel_scaling(doc, path):
           f"workloads, hardware_threads={hardware})")
 
 
+LLM_SCALE_FIELDS = {
+    "hardware_threads": int,
+    "network": str,
+    "layers": int,
+    "gpus": int,
+    "memory_gb": (int, float),
+    "full_dp_probe_seconds": (int, float),
+    "full_dp_states": int,
+    "full_feasible": bool,
+    "full_period": (int, float),
+    "state_budget_hit": bool,
+    "coarsened_layers": int,
+    "plan_seconds": (int, float),
+    "plan_feasible": bool,
+    "plan_period": (int, float),
+    "speedup_vs_sequential": (int, float),
+    "serve_network": str,
+    "serve_cold_seconds": (int, float),
+    "serve_hit_seconds": (int, float),
+    "serve_hit_speedup": (int, float),
+}
+
+# ISSUE acceptance criteria for the LLM-scale record: the DP must complete a
+# >= 2000-layer transformer chain at P = 64 feasibly, without tripping the
+# state budget. These are result-shaped, so they are never gated.
+LLM_SCALE_MIN_LAYERS = 2000
+LLM_SCALE_MIN_GPUS = 64
+# The coarsened end-to-end plan's speedup is a period ratio (deterministic
+# planner output, not wall clock), so this floor is ungated too.
+LLM_SCALE_MIN_COARSE_SPEEDUP = 8.0
+# The serve hit speedup IS wall clock — hardware-gated like the other
+# timing floors.
+LLM_SCALE_MIN_HIT_SPEEDUP = 100.0
+
+
+def check_llm_scale(doc, path):
+    """Validate the LLM-scale record: a full-depth transformer DP probe,
+    the coarsened planning recipe, and a serve cold/hit pair. Optional —
+    documents from before the transformer generator simply lack it."""
+    llm = doc.get("llm_scale")
+    if llm is None:
+        return
+    if not isinstance(llm, dict):
+        fail(f"{path}: llm_scale must be an object")
+    where = f"{path}: llm_scale"
+    check_fields(llm, LLM_SCALE_FIELDS, where)
+    hardware = llm["hardware_threads"]
+    if hardware < 1:
+        fail(f"{where}: hardware_threads must be >= 1")
+    if llm["layers"] < LLM_SCALE_MIN_LAYERS:
+        fail(f"{where}: layers {llm['layers']} below the "
+             f"{LLM_SCALE_MIN_LAYERS}-layer floor")
+    if llm["gpus"] < LLM_SCALE_MIN_GPUS:
+        fail(f"{where}: gpus {llm['gpus']} below the "
+             f"{LLM_SCALE_MIN_GPUS}-GPU floor")
+    if not llm["full_feasible"]:
+        fail(f"{where}: full-depth DP probe was infeasible")
+    if llm["state_budget_hit"]:
+        fail(f"{where}: full-depth DP probe hit the state budget")
+    if not (llm["full_period"] > 0 and math.isfinite(llm["full_period"])):
+        fail(f"{where}: full_period must be positive and finite")
+    if llm["full_dp_states"] < 1 or llm["full_dp_probe_seconds"] <= 0:
+        fail(f"{where}: full-depth probe states/timing must be positive")
+    if not llm["plan_feasible"]:
+        fail(f"{where}: coarsened end-to-end plan was infeasible")
+    if llm["coarsened_layers"] < llm["gpus"]:
+        fail(f"{where}: coarsened_layers {llm['coarsened_layers']} below "
+             f"gpus {llm['gpus']} (one stage per GPU minimum)")
+    if llm["speedup_vs_sequential"] < LLM_SCALE_MIN_COARSE_SPEEDUP:
+        fail(f"{where}: coarsened speedup {llm['speedup_vs_sequential']:.2f}x "
+             f"below the {LLM_SCALE_MIN_COARSE_SPEEDUP:g}x floor "
+             "(period ratio, ungated)")
+    if llm["serve_cold_seconds"] <= 0 or llm["serve_hit_seconds"] <= 0:
+        fail(f"{where}: serve timings must be positive")
+    enforce_hardware_gated_floor(llm["serve_hit_speedup"],
+                                 LLM_SCALE_MIN_HIT_SPEEDUP, hardware, where,
+                                 "serve hit speedup", unit="x")
+    print(f"check_bench_schema: llm_scale OK ({llm['layers']} layers at "
+          f"P={llm['gpus']}, {llm['full_dp_states']} states, coarsened "
+          f"{llm['speedup_vs_sequential']:.1f}x)")
+
+
 def check_planner_document(doc, path):
     if doc.get("schema") != PLANNER_SCHEMA:
         fail(f"{path}: schema is {doc.get('schema')!r}, "
@@ -257,6 +339,7 @@ def check_planner_document(doc, path):
     if len(set(names)) != len(names):
         fail(f"{path}: duplicate workload names")
     check_parallel_scaling(doc, path)
+    check_llm_scale(doc, path)
     return {record["name"]: record for record in workloads}
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Keep the documentation from drifting away from the repo.
 
-Two checks, stdlib only, no build required:
+Three checks, stdlib only, no build required:
 
   1. Markdown links: every relative link/image target in the repo's
      markdown files must resolve to an existing file or directory
@@ -15,12 +15,20 @@ Two checks, stdlib only, no build required:
      --madpipe PATH to verify against a built binary's --help output
      instead.
 
+  3. With --validate: every committed examples/*.json and
+     examples/*.profile document must stay parseable. With --madpipe the
+     built binary's `madpipe validate` does the deep check; without it a
+     stdlib structural pass runs (JSON / JSONL well-formedness, profile
+     magic headers) so the docs job catches truncated or mis-edited
+     example documents pre-build.
+
 Exit status is non-zero with one line per violation. Run from anywhere:
 paths are resolved relative to the repository root (this script's
 parent's parent).
 """
 
 import argparse
+import json
 import pathlib
 import re
 import subprocess
@@ -112,11 +120,72 @@ def check_subcommands(path, text, known, errors):
                           f"not a CLI subcommand (known: {sorted(known)})")
 
 
+def example_documents():
+    return sorted(REPO.glob("examples/*.json")) + \
+        sorted(REPO.glob("examples/*.profile"))
+
+
+def validate_example_structurally(path, errors):
+    """Pre-build fallback for `madpipe validate`: JSON / JSONL documents
+    must parse, profile documents must open with a known magic/schema."""
+    rel = path.relative_to(REPO)
+    text = path.read_text()
+    if path.suffix == ".profile":
+        if not text.lstrip().startswith("madpipe-profile-v1"):
+            errors.append(f"{rel}: missing madpipe-profile-v1 header")
+        return
+    try:
+        json.loads(text)
+        return
+    except ValueError:
+        pass
+    # JSONL (the serve --stdin request format): every non-empty line is an
+    # object.
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) < 2:
+        errors.append(f"{rel}: not valid JSON")
+        return
+    for number, line in enumerate(lines, start=1):
+        try:
+            document = json.loads(line)
+        except ValueError as error:
+            errors.append(f"{rel}: line {number}: {error}")
+            return
+        if not isinstance(document, dict):
+            errors.append(f"{rel}: line {number}: not a JSON object")
+            return
+
+
+def validate_examples(binary, errors):
+    documents = example_documents()
+    if not documents:
+        errors.append("examples/: no example documents found")
+        return 0
+    if binary:
+        proc = subprocess.run([binary, "validate"] +
+                              [str(d) for d in documents],
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            for line in (proc.stdout + proc.stderr).splitlines():
+                if "error" in line:
+                    errors.append(line.strip())
+            if proc.returncode != 1 or not errors:
+                errors.append(f"madpipe validate exited {proc.returncode}")
+    else:
+        for path in documents:
+            validate_example_structurally(path, errors)
+    return len(documents)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--madpipe", metavar="PATH",
                         help="built madpipe binary to read subcommands from "
                              "(default: parse tools/madpipe_cli.cpp)")
+    parser.add_argument("--validate", action="store_true",
+                        help="also validate committed examples/ documents "
+                             "(deeply via `madpipe validate` when --madpipe "
+                             "is given, structurally otherwise)")
     args = parser.parse_args()
 
     known = (subcommands_from_binary(args.madpipe) if args.madpipe
@@ -129,12 +198,16 @@ def main():
         check_links(path, text, errors)
         check_subcommands(path, text, known, errors)
 
+    validated = validate_examples(args.madpipe, errors) if args.validate \
+        else None
+
     for error in errors:
         print(f"check_docs: FAIL: {error}", file=sys.stderr)
     if errors:
         sys.exit(1)
+    suffix = f", {validated} example documents" if validated else ""
     print(f"check_docs: OK ({len(files)} files, "
-          f"subcommands: {', '.join(sorted(known))})")
+          f"subcommands: {', '.join(sorted(known))}{suffix})")
 
 
 if __name__ == "__main__":
