@@ -23,6 +23,9 @@
 //
 // Floors (≥100k hits/s) live in tools/check_bench_schema.py and are gated on
 // the recorded hardware_threads, like the planner bench's parallel_scaling.
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -31,6 +34,8 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/tail_sampler.hpp"
+#include "serve/net/admin.hpp"
 #include "serve/net/server.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
@@ -161,6 +166,49 @@ ThroughputRecord pipelined_throughput(const std::string& host,
   std::printf("throughput %2d clients x window %2d: %8.0f req/s\n", clients,
               window, record.requests_per_second);
   return record;
+}
+
+/// One admin-endpoint scrape: fresh connection, GET, read to EOF (exactly
+/// what a Prometheus scraper does). Returns the body; empty on failure.
+std::string admin_scrape(const std::string& host, std::uint16_t port,
+                         const std::string& path) {
+  net::FdGuard fd = net::connect_tcp(host, port);
+  if (!fd.valid()) return {};
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!net::write_all(fd.get(), request.data(), request.size())) return {};
+  std::string out;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd.get(), buffer, sizeof(buffer))) > 0) {
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  const std::size_t sep = out.find("\r\n\r\n");
+  return sep == std::string::npos ? std::string() : out.substr(sep + 4);
+}
+
+/// Exactly `count` pipelined hit requests on one connection; returns the
+/// aggregate requests-per-second (0 on any transport failure).
+double fixed_run_rps(const std::string& host, std::uint16_t port,
+                     const std::string& frame, int count) {
+  Client client(host, port);
+  if (!client.ok()) return 0.0;
+  const int window = std::min(16, count);
+  const Clock::time_point start = Clock::now();
+  int sent = 0, received = 0;
+  std::string line;
+  for (; sent < window; ++sent) {
+    if (!client.send(frame)) return 0.0;
+  }
+  while (received < count) {
+    if (!client.recv(line)) return 0.0;
+    ++received;
+    if (sent < count) {
+      if (!client.send(frame)) return 0.0;
+      ++sent;
+    }
+  }
+  const double wall = seconds_since(start);
+  return wall > 0.0 ? static_cast<double>(count) / wall : 0.0;
 }
 
 }  // namespace
@@ -352,6 +400,59 @@ int main(int argc, char** argv) {
               overload_frames, static_cast<int>(overload_rate),
               overload_served, overload_rejected, shed_fraction * 100.0);
 
+  // --- admin: scrape latency of the telemetry endpoint while the server
+  // is warm. Every scrape is a fresh connection + GET /metrics, the
+  // Prometheus pattern; /healthz must answer ok on a live server. ---
+  const int admin_scrapes = smoke ? 50 : 200;
+  std::vector<double> scrape_latencies;
+  std::size_t metrics_bytes = 0;
+  bool healthz_ok = false;
+  {
+    serve::net::AdminServerOptions admin_options;
+    admin_options.host = host;
+    admin_options.port = 0;
+    admin_options.draining = [&server] { return server.draining(); };
+    serve::net::AdminServer admin(admin_options);
+    healthz_ok = admin_scrape(host, admin.port(), "/healthz") == "ok\n";
+    scrape_latencies.reserve(static_cast<std::size_t>(admin_scrapes));
+    for (int i = 0; i < admin_scrapes; ++i) {
+      const Clock::time_point start = Clock::now();
+      const std::string body = admin_scrape(host, admin.port(), "/metrics");
+      if (body.empty() ||
+          body.find("madpipe_net_connections") == std::string::npos) {
+        std::fprintf(stderr, "admin scrape %d failed\n", i);
+        return 1;
+      }
+      scrape_latencies.push_back(seconds_since(start));
+      metrics_bytes = body.size();
+    }
+  }
+  const double scrape_p50 = stats::percentile(scrape_latencies, 0.50);
+  const double scrape_p95 = stats::percentile(scrape_latencies, 0.95);
+  std::printf("admin: %d /metrics scrapes, p50 %.1f us, p95 %.1f us "
+              "(%zu bytes), healthz %s\n",
+              admin_scrapes, scrape_p50 * 1e6, scrape_p95 * 1e6,
+              metrics_bytes, healthz_ok ? "ok" : "FAILED");
+
+  // --- tail sampling: the same fixed hit run with the sampler disarmed and
+  // armed. Arming must not cost throughput — the ratio is floor-checked
+  // (hardware-gated) by tools/check_bench_schema.py. ---
+  const int tail_requests = smoke ? 200 : 1000;
+  obs::disarm_tail_sampling();
+  const double tail_baseline_rps =
+      fixed_run_rps(host, port, frame, tail_requests);
+  obs::arm_tail_sampling({});
+  const double tail_armed_rps = fixed_run_rps(host, port, frame, tail_requests);
+  obs::disarm_tail_sampling();
+  if (tail_baseline_rps <= 0.0 || tail_armed_rps <= 0.0) {
+    std::fprintf(stderr, "tail-sampling run failed\n");
+    return 1;
+  }
+  const double tail_ratio = tail_armed_rps / tail_baseline_rps;
+  std::printf("tail sampling: %d requests, %8.0f req/s disarmed, "
+              "%8.0f req/s armed (ratio %.2f)\n",
+              tail_requests, tail_baseline_rps, tail_armed_rps, tail_ratio);
+
   const serve::net::NetServerStats server_stats = server.stats();
   server.stop();
 
@@ -415,6 +516,21 @@ int main(int argc, char** argv) {
   w.key("rejected"); w.value(overload_rejected);
   w.key("shed_fraction"); w.value(shed_fraction);
   w.end_object();
+  w.key("admin");
+  w.begin_object();
+  w.key("scrapes"); w.value(admin_scrapes);
+  w.key("scrape_p50_seconds"); w.value(scrape_p50);
+  w.key("scrape_p95_seconds"); w.value(scrape_p95);
+  w.key("metrics_bytes"); w.value(metrics_bytes);
+  w.key("healthz_ok"); w.value(healthz_ok);
+  w.end_object();
+  w.key("tail_sampling");
+  w.begin_object();
+  w.key("requests"); w.value(tail_requests);
+  w.key("baseline_requests_per_second"); w.value(tail_baseline_rps);
+  w.key("armed_requests_per_second"); w.value(tail_armed_rps);
+  w.key("throughput_ratio"); w.value(tail_ratio);
+  w.end_object();
   w.key("server_stats");
   w.begin_object();
   w.key("accepted"); w.value(server_stats.accepted);
@@ -441,9 +557,12 @@ int main(int argc, char** argv) {
   std::printf("net benchmark JSON -> %s\n", output.c_str());
   sinks.flush();
 
-  // The wire must never change an answer: fail loudly if it does.
+  // The wire must never change an answer: fail loudly if it does. The
+  // admin endpoint answering /healthz on a live server is equally load
+  // bearing for the CI smoke.
   for (const EquivalenceRecord& record : equivalence) {
     if (!record.identical) return 1;
   }
+  if (!healthz_ok) return 1;
   return 0;
 }

@@ -200,8 +200,15 @@ FleetResult FleetSimulator::run() {
           /*report_timings=*/false,
           /*report_explain=*/false};
       const bool is_replan = job.preemptions > 0;
+      // Every placement is one traced request: the fleet span and the
+      // serve/planner spans underneath share one trace id, so a slow
+      // placement shows up in /slow with its full cross-layer tree. The
+      // id never reaches the event log — the log stays bit-identical
+      // across runs regardless of telemetry.
+      request.trace_id = obs::next_trace_id();
       serve::PlanResponse response;
       {
+        obs::TraceContextScope trace_scope(request.trace_id);
         obs::Span span(is_replan ? "fleet_replan" : "fleet_plan",
                        obs::kCatFleet);
         span.arg("gpus", decision->gpus);

@@ -5,13 +5,67 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
 
 namespace madpipe::obs {
 
 namespace detail {
 std::atomic<bool> g_trace_armed{false};
+std::atomic<bool> g_tail_armed{false};
 }  // namespace detail
+
+namespace {
+
+/// The counter behind spans_dropped_total(). One registry lookup ever; the
+/// overwrite path pays a relaxed fetch_add.
+Counter& spans_dropped_counter() {
+  static Counter& counter = Registry::global().counter(
+      "madpipe_spans_dropped_total",
+      "Trace-ring events lost to wrap-around overwrite");
+  return counter;
+}
+
+/// The calling thread's request trace id (TraceContextScope).
+thread_local std::uint64_t t_trace_id = 0;
+
+}  // namespace
+
+std::uint64_t next_trace_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t raw =
+      counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  // splitmix64 finalizer: ids are opaque tokens, not small integers.
+  std::uint64_t z = raw + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  z &= 0x7fffffffffffffffull;  // positive as int64 (span args, JSON)
+  return z == 0 ? 1 : z;
+}
+
+std::uint64_t current_trace_id() noexcept { return t_trace_id; }
+
+std::string format_trace_id(std::uint64_t trace_id) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[trace_id & 0xf];
+    trace_id >>= 4;
+  }
+  return out;
+}
+
+TraceContextScope::TraceContextScope(std::uint64_t trace_id) noexcept
+    : saved_(t_trace_id) {
+  t_trace_id = trace_id;
+}
+
+TraceContextScope::~TraceContextScope() noexcept { t_trace_id = saved_; }
+
+long long spans_dropped_total() noexcept {
+  return spans_dropped_counter().value();
+}
 
 namespace {
 
@@ -25,6 +79,7 @@ struct Slot {
   std::atomic<const char*> category{nullptr};
   std::atomic<std::int64_t> start_ns{0};
   std::atomic<std::int64_t> dur_ns{0};
+  std::atomic<std::uint64_t> trace_id{0};
   std::atomic<const char*> arg1_key{nullptr};
   std::atomic<long long> arg1_value{0};
   std::atomic<const char*> arg2_key{nullptr};
@@ -41,9 +96,10 @@ struct Ring {
   std::atomic<std::uint64_t> head{0};  ///< total events ever written
 
   void write(const char* name, const char* category, std::int64_t start_ns,
-             std::int64_t dur_ns, const char* k1, long long v1,
-             const char* k2, long long v2) noexcept {
+             std::int64_t dur_ns, std::uint64_t trace_id, const char* k1,
+             long long v1, const char* k2, long long v2) noexcept {
     const std::uint64_t index = head.load(std::memory_order_relaxed);
+    if (index > mask) spans_dropped_counter().increment();  // overwriting
     Slot& slot = slots[index & mask];
     const std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
     slot.seq.store(seq + 1, std::memory_order_release);  // odd: in progress
@@ -51,6 +107,7 @@ struct Ring {
     slot.category.store(category, std::memory_order_relaxed);
     slot.start_ns.store(start_ns, std::memory_order_relaxed);
     slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    slot.trace_id.store(trace_id, std::memory_order_relaxed);
     slot.arg1_key.store(k1, std::memory_order_relaxed);
     slot.arg1_value.store(v1, std::memory_order_relaxed);
     slot.arg2_key.store(k2, std::memory_order_relaxed);
@@ -73,6 +130,7 @@ struct Ring {
       event.category = slot.category.load(std::memory_order_relaxed);
       event.start_ns = slot.start_ns.load(std::memory_order_relaxed);
       event.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+      event.trace_id = slot.trace_id.load(std::memory_order_relaxed);
       event.arg1_key = slot.arg1_key.load(std::memory_order_relaxed);
       event.arg1_value = slot.arg1_value.load(std::memory_order_relaxed);
       event.arg2_key = slot.arg2_key.load(std::memory_order_relaxed);
@@ -141,6 +199,10 @@ std::int64_t now_ns() noexcept {
 }
 
 void install_trace(std::size_t events_per_thread) {
+  // Materialize the drop counter so /metrics and --metrics-out dumps carry
+  // madpipe_spans_dropped_total from the moment telemetry is armed, not
+  // only after the first wrap-around loss.
+  spans_dropped_counter();
   Collector& c = collector();
   const std::lock_guard<std::mutex> lock(c.mutex);
   c.rings.clear();
@@ -174,17 +236,53 @@ std::vector<TraceEvent> drain_trace() {
 void emit_complete(const char* name, const char* category,
                    std::int64_t start_ns, std::int64_t dur_ns,
                    const char* arg1_key, long long arg1_value) {
-  if (!trace_enabled()) return;
-  local_ring().write(name, category, start_ns, dur_ns, arg1_key, arg1_value,
-                     nullptr, 0);
+  const bool ring = trace_enabled();
+  const bool tail = tail_enabled();
+  if (!ring && !tail) return;
+  const std::uint64_t trace_id = current_trace_id();
+  if (ring) {
+    local_ring().write(name, category, start_ns, dur_ns, trace_id, arg1_key,
+                       arg1_value, nullptr, 0);
+  }
+  if (tail && trace_id != 0) {
+    TraceEvent event;
+    event.name = name;
+    event.category = category;
+    event.start_ns = start_ns;
+    event.dur_ns = dur_ns;
+    event.trace_id = trace_id;
+    event.arg1_key = arg1_key;
+    event.arg1_value = arg1_value;
+    detail::tail_record(event);
+  }
 }
 
 void Span::finish() noexcept {
-  if (!armed_ || !trace_enabled()) return;
+  if (!armed_) return;
   armed_ = false;
+  const bool ring = trace_enabled();
+  const bool tail = tail_enabled();
+  if (!ring && !tail) return;  // disarmed while the span was open
   const std::int64_t end_ns = now_ns();
-  local_ring().write(name_, category_, start_ns_, end_ns - start_ns_,
-                     arg1_key_, arg1_value_, arg2_key_, arg2_value_);
+  const std::uint64_t trace_id = current_trace_id();
+  if (ring) {
+    local_ring().write(name_, category_, start_ns_, end_ns - start_ns_,
+                       trace_id, arg1_key_, arg1_value_, arg2_key_,
+                       arg2_value_);
+  }
+  if (tail && trace_id != 0) {
+    TraceEvent event;
+    event.name = name_;
+    event.category = category_;
+    event.start_ns = start_ns_;
+    event.dur_ns = end_ns - start_ns_;
+    event.trace_id = trace_id;
+    event.arg1_key = arg1_key_;
+    event.arg1_value = arg1_value_;
+    event.arg2_key = arg2_key_;
+    event.arg2_value = arg2_value_;
+    detail::tail_record(event);
+  }
 }
 
 void begin_chrome_trace(json::Writer& writer) {
@@ -268,9 +366,14 @@ void write_chrome_trace(json::Writer& writer,
                          1, static_cast<long long>(event.tid),
                          static_cast<double>(event.start_ns) * 1e-3,
                          static_cast<double>(event.dur_ns) * 1e-3);
-    if (event.arg1_key != nullptr || event.arg2_key != nullptr) {
+    if (event.arg1_key != nullptr || event.arg2_key != nullptr ||
+        event.trace_id != 0) {
       writer.key("args");
       writer.begin_object();
+      if (event.trace_id != 0) {
+        writer.key("trace_id");
+        writer.value(format_trace_id(event.trace_id));
+      }
       if (event.arg1_key != nullptr) {
         writer.key(event.arg1_key);
         writer.value(event.arg1_value);

@@ -54,11 +54,19 @@ inline constexpr const char* kCatFleet = "fleet";
 namespace detail {
 /// Armed flag, read on the Span fast path. Do not touch directly.
 extern std::atomic<bool> g_trace_armed;
+/// Tail-sampler armed flag (see tail_sampler.hpp). Do not touch directly.
+extern std::atomic<bool> g_tail_armed;
 }  // namespace detail
 
 /// True when a sink is installed and spans are being recorded.
 inline bool trace_enabled() noexcept {
   return detail::g_trace_armed.load(std::memory_order_relaxed);
+}
+
+/// True when the process tail sampler is armed (tail_sampler.hpp). Spans
+/// fire when either sink is live; each sink filters on its own flag.
+inline bool tail_enabled() noexcept {
+  return detail::g_tail_armed.load(std::memory_order_relaxed);
 }
 
 /// Nanoseconds since the process trace epoch (steady clock; valid whether
@@ -75,11 +83,57 @@ struct TraceEvent {
   std::int64_t start_ns = 0;
   std::int64_t dur_ns = 0;
   std::uint32_t tid = 0;  ///< process-unique sequential thread id (from 1)
+  std::uint64_t trace_id = 0;  ///< request trace id (0 = none)
   const char* arg1_key = nullptr;  ///< nullptr = absent
   long long arg1_value = 0;
   const char* arg2_key = nullptr;
   long long arg2_value = 0;
 };
+
+namespace detail {
+/// Hands a finished span to the process tail sampler (tail_sampler.cpp).
+/// Called only when tail_enabled() and the event carries a trace id.
+void tail_record(const TraceEvent& event) noexcept;
+}  // namespace detail
+
+// --- Request trace context ----------------------------------------------
+// Every serve request is assigned a 64-bit trace id at ingress (TCP frame
+// or batch line). The id travels *with the request* across threads; each
+// thread that works on the request wraps the work in a TraceContextScope,
+// and every span finished inside that scope is stamped with the id — so a
+// request's full span tree can be reassembled from the rings (or retained
+// by the tail sampler) even though admission, dispatch, queue wait and the
+// planner run on different threads.
+
+/// Allocate a process-unique, non-zero trace id. Ids are splitmix64-mixed
+/// so they read as opaque tokens; the top bit is clear so an id always
+/// fits a positive int64 (span args, JSON numbers).
+std::uint64_t next_trace_id() noexcept;
+
+/// The calling thread's current trace id (0 = no request context).
+std::uint64_t current_trace_id() noexcept;
+
+/// Format a trace id the way responses echo it: 16 lowercase hex digits.
+std::string format_trace_id(std::uint64_t trace_id);
+
+/// RAII request-context guard: spans finished while the scope is alive are
+/// stamped with `trace_id`. Nests (the previous id is restored on exit);
+/// a zero id clears the context for the scope.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(std::uint64_t trace_id) noexcept;
+  ~TraceContextScope() noexcept;
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+/// Cumulative count of ring events lost to wrap-around overwrite, process
+/// wide. Also published as the `madpipe_spans_dropped_total` counter, so
+/// silent trace truncation shows up in /metrics and `madpipe stats`.
+long long spans_dropped_total() noexcept;
 
 /// Install the trace sink: arms recording and replaces any previously
 /// buffered events. `events_per_thread` is rounded up to a power of two;
@@ -145,7 +199,8 @@ std::string trace_to_chrome_json();
 class Span {
  public:
   explicit Span(const char* name, const char* category = kCatPlanner) noexcept
-      : name_(name), category_(category), armed_(trace_enabled()) {
+      : name_(name), category_(category),
+        armed_(trace_enabled() || tail_enabled()) {
     if (armed_) start_ns_ = now_ns();
   }
   ~Span() noexcept { finish(); }

@@ -1,0 +1,263 @@
+#include "serve/net/admin.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/tail_sampler.hpp"
+#include "obs/trace.hpp"
+#include "serve/net/event_loop.hpp"
+
+namespace madpipe::serve::net {
+
+namespace {
+
+constexpr const char* kIndexBody =
+    "madpipe admin endpoints:\n"
+    "  /metrics  Prometheus text of the live registry\n"
+    "  /healthz  ok | draining (503)\n"
+    "  /slow     retained slow-request span trees (madpipe-admin-v1)\n"
+    "  /tracez   span rings as a Chrome trace\n";
+
+std::string http_response(int code, const char* reason,
+                          const char* content_type, const std::string& body,
+                          bool head_only) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(code);
+  out += ' ';
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  if (!head_only) out += body;
+  return out;
+}
+
+}  // namespace
+
+struct AdminServer::Impl {
+  AdminServerOptions options;
+  madpipe::net::TcpListener listener;
+  EventLoop loop;
+  std::thread loop_thread;
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> stopped{false};
+
+  std::atomic<long long> requests{0}, not_found{0}, bad_requests{0};
+
+  struct Connection {
+    std::string in;
+    std::string out;
+    bool responded = false;
+    bool want_write = false;
+  };
+  std::unordered_map<int, Connection> by_fd;  ///< admin-loop thread only
+
+  explicit Impl(const AdminServerOptions& opts)
+      : options(opts), listener(opts.host, opts.port) {
+    loop.add(listener.fd());
+    loop_thread = std::thread([this] { run_loop(); });
+  }
+
+  void run_loop() {
+    std::vector<Event> events;
+    std::vector<int> dead;
+    while (!stopping.load(std::memory_order_acquire)) {
+      loop.wait(events, -1);
+      dead.clear();
+      for (const Event& event : events) {
+        if (event.fd == listener.fd()) {
+          accept_burst();
+          continue;
+        }
+        const auto it = by_fd.find(event.fd);
+        if (it == by_fd.end()) continue;
+        bool alive = true;
+        if (event.readable || event.hangup) {
+          alive = on_readable(event.fd, it->second);
+        }
+        if (alive && event.writable) alive = try_write(event.fd, it->second);
+        if (!alive) dead.push_back(event.fd);
+      }
+      for (const int fd : dead) close_conn(fd);
+    }
+    for (auto& [fd, conn] : by_fd) {
+      loop.remove(fd);
+      ::close(fd);
+    }
+    by_fd.clear();
+  }
+
+  void accept_burst() {
+    while (true) {
+      const int fd = listener.accept_nonblocking();
+      if (fd < 0) break;
+      if (by_fd.size() >= options.max_connections) {
+        ::close(fd);
+        continue;
+      }
+      try {
+        loop.add(fd);
+      } catch (const std::exception&) {
+        ::close(fd);
+        continue;
+      }
+      by_fd.emplace(fd, Connection{});
+    }
+  }
+
+  /// Returns false when the connection should be closed now.
+  bool on_readable(int fd, Connection& conn) {
+    char buffer[4096];
+    while (true) {
+      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        return false;
+      }
+      if (n == 0) {
+        // Peer closed. If we still owe a response, finish flushing it.
+        return !conn.out.empty();
+      }
+      conn.in.append(buffer, static_cast<std::size_t>(n));
+      if (conn.in.size() > options.max_request_bytes) {
+        if (!conn.responded) {
+          bad_requests.fetch_add(1, std::memory_order_relaxed);
+          conn.out = http_response(400, "Bad Request", "text/plain",
+                                   "request too large\n", false);
+          conn.responded = true;
+        }
+        break;
+      }
+    }
+    if (!conn.responded) {
+      // One request per connection: respond as soon as the request line is
+      // complete (the rest of the headers, if any, are irrelevant to GET).
+      const std::size_t newline = conn.in.find('\n');
+      if (newline != std::string::npos) {
+        respond(conn, conn.in.substr(0, newline));
+        conn.responded = true;
+      }
+    }
+    if (conn.responded && !conn.out.empty()) return try_write(fd, conn);
+    return true;
+  }
+
+  void respond(Connection& conn, std::string line) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // "GET /path HTTP/1.x" (the version token is optional for us).
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string::npos) {
+      bad_requests.fetch_add(1, std::memory_order_relaxed);
+      conn.out = http_response(400, "Bad Request", "text/plain",
+                               "malformed request line\n", false);
+      return;
+    }
+    const std::string method = line.substr(0, sp1);
+    std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos) sp2 = line.size();
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.erase(query);
+
+    const bool head = method == "HEAD";
+    if (!head && method != "GET") {
+      requests.fetch_add(1, std::memory_order_relaxed);
+      conn.out = http_response(405, "Method Not Allowed", "text/plain",
+                               "GET or HEAD only\n", false);
+      return;
+    }
+    requests.fetch_add(1, std::memory_order_relaxed);
+    if (path == "/metrics") {
+      conn.out = http_response(200, "OK", "text/plain; version=0.0.4",
+                               obs::Registry::global().text(), head);
+    } else if (path == "/healthz") {
+      const bool draining = options.draining && options.draining();
+      conn.out = draining
+                     ? http_response(503, "Service Unavailable", "text/plain",
+                                     "draining\n", head)
+                     : http_response(200, "OK", "text/plain", "ok\n", head);
+    } else if (path == "/slow") {
+      conn.out = http_response(200, "OK", "application/json",
+                               obs::tail_sampler().slow_json(), head);
+    } else if (path == "/tracez") {
+      conn.out = http_response(200, "OK", "application/json",
+                               obs::trace_to_chrome_json(), head);
+    } else if (path == "/") {
+      conn.out = http_response(200, "OK", "text/plain", kIndexBody, head);
+    } else {
+      not_found.fetch_add(1, std::memory_order_relaxed);
+      conn.out =
+          http_response(404, "Not Found", "text/plain", "not found\n", head);
+    }
+  }
+
+  /// Returns false when the connection is finished (flushed) or broken.
+  bool try_write(int fd, Connection& conn) {
+    while (!conn.out.empty()) {
+      const ssize_t n = ::write(fd, conn.out.data(), conn.out.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (!conn.want_write) {
+            try {
+              loop.modify(fd, true, true);
+              conn.want_write = true;
+            } catch (const std::exception&) {
+              return false;
+            }
+          }
+          return true;
+        }
+        return false;
+      }
+      conn.out.erase(0, static_cast<std::size_t>(n));
+    }
+    return !conn.responded;  // flushed: close iff the response went out
+  }
+
+  void close_conn(int fd) {
+    loop.remove(fd);
+    ::close(fd);
+    by_fd.erase(fd);
+  }
+
+  void stop() {
+    if (stopped.exchange(true)) return;
+    stopping.store(true, std::memory_order_release);
+    loop.wake();
+    loop_thread.join();
+  }
+};
+
+AdminServer::AdminServer(const AdminServerOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+AdminServer::~AdminServer() {
+  if (impl_) impl_->stop();
+}
+
+std::uint16_t AdminServer::port() const noexcept {
+  return impl_->listener.local_port();
+}
+
+void AdminServer::stop() { impl_->stop(); }
+
+AdminServerStats AdminServer::stats() const {
+  AdminServerStats stats;
+  stats.requests = impl_->requests.load(std::memory_order_relaxed);
+  stats.not_found = impl_->not_found.load(std::memory_order_relaxed);
+  stats.bad_requests = impl_->bad_requests.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace madpipe::serve::net

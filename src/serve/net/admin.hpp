@@ -1,0 +1,75 @@
+// AdminServer: the serving stack's live-observability endpoint.
+//
+// A deliberately minimal HTTP/1.0 listener (GET/HEAD only, one response
+// per connection, Connection: close) riding on the same EventLoop wrapper
+// as the serve front-end, on its own thread so an operator's scrape can
+// never block the data plane. Endpoints:
+//
+//   /metrics  Prometheus text exposition of the live obs::Registry —
+//             queue depth, hit rate, spans dropped, net counters, all of
+//             it, while traffic is flowing.
+//   /healthz  "ok" (200) normally; "draining" (503) once the drain probe
+//             fires, so load balancers stop routing to a stopping server.
+//   /slow     madpipe-admin-v1 JSON: the tail sampler's retained
+//             slow-request span trees (slowest-k per window + errors),
+//             each with trace id and admission/queue/plan phase breakdown.
+//   /tracez   The span rings as a Chrome trace-event document
+//             (chrome://tracing, ui.perfetto.dev).
+//   /         Plain-text index of the above.
+//
+// Every endpoint is read-only and loop-thread-safe by the same snapshot
+// discipline as the seqlock rings: /metrics reads relaxed atomics under
+// the registry mutex, /slow copies the sampler's retained state under its
+// mutex, /tracez drains the rings with the seqlock protocol. Nothing here
+// takes a lock a hot-path writer can block on for more than a snapshot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace madpipe::serve::net {
+
+struct AdminServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; AdminServer::port() tells
+  std::size_t max_connections = 64;
+  /// Requests without a complete line within this many bytes are answered
+  /// 400 and closed (scrapes are one short GET line).
+  std::size_t max_request_bytes = 8192;
+  /// Drain probe for /healthz, polled per request on the admin thread;
+  /// must be thread-safe (e.g. NetServer::draining, an atomic load).
+  /// Unset = never draining.
+  std::function<bool()> draining;
+};
+
+struct AdminServerStats {
+  long long requests = 0;      ///< well-formed requests answered
+  long long not_found = 0;     ///< 404s (subset of requests)
+  long long bad_requests = 0;  ///< malformed/oversized (400, closed)
+};
+
+class AdminServer {
+ public:
+  /// Binds, listens and starts the admin loop thread. Throws
+  /// std::runtime_error when the address cannot be bound.
+  explicit AdminServer(const AdminServerOptions& options = {});
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  std::uint16_t port() const noexcept;
+
+  /// Stop accepting, close every connection, join. Idempotent.
+  void stop();
+
+  AdminServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace madpipe::serve::net

@@ -94,6 +94,8 @@ struct Connection {
 struct Work {
   std::uint64_t conn = 0;
   std::uint64_t seq = 0;
+  std::uint64_t trace_id = 0;    ///< assigned at frame admission (ingress)
+  std::int64_t ingress_ns = 0;   ///< obs::now_ns() at frame admission
   std::string frame;
 };
 
@@ -103,8 +105,9 @@ struct Completion {
   std::string line;
 };
 
-std::string rejected_line(const char* reason) {
+std::string rejected_line(const char* reason, std::uint64_t trace_id) {
   PlanResponse response;
+  response.trace_id = trace_id;
   response.status = ResponseStatus::Rejected;
   response.error = reason;
   return response_to_json(response);
@@ -194,6 +197,10 @@ struct NetServer::Impl {
         work = std::move(work_queue.front());
         work_queue.pop_front();
       }
+      // The frame's trace context crosses from the loop thread with the
+      // Work item; net_dispatch and the submit-side spans below all carry
+      // the id.
+      obs::TraceContextScope trace_scope(work.trace_id);
       obs::Span span("net_dispatch", obs::kCatServe);
 
       const PlanRequest* request = nullptr;
@@ -218,8 +225,9 @@ struct NetServer::Impl {
         if (!error.empty()) {
           protocol_errors.fetch_add(1, std::memory_order_relaxed);
           net_metrics().protocol_errors.increment();
-          push_completion(work.conn, work.seq,
-                          response_to_json(error_response(id, error)));
+          PlanResponse failure = error_response(id, error);
+          failure.trace_id = work.trace_id;
+          push_completion(work.conn, work.seq, response_to_json(failure));
           continue;
         }
         parsed.emplace(std::move(*batch.requests[0].request));
@@ -234,9 +242,15 @@ struct NetServer::Impl {
 
       const std::uint64_t conn = work.conn;
       const std::uint64_t seq = work.seq;
+      // Stamp the per-frame trace context onto this submission's copy of
+      // the (possibly memoized, shared) request. submit_async takes the
+      // request by value either way, so this copy is not an extra one.
+      PlanRequest submitted = *request;
+      submitted.trace_id = work.trace_id;
+      submitted.ingress_ns = work.ingress_ns;
       // The callback fires on this thread for hits/rejections and on a
       // planner worker for misses; push_completion is safe from both.
-      service.submit_async(*request,
+      service.submit_async(std::move(submitted),
                            [this, conn, seq](PlanResponse&& response) {
                              push_completion(conn, seq,
                                              response_to_json(response));
@@ -398,11 +412,17 @@ struct NetServer::Impl {
   void admit_frame(Connection& conn, std::string frame) {
     frames.fetch_add(1, std::memory_order_relaxed);
     net_metrics().frames.increment();
+    // Ingress: every frame — even one shed right here — gets a trace id,
+    // echoed in its response. The id and the admission timestamp travel
+    // with the Work item (NOT inside the memoized PlanRequest: the frame
+    // memo is shared across repeats, the trace context is per-request).
+    const std::uint64_t trace_id = obs::next_trace_id();
+    const std::int64_t ingress_ns = obs::now_ns();
 
     // During shutdown the dispatchers are draining out; late frames are
     // answered inline so the drain provably terminates.
     if (draining) {
-      complete_inline(conn, rejected_line("server shutting down"));
+      complete_inline(conn, rejected_line("server shutting down", trace_id));
       return;
     }
 
@@ -417,7 +437,7 @@ struct NetServer::Impl {
       if (conn.tokens < 1.0) {
         shed_rate.fetch_add(1, std::memory_order_relaxed);
         net_metrics().shed_rate.increment();
-        complete_inline(conn, rejected_line("rate limit exceeded"));
+        complete_inline(conn, rejected_line("rate limit exceeded", trace_id));
         return;
       }
       conn.tokens -= 1.0;
@@ -430,7 +450,7 @@ struct NetServer::Impl {
     if (depth >= options.shed_queue_depth) {
       shed_depth.fetch_add(1, std::memory_order_relaxed);
       net_metrics().shed_depth.increment();
-      complete_inline(conn, rejected_line("service backlog full"));
+      complete_inline(conn, rejected_line("service backlog full", trace_id));
       return;
     }
 
@@ -439,7 +459,8 @@ struct NetServer::Impl {
     ++conn.inflight;
     {
       const std::lock_guard<std::mutex> lock(work_mutex);
-      work_queue.push_back(Work{conn.id, seq, std::move(frame)});
+      work_queue.push_back(
+          Work{conn.id, seq, trace_id, ingress_ns, std::move(frame)});
     }
     work_available.notify_one();
   }
@@ -609,6 +630,10 @@ std::uint16_t NetServer::port() const noexcept {
 }
 
 void NetServer::stop() { impl_->stop(); }
+
+bool NetServer::draining() const noexcept {
+  return impl_->stopping.load(std::memory_order_acquire);
+}
 
 NetServerStats NetServer::stats() const {
   NetServerStats stats;

@@ -90,6 +90,11 @@ class NetServer {
   /// destructor.
   void stop();
 
+  /// True once shutdown has begun (stop() called or destructor running).
+  /// The admin endpoint's /healthz turns 503 on this signal so load
+  /// balancers stop routing to a draining server.
+  bool draining() const noexcept;
+
   NetServerStats stats() const;
 
  private:

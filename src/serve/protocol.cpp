@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/types.hpp"
+#include "obs/trace.hpp"
 #include "models/profile_io.hpp"
 #include "models/zoo.hpp"
 
@@ -295,6 +296,13 @@ void write_response(json::Writer& writer, const PlanResponse& response,
   writer.begin_object();
   writer.key("id");
   writer.value(response.id);
+  if (response.trace_id != 0) {
+    // Echo of the ingress-assigned trace id. Cache-key-inert, and placed
+    // before "plan" so bit-identity checks on the plan tail still hold
+    // across hit/miss (the ids differ, the plans must not).
+    writer.key("trace_id");
+    writer.value(obs::format_trace_id(response.trace_id));
+  }
   writer.key("status");
   writer.value(to_string(response.status));
   writer.key("cache");

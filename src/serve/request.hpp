@@ -69,6 +69,14 @@ struct PlanRequest {
   /// `options.explain`. Like `timings`, excluded from the cache key:
   /// explaining a plan never changes it.
   bool report_explain = false;
+  /// Request trace id, assigned at ingress (the TCP server stamps it per
+  /// frame; PlanService assigns one if still 0). Echoed in the response
+  /// and stamped onto every span the request produces. Like `id`,
+  /// cache-key-inert: tracing never changes the plan.
+  std::uint64_t trace_id = 0;
+  /// Ingress timestamp (obs::now_ns), 0 = unknown. Start of the sampled
+  /// request's admission phase; never part of the cache key.
+  std::int64_t ingress_ns = 0;
 };
 
 /// A canonicalized request: the normalized profile/platform the planner

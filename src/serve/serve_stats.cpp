@@ -64,6 +64,10 @@ ServeMetrics& serve_metrics() {
                 "Mean GPU utilization of the last explained plan"),
         r.gauge("madpipe_memory_headroom_bytes",
                 "Min per-GPU memory headroom of the last explained plan"),
+        r.gauge("madpipe_serve_queue_depth",
+                "Jobs accepted but not yet picked up by a planner worker"),
+        r.gauge("madpipe_serve_hit_rate",
+                "Cache hits / accepted requests since process start"),
         r.histogram("madpipe_serve_hit_latency_seconds",
                     obs::latency_bounds_seconds(),
                     "submit-to-complete latency of cache hits"),

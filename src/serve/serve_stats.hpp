@@ -76,6 +76,12 @@ struct ServeMetrics {
   /// (options.explain), so dashboards can watch plan quality live.
   obs::Gauge& schedule_utilization;
   obs::Gauge& memory_headroom_bytes;
+  /// Live queue depth: set by PlanService on every enqueue/dequeue (and
+  /// zeroed at shutdown), so /metrics sees the backlog as it is, not as
+  /// last sampled by a front-end.
+  obs::Gauge& queue_depth;
+  /// Derived hits/requests ratio, refreshed as requests complete.
+  obs::Gauge& hit_rate;
   obs::Histogram& hit_latency;
   obs::Histogram& miss_latency;
 };

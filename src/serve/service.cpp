@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/tail_sampler.hpp"
 #include "obs/trace.hpp"
 #include "util/threading.hpp"
 
@@ -13,6 +14,16 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Refresh the derived madpipe_serve_hit_rate gauge. Caller holds no lock:
+/// the counters are monotonic registry atomics.
+void refresh_hit_rate() {
+  ServeMetrics& metrics = serve_metrics();
+  const long long requests = metrics.requests.value();
+  if (requests <= 0) return;
+  metrics.hit_rate.set(static_cast<double>(metrics.hits.value()) /
+                       static_cast<double>(requests));
 }
 }  // namespace
 
@@ -39,6 +50,9 @@ const char* to_string(CacheOutcome outcome) noexcept {
 
 PlanService::PlanService(const ServiceOptions& options)
     : options_(options), cache_(options.cache) {
+  // Materialize the serve metrics (including the live queue-depth gauge)
+  // up front so a /metrics scrape sees them before the first request.
+  serve_metrics().queue_depth.set(0.0);
   std::size_t workers = options.workers;
   if (workers == 0) workers = par::default_workers();
   workers_.reserve(workers);
@@ -80,18 +94,19 @@ PlanService::~PlanService() {
       serve_metrics().shutdowns.increment();
       PlanResponse response;
       response.id = waiter->id;
+      response.trace_id = waiter->trace_id;
       response.status = ResponseStatus::Shutdown;
       response.cache = waiter->outcome;
       response.error = "service shut down before planning started";
       response.latency_seconds = seconds_since(waiter->submitted);
-      if (waiter->report_timings) {
-        PhaseTimings timings;
-        timings.cache_seconds = waiter->cache_seconds;
-        response.phases = timings;
-      }
+      PhaseTimings timings;
+      timings.cache_seconds = waiter->cache_seconds;
+      if (waiter->report_timings) response.phases = timings;
+      sample_completion(*waiter, response, timings);
       deliver(*waiter, std::move(response));
     }
   }
+  serve_metrics().queue_depth.set(0.0);
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -125,7 +140,20 @@ std::size_t PlanService::queue_depth() const {
 void PlanService::submit_impl(PlanRequest request,
                               std::unique_ptr<Waiter> waiter) {
   const Clock::time_point submitted = Clock::now();
-  obs::Span span("serve_submit", obs::kCatServe);
+  // Ingress: requests that arrived without a trace id (batch lines, direct
+  // API callers) get one here; the TCP front-end stamps its own at frame
+  // admission. Everything this request does — on this thread and on the
+  // planner worker — runs under a TraceContextScope carrying the id.
+  if (request.trace_id == 0) request.trace_id = obs::next_trace_id();
+  if (request.ingress_ns == 0) request.ingress_ns = obs::now_ns();
+  const bool sampling = obs::tail_enabled();
+  if (sampling) obs::tail_sampler().begin(request.trace_id, request.ingress_ns);
+  obs::TraceContextScope trace_scope(request.trace_id);
+  // The span lives in an optional so the hit/reject paths can close it
+  // *before* sampling + delivery: a sampled tree must contain its own
+  // serve_submit span.
+  std::optional<obs::Span> span;
+  span.emplace("serve_submit", obs::kCatServe);
   std::optional<CachedPlan> cached;
   CanonicalRequest canonical = [&] {
     obs::Span lookup("cache_lookup", obs::kCatServe);
@@ -135,17 +163,25 @@ void PlanService::submit_impl(PlanRequest request,
     return result;
   }();
   const double cache_seconds = seconds_since(submitted);
+  const double admission_seconds =
+      static_cast<double>(obs::now_ns() - request.ingress_ns) * 1e-9;
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++counters_.requests;
   }
   serve_metrics().requests.increment();
+  waiter->id = request.id;
+  waiter->trace_id = request.trace_id;
+  waiter->cache_seconds = cache_seconds;
+  waiter->admission_seconds = admission_seconds;
+  waiter->submitted = submitted;
 
   // 1. Cache: a hit completes synchronously — no queue, no planner.
   if (cached.has_value()) {
-    span.arg("outcome", static_cast<long long>(CacheOutcome::Hit));
+    span->arg("outcome", static_cast<long long>(CacheOutcome::Hit));
     PlanResponse response;
     response.id = request.id;
+    response.trace_id = request.trace_id;
     response.cache = CacheOutcome::Hit;
     if (cached->feasible()) {
       response.status = ResponseStatus::Ok;
@@ -182,17 +218,19 @@ void PlanService::submit_impl(PlanRequest request,
         serve_metrics().scaled_hits.increment();
       }
     }
+    refresh_hit_rate();
+    waiter->outcome = CacheOutcome::Hit;
+    span.reset();  // close serve_submit so the sampled tree includes it
+    sample_completion(*waiter, response,
+                      PhaseTimings{cache_seconds, 0.0, 0.0});
     deliver(*waiter, std::move(response));
     return;
   }
 
-  waiter->id = request.id;
-  waiter->submitted = submitted;
   waiter->time_unit = canonical.time_unit;
   waiter->byte_unit = canonical.byte_unit;
   waiter->report_timings = request.report_timings;
   waiter->report_explain = request.report_explain;
-  waiter->cache_seconds = cache_seconds;
 
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -202,7 +240,7 @@ void PlanService::submit_impl(PlanRequest request,
         waiter->outcome = CacheOutcome::Coalesced;
         pending->waiters.push_back(std::move(waiter));
         lock.unlock();
-        span.arg("outcome", static_cast<long long>(CacheOutcome::Coalesced));
+        span->arg("outcome", static_cast<long long>(CacheOutcome::Coalesced));
         serve_metrics().coalesced.increment();
         const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
         ++counters_.coalesced;
@@ -212,9 +250,10 @@ void PlanService::submit_impl(PlanRequest request,
     // 3. Enqueue, or reject under backpressure.
     if (queue_.size() >= options_.queue_capacity) {
       lock.unlock();
-      span.arg("outcome", static_cast<long long>(CacheOutcome::None));
+      span->arg("outcome", static_cast<long long>(CacheOutcome::None));
       PlanResponse response;
       response.id = request.id;
+      response.trace_id = request.trace_id;
       response.status = ResponseStatus::Rejected;
       response.error = "queue full (" +
                        std::to_string(options_.queue_capacity) +
@@ -228,6 +267,11 @@ void PlanService::submit_impl(PlanRequest request,
         const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
         ++counters_.rejected;
       }
+      refresh_hit_rate();
+      waiter->outcome = CacheOutcome::None;
+      span.reset();
+      sample_completion(*waiter, response,
+                        PhaseTimings{cache_seconds, 0.0, 0.0});
       deliver(*waiter, std::move(response));
       return;
     }
@@ -240,10 +284,11 @@ void PlanService::submit_impl(PlanRequest request,
     const Seconds deadline = request.deadline_seconds > 0.0
                                  ? request.deadline_seconds
                                  : options_.default_deadline_seconds;
-    span.arg("outcome", static_cast<long long>(CacheOutcome::Miss));
+    span->arg("outcome", static_cast<long long>(CacheOutcome::Miss));
     queue_.push_back(Job{std::move(pending), std::move(canonical),
                          planner_options(request), deadline, submitted,
-                         obs::now_ns()});
+                         obs::now_ns(), request.trace_id});
+    serve_metrics().queue_depth.set(static_cast<double>(queue_.size()));
   }
   work_available_.notify_one();
 }
@@ -262,15 +307,20 @@ void PlanService::worker_loop() {
       if (queue_.empty()) return;
       job.emplace(std::move(queue_.front()));
       queue_.pop_front();
+      serve_metrics().queue_depth.set(static_cast<double>(queue_.size()));
     }
     run_job(*job);
   }
 }
 
 void PlanService::run_job(Job& job) {
+  // The job's trace context crosses the thread boundary with the job: the
+  // queue_wait event, serve_plan and every planner span below it are
+  // stamped with the originating request's id.
+  obs::TraceContextScope trace_scope(job.trace_id);
   // The queue phase just ended: the job waited from enqueue until this
   // worker picked it up.
-  if (obs::trace_enabled() && job.enqueue_ns != 0) {
+  if ((obs::trace_enabled() || obs::tail_enabled()) && job.enqueue_ns != 0) {
     obs::emit_complete("queue_wait", obs::kCatServe, job.enqueue_ns,
                        obs::now_ns() - job.enqueue_ns);
   }
@@ -278,7 +328,10 @@ void PlanService::run_job(Job& job) {
   timings.queue_seconds =
       static_cast<double>(obs::now_ns() - job.enqueue_ns) * 1e-9;
   const Clock::time_point plan_start = Clock::now();
-  obs::Span span("serve_plan", obs::kCatServe);
+  // Optional for the same reason as serve_submit: the span must close
+  // before fulfill() hands the request trees to the tail sampler.
+  std::optional<obs::Span> span;
+  span.emplace("serve_plan", obs::kCatServe);
 
   // Deadline → state-budget valve. The budget shrinks with the remaining
   // wall clock; once it clamps below the configured max_states the run is a
@@ -334,8 +387,9 @@ void PlanService::run_job(Job& job) {
     error = exception.what();
   }
   timings.plan_seconds = seconds_since(plan_start);
-  span.arg("degraded", degraded ? 1 : 0);
-  span.arg("status", static_cast<long long>(status));
+  span->arg("degraded", degraded ? 1 : 0);
+  span->arg("status", static_cast<long long>(status));
+  span.reset();
 
   // Retire the in-flight registration *before* fulfilling, so a caller woken
   // by its future can immediately resubmit and reach the cache/queue.
@@ -374,6 +428,7 @@ void PlanService::run_job(Job& job) {
     if (degraded) ++counters_.degraded;
     if (status == ResponseStatus::Error) ++counters_.errors;
   }
+  refresh_hit_rate();
 
   fulfill(*job.pending, cached, status, degraded, error, timings,
           canonical_summary);
@@ -386,6 +441,7 @@ void PlanService::fulfill(
   for (std::unique_ptr<Waiter>& waiter : pending.waiters) {
     PlanResponse response;
     response.id = waiter->id;
+    response.trace_id = waiter->trace_id;
     response.status = status;
     response.cache = waiter->outcome;
     response.degraded = degraded;
@@ -408,8 +464,33 @@ void PlanService::fulfill(
     }
     miss_latency_.record(response.latency_seconds);
     serve_metrics().miss_latency.observe(response.latency_seconds);
+    PhaseTimings waiter_timings = timings;
+    waiter_timings.cache_seconds = waiter->cache_seconds;
+    sample_completion(*waiter, response, waiter_timings);
     deliver(*waiter, std::move(response));
   }
+}
+
+void PlanService::sample_completion(const Waiter& waiter,
+                                    const PlanResponse& response,
+                                    const PhaseTimings& timings) {
+  if (!obs::tail_enabled() || waiter.trace_id == 0) return;
+  obs::SampledRequest done;
+  done.trace_id = waiter.trace_id;
+  done.request_id = response.id;
+  done.status = to_string(response.status);
+  done.cache = to_string(response.cache);
+  done.latency_seconds = response.latency_seconds;
+  // Admission = ingress → cache probe done (frame read, parse, dispatch
+  // queue, canonicalization, cache lookup). Queue/plan come from the job
+  // and are shared by coalesced waiters.
+  done.admission_seconds = waiter.admission_seconds;
+  done.queue_seconds = timings.queue_seconds;
+  done.plan_seconds = timings.plan_seconds;
+  done.error = response.status == ResponseStatus::Rejected ||
+               response.status == ResponseStatus::Error ||
+               response.status == ResponseStatus::Shutdown;
+  obs::tail_sampler().end(std::move(done));
 }
 
 ServeStats PlanService::stats() const {

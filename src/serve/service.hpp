@@ -78,6 +78,10 @@ struct PlanResponse {
   /// Present iff the request set report_explain and a plan was produced.
   /// Always in request units (canonical summaries are rescaled per waiter).
   std::optional<report::ExplainSummary> explain;
+  /// Echo of the request's trace id (assigned at ingress if the caller
+  /// left it 0). Cache-key-inert: two requests differing only here share
+  /// a cache entry and receive bit-identical plans.
+  std::uint64_t trace_id = 0;
 };
 
 struct ServiceOptions {
@@ -153,6 +157,10 @@ class PlanService {
     bool report_timings = false;
     bool report_explain = false;
     double cache_seconds = 0.0;  ///< this waiter's submit-side cache phase
+    std::uint64_t trace_id = 0;  ///< request trace id (echoed, sampled)
+    /// Ingress → cache-probe-done, the sampled "admission" phase (frame
+    /// read + parse + dispatch queue + canonicalization + cache probe).
+    double admission_seconds = 0.0;
   };
   /// One in-flight canonical computation and everyone waiting on it.
   struct Pending {
@@ -166,6 +174,9 @@ class PlanService {
     Seconds deadline_seconds = 0.0;
     std::chrono::steady_clock::time_point submitted;
     std::int64_t enqueue_ns = 0;  ///< obs::now_ns() at enqueue (queue span)
+    /// Trace id of the waiter that created the job (the first miss): the
+    /// worker runs queue_wait/serve_plan/planner spans under this id.
+    std::uint64_t trace_id = 0;
   };
 
   /// Shared body of submit/submit_async: the waiter already carries its
@@ -173,6 +184,12 @@ class PlanService {
   void submit_impl(PlanRequest request, std::unique_ptr<Waiter> waiter);
   /// Invoke the waiter's callback or fulfill its promise — exactly once.
   static void deliver(Waiter& waiter, PlanResponse&& response);
+  /// Hand the completed request to the tail sampler (no-op when sampling
+  /// is disarmed). Called after the request's spans have closed and
+  /// before delivery.
+  static void sample_completion(const Waiter& waiter,
+                                const PlanResponse& response,
+                                const PhaseTimings& timings);
 
   void worker_loop();
   void run_job(Job& job);

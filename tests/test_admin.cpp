@@ -1,0 +1,175 @@
+// AdminServer loopback tests: the read-only telemetry endpoint must serve
+// /metrics (Prometheus text of the live registry), /healthz (drain-aware),
+// /slow (madpipe-admin-v1 tail-sampler document), /tracez (Chrome trace)
+// and the index, answer HEAD without a body, and reject unknown paths,
+// non-GET methods and malformed/oversized request lines — all from its own
+// thread, never blocking the data plane it observes.
+#include "serve/net/admin.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/tail_sampler.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+#include "util/net.hpp"
+
+namespace madpipe::serve::net {
+namespace {
+
+/// One blocking HTTP exchange: send `request` verbatim, read to EOF.
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  madpipe::net::FdGuard fd = madpipe::net::connect_tcp("127.0.0.1", port);
+  if (!fd.valid()) return {};
+  if (!madpipe::net::write_all(fd.get(), request.data(), request.size())) {
+    return {};
+  }
+  std::string out;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd.get(), buffer, sizeof(buffer))) > 0) {
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  return http_exchange(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+std::string status_line(const std::string& response) {
+  const std::size_t eol = response.find("\r\n");
+  return eol == std::string::npos ? response : response.substr(0, eol);
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t sep = response.find("\r\n\r\n");
+  return sep == std::string::npos ? std::string() : response.substr(sep + 4);
+}
+
+AdminServerOptions loopback() {
+  AdminServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  return options;
+}
+
+TEST(ServeAdmin, MetricsServesPrometheusTextOfTheLiveRegistry) {
+  // Materialize at least one known metric before scraping.
+  (void)obs::spans_dropped_total();
+  AdminServer admin(loopback());
+  ASSERT_NE(admin.port(), 0);
+
+  const std::string response = http_get(admin.port(), "/metrics");
+  EXPECT_EQ(status_line(response), "HTTP/1.0 200 OK");
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(body_of(response).find("madpipe_spans_dropped_total"),
+            std::string::npos);
+  EXPECT_EQ(admin.stats().requests, 1);
+}
+
+TEST(ServeAdmin, HealthzFollowsTheDrainProbe) {
+  std::atomic<bool> draining{false};
+  AdminServerOptions options = loopback();
+  options.draining = [&draining] { return draining.load(); };
+  AdminServer admin(options);
+
+  std::string response = http_get(admin.port(), "/healthz");
+  EXPECT_EQ(status_line(response), "HTTP/1.0 200 OK");
+  EXPECT_EQ(body_of(response), "ok\n");
+
+  draining.store(true);
+  response = http_get(admin.port(), "/healthz");
+  EXPECT_EQ(status_line(response), "HTTP/1.0 503 Service Unavailable");
+  EXPECT_EQ(body_of(response), "draining\n");
+}
+
+TEST(ServeAdmin, SlowServesTheTailSamplersAdminV1Document) {
+  obs::arm_tail_sampling({});
+  const std::uint64_t id = obs::next_trace_id();
+  obs::tail_sampler().begin(id, obs::now_ns());
+  {
+    obs::TraceContextScope scope(id);
+    obs::Span span("admin_test_span", obs::kCatServe);
+  }
+  obs::SampledRequest done;
+  done.trace_id = id;
+  done.request_id = "admin-slow";
+  done.status = "ok";
+  done.cache = "miss";
+  done.latency_seconds = 0.5;
+  obs::tail_sampler().end(std::move(done));
+  obs::disarm_tail_sampling();
+
+  AdminServer admin(loopback());
+  const std::string response = http_get(admin.port(), "/slow");
+  EXPECT_EQ(status_line(response), "HTTP/1.0 200 OK");
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  const json::ParseResult parsed = json::parse(body_of(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value.string_or("schema", ""), "madpipe-admin-v1");
+  const json::Value* slow = parsed.value.find("slow");
+  ASSERT_NE(slow, nullptr);
+  ASSERT_FALSE(slow->items().empty());
+  EXPECT_EQ(slow->items()[0].string_or("trace_id", ""),
+            obs::format_trace_id(id));
+  EXPECT_EQ(slow->items()[0].string_or("id", ""), "admin-slow");
+}
+
+TEST(ServeAdmin, TracezServesAChromeTraceDocument) {
+  AdminServer admin(loopback());
+  const std::string response = http_get(admin.port(), "/tracez");
+  EXPECT_EQ(status_line(response), "HTTP/1.0 200 OK");
+  const json::ParseResult parsed = json::parse(body_of(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_NE(parsed.value.find("traceEvents"), nullptr);
+}
+
+TEST(ServeAdmin, IndexNotFoundAndMethodChecks) {
+  AdminServer admin(loopback());
+
+  const std::string index = http_get(admin.port(), "/");
+  EXPECT_EQ(status_line(index), "HTTP/1.0 200 OK");
+  EXPECT_NE(body_of(index).find("/metrics"), std::string::npos);
+
+  const std::string missing = http_get(admin.port(), "/nope");
+  EXPECT_EQ(status_line(missing), "HTTP/1.0 404 Not Found");
+
+  const std::string post =
+      http_exchange(admin.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(status_line(post), "HTTP/1.0 405 Method Not Allowed");
+
+  const std::string malformed = http_exchange(admin.port(), "garbage\r\n");
+  EXPECT_EQ(status_line(malformed), "HTTP/1.0 400 Bad Request");
+
+  const AdminServerStats stats = admin.stats();
+  EXPECT_EQ(stats.requests, 3);  // index + 404 + 405; 400 is counted apart
+  EXPECT_EQ(stats.not_found, 1);
+  EXPECT_EQ(stats.bad_requests, 1);
+}
+
+TEST(ServeAdmin, HeadAnswersHeadersWithoutABody) {
+  AdminServer admin(loopback());
+  const std::string response =
+      http_exchange(admin.port(), "HEAD /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(status_line(response), "HTTP/1.0 200 OK");
+  EXPECT_NE(response.find("Content-Length: 3"), std::string::npos);
+  EXPECT_EQ(body_of(response), "");
+}
+
+TEST(ServeAdmin, QueryStringsAreIgnoredInRouting) {
+  AdminServer admin(loopback());
+  const std::string response = http_get(admin.port(), "/healthz?probe=lb");
+  EXPECT_EQ(status_line(response), "HTTP/1.0 200 OK");
+  EXPECT_EQ(body_of(response), "ok\n");
+}
+
+}  // namespace
+}  // namespace madpipe::serve::net

@@ -8,13 +8,18 @@
 
 #include <gtest/gtest.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "models/profile_io.hpp"
+#include "obs/tail_sampler.hpp"
+#include "obs/trace.hpp"
+#include "serve/net/admin.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
 #include "util/json.hpp"
@@ -432,6 +437,212 @@ TEST(ServeNet, EdgeTriggeredModeServesPipelinedTraffic) {
     EXPECT_EQ(field(line, "id"), "et" + std::to_string(i));
     EXPECT_EQ(field(line, "status"), "ok");
   }
+}
+
+// --- Request-scoped tracing and the admin endpoint ------------------------
+
+/// Parse the echoed trace id (16 lowercase hex digits) back to its number.
+std::uint64_t echoed_trace_id(const std::string& response) {
+  const std::string hex = field(response, "trace_id");
+  if (hex.size() != 16) return 0;
+  return std::strtoull(hex.c_str(), nullptr, 16);
+}
+
+const obs::TraceEvent* find_span(const std::vector<obs::TraceEvent>& events,
+                                 const char* name, std::uint64_t trace_id) {
+  for (const obs::TraceEvent& event : events) {
+    if (event.name != nullptr && std::string(name) == event.name &&
+        event.trace_id == trace_id) {
+      return &event;
+    }
+  }
+  return nullptr;
+}
+
+/// One blocking admin-endpoint GET; returns the response body.
+std::string admin_get(std::uint16_t port, const std::string& path) {
+  madpipe::net::FdGuard fd = madpipe::net::connect_tcp("127.0.0.1", port);
+  if (!fd.valid()) return {};
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!madpipe::net::write_all(fd.get(), request.data(), request.size())) {
+    return {};
+  }
+  std::string out;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd.get(), buffer, sizeof(buffer))) > 0) {
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  const std::size_t sep = out.find("\r\n\r\n");
+  return sep == std::string::npos ? std::string() : out.substr(sep + 4);
+}
+
+TEST(ServeNet, TraceIdPropagatesAcrossThreadsOntoEverySpan) {
+  obs::install_trace();
+  {
+    Harness h;
+    Client client(h.server.port());
+    ASSERT_TRUE(client.ok());
+
+    std::string line;
+    ASSERT_TRUE(client.send(fast_frame("traced")));
+    ASSERT_TRUE(client.recv(line));
+    ASSERT_EQ(field(line, "status"), "ok");
+    ASSERT_EQ(field(line, "cache"), "miss");
+    const std::uint64_t id = echoed_trace_id(line);
+    ASSERT_NE(id, 0u) << line;
+
+    // The request crossed three threads — the event loop's dispatch worker
+    // (admission + cache probe), the queue, a planner worker — and every
+    // phase span carries the id echoed in the response.
+    const std::vector<obs::TraceEvent> events = obs::drain_trace();
+    const obs::TraceEvent* submit = find_span(events, "serve_submit", id);
+    const obs::TraceEvent* wait = find_span(events, "queue_wait", id);
+    const obs::TraceEvent* plan = find_span(events, "serve_plan", id);
+    ASSERT_NE(submit, nullptr);
+    ASSERT_NE(wait, nullptr);
+    ASSERT_NE(plan, nullptr);
+    // The planner ran on a different thread than admission, yet the tree
+    // reassembles by id alone.
+    EXPECT_NE(submit->tid, plan->tid);
+    EXPECT_GE(plan->start_ns, submit->start_ns);
+  }
+  obs::uninstall_trace();
+}
+
+TEST(ServeNet, EchoedTraceIdIsCacheKeyInert) {
+  // Telemetry fully disarmed: ids are still assigned and echoed, and they
+  // must not leak into the cache key — a hit and its original miss return
+  // bit-identical plan blocks under different trace ids.
+  ASSERT_FALSE(obs::trace_enabled());
+  ASSERT_FALSE(obs::tail_enabled());
+  Harness h;
+  Client client(h.server.port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string frame = fast_frame("inert");
+  std::string miss_line, hit_line;
+  ASSERT_TRUE(client.send(frame));
+  ASSERT_TRUE(client.recv(miss_line));
+  ASSERT_TRUE(client.send(frame));
+  ASSERT_TRUE(client.recv(hit_line));
+
+  EXPECT_EQ(field(miss_line, "cache"), "miss");
+  EXPECT_EQ(field(hit_line, "cache"), "hit");
+  const std::uint64_t miss_id = echoed_trace_id(miss_line);
+  const std::uint64_t hit_id = echoed_trace_id(hit_line);
+  ASSERT_NE(miss_id, 0u);
+  ASSERT_NE(hit_id, 0u);
+  EXPECT_NE(miss_id, hit_id);
+  ASSERT_FALSE(plan_tail(miss_line).empty());
+  EXPECT_EQ(plan_tail(hit_line), plan_tail(miss_line));
+}
+
+TEST(ServeNet, PlansAreBitIdenticalWithTelemetryArmedVsDisarmed) {
+  const std::string frame = fast_frame("armed");
+
+  // Disarmed baseline.
+  std::string baseline;
+  {
+    Harness h;
+    Client client(h.server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.send(frame));
+    ASSERT_TRUE(client.recv(baseline));
+  }
+
+  // Rings and tail sampler both armed: same plan, bit for bit.
+  obs::install_trace();
+  obs::arm_tail_sampling({});
+  std::string armed;
+  {
+    Harness h;
+    Client client(h.server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.send(frame));
+    ASSERT_TRUE(client.recv(armed));
+  }
+  obs::disarm_tail_sampling();
+  obs::uninstall_trace();
+
+  ASSERT_EQ(field(baseline, "status"), "ok");
+  ASSERT_EQ(field(armed, "status"), "ok");
+  ASSERT_FALSE(plan_tail(baseline).empty());
+  EXPECT_EQ(plan_tail(armed), plan_tail(baseline));
+}
+
+TEST(ServeNet, SlowestRequestOfAMixedRunAppearsInSlowWithPhases) {
+  obs::arm_tail_sampling({});
+  {
+    Harness h;
+    AdminServerOptions admin_options;
+    admin_options.host = "127.0.0.1";
+    admin_options.port = 0;
+    admin_options.draining = [&h] { return h.server.draining(); };
+    AdminServer admin(admin_options);
+
+    Client client(h.server.port());
+    ASSERT_TRUE(client.ok());
+
+    // Mixed traffic: fast misses, fast hits, and one genuinely slow miss.
+    std::string line;
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(client.send(fast_frame("fast" + std::to_string(i),
+                                         4.0 + i)));
+      ASSERT_TRUE(client.recv(line));
+      ASSERT_EQ(field(line, "status"), "ok");
+    }
+    ASSERT_TRUE(client.send(fast_frame("fast0-again", 4.0)));
+    ASSERT_TRUE(client.recv(line));
+    ASSERT_EQ(field(line, "cache"), "hit");
+
+    std::string slow_line;
+    ASSERT_TRUE(client.send(slow_frame("the-slow-one", 40)));
+    ASSERT_TRUE(client.recv(slow_line));
+    ASSERT_EQ(field(slow_line, "status"), "ok");
+    ASSERT_EQ(field(slow_line, "cache"), "miss");
+    const std::uint64_t slow_id = echoed_trace_id(slow_line);
+    ASSERT_NE(slow_id, 0u);
+
+    // The server is live mid-run: /healthz says ok, /metrics has the serve
+    // gauges, and /slow ranks the slow request first with its trace id and
+    // per-phase breakdown.
+    EXPECT_EQ(admin_get(admin.port(), "/healthz"), "ok\n");
+    const std::string metrics = admin_get(admin.port(), "/metrics");
+    EXPECT_NE(metrics.find("madpipe_serve_queue_depth"), std::string::npos);
+    EXPECT_NE(metrics.find("madpipe_serve_hit_rate"), std::string::npos);
+
+    const json::ParseResult parsed =
+        json::parse(admin_get(admin.port(), "/slow"));
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.value.string_or("schema", ""), "madpipe-admin-v1");
+    const json::Value* slow = parsed.value.find("slow");
+    ASSERT_NE(slow, nullptr);
+    ASSERT_FALSE(slow->items().empty());
+    const json::Value& top = slow->items()[0];
+    EXPECT_EQ(top.string_or("trace_id", ""), obs::format_trace_id(slow_id));
+    EXPECT_EQ(top.string_or("id", ""), "the-slow-one");
+    EXPECT_EQ(top.string_or("cache", ""), "miss");
+    const json::Value* phases = top.find("phases");
+    ASSERT_NE(phases, nullptr);
+    EXPECT_GT(phases->number_or("plan_seconds", -1.0), 0.0);
+    EXPECT_GE(phases->number_or("admission_seconds", -1.0), 0.0);
+    EXPECT_GE(phases->number_or("queue_seconds", -1.0), 0.0);
+    // The retained span tree includes the planner phase itself.
+    const json::Value* spans = top.find("spans");
+    ASSERT_NE(spans, nullptr);
+    bool has_plan_span = false;
+    for (const json::Value& span : spans->items()) {
+      if (span.string_or("name", "") == "serve_plan") has_plan_span = true;
+    }
+    EXPECT_TRUE(has_plan_span);
+
+    // Draining flips /healthz before the front-end finishes flushing.
+    h.server.stop();
+    const std::string draining = admin_get(admin.port(), "/healthz");
+    EXPECT_EQ(draining, "draining\n");
+  }
+  obs::disarm_tail_sampling();
 }
 
 }  // namespace

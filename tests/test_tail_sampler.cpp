@@ -1,0 +1,332 @@
+// Tail-sampler tests: the retention rules (slowest-k per window, rolled
+// windows, always-sampled errors), the bounded-memory guarantees (span cap
+// with the truncated flag, active-map overflow accounting), the
+// madpipe-admin-v1 /slow document, the Span fast path routing finished
+// spans into the sampler under a TraceContextScope, and the
+// spans-dropped-on-ring-wrap counter the sampler's counters block exposes.
+#include "obs/tail_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace madpipe {
+namespace {
+
+/// Arm the process tail sampler for one test, disarming on exit so no test
+/// leaves sampling live for its neighbours (same discipline as ScopedTrace
+/// in test_obs.cpp).
+struct ScopedTailSampling {
+  explicit ScopedTailSampling(const obs::TailSamplerOptions& options = {}) {
+    obs::arm_tail_sampling(options);
+  }
+  ~ScopedTailSampling() { obs::disarm_tail_sampling(); }
+};
+
+obs::SampledRequest make_request(std::uint64_t trace_id, double latency,
+                                 bool error = false) {
+  obs::SampledRequest r;
+  r.trace_id = trace_id;
+  r.request_id = "r" + std::to_string(trace_id);
+  r.status = error ? "rejected" : "ok";
+  r.cache = "miss";
+  r.latency_seconds = latency;
+  r.admission_seconds = latency * 0.1;
+  r.queue_seconds = latency * 0.2;
+  r.plan_seconds = latency * 0.7;
+  r.error = error;
+  return r;
+}
+
+/// begin + end with no spans: the retention path alone.
+void run_request(obs::TailSampler& sampler, std::uint64_t trace_id,
+                 double latency, bool error = false) {
+  sampler.begin(trace_id, obs::now_ns());
+  sampler.end(make_request(trace_id, latency, error));
+}
+
+TEST(ObsTailSampler, SlowestKPerWindowSurviveSortedSlowestFirst) {
+  obs::TailSamplerOptions options;
+  options.keep_slowest = 3;
+  options.window_seconds = 3600.0;  // no roll during the test
+  obs::TailSampler sampler(options);
+
+  // 1..10 ms; only 8, 9, 10 ms may survive.
+  for (int i = 1; i <= 10; ++i) {
+    run_request(sampler, static_cast<std::uint64_t>(i), i * 1e-3);
+  }
+
+  const obs::TailSampler::Snapshot snap = sampler.snapshot();
+  ASSERT_EQ(snap.slow.size(), 3u);
+  EXPECT_DOUBLE_EQ(snap.slow[0].latency_seconds, 10e-3);
+  EXPECT_DOUBLE_EQ(snap.slow[1].latency_seconds, 9e-3);
+  EXPECT_DOUBLE_EQ(snap.slow[2].latency_seconds, 8e-3);
+  EXPECT_EQ(snap.started, 10);
+  EXPECT_EQ(snap.finished, 10);
+  EXPECT_TRUE(snap.errors.empty());
+}
+
+TEST(ObsTailSampler, FastRequestNeverDisplacesASlowerOne) {
+  obs::TailSamplerOptions options;
+  options.keep_slowest = 2;
+  options.window_seconds = 3600.0;
+  obs::TailSampler sampler(options);
+
+  run_request(sampler, 1, 0.5);
+  run_request(sampler, 2, 0.4);
+  run_request(sampler, 3, 0.001);  // faster than both retained: dropped
+
+  const obs::TailSampler::Snapshot snap = sampler.snapshot();
+  ASSERT_EQ(snap.slow.size(), 2u);
+  EXPECT_EQ(snap.slow[0].trace_id, 1u);
+  EXPECT_EQ(snap.slow[1].trace_id, 2u);
+  EXPECT_EQ(snap.retained, 2);
+}
+
+TEST(ObsTailSampler, WindowRollKeepsThePreviousWindowsWinners) {
+  obs::TailSamplerOptions options;
+  options.keep_slowest = 2;
+  options.window_seconds = 0.0;  // every completion rolls the window
+  obs::TailSampler sampler(options);
+
+  run_request(sampler, 1, 0.2);  // rolls (empty), lands in the new window
+  run_request(sampler, 2, 0.1);  // rolls: 1 becomes "previous", 2 current
+
+  const obs::TailSampler::Snapshot snap = sampler.snapshot();
+  // Both windows are visible, slowest first across the pair.
+  ASSERT_EQ(snap.slow.size(), 2u);
+  EXPECT_EQ(snap.slow[0].trace_id, 1u);
+  EXPECT_EQ(snap.slow[1].trace_id, 2u);
+
+  // A third completion rolls again: request 1's window is forgotten.
+  run_request(sampler, 3, 0.05);
+  const obs::TailSampler::Snapshot later = sampler.snapshot();
+  ASSERT_EQ(later.slow.size(), 2u);
+  EXPECT_EQ(later.slow[0].trace_id, 2u);
+  EXPECT_EQ(later.slow[1].trace_id, 3u);
+}
+
+TEST(ObsTailSampler, ErrorsAreAlwaysRetainedAndBounded) {
+  obs::TailSamplerOptions options;
+  options.keep_slowest = 1;
+  options.keep_errors = 2;
+  options.window_seconds = 3600.0;
+  obs::TailSampler sampler(options);
+
+  run_request(sampler, 1, 10.0);           // slow success holds the k=1 slot
+  run_request(sampler, 2, 1e-6, true);     // instant failure: sampled anyway
+  run_request(sampler, 3, 1e-6, true);
+  run_request(sampler, 4, 1e-6, true);     // bounded: 2 drops out
+
+  const obs::TailSampler::Snapshot snap = sampler.snapshot();
+  ASSERT_EQ(snap.slow.size(), 1u);
+  EXPECT_EQ(snap.slow[0].trace_id, 1u);
+  ASSERT_EQ(snap.errors.size(), 2u);  // newest last, oldest evicted
+  EXPECT_EQ(snap.errors[0].trace_id, 3u);
+  EXPECT_EQ(snap.errors[1].trace_id, 4u);
+  EXPECT_TRUE(snap.errors[0].error);
+}
+
+TEST(ObsTailSampler, SpanCapSetsTruncatedAndBoundsMemory) {
+  obs::TailSamplerOptions options;
+  options.max_spans_per_request = 4;
+  options.window_seconds = 3600.0;
+  obs::TailSampler sampler(options);
+
+  sampler.begin(7, obs::now_ns());
+  for (int i = 0; i < 10; ++i) {
+    obs::TraceEvent event;
+    event.name = "obs_tail_cap";
+    event.category = obs::kCatServe;
+    event.start_ns = obs::now_ns();
+    event.trace_id = 7;
+    sampler.record(7, event);
+  }
+  sampler.end(make_request(7, 0.1));
+
+  const obs::TailSampler::Snapshot snap = sampler.snapshot();
+  ASSERT_EQ(snap.slow.size(), 1u);
+  EXPECT_EQ(snap.slow[0].spans.size(), 4u);
+  EXPECT_TRUE(snap.slow[0].truncated);
+}
+
+TEST(ObsTailSampler, PhaseSpansSurviveAFloodOfInnerPlannerSpans) {
+  // Spans are recorded in finish order, so a planning-heavy request's inner
+  // planner spans all land before the serve-phase spans that wrap them. The
+  // reserved headroom must keep the phase breakdown in the tree anyway.
+  obs::TailSamplerOptions options;
+  options.max_spans_per_request = 16;
+  options.window_seconds = 3600.0;
+  obs::TailSampler sampler(options);
+
+  sampler.begin(9, obs::now_ns());
+  obs::TraceEvent inner;
+  inner.name = "obs_tail_inner";
+  inner.category = obs::kCatPlanner;
+  inner.trace_id = 9;
+  for (int i = 0; i < 100; ++i) sampler.record(9, inner);
+  obs::TraceEvent phase;
+  phase.name = "serve_plan";
+  phase.category = obs::kCatServe;
+  phase.trace_id = 9;
+  sampler.record(9, phase);
+  sampler.end(make_request(9, 0.3));
+
+  const obs::TailSampler::Snapshot snap = sampler.snapshot();
+  ASSERT_EQ(snap.slow.size(), 1u);
+  EXPECT_TRUE(snap.slow[0].truncated);
+  EXPECT_LE(snap.slow[0].spans.size(), 16u);
+  bool has_phase = false;
+  for (const obs::TraceEvent& e : snap.slow[0].spans) {
+    if (e.name != nullptr && std::string("serve_plan") == e.name) {
+      has_phase = true;
+    }
+  }
+  EXPECT_TRUE(has_phase);
+}
+
+TEST(ObsTailSampler, ActiveMapOverflowIsCountedNotGrown) {
+  obs::TailSamplerOptions options;
+  options.max_active = 0;  // each shard admits at most one active request
+  options.window_seconds = 3600.0;
+  obs::TailSampler sampler(options);
+
+  // Ids 16 apart hash to the same shard; the second begin must be refused.
+  sampler.begin(1, obs::now_ns());
+  sampler.begin(17, obs::now_ns());
+  obs::TailSampler::Snapshot snap = sampler.snapshot();
+  EXPECT_EQ(snap.started, 1);
+  EXPECT_EQ(snap.overflow_dropped, 1);
+
+  // Ending a refused request is a no-op, not a crash or a retention.
+  sampler.end(make_request(17, 5.0));
+  snap = sampler.snapshot();
+  EXPECT_EQ(snap.finished, 0);
+  EXPECT_TRUE(snap.slow.empty());
+}
+
+TEST(ObsTailSampler, UnknownAndZeroTraceIdsAreIgnored) {
+  obs::TailSampler sampler;
+  obs::TraceEvent event;
+  event.name = "obs_tail_unknown";
+  sampler.record(0, event);    // no context
+  sampler.record(99, event);   // never began
+  sampler.begin(0, obs::now_ns());
+  sampler.end(make_request(0, 1.0));
+  const obs::TailSampler::Snapshot snap = sampler.snapshot();
+  EXPECT_EQ(snap.started, 0);
+  EXPECT_EQ(snap.finished, 0);
+  EXPECT_TRUE(snap.slow.empty());
+}
+
+TEST(ObsTailSampler, SpansFinishedInsideAContextScopeAreSampled) {
+  // The integration path the serving stack uses: arm the process sampler,
+  // register the request, run spans under its TraceContextScope (tracing
+  // itself stays DISARMED — tail sampling works without the rings).
+  ASSERT_FALSE(obs::trace_enabled());
+  ScopedTailSampling armed;
+  obs::TailSampler& sampler = obs::tail_sampler();
+
+  const std::uint64_t id = obs::next_trace_id();
+  sampler.begin(id, obs::now_ns());
+  {
+    obs::TraceContextScope scope(id);
+    EXPECT_EQ(obs::current_trace_id(), id);
+    obs::Span span("obs_tail_scoped", obs::kCatServe);
+    span.arg("value", 7);
+  }
+  EXPECT_EQ(obs::current_trace_id(), 0u);
+  {
+    // Outside the scope: the span has no trace id and is not sampled.
+    obs::Span span("obs_tail_unscoped", obs::kCatServe);
+  }
+  sampler.end(make_request(id, 0.25));
+
+  const obs::TailSampler::Snapshot snap = sampler.snapshot();
+  ASSERT_EQ(snap.slow.size(), 1u);
+  const obs::SampledRequest& kept = snap.slow[0];
+  EXPECT_EQ(kept.trace_id, id);
+  ASSERT_EQ(kept.spans.size(), 1u);
+  EXPECT_STREQ(kept.spans[0].name, "obs_tail_scoped");
+  EXPECT_EQ(kept.spans[0].trace_id, id);
+  ASSERT_NE(kept.spans[0].arg1_key, nullptr);
+  EXPECT_EQ(kept.spans[0].arg1_value, 7);
+}
+
+TEST(ObsTailSampler, SlowJsonIsAdminV1AndRoundTripsThroughTheParser) {
+  ScopedTailSampling armed;
+  obs::TailSampler& sampler = obs::tail_sampler();
+
+  const std::uint64_t id = obs::next_trace_id();
+  sampler.begin(id, obs::now_ns());
+  {
+    obs::TraceContextScope scope(id);
+    obs::Span span("obs_tail_json", obs::kCatServe);
+  }
+  obs::SampledRequest done = make_request(id, 0.125);
+  done.request_id = "slow-one";
+  sampler.end(std::move(done));
+
+  const std::string text = sampler.slow_json();
+  const json::ParseResult parsed = json::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value.string_or("schema", ""), "madpipe-admin-v1");
+
+  const json::Value* slow = parsed.value.find("slow");
+  ASSERT_NE(slow, nullptr);
+  ASSERT_TRUE(slow->is_array());
+  ASSERT_EQ(slow->items().size(), 1u);
+  const json::Value& entry = slow->items()[0];
+  EXPECT_EQ(entry.string_or("trace_id", ""), obs::format_trace_id(id));
+  EXPECT_EQ(entry.string_or("id", ""), "slow-one");
+  EXPECT_DOUBLE_EQ(entry.number_or("latency_seconds", 0.0), 0.125);
+  const json::Value* phases = entry.find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_GT(phases->number_or("plan_seconds", 0.0), 0.0);
+  const json::Value* spans = entry.find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->items().size(), 1u);
+  EXPECT_EQ(spans->items()[0].string_or("name", ""), "obs_tail_json");
+
+  const json::Value* counters = parsed.value.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->number_or("finished", -1.0), 1.0);
+  // The drop counter is present even when zero so dashboards can rate() it.
+  ASSERT_NE(counters->find("spans_dropped_total"), nullptr);
+}
+
+TEST(ObsTailSampler, TraceIdsAreUniquePositiveAndHexFormatted) {
+  const std::uint64_t a = obs::next_trace_id();
+  const std::uint64_t b = obs::next_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  // Top bit clear: always representable as a positive int64 span arg.
+  EXPECT_EQ(a >> 63, 0u);
+  const std::string hex = obs::format_trace_id(a);
+  EXPECT_EQ(hex.size(), 16u);
+  EXPECT_EQ(std::strtoull(hex.c_str(), nullptr, 16), a);
+}
+
+TEST(ObsTailSampler, RingOverwriteBumpsTheSpansDroppedCounter) {
+  const long long before = obs::spans_dropped_total();
+  obs::install_trace(4);  // 4 slots; 10 spans overwrite 6
+  for (int i = 0; i < 10; ++i) {
+    obs::Span span("obs_tail_drop", obs::kCatServe);
+  }
+  obs::uninstall_trace();
+  EXPECT_EQ(obs::spans_dropped_total() - before, 6);
+  // The same number is published to the registry for /metrics and
+  // `madpipe stats`.
+  const std::string text = obs::Registry::global().text();
+  EXPECT_NE(text.find("madpipe_spans_dropped_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace madpipe

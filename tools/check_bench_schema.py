@@ -479,6 +479,15 @@ NET_MIN_HIT_RPS_8T = 100_000.0
 # A cache hit over loopback is a lookup plus two socket hops, never a
 # planning run: p99 past this bound means the wire path is broken.
 NET_MAX_HIT_P99_SECONDS = 0.1
+# Arming tail sampling must not cost serving throughput: the armed /
+# disarmed ratio of the fixed hit run has to stay near 1. The 0.8 floor
+# allows ordinary run-to-run noise while catching a sampler that drags the
+# hot path; gated on hardware_threads like the throughput floor (the
+# signal is meaningless on an oversubscribed host).
+NET_MIN_TAIL_SAMPLING_RATIO_8T = 0.8
+# An admin /metrics scrape is one short HTTP exchange over loopback; a p50
+# past this bound means the endpoint is blocking on the data plane.
+NET_MAX_ADMIN_SCRAPE_P50_SECONDS = 0.1
 
 NET_THROUGHPUT_FIELDS = {
     "clients": int,
@@ -598,6 +607,49 @@ def check_net_document(doc, path):
     if abs(overload["shed_fraction"] - expected) > 1e-9:
         fail(f"{path}: shed_fraction {overload['shed_fraction']!r} != "
              f"rejected/frames {expected!r}")
+
+    admin = doc.get("admin")
+    if not isinstance(admin, dict):
+        fail(f"{path}: missing admin block")
+    check_fields(admin, {"scrapes": int,
+                         "scrape_p50_seconds": (int, float),
+                         "scrape_p95_seconds": (int, float),
+                         "metrics_bytes": int,
+                         "healthz_ok": bool}, f"{path}: admin")
+    if admin["scrapes"] < 1 or admin["metrics_bytes"] < 1:
+        fail(f"{path}: admin scrapes and metrics_bytes must be >= 1")
+    if not (0 < admin["scrape_p50_seconds"] <= admin["scrape_p95_seconds"]):
+        fail(f"{path}: admin scrape percentiles must satisfy "
+             f"0 < p50 <= p95")
+    if admin["scrape_p50_seconds"] > NET_MAX_ADMIN_SCRAPE_P50_SECONDS:
+        fail(f"{path}: admin scrape p50 {admin['scrape_p50_seconds']:.4f}s "
+             f"exceeds the {NET_MAX_ADMIN_SCRAPE_P50_SECONDS}s sanity bound")
+    if not admin["healthz_ok"]:
+        fail(f"{path}: /healthz did not answer ok on a live server")
+
+    tail = doc.get("tail_sampling")
+    if not isinstance(tail, dict):
+        fail(f"{path}: missing tail_sampling block")
+    check_fields(tail, {"requests": int,
+                        "baseline_requests_per_second": (int, float),
+                        "armed_requests_per_second": (int, float),
+                        "throughput_ratio": (int, float)},
+                 f"{path}: tail_sampling")
+    if tail["requests"] < 1:
+        fail(f"{path}: tail_sampling requests must be >= 1")
+    if tail["baseline_requests_per_second"] <= 0 \
+            or tail["armed_requests_per_second"] <= 0:
+        fail(f"{path}: tail_sampling rates must be positive")
+    expected_ratio = (tail["armed_requests_per_second"]
+                      / tail["baseline_requests_per_second"])
+    if abs(tail["throughput_ratio"] - expected_ratio) > 1e-6:
+        fail(f"{path}: tail_sampling throughput_ratio "
+             f"{tail['throughput_ratio']!r} != armed/baseline "
+             f"{expected_ratio!r}")
+    enforce_hardware_gated_floor(tail["throughput_ratio"],
+                                 NET_MIN_TAIL_SAMPLING_RATIO_8T, hardware,
+                                 path, "tail-sampling throughput ratio",
+                                 smoke=smoke, unit="x")
 
     stats = doc.get("server_stats")
     if not isinstance(stats, dict):

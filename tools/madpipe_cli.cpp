@@ -78,6 +78,18 @@
 //       SIGINT/SIGTERM shut down gracefully: in-flight requests finish,
 //       buffers flush, then the process exits.
 //
+//   madpipe serve ... [--admin HOST:PORT] [--slow-k N]
+//       Live-telemetry admin endpoint (any serve mode): a read-only
+//       HTTP/1.0 listener answering /metrics (Prometheus text of the live
+//       registry), /healthz (ok, or 503 "draining" during shutdown),
+//       /slow (madpipe-admin-v1 JSON: tail-sampled slow-request span
+//       trees with trace ids and admission/queue/plan breakdown), and
+//       /tracez (span rings as a Chrome trace). --admin also arms
+//       tail-based sampling: the slowest --slow-k requests per 10 s
+//       window plus every errored request keep their complete span trees
+//       in bounded memory. PORT 0 binds an ephemeral port (printed on
+//       stderr).
+//
 //   madpipe serve ... [--cache-save FILE] [--cache-load FILE]
 //       Plan-cache persistence (any serve mode): --cache-load warms the
 //       cache from a madpipe-cachesnap-v1 snapshot before serving;
@@ -109,8 +121,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <iterator>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -125,6 +139,7 @@
 #include "models/transformer.hpp"
 #include "models/zoo.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tail_sampler.hpp"
 #include "obs/trace.hpp"
 #include "pipedream/pipedream.hpp"
 #include "report/plan_report.hpp"
@@ -133,6 +148,7 @@
 #include "schedule/recompute.hpp"
 #include "fleet/simulator.hpp"
 #include "fleet/trace.hpp"
+#include "serve/net/admin.hpp"
 #include "serve/net/server.hpp"
 #include "serve/protocol.hpp"
 #include "serve/serve_stats.hpp"
@@ -192,6 +208,8 @@ struct Args {
   double burst = 64.0;       ///< per-connection token bucket burst
   int shed_depth = 0;        ///< queue depth that sheds; 0 = queue capacity
   bool edge_triggered = false;  ///< epoll ET instead of LT
+  std::string admin;         ///< HOST:PORT; empty = no admin endpoint
+  int slow_k = 8;            ///< tail sampler: slowest-k kept per window
   // fleet
   std::string policy = "fifo";
   unsigned long long seed = 42;  ///< synthetic-trace seed
@@ -230,6 +248,7 @@ struct Args {
                "[--burst N]\n"
                "        [--shed-depth N] [--edge-triggered]\n"
                "        [--cache-save FILE] [--cache-load FILE]\n"
+               "        [--admin HOST:PORT] [--slow-k N]\n"
                "  fleet [TRACE.json] [--policy fifo|deadline|affinity] "
                "[--seed S]\n"
                "        [--jobs N] [--pool N] [--memory-gb X] "
@@ -320,6 +339,10 @@ Args parse(int argc, char** argv) {
       args.shed_depth = std::atoi(next_value().c_str());
     } else if (arg == "--edge-triggered") {
       args.edge_triggered = true;
+    } else if (arg == "--admin") {
+      args.admin = next_value();
+    } else if (arg == "--slow-k") {
+      args.slow_k = std::atoi(next_value().c_str());
     } else if (arg == "--policy") {
       args.policy = next_value();
     } else if (arg == "--seed") {
@@ -895,6 +918,25 @@ int serve_cache_save(serve::PlanService& service, const std::string& path) {
   return 0;
 }
 
+/// Start the --admin telemetry endpoint (any serve mode); nullptr when the
+/// flag was not given. `draining` feeds /healthz and must be thread-safe.
+std::unique_ptr<serve::net::AdminServer> start_admin(
+    const Args& args, std::function<bool()> draining) {
+  if (args.admin.empty()) return nullptr;
+  const auto host_port = net::parse_host_port(args.admin);
+  if (!host_port.has_value()) usage("--admin expects HOST:PORT");
+  serve::net::AdminServerOptions options;
+  options.host = host_port->first;
+  options.port = host_port->second;
+  options.draining = std::move(draining);
+  auto admin = std::make_unique<serve::net::AdminServer>(options);
+  std::fprintf(stderr,
+               "madpipe serve: admin endpoint on %s:%u "
+               "(/metrics /healthz /slow /tracez)\n",
+               options.host.c_str(), admin->port());
+  return admin;
+}
+
 int cmd_serve_listen(const Args& args, serve::PlanService& service) {
   const auto host_port = net::parse_host_port(args.listen);
   if (!host_port.has_value()) usage("--listen expects HOST:PORT");
@@ -914,6 +956,12 @@ int cmd_serve_listen(const Args& args, serve::PlanService& service) {
   serve::net::NetServer server(service, options);
   std::fprintf(stderr, "madpipe serve: listening on %s:%u\n",
                options.host.c_str(), server.port());
+  // The admin endpoint outlives the serve loop but not `server`: its
+  // /healthz probe flips to draining the moment the shutdown signal lands,
+  // before the front-end has finished flushing in-flight responses.
+  const auto admin = start_admin(args, [&server] {
+    return g_serve_interrupted.load() || server.draining();
+  });
 
   g_serve_interrupted.store(false);
   struct sigaction action {};
@@ -941,6 +989,19 @@ int cmd_serve_listen(const Args& args, serve::PlanService& service) {
 
 int cmd_serve(const Args& args) {
   const ObsSinks sinks(args);
+  if (!args.admin.empty()) {
+    // Arm tail sampling before the first request so every span tree is
+    // complete. Sampling must never change planning results — the loopback
+    // tests assert bit-identical plans with it armed vs disarmed.
+    if (args.slow_k < 1) usage("--slow-k must be >= 1");
+    obs::TailSamplerOptions tail;
+    tail.keep_slowest = static_cast<std::size_t>(args.slow_k);
+    obs::arm_tail_sampling(tail);
+    // /tracez drains the per-thread rings; arm them too unless --trace-out
+    // already did (the rings keep the newest events, so a scrape sees the
+    // recent span window).
+    if (args.trace_out.empty()) obs::install_trace();
+  }
   serve::PlanService service(serve_options(args));
   serve_cache_load(service, args.cache_load);
 
@@ -949,6 +1010,10 @@ int cmd_serve(const Args& args) {
     const int save_status = serve_cache_save(service, args.cache_save);
     return status != 0 ? status : save_status;
   }
+
+  // Batch / stdin modes still answer --admin scrapes while they run (no
+  // drain probe: these modes exit when their input does).
+  const auto admin = start_admin(args, {});
 
   if (args.stdin_loop) {
     // Line loop: one request document in, one response document out.
